@@ -1,0 +1,65 @@
+//! Fig. 10 bench: the parallel cluster-partitioning game — thread scaling
+//! (a) and batch-size sensitivity (b).
+
+use clugp_bench::algorithms::{Algorithm, BuildOptions};
+use clugp_bench::benchkit::heavy_dataset;
+use clugp_bench::runner::run_cell_with;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig10(c: &mut Criterion) {
+    let prep = heavy_dataset();
+    let mut group = c.benchmark_group("fig10_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("CLUGP", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    std::hint::black_box(run_cell_with(
+                        &prep,
+                        Algorithm::Clugp,
+                        32,
+                        &BuildOptions {
+                            threads,
+                            ..Default::default()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig10_batch_size");
+    group.sample_size(10);
+    for batch in [640usize, 3200, 6400] {
+        let cell = run_cell_with(
+            &prep,
+            Algorithm::Clugp,
+            32,
+            &BuildOptions {
+                batch_size: batch,
+                ..Default::default()
+            },
+        );
+        eprintln!("# Fig 10(b) batch={batch}: rf={:.3}", cell.replication_factor);
+        group.bench_with_input(BenchmarkId::new("CLUGP", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                std::hint::black_box(run_cell_with(
+                    &prep,
+                    Algorithm::Clugp,
+                    32,
+                    &BuildOptions {
+                        batch_size: batch,
+                        ..Default::default()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

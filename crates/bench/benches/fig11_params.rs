@@ -1,0 +1,63 @@
+//! Fig. 11 bench: the parameter studies — imbalance factor τ (a) and
+//! relative weight w (b) — with RF sweeps printed and the τ extremes timed.
+
+use clugp_bench::algorithms::{Algorithm, BuildOptions};
+use clugp_bench::benchkit::web_dataset;
+use clugp_bench::runner::run_cell_with;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig11(c: &mut Criterion) {
+    let prep = web_dataset();
+    for tau in [1.0f64, 1.05, 1.10] {
+        let cell = run_cell_with(
+            &prep,
+            Algorithm::Clugp,
+            32,
+            &BuildOptions {
+                tau,
+                ..Default::default()
+            },
+        );
+        eprintln!(
+            "# Fig 11(a) tau={tau:.2}: rf={:.3} balance={:.3}",
+            cell.replication_factor, cell.relative_balance
+        );
+    }
+    for w in [0.1f64, 0.5, 0.9] {
+        let cell = run_cell_with(
+            &prep,
+            Algorithm::Clugp,
+            32,
+            &BuildOptions {
+                relative_weight: Some(w),
+                ..Default::default()
+            },
+        );
+        eprintln!("# Fig 11(b) w={w:.1}: rf={:.3}", cell.replication_factor);
+    }
+    let mut group = c.benchmark_group("fig11_tau");
+    group.sample_size(10);
+    for tau in [1.0f64, 1.10] {
+        group.bench_with_input(
+            BenchmarkId::new("CLUGP", format!("{tau:.2}")),
+            &tau,
+            |b, &tau| {
+                b.iter(|| {
+                    std::hint::black_box(run_cell_with(
+                        &prep,
+                        Algorithm::Clugp,
+                        32,
+                        &BuildOptions {
+                            tau,
+                            ..Default::default()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

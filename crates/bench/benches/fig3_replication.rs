@@ -1,0 +1,31 @@
+//! Fig. 3 bench: replication-factor sweep over k on a web graph. Prints the
+//! full RF series (the figure's content) and times the two quality leaders
+//! at both ends of the k sweep.
+
+use clugp_bench::algorithms::Algorithm;
+use clugp_bench::benchkit::{print_rf_series, web_dataset};
+use clugp_bench::runner::run_cell;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig3(c: &mut Criterion) {
+    let prep = web_dataset();
+    print_rf_series(
+        "Fig 3 RF series",
+        &prep,
+        &Algorithm::COMPETITORS,
+        &[4, 16, 64, 256],
+    );
+    let mut group = c.benchmark_group("fig3_partition");
+    group.sample_size(10);
+    for algo in [Algorithm::Clugp, Algorithm::Hdrf] {
+        for k in [16u32, 256] {
+            group.bench_with_input(BenchmarkId::new(algo.name(), k), &k, |b, &k| {
+                b.iter(|| std::hint::black_box(run_cell(&prep, algo, k)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

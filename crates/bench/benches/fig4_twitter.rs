@@ -1,0 +1,38 @@
+//! Fig. 4 bench: HDRF vs CLUGP on the social-graph analogue (quality
+//! series) plus the end-to-end partition+PageRank pipeline timing.
+
+use clugp_bench::algorithms::Algorithm;
+use clugp_bench::benchkit::{print_rf_series, social_dataset};
+use clugp_bench::experiments::system::pagerank_cost;
+use clugp_bench::runner::run_cell;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig4(c: &mut Criterion) {
+    let prep = social_dataset();
+    print_rf_series(
+        "Fig 4(a) RF series",
+        &prep,
+        &[Algorithm::Hdrf, Algorithm::Clugp],
+        &[4, 32, 256],
+    );
+    for algo in [Algorithm::Clugp, Algorithm::Hdrf] {
+        let (cell, pr) = pagerank_cost(&prep, algo, 32, None);
+        eprintln!(
+            "# Fig 4(b) {}: partition {:.3}s + pagerank(sim) {:.3}s",
+            algo.name(),
+            cell.partition_secs,
+            pr
+        );
+    }
+    let mut group = c.benchmark_group("fig4_twitter_partition");
+    group.sample_size(10);
+    for algo in [Algorithm::Hdrf, Algorithm::Clugp] {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| std::hint::black_box(run_cell(&prep, algo, 32)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 5 bench: RF vs sampled graph size (nested edge samples of the web
+//! analogue), timing CLUGP on the smallest and largest sample.
+
+use clugp_bench::algorithms::Algorithm;
+use clugp_bench::benchkit::web_dataset;
+use clugp_bench::runner::{run_cell, PreparedDataset};
+use clugp_graph::sampling::nested_edge_samples;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn fig5(c: &mut Criterion) {
+    let prep = web_dataset();
+    let m = prep.graph.num_edges();
+    let sizes = [m / 50, m / 10, m / 2, m];
+    let samples = nested_edge_samples(&prep.graph, &sizes, 0x5A3);
+    let preps: Vec<PreparedDataset> = samples
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            PreparedDataset::from_graph(&format!("sample-{}", sizes[i]), Arc::new(g.clone()))
+        })
+        .collect();
+    for (i, p) in preps.iter().enumerate() {
+        let cell = run_cell(p, Algorithm::Clugp, 32);
+        eprintln!(
+            "# Fig 5 sample |E|={}: CLUGP rf={:.3}",
+            sizes[i], cell.replication_factor
+        );
+    }
+    let mut group = c.benchmark_group("fig5_sample_partition");
+    group.sample_size(10);
+    for (i, p) in preps.iter().enumerate().step_by(3) {
+        group.bench_with_input(BenchmarkId::new("CLUGP", sizes[i]), p, |b, p| {
+            b.iter(|| std::hint::black_box(run_cell(p, Algorithm::Clugp, 32)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 6 bench: working-state memory of each algorithm vs k (printed), and
+//! the cost of the replica-table operations that dominate the heuristics'
+//! footprint.
+
+use clugp::state::ReplicaTable;
+use clugp_bench::algorithms::Algorithm;
+use clugp_bench::benchkit::web_dataset;
+use clugp_bench::runner::run_cell;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig6(c: &mut Criterion) {
+    let prep = web_dataset();
+    for algo in Algorithm::COMPETITORS {
+        let series: Vec<String> = [8u32, 64, 256]
+            .iter()
+            .map(|&k| {
+                let cell = run_cell(&prep, algo, k);
+                format!("k{}={:.2}MiB", k, cell.memory_bytes as f64 / (1024.0 * 1024.0))
+            })
+            .collect();
+        eprintln!("# Fig 6 {:<8} {}", algo.name(), series.join(" "));
+    }
+    let mut group = c.benchmark_group("fig6_replica_table");
+    for k in [64u32, 256] {
+        group.bench_with_input(BenchmarkId::new("insert_1M", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut t = ReplicaTable::new(100_000, k);
+                for i in 0..1_000_000u32 {
+                    t.insert(i % 100_000, i % k);
+                }
+                std::hint::black_box(t.total_replicas())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

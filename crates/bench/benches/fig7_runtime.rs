@@ -1,0 +1,30 @@
+//! Fig. 7 bench — the paper's scalability headline: partitioning runtime vs
+//! number of partitions. CLUGP should be nearly flat in k while HDRF/Greedy
+//! grow (their inner loops are O(k) per edge).
+
+use clugp_bench::algorithms::Algorithm;
+use clugp_bench::benchkit::web_dataset;
+use clugp_bench::runner::run_cell;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig7(c: &mut Criterion) {
+    let prep = web_dataset();
+    let mut group = c.benchmark_group("fig7_runtime_vs_k");
+    group.sample_size(10);
+    for algo in [
+        Algorithm::Clugp,
+        Algorithm::Hdrf,
+        Algorithm::Greedy,
+        Algorithm::Hashing,
+    ] {
+        for k in [4u32, 64, 256] {
+            group.bench_with_input(BenchmarkId::new(algo.name(), k), &k, |b, &k| {
+                b.iter(|| std::hint::black_box(run_cell(&prep, algo, k)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 8 bench: the GAS-simulator PageRank pipeline — placement plus ten
+//! supersteps — under CLUGP and Hashing partitionings, with the
+//! communication volumes printed.
+
+use clugp_bench::algorithms::Algorithm;
+use clugp_bench::benchkit::web_dataset;
+use clugp_bench::experiments::system::pagerank_estimate;
+use clugp_engine::apps::PageRank;
+use clugp_engine::{DistributedGraph, Engine};
+use clugp_graph::stream::InMemoryStream;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig8(c: &mut Criterion) {
+    let prep = web_dataset();
+    for algo in [Algorithm::Clugp, Algorithm::Hashing, Algorithm::Hdrf] {
+        let (_, est) = pagerank_estimate(&prep, algo, 32, None);
+        eprintln!(
+            "# Fig 8 {}: volume={}B messages={} est-runtime={:.3}s",
+            algo.name(),
+            est.total_bytes,
+            est.total_messages,
+            est.total_secs()
+        );
+    }
+
+    // Bench the engine execution itself on a fixed placement.
+    let edges = prep.edges_for(Algorithm::Clugp).to_vec();
+    let mut stream = InMemoryStream::new(prep.graph.num_vertices(), edges.clone());
+    let mut algo = Algorithm::Clugp.build();
+    let run = algo.partition(&mut stream, 32).expect("partition");
+    let placed = DistributedGraph::place(&edges, &run.partitioning);
+
+    let mut group = c.benchmark_group("fig8_engine");
+    group.sample_size(10);
+    group.bench_function("place_k32", |b| {
+        b.iter(|| std::hint::black_box(DistributedGraph::place(&edges, &run.partitioning)))
+    });
+    group.bench_function("pagerank_10_iters", |b| {
+        let engine = Engine::new(&placed);
+        b.iter(|| std::hint::black_box(engine.run(&PageRank::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

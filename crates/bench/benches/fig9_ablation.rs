@@ -1,0 +1,48 @@
+//! Fig. 9 bench: the ablations — splitting off (CLUGP-S), game off
+//! (CLUGP-G) — and the migration-policy design ablation, with RF series
+//! printed and the variants timed.
+
+use clugp::clugp::{Clugp, ClugpConfig, MigrationPolicy};
+use clugp::metrics::PartitionQuality;
+use clugp::partitioner::Partitioner;
+use clugp_bench::algorithms::Algorithm;
+use clugp_bench::benchkit::{heavy_dataset, print_rf_series};
+use clugp_bench::runner::run_cell;
+use clugp_graph::stream::InMemoryStream;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig9(c: &mut Criterion) {
+    let prep = heavy_dataset();
+    print_rf_series(
+        "Fig 9 ablations",
+        &prep,
+        &Algorithm::ABLATIONS,
+        &[4, 32, 256],
+    );
+    for (label, policy) in [
+        ("anchored", MigrationPolicy::Anchored),
+        ("headroom", MigrationPolicy::Headroom),
+        ("paper", MigrationPolicy::Paper),
+    ] {
+        let edges = prep.edges_for(Algorithm::Clugp);
+        let mut stream = InMemoryStream::new(prep.graph.num_vertices(), edges.to_vec());
+        let mut algo = Clugp::new(ClugpConfig {
+            migration: policy,
+            ..Default::default()
+        });
+        let run = algo.partition(&mut stream, 32).unwrap();
+        let q = PartitionQuality::compute(edges, &run.partitioning);
+        eprintln!("# Fig 9(ext) migration={label}: rf={:.3}", q.replication_factor);
+    }
+    let mut group = c.benchmark_group("fig9_variants");
+    group.sample_size(10);
+    for algo in Algorithm::ABLATIONS {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| std::hint::black_box(run_cell(&prep, algo, 32)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

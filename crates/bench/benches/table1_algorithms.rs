@@ -1,0 +1,23 @@
+//! Table I bench: end-to-end partitioning time of each streaming algorithm
+//! at k = 32 (the paper's qualitative Time-Cost column, measured).
+
+use clugp_bench::algorithms::Algorithm;
+use clugp_bench::benchkit::{print_rf_series, web_dataset};
+use clugp_bench::runner::run_cell;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table1(c: &mut Criterion) {
+    let prep = web_dataset();
+    print_rf_series("Table I quality", &prep, &Algorithm::COMPETITORS, &[32]);
+    let mut group = c.benchmark_group("table1_partition_time");
+    group.sample_size(10);
+    for algo in Algorithm::COMPETITORS {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| std::hint::black_box(run_cell(&prep, algo, 32)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table III bench: generation and analysis cost of each dataset analogue.
+
+use clugp_bench::benchkit::bench_scale;
+use clugp_bench::datasets::Dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table3(c: &mut Criterion) {
+    let scale = bench_scale();
+    for ds in Dataset::ALL {
+        let g = ds.generate(scale);
+        let s = clugp_graph::analysis::summarize(&g);
+        eprintln!(
+            "# {}: |V|={} |E|={} alpha={:.2} components={}",
+            ds.name(),
+            s.num_vertices,
+            s.num_edges,
+            s.alpha,
+            s.components
+        );
+    }
+    let mut group = c.benchmark_group("table3_generate");
+    group.sample_size(10);
+    for ds in [Dataset::UkS, Dataset::TwitterS] {
+        group.bench_function(ds.name(), |b| {
+            b.iter(|| std::hint::black_box(ds.generate(scale)))
+        });
+    }
+    group.bench_function("summarize_uk", |b| {
+        let g = Dataset::UkS.generate(scale);
+        b.iter(|| std::hint::black_box(clugp_graph::analysis::summarize(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! DBH — Degree-Based Hashing (Xie et al., NeurIPS 2014).
+//!
+//! For each edge `(u, v)`, hash the endpoint with the *smaller* degree: the
+//! edge lands in that endpoint's home partition, so high-degree vertices are
+//! the ones that get cut (replicated), which is provably good on power-law
+//! graphs. Degrees are the partial degrees observed so far in the stream
+//! (the streaming adaptation; the original assumes a degree oracle).
+
+use crate::error::Result;
+use crate::memory::MemoryReport;
+use crate::partition::{PartitionRun, Partitioning, Timings};
+use crate::partitioner::{ensure_index, mix64, start_run, Partitioner};
+use crate::state::PartitionLoads;
+use clugp_graph::stream::RestreamableStream;
+
+/// The degree-based hashing partitioner.
+#[derive(Debug, Clone)]
+pub struct Dbh {
+    seed: u64,
+}
+
+impl Dbh {
+    /// Creates a DBH partitioner with the given hash seed.
+    pub fn new(seed: u64) -> Self {
+        Dbh { seed }
+    }
+}
+
+impl Default for Dbh {
+    fn default() -> Self {
+        Dbh::new(0xDB4)
+    }
+}
+
+impl Partitioner for Dbh {
+    fn name(&self) -> &'static str {
+        "DBH"
+    }
+
+    fn partition(&mut self, stream: &mut dyn RestreamableStream, k: u32) -> Result<PartitionRun> {
+        let start = std::time::Instant::now();
+        let (n, m) = start_run(stream, k)?;
+        let mut degree: Vec<u32> = vec![0; n as usize];
+        let mut assignments = Vec::with_capacity(m as usize);
+        let mut loads = PartitionLoads::new(k);
+        while let Some(e) = stream.next_edge() {
+            ensure_index(&mut degree, e.src.max(e.dst) as usize, 0);
+            degree[e.src as usize] += 1;
+            degree[e.dst as usize] += 1;
+            // Hash the lower-degree endpoint (cut the higher-degree one).
+            let key = if degree[e.src as usize] <= degree[e.dst as usize] {
+                e.src
+            } else {
+                e.dst
+            };
+            let p = (mix64(u64::from(key) ^ self.seed) % u64::from(k)) as u32;
+            assignments.push(p);
+            loads.add(p);
+        }
+        let mut memory = MemoryReport::new();
+        memory.add("degrees", degree.capacity() * 4);
+        Ok(PartitionRun {
+            partitioning: Partitioning {
+                k,
+                num_vertices: n.max(degree.len() as u64),
+                assignments,
+                loads: loads.into_vec(),
+            },
+            memory,
+            timings: Timings {
+                total: start.elapsed(),
+                ..Default::default()
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PartitionQuality;
+    use clugp_graph::stream::InMemoryStream;
+    use clugp_graph::types::Edge;
+
+    /// A star graph: hub 0 connected to n spokes.
+    fn star(n: u32) -> Vec<Edge> {
+        (1..=n).map(|i| Edge::new(0, i)).collect()
+    }
+
+    #[test]
+    fn star_cuts_the_hub_not_the_spokes() {
+        let edges = star(400);
+        let mut s = InMemoryStream::from_edges(edges.clone());
+        let run = Dbh::default().partition(&mut s, 8).unwrap();
+        run.partitioning.validate().unwrap();
+        let q = PartitionQuality::compute(&edges, &run.partitioning);
+        // Spokes are hashed to their own home partitions; only the hub is
+        // replicated, so total replicas ≈ |V| + (k - 1).
+        assert!(
+            q.total_replicas <= 401 + 8,
+            "replicas {} should be near |V|",
+            q.total_replicas
+        );
+    }
+
+    #[test]
+    fn spoke_edges_follow_spoke_hash() {
+        // After the first edge, the hub has higher partial degree than every
+        // fresh spoke, so each edge is hashed by its spoke id.
+        let edges = star(50);
+        let mut s = InMemoryStream::from_edges(edges);
+        let seed = 0xDB4;
+        let run = Dbh::new(seed).partition(&mut s, 4).unwrap();
+        for (i, &p) in run.partitioning.assignments.iter().enumerate().skip(1) {
+            let spoke = (i + 1) as u64;
+            assert_eq!(p, (mix64(spoke ^ seed) % 4) as u32);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let edges = star(100);
+        let mut s = InMemoryStream::from_edges(edges);
+        let a = Dbh::default().partition(&mut s, 5).unwrap();
+        let b = Dbh::default().partition(&mut s, 5).unwrap();
+        assert_eq!(a.partitioning.assignments, b.partitioning.assignments);
+    }
+
+    #[test]
+    fn memory_reports_degree_array() {
+        let mut s = InMemoryStream::from_edges(star(100));
+        let run = Dbh::default().partition(&mut s, 5).unwrap();
+        assert!(run.memory.get("degrees").unwrap() >= 101 * 4);
+    }
+
+    #[test]
+    fn grows_past_missing_vertex_hint() {
+        // Stream with a lying hint: says 1 vertex, contains ids up to 9.
+        let mut s = InMemoryStream::new(1, vec![Edge::new(8, 9)]);
+        let run = Dbh::default().partition(&mut s, 2).unwrap();
+        assert_eq!(run.partitioning.assignments.len(), 1);
+        assert!(run.partitioning.num_vertices >= 10);
+    }
+}

@@ -1,0 +1,170 @@
+//! Greedy — the PowerGraph "oblivious" heuristic (Gonzalez et al., OSDI'12).
+//!
+//! For each edge `(u, v)` with replica sets `A(u)`, `A(v)`:
+//!
+//! 1. If `A(u) ∩ A(v) ≠ ∅`: least-loaded partition in the intersection.
+//! 2. Else if both nonempty: least-loaded partition in `A(u) ∪ A(v)`.
+//! 3. Else if exactly one nonempty: least-loaded partition in that set.
+//! 4. Else: least-loaded partition overall.
+//!
+//! The replica table is the "global status table" the paper blames for the
+//! heuristics' cost: every decision reads it and every placement writes it.
+
+use crate::error::Result;
+use crate::memory::MemoryReport;
+use crate::partition::{PartitionRun, Partitioning, Timings};
+use crate::partitioner::{start_run, Partitioner};
+use crate::state::{PartitionLoads, ReplicaTable};
+use clugp_graph::stream::RestreamableStream;
+
+/// The PowerGraph greedy (oblivious) partitioner.
+#[derive(Debug, Clone, Default)]
+pub struct Greedy;
+
+impl Greedy {
+    /// Creates the greedy partitioner.
+    pub fn new() -> Self {
+        Greedy
+    }
+}
+
+impl Partitioner for Greedy {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn partition(&mut self, stream: &mut dyn RestreamableStream, k: u32) -> Result<PartitionRun> {
+        let start = std::time::Instant::now();
+        let (n, m) = start_run(stream, k)?;
+        let mut replicas = ReplicaTable::new(n, k);
+        let mut loads = PartitionLoads::new(k);
+        let mut assignments = Vec::with_capacity(m as usize);
+
+        while let Some(e) = stream.next_edge() {
+            replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1);
+            let cu = replicas.count(e.src);
+            let cv = replicas.count(e.dst);
+            let p = if cu > 0 && cv > 0 {
+                let both = loads
+                    .argmin_among(replicas.partitions_of(e.src).filter(|&p| replicas.contains(e.dst, p)));
+                match both {
+                    Some(p) => p, // case 1: intersection
+                    None => {
+                        // case 2: union of the two replica sets
+                        loads
+                            .argmin_among(
+                                replicas
+                                    .partitions_of(e.src)
+                                    .chain(replicas.partitions_of(e.dst)),
+                            )
+                            .expect("both sets nonempty")
+                    }
+                }
+            } else if cu > 0 {
+                loads
+                    .argmin_among(replicas.partitions_of(e.src))
+                    .expect("A(u) nonempty")
+            } else if cv > 0 {
+                loads
+                    .argmin_among(replicas.partitions_of(e.dst))
+                    .expect("A(v) nonempty")
+            } else {
+                loads.argmin() // case 4: fresh edge
+            };
+            replicas.insert(e.src, p);
+            replicas.insert(e.dst, p);
+            loads.add(p);
+            assignments.push(p);
+        }
+
+        let mut memory = MemoryReport::new();
+        memory.add("replica-table", replicas.memory_bytes());
+        memory.add("loads", loads.memory_bytes());
+        Ok(PartitionRun {
+            partitioning: Partitioning {
+                k,
+                num_vertices: n.max(replicas.num_vertices()),
+                assignments,
+                loads: loads.into_vec(),
+            },
+            memory,
+            timings: Timings {
+                total: start.elapsed(),
+                ..Default::default()
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PartitionQuality;
+    use clugp_graph::stream::InMemoryStream;
+    use clugp_graph::types::Edge;
+
+    #[test]
+    fn path_graph_stays_on_one_partition() {
+        // A path streamed in order always hits case 1/3: no replicas needed
+        // beyond the shared endpoints, and the whole path can sit together
+        // until balance pulls it apart.
+        let edges: Vec<Edge> = (0..20).map(|i| Edge::new(i, i + 1)).collect();
+        let mut s = InMemoryStream::from_edges(edges.clone());
+        let run = Greedy::new().partition(&mut s, 4).unwrap();
+        run.partitioning.validate().unwrap();
+        let q = PartitionQuality::compute(&edges, &run.partitioning);
+        // A fresh chain keeps extending the same partition.
+        assert!(q.replication_factor < 1.3, "rf = {}", q.replication_factor);
+    }
+
+    #[test]
+    fn triangle_closes_in_intersection() {
+        let edges = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)];
+        let mut s = InMemoryStream::from_edges(edges.clone());
+        let run = Greedy::new().partition(&mut s, 4).unwrap();
+        // All three edges in one partition: RF exactly 1.
+        let q = PartitionQuality::compute(&edges, &run.partitioning);
+        assert!((q.replication_factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_edges_balance_loads() {
+        // Disjoint edges: every edge is case 4 → least-loaded → perfect balance.
+        let edges: Vec<Edge> = (0..40).map(|i| Edge::new(2 * i, 2 * i + 1)).collect();
+        let mut s = InMemoryStream::from_edges(edges);
+        let run = Greedy::new().partition(&mut s, 4).unwrap();
+        assert!(run.partitioning.loads.iter().all(|&l| l == 10));
+    }
+
+    #[test]
+    fn beats_hashing_on_communities() {
+        use clugp_graph::gen::{generate_copying_model, CopyingModelConfig};
+        use clugp_graph::order::{ordered_edges, StreamOrder};
+        let g = generate_copying_model(&CopyingModelConfig {
+            vertices: 2_000,
+            ..Default::default()
+        });
+        let edges = ordered_edges(&g, StreamOrder::Random(5));
+        let mut s = InMemoryStream::new(g.num_vertices(), edges.clone());
+        let greedy = Greedy::new().partition(&mut s, 16).unwrap();
+        let hashing = crate::baselines::Hashing::default()
+            .partition(&mut s, 16)
+            .unwrap();
+        let qg = PartitionQuality::compute(&edges, &greedy.partitioning);
+        let qh = PartitionQuality::compute(&edges, &hashing.partitioning);
+        assert!(
+            qg.replication_factor < qh.replication_factor,
+            "greedy {} should beat hashing {}",
+            qg.replication_factor,
+            qh.replication_factor
+        );
+    }
+
+    #[test]
+    fn memory_includes_replica_table() {
+        let edges = vec![Edge::new(0, 1)];
+        let mut s = InMemoryStream::from_edges(edges);
+        let run = Greedy::new().partition(&mut s, 4).unwrap();
+        assert!(run.memory.get("replica-table").unwrap() > 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! `clugp-part` — command-line vertex-cut partitioning.
+//!
+//! ```text
+//! clugp-part <edges-file> --k <K> [options]
+//!
+//! <edges-file>      text edge list ("src dst" per line, # comments) or the
+//!                   binary format written by clugp-graph (*.bin)
+//! --k <K>           number of partitions (required)
+//! --algo <name>     clugp (default) | hdrf | greedy | hashing | dbh | mint | grid
+//! --order <name>    bfs (default) | dfs | random | asis
+//! --tau <float>     CLUGP imbalance factor (default 1.0)
+//! --threads <N>     CLUGP/Mint worker threads (default: all cores)
+//! --output <file>   write per-edge assignment as "src dst partition" TSV
+//! ```
+
+use clugp::baselines::{Dbh, Greedy, Grid, Hashing, Hdrf, Mint, MintConfig};
+use clugp::clugp::{Clugp, ClugpConfig};
+use clugp::metrics::PartitionQuality;
+use clugp::partitioner::Partitioner;
+use clugp_graph::csr::CsrGraph;
+use clugp_graph::io::binary::read_binary_graph;
+use clugp_graph::io::edge_list::read_edge_list;
+use clugp_graph::order::{ordered_edges, StreamOrder};
+use clugp_graph::stream::InMemoryStream;
+use std::io::Write;
+use std::path::Path;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Options {
+    input: String,
+    k: u32,
+    algo: String,
+    order: String,
+    tau: f64,
+    threads: usize,
+    output: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        input: String::new(),
+        k: 0,
+        algo: "clugp".into(),
+        order: "bfs".into(),
+        tau: 1.0,
+        threads: 0,
+        output: None,
+    };
+    let mut it = args.iter().peekable();
+    let mut positional = Vec::new();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--k" => opts.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--algo" => opts.algo = value("--algo")?.to_lowercase(),
+            "--order" => opts.order = value("--order")?.to_lowercase(),
+            "--tau" => opts.tau = value("--tau")?.parse().map_err(|e| format!("--tau: {e}"))?,
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--output" => opts.output = Some(value("--output")?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            _ => positional.push(a.clone()),
+        }
+    }
+    match positional.as_slice() {
+        [input] => opts.input = input.clone(),
+        [] => return Err("missing input file".into()),
+        _ => return Err("expected exactly one input file".into()),
+    }
+    if opts.k == 0 {
+        return Err("--k is required and must be >= 1".into());
+    }
+    Ok(opts)
+}
+
+fn build_partitioner(opts: &Options) -> Result<Box<dyn Partitioner>, String> {
+    Ok(match opts.algo.as_str() {
+        "clugp" => Box::new(Clugp::new(ClugpConfig {
+            tau: opts.tau,
+            threads: opts.threads,
+            ..Default::default()
+        })),
+        "hdrf" => Box::new(Hdrf::default()),
+        "greedy" => Box::new(Greedy::new()),
+        "hashing" => Box::new(Hashing::default()),
+        "dbh" => Box::new(Dbh::default()),
+        "grid" => Box::new(Grid::default()),
+        "mint" => Box::new(Mint::new(MintConfig {
+            threads: opts.threads,
+            ..Default::default()
+        })),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+fn parse_order(name: &str) -> Result<StreamOrder, String> {
+    Ok(match name {
+        "bfs" => StreamOrder::Bfs,
+        "dfs" => StreamOrder::Dfs,
+        "random" => StreamOrder::Random(0x5EED),
+        "asis" => StreamOrder::AsIs,
+        other => return Err(format!("unknown order {other:?}")),
+    })
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let path = Path::new(&opts.input);
+    let (n, raw_edges) = if path.extension().is_some_and(|e| e == "bin") {
+        read_binary_graph(path).map_err(|e| e.to_string())?
+    } else {
+        let edges = read_edge_list(path).map_err(|e| e.to_string())?;
+        (clugp_graph::types::implied_num_vertices(&edges), edges)
+    };
+    let graph = CsrGraph::from_edges(n, &raw_edges).map_err(|e| e.to_string())?;
+    let order = parse_order(&opts.order)?;
+    let edges = ordered_edges(&graph, order);
+    eprintln!(
+        "loaded {}: |V|={n} |E|={} (order: {})",
+        opts.input,
+        edges.len(),
+        opts.order
+    );
+
+    let mut stream = InMemoryStream::new(n, edges.clone());
+    let mut partitioner = build_partitioner(opts)?;
+    let run = partitioner
+        .partition(&mut stream, opts.k)
+        .map_err(|e| e.to_string())?;
+    let quality = PartitionQuality::compute(&edges, &run.partitioning);
+
+    println!("algorithm          = {}", partitioner.name());
+    println!("k                  = {}", opts.k);
+    println!("replication factor = {:.4}", quality.replication_factor);
+    println!("relative balance   = {:.4}", quality.relative_balance);
+    println!("mirrors            = {}", quality.mirrors);
+    println!("partition time     = {:?}", run.timings.total);
+    println!("working memory     = {}", run.memory);
+
+    if let Some(out) = &opts.output {
+        let mut w = std::io::BufWriter::new(
+            std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?,
+        );
+        for (e, p) in edges.iter().zip(&run.partitioning.assignments) {
+            writeln!(w, "{}\t{}\t{}", e.src, e.dst, p).map_err(|e| e.to_string())?;
+        }
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!("assignment written to {out}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: clugp-part <edges-file> --k <K> [--algo clugp|hdrf|greedy|hashing|dbh|mint|grid] \
+             [--order bfs|dfs|random|asis] [--tau F] [--threads N] [--output file]"
+        );
+        return ExitCode::from(2);
+    }
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_minimal_invocation() {
+        let o = parse_args(&strs(&["graph.txt", "--k", "8"])).unwrap();
+        assert_eq!(o.input, "graph.txt");
+        assert_eq!(o.k, 8);
+        assert_eq!(o.algo, "clugp");
+        assert_eq!(o.order, "bfs");
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse_args(&strs(&[
+            "--algo", "HDRF", "--order", "random", "--tau", "1.05", "--threads", "4",
+            "--output", "out.tsv", "g.bin", "--k", "16",
+        ]))
+        .unwrap();
+        assert_eq!(o.algo, "hdrf");
+        assert_eq!(o.order, "random");
+        assert_eq!(o.tau, 1.05);
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.output.as_deref(), Some("out.tsv"));
+        assert_eq!(o.k, 16);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&strs(&["--k", "8"])).is_err()); // no file
+        assert!(parse_args(&strs(&["g.txt"])).is_err()); // no k
+        assert!(parse_args(&strs(&["g.txt", "--k", "0"])).is_err());
+        assert!(parse_args(&strs(&["g.txt", "--k", "4", "--bogus"])).is_err());
+        assert!(parse_args(&strs(&["a.txt", "b.txt", "--k", "4"])).is_err());
+    }
+
+    #[test]
+    fn algorithm_roster_builds() {
+        for algo in ["clugp", "hdrf", "greedy", "hashing", "dbh", "mint", "grid"] {
+            let opts = Options {
+                input: "x".into(),
+                k: 4,
+                algo: algo.into(),
+                order: "bfs".into(),
+                tau: 1.0,
+                threads: 0,
+                output: None,
+            };
+            assert!(build_partitioner(&opts).is_ok(), "{algo}");
+        }
+        let bad = Options {
+            input: "x".into(),
+            k: 4,
+            algo: "metis".into(),
+            order: "bfs".into(),
+            tau: 1.0,
+            threads: 0,
+            output: None,
+        };
+        assert!(build_partitioner(&bad).is_err());
+    }
+
+    #[test]
+    fn order_names() {
+        assert!(matches!(parse_order("bfs"), Ok(StreamOrder::Bfs)));
+        assert!(matches!(parse_order("dfs"), Ok(StreamOrder::Dfs)));
+        assert!(matches!(parse_order("asis"), Ok(StreamOrder::AsIs)));
+        assert!(parse_order("sorted").is_err());
+    }
+
+    #[test]
+    fn end_to_end_on_temp_file() {
+        let dir = std::env::temp_dir().join("clugp_part_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt");
+        let output = dir.join("out.tsv");
+        std::fs::write(&input, "0 1\n1 2\n2 0\n2 3\n").unwrap();
+        let opts = Options {
+            input: input.to_string_lossy().into_owned(),
+            k: 2,
+            algo: "clugp".into(),
+            order: "asis".into(),
+            tau: 1.5,
+            threads: 1,
+            output: Some(output.to_string_lossy().into_owned()),
+        };
+        run(&opts).unwrap();
+        let written = std::fs::read_to_string(&output).unwrap();
+        assert_eq!(written.lines().count(), 4);
+        for line in written.lines() {
+            let cols: Vec<&str> = line.split('\t').collect();
+            assert_eq!(cols.len(), 3);
+            let p: u32 = cols[2].parse().unwrap();
+            assert!(p < 2);
+        }
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+}

@@ -1,0 +1,295 @@
+//! The cluster-level graph consumed by the partitioning game.
+//!
+//! Built by one scan of the edge stream after pass 1: an edge whose
+//! endpoints share a cluster contributes to that cluster's intra count
+//! `|c_i|`; otherwise it contributes to the symmetric inter-cluster weight
+//! `w(c_i, c_j) = |e(c_i,c_j)| + |e(c_j,c_i)|`. The game's edge-cut cost
+//! `½(|e(c_i,V\a_i)| + |e(V\a_i,c_i)|)` only ever needs the symmetric sums,
+//! so directions are merged at build time.
+
+use super::clustering::{ClusteringResult, NO_CLUSTER};
+use clugp_graph::stream::EdgeStream;
+use rustc_hash::FxHashMap;
+
+/// Weighted cluster adjacency plus per-cluster intra-edge counts.
+#[derive(Debug, Clone)]
+pub struct ClusterGraph {
+    /// Number of clusters `m`.
+    pub num_clusters: u32,
+    /// `|c_i|`: intra-cluster edge count per cluster (the game's cluster
+    /// "size").
+    pub intra: Vec<u64>,
+    /// CSR offsets into `neighbors`.
+    offsets: Vec<u64>,
+    /// `(neighbor cluster, symmetric weight)` pairs.
+    neighbors: Vec<(u32, u32)>,
+    /// `Σ_j w(c_i, c_j)`: total external weight per cluster
+    /// (`|e(c_i,V\c_i)| + |e(V\c_i,c_i)|`).
+    pub total_external: Vec<u64>,
+    /// Game load weight per cluster: the cluster volume
+    /// `2·|c_i| + Σ_j w(c_i,c_j)` (sum of member degrees). The paper uses
+    /// `|c_i|` (intra edges) here, assuming intra-dominant clusters where
+    /// the two coincide up to a factor 2; the volume additionally predicts
+    /// where *inter*-cluster edges will land in pass 3, which is what the
+    /// τ-cap actually bounds (see DESIGN.md §3).
+    pub size: Vec<u64>,
+}
+
+impl ClusterGraph {
+    /// Builds the cluster graph from one pass of `stream` using pass 1's
+    /// vertex→cluster table.
+    pub fn build(stream: &mut dyn EdgeStream, clustering: &ClusteringResult) -> Self {
+        let m = clustering.num_clusters as usize;
+        let mut intra = vec![0u64; m];
+        // Symmetric accumulation keyed by (min, max) cluster pair.
+        let mut inter: FxHashMap<u64, u32> = FxHashMap::default();
+        while let Some(e) = stream.next_edge() {
+            let cu = clustering.cluster_of[e.src as usize];
+            let cv = clustering.cluster_of[e.dst as usize];
+            debug_assert_ne!(cu, NO_CLUSTER);
+            debug_assert_ne!(cv, NO_CLUSTER);
+            if cu == cv {
+                intra[cu as usize] += 1;
+            } else {
+                let (lo, hi) = if cu < cv { (cu, cv) } else { (cv, cu) };
+                *inter
+                    .entry((u64::from(lo) << 32) | u64::from(hi))
+                    .or_insert(0) += 1;
+            }
+        }
+
+        // CSR over the symmetric adjacency.
+        let mut deg = vec![0u64; m];
+        for &key in inter.keys() {
+            deg[(key >> 32) as usize] += 1;
+            deg[(key & 0xFFFF_FFFF) as usize] += 1;
+        }
+        let mut offsets = vec![0u64; m + 1];
+        for i in 0..m {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![(0u32, 0u32); offsets[m] as usize];
+        let mut total_external = vec![0u64; m];
+        for (&key, &w) in &inter {
+            let lo = (key >> 32) as u32;
+            let hi = (key & 0xFFFF_FFFF) as u32;
+            neighbors[cursor[lo as usize] as usize] = (hi, w);
+            cursor[lo as usize] += 1;
+            neighbors[cursor[hi as usize] as usize] = (lo, w);
+            cursor[hi as usize] += 1;
+            total_external[lo as usize] += u64::from(w);
+            total_external[hi as usize] += u64::from(w);
+        }
+
+        let size: Vec<u64> = intra
+            .iter()
+            .zip(&total_external)
+            .map(|(&i, &e)| 2 * i + e)
+            .collect();
+        ClusterGraph {
+            num_clusters: clustering.num_clusters,
+            intra,
+            offsets,
+            neighbors,
+            total_external,
+            size,
+        }
+    }
+
+    /// Symmetric weighted neighbors of cluster `c`.
+    #[inline]
+    pub fn neighbors(&self, c: u32) -> &[(u32, u32)] {
+        let lo = self.offsets[c as usize] as usize;
+        let hi = self.offsets[c as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// `Σ_i |c_i|`: total intra-cluster edges.
+    pub fn total_intra(&self) -> u64 {
+        self.intra.iter().sum()
+    }
+
+    /// Total inter-cluster edges (each streamed edge counted once).
+    pub fn total_inter_edges(&self) -> u64 {
+        // Each inter-cluster edge contributes 1 to w(ci,cj), and w is stored
+        // symmetrically per endpoint, so the per-cluster sums double-count.
+        self.total_external.iter().sum::<u64>() / 2
+    }
+
+    /// Total game load weight `Σ_i size_i` (equals `2|E|`).
+    pub fn total_size(&self) -> u64 {
+        self.size.iter().sum()
+    }
+
+    /// The paper's default λ — its maximum value from Theorem 5,
+    /// `k² · Σ_i |e(c_i,V\c_i)| / (Σ_i size_i)²`, expressed in the game's
+    /// volume-based size units.
+    ///
+    /// Falls back to 1.0 for an edgeless cluster graph (the balance term is
+    /// identically zero and λ is then irrelevant; the transformation pass
+    /// enforces balance regardless).
+    pub fn lambda_max(&self, k: u32) -> f64 {
+        let size_sum = self.total_size() as f64;
+        if size_sum == 0.0 {
+            return 1.0;
+        }
+        let inter = self.total_inter_edges() as f64;
+        (f64::from(k) * f64::from(k)) * inter / (size_sum * size_sum)
+    }
+
+    /// Heap bytes held by the structure.
+    pub fn memory_bytes(&self) -> usize {
+        self.intra.capacity() * 8
+            + self.offsets.capacity() * 8
+            + self.neighbors.capacity() * 8
+            + self.total_external.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clugp::clustering::stream_clustering;
+    use clugp_graph::stream::{InMemoryStream, RestreamableStream};
+    use clugp_graph::types::Edge;
+
+    /// Clusters then builds the cluster graph over the same edges.
+    fn build(edges: Vec<Edge>, vmax: u64) -> (ClusteringResult, ClusterGraph) {
+        let mut s = InMemoryStream::from_edges(edges);
+        let clustering = stream_clustering(&mut s, vmax, true);
+        s.reset().unwrap();
+        let cg = ClusterGraph::build(&mut s, &clustering);
+        (clustering, cg)
+    }
+
+    #[test]
+    fn triangle_is_all_intra() {
+        let (_, cg) = build(
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)],
+            100,
+        );
+        assert_eq!(cg.num_clusters, 1);
+        assert_eq!(cg.total_intra(), 3);
+        assert_eq!(cg.total_inter_edges(), 0);
+        assert!(cg.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn two_communities_with_a_bridge() {
+        // Two triangles joined by one edge, Vmax small enough to keep the
+        // communities in separate clusters.
+        let edges = vec![
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(2, 0),
+            Edge::new(3, 4),
+            Edge::new(4, 5),
+            Edge::new(5, 3),
+            Edge::new(2, 3), // bridge
+        ];
+        let (clustering, cg) = build(edges, 7);
+        if cg.num_clusters >= 2 {
+            // The bridge shows up as inter-cluster weight if 2 and 3 ended
+            // in different clusters.
+            let c2 = clustering.cluster_of[2];
+            let c3 = clustering.cluster_of[3];
+            if c2 != c3 {
+                assert!(cg.total_inter_edges() >= 1);
+                let w: u32 = cg
+                    .neighbors(c2)
+                    .iter()
+                    .filter(|(n, _)| *n == c3)
+                    .map(|(_, w)| *w)
+                    .sum();
+                assert!(w >= 1);
+            }
+        }
+        // Conservation: every edge is intra or inter exactly once.
+        assert_eq!(cg.total_intra() + cg.total_inter_edges(), 7);
+    }
+
+    #[test]
+    fn edge_conservation_on_random_graph() {
+        let edges: Vec<Edge> = (0..300u32)
+            .map(|i| Edge::new((i * 13) % 53, (i * 7 + 1) % 53))
+            .collect();
+        let n = edges.len() as u64;
+        let (_, cg) = build(edges, 20);
+        assert_eq!(cg.total_intra() + cg.total_inter_edges(), n);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let edges: Vec<Edge> = (0..200u32)
+            .map(|i| Edge::new((i * 11) % 41, (i * 3 + 2) % 41))
+            .collect();
+        let (_, cg) = build(edges, 15);
+        for c in 0..cg.num_clusters {
+            for &(nb, w) in cg.neighbors(c) {
+                let back: u32 = cg
+                    .neighbors(nb)
+                    .iter()
+                    .filter(|(x, _)| *x == c)
+                    .map(|(_, w)| *w)
+                    .sum();
+                assert_eq!(back, w, "asymmetric weight between {c} and {nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_external_matches_neighbor_sums() {
+        let edges: Vec<Edge> = (0..150u32)
+            .map(|i| Edge::new((i * 5) % 31, (i * 17 + 3) % 31))
+            .collect();
+        let (_, cg) = build(edges, 12);
+        for c in 0..cg.num_clusters {
+            let sum: u64 = cg.neighbors(c).iter().map(|(_, w)| u64::from(*w)).sum();
+            assert_eq!(sum, cg.total_external[c as usize]);
+        }
+    }
+
+    #[test]
+    fn lambda_max_formula() {
+        let (_, cg) = build(
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)],
+            100,
+        );
+        // intra=3, inter=0 → λ_max = 0.
+        assert_eq!(cg.lambda_max(4), 0.0);
+    }
+
+    #[test]
+    fn lambda_max_degenerate_on_empty_graph() {
+        let (_, cg) = build(vec![], 10);
+        assert_eq!(cg.lambda_max(4), 1.0);
+    }
+
+    #[test]
+    fn size_is_cluster_volume() {
+        // size_i = 2·intra_i + external_i = Σ member degrees, and the sizes
+        // sum to 2|E|.
+        let edges: Vec<Edge> = (0..120u32)
+            .map(|i| Edge::new((i * 7) % 29, (i * 11 + 1) % 29))
+            .collect();
+        let m = edges.len() as u64;
+        let (clustering, cg) = build(edges, 9);
+        assert_eq!(cg.total_size(), 2 * m);
+        let mut vol = vec![0u64; cg.num_clusters as usize];
+        for (v, &c) in clustering.cluster_of.iter().enumerate() {
+            if c != crate::clugp::clustering::NO_CLUSTER {
+                vol[c as usize] += u64::from(clustering.degree[v]);
+            }
+        }
+        assert_eq!(vol, cg.size);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (_, cg) = build(vec![], 10);
+        assert_eq!(cg.num_clusters, 0);
+        assert_eq!(cg.total_intra(), 0);
+        assert_eq!(cg.total_inter_edges(), 0);
+    }
+}

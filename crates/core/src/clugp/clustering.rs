@@ -1,0 +1,391 @@
+//! Pass 1 — streaming clustering with the allocation–splitting–migration
+//! framework (paper Algorithm 2, §IV).
+//!
+//! For each streamed edge `(u, v)`:
+//!
+//! 1. **Allocation**: endpoints without a cluster get fresh singletons.
+//! 2. **Splitting** (CLUGP's addition over Holl): when a cluster's volume
+//!    (sum of member partial degrees) reaches `Vmax`, the endpoint that
+//!    pushed it over is evicted into a fresh cluster and marked *divided* —
+//!    its master moves out, a mirror conceptually stays behind. Chopping the
+//!    high-degree vertex this way is what lowers the replication factor
+//!    (Theorems 1-2).
+//! 3. **Migration**: an endpoint of the smaller cluster migrates into the
+//!    bigger one, pulling communities together. The exact rule is governed
+//!    by [`MigrationPolicy`] (the paper's verbatim rule, Hollocou's
+//!    headroom-guarded rule, or our anchored default — see the policy docs
+//!    and the fig9 ablation).
+//!
+//! With `splitting = false` step 2 is skipped and the algorithm degenerates
+//! to Hollocou's allocation–migration (the paper's CLUGP-S ablation and
+//! Figure 2(c) behaviour).
+//!
+//! Note: Algorithm 2 line 18 of the paper reads `vol(c'_v) += deg[u]`; we
+//! implement the symmetric `deg[v]` (see DESIGN.md §4 honest-divergence
+//! notes).
+
+use super::config::MigrationPolicy;
+use crate::partitioner::ensure_index;
+use clugp_graph::stream::EdgeStream;
+use clugp_graph::types::VertexId;
+
+/// Sentinel for "no cluster assigned yet".
+pub const NO_CLUSTER: u32 = u32::MAX;
+
+/// Output of the streaming-clustering pass.
+#[derive(Debug, Clone)]
+pub struct ClusteringResult {
+    /// Vertex → dense cluster id (`NO_CLUSTER` for vertices absent from the
+    /// stream). This is the paper's vertex-cluster mapping table.
+    pub cluster_of: Vec<u32>,
+    /// Per-vertex degree observed by the pass (the paper's `deg[]`,
+    /// consumed by the transformation pass).
+    pub degree: Vec<u32>,
+    /// Vertices marked *divided* (they triggered a split and therefore have
+    /// mirror vertices).
+    pub divided: Vec<bool>,
+    /// Number of dense clusters.
+    pub num_clusters: u32,
+    /// Final volume per dense cluster (sum of member degrees).
+    pub volumes: Vec<u64>,
+    /// Diagnostics: number of splitting operations performed.
+    pub splits: u64,
+    /// Diagnostics: number of migration operations performed.
+    pub migrations: u64,
+}
+
+impl ClusteringResult {
+    /// Heap bytes of the tables the algorithm kept (the `O(2|V|)` state the
+    /// paper cites for CLUGP in the space experiment).
+    pub fn memory_bytes(&self) -> usize {
+        self.cluster_of.capacity() * 4
+            + self.degree.capacity() * 4
+            + self.divided.capacity()
+            + self.volumes.capacity() * 8
+    }
+
+    /// Number of vertices that received a cluster.
+    pub fn clustered_vertices(&self) -> u64 {
+        self.cluster_of.iter().filter(|&&c| c != NO_CLUSTER).count() as u64
+    }
+}
+
+/// Runs Algorithm 2 over one pass of `stream` with the default (Anchored)
+/// migration policy.
+///
+/// `vmax` is the maximum cluster volume (`|E|/k` in the paper); `splitting`
+/// toggles CLUGP vs Holl behaviour.
+pub fn stream_clustering(
+    stream: &mut dyn EdgeStream,
+    vmax: u64,
+    splitting: bool,
+) -> ClusteringResult {
+    stream_clustering_with(stream, vmax, splitting, MigrationPolicy::Anchored)
+}
+
+/// Runs Algorithm 2 with an explicit [`MigrationPolicy`].
+pub fn stream_clustering_with(
+    stream: &mut dyn EdgeStream,
+    vmax: u64,
+    splitting: bool,
+    migration: MigrationPolicy,
+) -> ClusteringResult {
+    let n_hint = stream.num_vertices_hint().unwrap_or(0) as usize;
+    let mut cluster_of: Vec<u32> = vec![NO_CLUSTER; n_hint];
+    let mut degree: Vec<u32> = vec![0; n_hint];
+    let mut divided: Vec<bool> = vec![false; n_hint];
+    // Raw (pre-compaction) cluster volumes; ids grow monotonically in
+    // creation order, which preserves stream locality for batching.
+    let mut vol: Vec<u64> = Vec::with_capacity(n_hint / 4 + 16);
+    let mut splits = 0u64;
+    let mut migrations = 0u64;
+
+    let new_cluster = |vol: &mut Vec<u64>| -> u32 {
+        vol.push(0);
+        (vol.len() - 1) as u32
+    };
+
+    while let Some(e) = stream.next_edge() {
+        let (u, v) = (e.src, e.dst);
+        let hi = u.max(v) as usize;
+        ensure_index(&mut cluster_of, hi, NO_CLUSTER);
+        ensure_index(&mut degree, hi, 0);
+        ensure_index(&mut divided, hi, false);
+
+        // Allocation.
+        if cluster_of[u as usize] == NO_CLUSTER {
+            cluster_of[u as usize] = new_cluster(&mut vol);
+        }
+        if cluster_of[v as usize] == NO_CLUSTER {
+            cluster_of[v as usize] = new_cluster(&mut vol);
+        }
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+        vol[cluster_of[u as usize] as usize] += 1;
+        vol[cluster_of[v as usize] as usize] += 1;
+
+        // Splitting: evict the endpoint whose cluster just overflowed into
+        // a fresh cluster, carrying its degree with it.
+        if splitting {
+            if vol[cluster_of[u as usize] as usize] >= vmax {
+                split_vertex(u, &mut cluster_of, &degree, &mut vol, &mut divided, || {
+                    splits += 1;
+                });
+            }
+            if v != u && vol[cluster_of[v as usize] as usize] >= vmax {
+                split_vertex(v, &mut cluster_of, &degree, &mut vol, &mut divided, || {
+                    splits += 1;
+                });
+            }
+        }
+
+        // Migration: pull an endpoint of the smaller cluster into the
+        // bigger one, provided neither cluster is full. The policy decides
+        // which vertices may move:
+        //  * Paper    — Algorithm 2 verbatim, no further conditions; lets
+        //    migrations overfill clusters, which parks them at Vmax and
+        //    turns every subsequent member edge into a spurious split.
+        //  * Headroom — Hollocou's original guard (destination stays ≤ Vmax).
+        //  * Anchored — Headroom plus: only vertices alone in their cluster
+        //    (anchor 0) move, so a single cross edge cannot yank an
+        //    established vertex out of its community (churn guard).
+        let cu = cluster_of[u as usize];
+        let cv = cluster_of[v as usize];
+        if cu != cv && vol[cu as usize] < vmax && vol[cv as usize] < vmax {
+            let du = u64::from(degree[u as usize]);
+            let dv = u64::from(degree[v as usize]);
+            let (mover, mover_deg, dest) = if vol[cu as usize] <= vol[cv as usize] {
+                (u, du, cv)
+            } else {
+                (v, dv, cu)
+            };
+            let anchor = vol[cluster_of[mover as usize] as usize] - mover_deg;
+            let headroom_ok = vol[dest as usize] + mover_deg <= vmax;
+            let allowed = match migration {
+                MigrationPolicy::Paper => true,
+                MigrationPolicy::Headroom => headroom_ok,
+                MigrationPolicy::Anchored => anchor == 0 && headroom_ok,
+            };
+            if allowed {
+                migrate(mover, dest, &mut cluster_of, &degree, &mut vol);
+                migrations += 1;
+            }
+        }
+    }
+
+    // Compact raw cluster ids (dropping emptied ones) in creation order, so
+    // dense ids keep the stream-locality property §V-D relies on.
+    let mut used = vec![false; vol.len()];
+    for &c in &cluster_of {
+        if c != NO_CLUSTER {
+            used[c as usize] = true;
+        }
+    }
+    let mut raw_to_dense: Vec<u32> = vec![NO_CLUSTER; vol.len()];
+    let mut next_dense = 0u32;
+    for (raw, &in_use) in used.iter().enumerate() {
+        if in_use {
+            raw_to_dense[raw] = next_dense;
+            next_dense += 1;
+        }
+    }
+    let mut volumes = vec![0u64; next_dense as usize];
+    for (vtx, c) in cluster_of.iter_mut().enumerate() {
+        if *c != NO_CLUSTER {
+            let dense = raw_to_dense[*c as usize];
+            debug_assert_ne!(dense, NO_CLUSTER);
+            *c = dense;
+            volumes[dense as usize] += u64::from(degree[vtx]);
+        }
+    }
+
+    ClusteringResult {
+        cluster_of,
+        degree,
+        divided,
+        num_clusters: next_dense,
+        volumes,
+        splits,
+        migrations,
+    }
+}
+
+fn split_vertex(
+    w: VertexId,
+    cluster_of: &mut [u32],
+    degree: &[u32],
+    vol: &mut Vec<u64>,
+    divided: &mut [bool],
+    mut on_split: impl FnMut(),
+) {
+    let old = cluster_of[w as usize] as usize;
+    let d = u64::from(degree[w as usize]);
+    debug_assert!(vol[old] >= d, "cluster volume below member degree");
+    vol[old] -= d;
+    vol.push(d);
+    cluster_of[w as usize] = (vol.len() - 1) as u32;
+    divided[w as usize] = true;
+    on_split();
+}
+
+fn migrate(w: VertexId, into: u32, cluster_of: &mut [u32], degree: &[u32], vol: &mut [u64]) {
+    let from = cluster_of[w as usize] as usize;
+    let d = u64::from(degree[w as usize]);
+    debug_assert!(vol[from] >= d, "cluster volume below member degree");
+    vol[from] -= d;
+    vol[into as usize] += d;
+    cluster_of[w as usize] = into;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clugp_graph::stream::InMemoryStream;
+    use clugp_graph::types::Edge;
+
+    fn cluster(edges: Vec<Edge>, vmax: u64, splitting: bool) -> ClusteringResult {
+        let mut s = InMemoryStream::from_edges(edges);
+        stream_clustering(&mut s, vmax, splitting)
+    }
+
+    #[test]
+    fn single_edge_merges_into_one_cluster() {
+        let r = cluster(vec![Edge::new(0, 1)], 100, true);
+        assert_eq!(r.num_clusters, 1);
+        assert_eq!(r.cluster_of[0], r.cluster_of[1]);
+        assert_eq!(r.degree, vec![1, 1]);
+        assert_eq!(r.migrations, 1);
+        assert_eq!(r.splits, 0);
+    }
+
+    #[test]
+    fn triangle_forms_one_cluster() {
+        let r = cluster(
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)],
+            100,
+            true,
+        );
+        assert_eq!(r.num_clusters, 1);
+        assert_eq!(r.volumes, vec![6]); // Σ degrees = 2+2+2
+    }
+
+    #[test]
+    fn volumes_equal_sum_of_member_degrees() {
+        // The invariant the incremental accounting must maintain.
+        let edges: Vec<Edge> = (0..50u32)
+            .map(|i| Edge::new(i % 10, (i * 7 + 1) % 10))
+            .collect();
+        let r = cluster(edges, 8, true);
+        let mut recomputed = vec![0u64; r.num_clusters as usize];
+        for (v, &c) in r.cluster_of.iter().enumerate() {
+            if c != NO_CLUSTER {
+                recomputed[c as usize] += u64::from(r.degree[v]);
+            }
+        }
+        assert_eq!(recomputed, r.volumes);
+    }
+
+    #[test]
+    fn star_hub_is_split_and_marked_divided() {
+        // Hub 0 with 40 spokes, tiny Vmax forces splits on the hub.
+        let edges: Vec<Edge> = (1..=40).map(|i| Edge::new(0, i)).collect();
+        let r = cluster(edges, 8, true);
+        assert!(r.splits > 0, "expected at least one split");
+        assert!(r.divided[0], "hub must be marked divided");
+        assert!(r.num_clusters > 1);
+    }
+
+    #[test]
+    fn no_splitting_means_no_divided_vertices() {
+        let edges: Vec<Edge> = (1..=40).map(|i| Edge::new(0, i)).collect();
+        let r = cluster(edges, 8, false);
+        assert_eq!(r.splits, 0);
+        assert!(r.divided.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn holl_produces_more_clusters_for_star() {
+        // Without splitting the hub's cluster saturates and every new spoke
+        // becomes a singleton — the Figure 2(c) behaviour.
+        let edges: Vec<Edge> = (1..=40).map(|i| Edge::new(0, i)).collect();
+        let without = cluster(edges.clone(), 8, false);
+        let with = cluster(edges, 8, true);
+        assert!(
+            with.num_clusters <= without.num_clusters,
+            "splitting {} vs holl {}",
+            with.num_clusters,
+            without.num_clusters
+        );
+    }
+
+    #[test]
+    fn untouched_vertices_have_no_cluster() {
+        let mut s = InMemoryStream::new(10, vec![Edge::new(0, 1)]);
+        let r = stream_clustering(&mut s, 100, true);
+        assert_eq!(r.cluster_of[5], NO_CLUSTER);
+        assert_eq!(r.clustered_vertices(), 2);
+    }
+
+    #[test]
+    fn self_loop_counts_double_degree() {
+        let r = cluster(vec![Edge::new(3, 3)], 100, true);
+        assert_eq!(r.degree[3], 2);
+        assert_eq!(r.num_clusters, 1);
+        assert_eq!(r.volumes, vec![2]);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let r = cluster(vec![], 100, true);
+        assert_eq!(r.num_clusters, 0);
+        assert_eq!(r.splits, 0);
+        assert_eq!(r.migrations, 0);
+    }
+
+    #[test]
+    fn dense_ids_are_contiguous() {
+        let edges: Vec<Edge> = (0..200u32).map(|i| Edge::new(i % 37, (i * 3) % 37)).collect();
+        let r = cluster(edges, 10, true);
+        let mut seen = vec![false; r.num_clusters as usize];
+        for &c in &r.cluster_of {
+            if c != NO_CLUSTER {
+                seen[c as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every dense id must be inhabited");
+    }
+
+    #[test]
+    fn fresh_vertices_migrate_into_neighbor_cluster() {
+        // Build cluster {0,1,2} (triangle); a fresh vertex 3 arriving on
+        // edge (2,3) is loose (anchor 0) and migrates into the triangle.
+        let edges = vec![
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(2, 0),
+            Edge::new(2, 3),
+        ];
+        let r = cluster(edges, 100, true);
+        assert_eq!(r.cluster_of[3], r.cluster_of[0]);
+    }
+
+    #[test]
+    fn anchored_vertices_resist_migration() {
+        // Two triangles joined by one bridge: each endpoint of the bridge is
+        // anchored in its own community (anchor > 0 on both sides), so the
+        // bridge must not yank either across.
+        let edges = vec![
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(2, 0),
+            Edge::new(3, 4),
+            Edge::new(4, 5),
+            Edge::new(5, 3),
+            Edge::new(2, 3),
+        ];
+        let r = cluster(edges, 100, true);
+        assert_eq!(r.cluster_of[0], r.cluster_of[2]);
+        assert_eq!(r.cluster_of[3], r.cluster_of[5]);
+        assert_ne!(r.cluster_of[2], r.cluster_of[3]);
+    }
+}

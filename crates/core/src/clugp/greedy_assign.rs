@@ -1,0 +1,85 @@
+//! CLUGP-G ablation (Fig. 9): replace the game with LPT greedy — assign
+//! each cluster, biggest first, to the currently least-loaded partition.
+//! Pure balance, no edge-cut awareness; the gap to the game isolates the
+//! contribution of §V.
+
+use super::cluster_graph::ClusterGraph;
+
+/// Greedy (largest-processing-time) cluster → partition assignment.
+pub fn greedy_assign(cg: &ClusterGraph, k: u32) -> Vec<u32> {
+    let m = cg.num_clusters as usize;
+    let mut order: Vec<u32> = (0..cg.num_clusters).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(cg.size[c as usize]));
+    let mut loads = vec![0u64; k as usize];
+    let mut assign = vec![0u32; m];
+    for c in order {
+        let mut best = 0usize;
+        for p in 1..k as usize {
+            if loads[p] < loads[best] {
+                best = p;
+            }
+        }
+        assign[c as usize] = best as u32;
+        loads[best] += cg.size[c as usize];
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clugp::clustering::stream_clustering;
+    use clugp_graph::stream::{InMemoryStream, RestreamableStream};
+    use clugp_graph::types::Edge;
+
+    fn cluster_graph(edges: Vec<Edge>, vmax: u64) -> ClusterGraph {
+        let mut s = InMemoryStream::from_edges(edges);
+        let clustering = stream_clustering(&mut s, vmax, true);
+        s.reset().unwrap();
+        ClusterGraph::build(&mut s, &clustering)
+    }
+
+    #[test]
+    fn balances_cluster_sizes() {
+        // Several triangles → several clusters of equal intra size; LPT
+        // spreads them across partitions.
+        let mut edges = Vec::new();
+        for t in 0..8u32 {
+            let b = t * 3;
+            edges.push(Edge::new(b, b + 1));
+            edges.push(Edge::new(b + 1, b + 2));
+            edges.push(Edge::new(b + 2, b));
+        }
+        let cg = cluster_graph(edges, 7);
+        let assign = greedy_assign(&cg, 4);
+        let mut loads = vec![0u64; 4];
+        for (c, &p) in assign.iter().enumerate() {
+            loads[p as usize] += cg.size[c];
+        }
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        assert!(max - min <= 3, "loads {loads:?} too skewed");
+    }
+
+    #[test]
+    fn all_assignments_valid() {
+        let edges: Vec<Edge> = (0..100u32).map(|i| Edge::new(i % 23, (i * 5) % 23)).collect();
+        let cg = cluster_graph(edges, 10);
+        let assign = greedy_assign(&cg, 3);
+        assert_eq!(assign.len(), cg.num_clusters as usize);
+        assert!(assign.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let cg = cluster_graph(vec![], 10);
+        assert!(greedy_assign(&cg, 4).is_empty());
+    }
+
+    #[test]
+    fn k_one_all_zero() {
+        let edges = vec![Edge::new(0, 1), Edge::new(2, 3)];
+        let cg = cluster_graph(edges, 10);
+        assert!(greedy_assign(&cg, 1).iter().all(|&p| p == 0));
+    }
+}

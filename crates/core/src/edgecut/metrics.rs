@@ -1,0 +1,121 @@
+//! Edge-cut partitioning results and quality metrics.
+
+use clugp_graph::csr::CsrGraph;
+use serde::Serialize;
+
+/// A vertex → partition assignment.
+#[derive(Debug, Clone)]
+pub struct VertexPartitioning {
+    /// Number of partitions.
+    pub k: u32,
+    /// Per-vertex partition (`u32::MAX` for vertices outside the stream).
+    pub assignment: Vec<u32>,
+}
+
+/// Quality of an edge-cut partitioning.
+#[derive(Debug, Clone, Serialize)]
+pub struct EdgeCutQuality {
+    /// Fraction of edges with endpoints in different partitions.
+    pub cut_fraction: f64,
+    /// Number of cut edges.
+    pub cut_edges: u64,
+    /// `k · max_vertex_count / |V|` — vertex-balance analogue of τ.
+    pub relative_balance: f64,
+    /// Per-partition vertex counts.
+    pub vertex_counts: Vec<u64>,
+}
+
+impl EdgeCutQuality {
+    /// Computes cut and balance of `partitioning` over `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than the vertex range or contains
+    /// out-of-range partitions for assigned vertices.
+    pub fn compute(graph: &CsrGraph, partitioning: &VertexPartitioning) -> Self {
+        let k = partitioning.k;
+        let mut cut = 0u64;
+        for e in graph.edges() {
+            let pu = partitioning.assignment[e.src as usize];
+            let pv = partitioning.assignment[e.dst as usize];
+            assert!(pu < k && pv < k, "unassigned endpoint on edge {e}");
+            if pu != pv {
+                cut += 1;
+            }
+        }
+        let mut counts = vec![0u64; k as usize];
+        let mut assigned = 0u64;
+        for &p in &partitioning.assignment {
+            if p != u32::MAX {
+                counts[p as usize] += 1;
+                assigned += 1;
+            }
+        }
+        let m = graph.num_edges();
+        EdgeCutQuality {
+            cut_fraction: if m == 0 { 0.0 } else { cut as f64 / m as f64 },
+            cut_edges: cut,
+            relative_balance: if assigned == 0 {
+                0.0
+            } else {
+                f64::from(k) * (*counts.iter().max().unwrap() as f64) / assigned as f64
+            },
+            vertex_counts: counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clugp_graph::types::Edge;
+
+    fn path4() -> CsrGraph {
+        CsrGraph::from_edges(4, &[Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn no_cut_when_together() {
+        let p = VertexPartitioning {
+            k: 2,
+            assignment: vec![0, 0, 0, 0],
+        };
+        let q = EdgeCutQuality::compute(&path4(), &p);
+        assert_eq!(q.cut_edges, 0);
+        assert_eq!(q.cut_fraction, 0.0);
+        assert_eq!(q.relative_balance, 2.0); // all on one side
+    }
+
+    #[test]
+    fn full_cut_when_alternating() {
+        let p = VertexPartitioning {
+            k: 2,
+            assignment: vec![0, 1, 0, 1],
+        };
+        let q = EdgeCutQuality::compute(&path4(), &p);
+        assert_eq!(q.cut_edges, 3);
+        assert!((q.cut_fraction - 1.0).abs() < 1e-12);
+        assert!((q.relative_balance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_bisection_of_path() {
+        let p = VertexPartitioning {
+            k: 2,
+            assignment: vec![0, 0, 1, 1],
+        };
+        let q = EdgeCutQuality::compute(&path4(), &p);
+        assert_eq!(q.cut_edges, 1);
+        assert_eq!(q.vertex_counts, vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unassigned endpoint")]
+    fn rejects_unassigned_endpoint() {
+        let p = VertexPartitioning {
+            k: 2,
+            assignment: vec![0, u32::MAX, 0, 0],
+        };
+        let _ = EdgeCutQuality::compute(&path4(), &p);
+    }
+}

@@ -1,0 +1,87 @@
+//! Edge-cut streaming partitioning — the *other* partitioning family the
+//! paper positions CLUGP against (§VII): assign **vertices** to partitions,
+//! minimizing the number of edges whose endpoints land in different
+//! partitions.
+//!
+//! Included because any adopter of a partitioning library needs both
+//! families, and because the paper's §II-C argument ("balanced edge-cut
+//! performs poorly on power-law graphs") becomes testable: the integration
+//! suite compares cut fractions on power-law vs uniform graphs.
+//!
+//! * [`Ldg`] — Linear Deterministic Greedy (Stanton & Kliot, KDD'12):
+//!   maximize `|N(v) ∩ p| · (1 − |p|/C)`.
+//! * [`Fennel`] — Tsourakakis et al., WSDM'14: maximize
+//!   `|N(v) ∩ p| − γ·α·|p|^{γ−1}` (interpolates modularity and cut).
+//! * [`HashVertex`] — the baseline: `hash(v) mod k`.
+//!
+//! All three consume a [`VertexStream`]: vertices arriving with their
+//! (undirected) neighbor lists, the standard model for streaming edge-cut.
+
+mod fennel;
+mod ldg;
+mod metrics;
+mod stream;
+
+pub use fennel::Fennel;
+pub use ldg::Ldg;
+pub use metrics::{EdgeCutQuality, VertexPartitioning};
+pub use stream::{vertex_stream_from_graph, VertexRecord, VertexStream};
+
+use crate::error::Result;
+
+/// A streaming edge-cut (vertex) partitioner.
+pub trait VertexPartitioner {
+    /// Short identifier.
+    fn name(&self) -> &'static str;
+
+    /// Assigns every streamed vertex to one of `k` partitions.
+    fn partition(&mut self, stream: &mut VertexStream, k: u32) -> Result<VertexPartitioning>;
+}
+
+/// Hash baseline: `mix(v) mod k`.
+#[derive(Debug, Clone, Default)]
+pub struct HashVertex;
+
+impl VertexPartitioner for HashVertex {
+    fn name(&self) -> &'static str {
+        "Hash(V)"
+    }
+
+    fn partition(&mut self, stream: &mut VertexStream, k: u32) -> Result<VertexPartitioning> {
+        if k == 0 {
+            return Err(crate::error::PartitionError::InvalidParam(
+                "k must be at least 1".into(),
+            ));
+        }
+        let n = stream.num_vertices();
+        let mut assignment = vec![u32::MAX; n as usize];
+        stream.reset();
+        while let Some(rec) = stream.next_vertex() {
+            assignment[rec.vertex as usize] =
+                (crate::partitioner::mix64(u64::from(rec.vertex)) % u64::from(k)) as u32;
+        }
+        Ok(VertexPartitioning { k, assignment })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clugp_graph::csr::CsrGraph;
+    use clugp_graph::types::Edge;
+
+    #[test]
+    fn hash_vertex_covers_all() {
+        let g = CsrGraph::from_edges(4, &[Edge::new(0, 1), Edge::new(2, 3)]).unwrap();
+        let mut s = vertex_stream_from_graph(&g);
+        let p = HashVertex.partition(&mut s, 3).unwrap();
+        assert!(p.assignment.iter().all(|&a| a < 3));
+    }
+
+    #[test]
+    fn hash_vertex_rejects_zero_k() {
+        let g = CsrGraph::from_edges(2, &[Edge::new(0, 1)]).unwrap();
+        let mut s = vertex_stream_from_graph(&g);
+        assert!(HashVertex.partition(&mut s, 0).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! The vertex-streaming model for edge-cut partitioning: vertices arrive
+//! one at a time together with their full (undirected) neighbor list — the
+//! model of Stanton–Kliot and Fennel.
+
+use clugp_graph::csr::CsrGraph;
+use clugp_graph::types::VertexId;
+
+/// One arriving vertex with its undirected neighborhood.
+#[derive(Debug, Clone)]
+pub struct VertexRecord<'a> {
+    /// The vertex id.
+    pub vertex: VertexId,
+    /// Its neighbors (out ∪ in), possibly with duplicates for multi-edges.
+    pub neighbors: &'a [VertexId],
+}
+
+/// A resettable stream of vertices with adjacency, in vertex-id order (the
+/// crawl order of our generators; callers can relabel for other orders).
+#[derive(Debug, Clone)]
+pub struct VertexStream {
+    offsets: Vec<u64>,
+    neighbors: Vec<VertexId>,
+    cursor: u32,
+}
+
+impl VertexStream {
+    /// Number of vertices in the stream.
+    pub fn num_vertices(&self) -> u64 {
+        (self.offsets.len() - 1) as u64
+    }
+
+    /// Total undirected adjacency entries (2·|E|).
+    pub fn total_adjacency(&self) -> u64 {
+        self.neighbors.len() as u64
+    }
+
+    /// Next vertex record, or `None` at the end.
+    pub fn next_vertex(&mut self) -> Option<VertexRecord<'_>> {
+        if u64::from(self.cursor) >= self.num_vertices() {
+            return None;
+        }
+        let v = self.cursor;
+        self.cursor += 1;
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        Some(VertexRecord {
+            vertex: v,
+            neighbors: &self.neighbors[lo..hi],
+        })
+    }
+
+    /// Rewinds to the first vertex.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+/// Builds the undirected vertex stream of `graph` (neighbors = out ∪ in).
+pub fn vertex_stream_from_graph(graph: &CsrGraph) -> VertexStream {
+    let n = graph.num_vertices() as usize;
+    let mut deg = vec![0u64; n];
+    for e in graph.edges() {
+        deg[e.src as usize] += 1;
+        deg[e.dst as usize] += 1;
+    }
+    let mut offsets = vec![0u64; n + 1];
+    for i in 0..n {
+        offsets[i + 1] = offsets[i] + deg[i];
+    }
+    let mut cursor = offsets.clone();
+    let mut neighbors = vec![0 as VertexId; offsets[n] as usize];
+    for e in graph.edges() {
+        neighbors[cursor[e.src as usize] as usize] = e.dst;
+        cursor[e.src as usize] += 1;
+        neighbors[cursor[e.dst as usize] as usize] = e.src;
+        cursor[e.dst as usize] += 1;
+    }
+    VertexStream {
+        offsets,
+        neighbors,
+        cursor: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clugp_graph::types::Edge;
+
+    #[test]
+    fn stream_yields_undirected_neighbors() {
+        let g = CsrGraph::from_edges(3, &[Edge::new(0, 1), Edge::new(2, 0)]).unwrap();
+        let mut s = vertex_stream_from_graph(&g);
+        let r0 = s.next_vertex().unwrap();
+        assert_eq!(r0.vertex, 0);
+        let mut n0 = r0.neighbors.to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+        assert_eq!(s.next_vertex().unwrap().neighbors, &[0]);
+        assert_eq!(s.next_vertex().unwrap().neighbors, &[0]);
+        assert!(s.next_vertex().is_none());
+    }
+
+    #[test]
+    fn reset_restarts() {
+        let g = CsrGraph::from_edges(2, &[Edge::new(0, 1)]).unwrap();
+        let mut s = vertex_stream_from_graph(&g);
+        while s.next_vertex().is_some() {}
+        s.reset();
+        assert_eq!(s.next_vertex().unwrap().vertex, 0);
+    }
+
+    #[test]
+    fn totals() {
+        let g = CsrGraph::from_edges(3, &[Edge::new(0, 1), Edge::new(1, 2)]).unwrap();
+        let s = vertex_stream_from_graph(&g);
+        assert_eq!(s.num_vertices(), 3);
+        assert_eq!(s.total_adjacency(), 4);
+    }
+}

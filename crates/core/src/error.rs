@@ -1,0 +1,57 @@
+//! Error type for partitioning runs.
+
+use std::fmt;
+
+/// Errors raised by partitioners.
+#[derive(Debug)]
+pub enum PartitionError {
+    /// The underlying edge stream failed (I/O, format, ...).
+    Graph(clugp_graph::GraphError),
+    /// A parameter is out of its valid range (e.g. `k == 0`, `τ < 1`).
+    InvalidParam(String),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Graph(e) => write!(f, "stream error: {e}"),
+            PartitionError::InvalidParam(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PartitionError::Graph(e) => Some(e),
+            PartitionError::InvalidParam(_) => None,
+        }
+    }
+}
+
+impl From<clugp_graph::GraphError> for PartitionError {
+    fn from(e: clugp_graph::GraphError) -> Self {
+        PartitionError::Graph(e)
+    }
+}
+
+/// Convenience alias for partitioner results.
+pub type Result<T> = std::result::Result<T, PartitionError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = PartitionError::InvalidParam("k must be positive".into());
+        assert!(e.to_string().contains("k must be positive"));
+        assert!(e.source().is_none());
+
+        let g: PartitionError =
+            clugp_graph::GraphError::InvalidConfig("broken".into()).into();
+        assert!(g.to_string().contains("broken"));
+        assert!(g.source().is_some());
+    }
+}

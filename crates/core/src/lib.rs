@@ -1,0 +1,61 @@
+//! CLUGP — CLUstering-based restreaming Graph Partitioning (ICDE 2022) —
+//! and the vertex-cut streaming baselines it is evaluated against.
+//!
+//! # What this crate provides
+//!
+//! * [`clugp::Clugp`] — the paper's three-pass architecture:
+//!   streaming clustering (allocation–splitting–migration, Algorithm 2),
+//!   game-theoretic cluster partitioning (Algorithm 3), and partition
+//!   transformation (Algorithm 1). Ablation switches reproduce CLUGP-S
+//!   (no splitting) and CLUGP-G (greedy cluster assignment).
+//! * [`baselines`] — Hashing, DBH, Grid, Greedy (PowerGraph oblivious),
+//!   HDRF, and Mint, implemented from their original papers.
+//! * [`edgecut`] — the complementary edge-cut family (LDG, FENNEL) with cut
+//!   metrics, making the paper's §II-C power-law argument testable.
+//! * [`partitioner::Partitioner`] — the common streaming interface; every
+//!   algorithm consumes a [`clugp_graph::stream::RestreamableStream`] and
+//!   produces a [`partition::PartitionRun`] bundling the edge assignment,
+//!   wall-clock phase timings, and an honest memory report.
+//! * [`metrics`] — replication factor and relative load balance (paper
+//!   §II-B), computed from the edge assignment.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use clugp::clugp::{Clugp, ClugpConfig};
+//! use clugp::metrics::PartitionQuality;
+//! use clugp::partitioner::Partitioner;
+//! use clugp_graph::gen::{generate_copying_model, CopyingModelConfig};
+//! use clugp_graph::order::{ordered_edges, StreamOrder};
+//! use clugp_graph::stream::InMemoryStream;
+//!
+//! let graph = generate_copying_model(&CopyingModelConfig {
+//!     vertices: 2_000,
+//!     ..Default::default()
+//! });
+//! let edges = ordered_edges(&graph, StreamOrder::Bfs);
+//! let mut stream = InMemoryStream::new(graph.num_vertices(), edges.clone());
+//!
+//! let mut algo = Clugp::new(ClugpConfig::default());
+//! let run = algo.partition(&mut stream, 8).unwrap();
+//! let quality = PartitionQuality::compute(&edges, &run.partitioning);
+//! assert!(quality.replication_factor >= 1.0);
+//! assert!(quality.relative_balance <= 1.05);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod clugp;
+pub mod edgecut;
+pub mod error;
+pub mod memory;
+pub mod metrics;
+pub mod partition;
+pub mod partition_io;
+pub mod partitioner;
+pub mod state;
+
+pub use error::{PartitionError, Result};
+pub use partition::{PartitionRun, Partitioning, Timings};
+pub use partitioner::Partitioner;

@@ -1,0 +1,131 @@
+//! Partition quality metrics (paper §II-B): replication factor and relative
+//! load balance, computed post-hoc from the edge assignment so that the
+//! measurement is identical for every algorithm regardless of what internal
+//! state it kept.
+
+use crate::partition::Partitioning;
+use crate::state::ReplicaTable;
+use clugp_graph::types::Edge;
+use serde::Serialize;
+
+/// Quality of a vertex-cut partitioning.
+#[derive(Debug, Clone, Serialize)]
+pub struct PartitionQuality {
+    /// `(1/|V_touched|) Σ_v |P(v)|` — the communication-cost proxy the paper
+    /// minimizes (Eq. 1). Vertices that never appear in the stream are
+    /// excluded from the denominator.
+    pub replication_factor: f64,
+    /// `k · max|p_i| / |E|` — the computation-balance constraint τ bounds.
+    pub relative_balance: f64,
+    /// Total number of vertex replicas `Σ_v |P(v)|`.
+    pub total_replicas: u64,
+    /// Number of vertices that appear in at least one partition.
+    pub touched_vertices: u64,
+    /// Number of mirror (non-master) replicas: `Σ_v (|P(v)| − 1)`.
+    pub mirrors: u64,
+    /// Per-partition edge counts.
+    pub loads: Vec<u64>,
+}
+
+impl PartitionQuality {
+    /// Computes quality for `partitioning` over `edges` (which must be in
+    /// the same stream order the partitioner consumed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges.len() != partitioning.assignments.len()`.
+    pub fn compute(edges: &[Edge], partitioning: &Partitioning) -> Self {
+        assert_eq!(
+            edges.len(),
+            partitioning.assignments.len(),
+            "edge list and assignment length mismatch"
+        );
+        let mut table = ReplicaTable::new(partitioning.num_vertices, partitioning.k);
+        for (e, &p) in edges.iter().zip(&partitioning.assignments) {
+            table.ensure_vertices(u64::from(e.src.max(e.dst)) + 1);
+            table.insert(e.src, p);
+            table.insert(e.dst, p);
+        }
+        let total = table.total_replicas();
+        let touched = table.touched_vertices();
+        PartitionQuality {
+            replication_factor: table.replication_factor(),
+            relative_balance: partitioning.relative_balance(),
+            total_replicas: total,
+            touched_vertices: touched,
+            mirrors: total - touched,
+            loads: partitioning.loads.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Vec<Edge> {
+        vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)]
+    }
+
+    fn partitioning(k: u32, assignments: Vec<u32>) -> Partitioning {
+        let mut loads = vec![0u64; k as usize];
+        for &p in &assignments {
+            loads[p as usize] += 1;
+        }
+        Partitioning {
+            k,
+            num_vertices: 3,
+            assignments,
+            loads,
+        }
+    }
+
+    #[test]
+    fn single_partition_has_rf_one() {
+        let q = PartitionQuality::compute(&triangle(), &partitioning(1, vec![0, 0, 0]));
+        assert!((q.replication_factor - 1.0).abs() < 1e-12);
+        assert_eq!(q.mirrors, 0);
+        assert_eq!(q.touched_vertices, 3);
+        assert!((q.relative_balance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_spread_replicates_everything() {
+        // Each triangle edge on its own partition: every vertex in 2 parts.
+        let q = PartitionQuality::compute(&triangle(), &partitioning(3, vec![0, 1, 2]));
+        assert!((q.replication_factor - 2.0).abs() < 1e-12);
+        assert_eq!(q.mirrors, 3);
+    }
+
+    #[test]
+    fn isolated_vertices_do_not_dilute_rf() {
+        let edges = vec![Edge::new(0, 1)];
+        let mut p = partitioning(2, vec![0]);
+        p.num_vertices = 100; // 98 isolated vertices
+        let q = PartitionQuality::compute(&edges, &p);
+        assert_eq!(q.touched_vertices, 2);
+        assert!((q.replication_factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_reflects_skew() {
+        let q = PartitionQuality::compute(&triangle(), &partitioning(3, vec![0, 0, 0]));
+        assert!((q.relative_balance - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let _ = PartitionQuality::compute(&triangle(), &partitioning(2, vec![0]));
+    }
+
+    #[test]
+    fn self_loop_counts_one_vertex() {
+        let edges = vec![Edge::new(5, 5)];
+        let mut p = partitioning(2, vec![1]);
+        p.num_vertices = 6;
+        let q = PartitionQuality::compute(&edges, &p);
+        assert_eq!(q.touched_vertices, 1);
+        assert_eq!(q.total_replicas, 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Persisting partitionings: a versioned binary snapshot of an
+//! edge→partition assignment so partitioning (expensive, offline) and
+//! consumption (the distributed engine, repeatedly) can run in separate
+//! processes — the operational split every production deployment needs.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   [u8; 8] = b"CLUGPPA1"
+//! k       u32
+//! n       u64     number of vertices
+//! m       u64     number of edges
+//! a       m × u32 per-edge partition ids (stream order)
+//! ```
+
+use crate::error::{PartitionError, Result};
+use crate::partition::Partitioning;
+use clugp_graph::GraphError;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"CLUGPPA1";
+
+/// Writes `partitioning` to `path`.
+pub fn write_partitioning(path: &Path, partitioning: &Partitioning) -> Result<()> {
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC).map_err(io_err)?;
+    w.write_all(&partitioning.k.to_le_bytes()).map_err(io_err)?;
+    w.write_all(&partitioning.num_vertices.to_le_bytes())
+        .map_err(io_err)?;
+    w.write_all(&(partitioning.assignments.len() as u64).to_le_bytes())
+        .map_err(io_err)?;
+    for &p in &partitioning.assignments {
+        w.write_all(&p.to_le_bytes()).map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Reads a partitioning; recomputes the load vector and validates ids.
+pub fn read_partitioning(path: &Path) -> Result<Partitioning> {
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(truncated)?;
+    if &magic != MAGIC {
+        return Err(format_err("bad magic bytes"));
+    }
+    let mut b4 = [0u8; 4];
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b4).map_err(truncated)?;
+    let k = u32::from_le_bytes(b4);
+    if k == 0 {
+        return Err(format_err("k must be positive"));
+    }
+    r.read_exact(&mut b8).map_err(truncated)?;
+    let num_vertices = u64::from_le_bytes(b8);
+    r.read_exact(&mut b8).map_err(truncated)?;
+    let m = u64::from_le_bytes(b8);
+    let mut assignments = Vec::with_capacity(m as usize);
+    let mut loads = vec![0u64; k as usize];
+    for _ in 0..m {
+        r.read_exact(&mut b4).map_err(truncated)?;
+        let p = u32::from_le_bytes(b4);
+        if p >= k {
+            return Err(format_err(&format!("partition id {p} out of range (k={k})")));
+        }
+        loads[p as usize] += 1;
+        assignments.push(p);
+    }
+    Ok(Partitioning {
+        k,
+        num_vertices,
+        assignments,
+        loads,
+    })
+}
+
+fn io_err(e: std::io::Error) -> PartitionError {
+    PartitionError::Graph(GraphError::Io(e))
+}
+
+fn truncated(_: std::io::Error) -> PartitionError {
+    PartitionError::Graph(GraphError::Format("partitioning file truncated".into()))
+}
+
+fn format_err(msg: &str) -> PartitionError {
+    PartitionError::Graph(GraphError::Format(msg.into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("clugp_partition_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> Partitioning {
+        Partitioning {
+            k: 3,
+            num_vertices: 10,
+            assignments: vec![0, 2, 1, 2, 2],
+            loads: vec![1, 1, 3],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = tmp("rt.part");
+        write_partitioning(&path, &sample()).unwrap();
+        let back = read_partitioning(&path).unwrap();
+        assert_eq!(back.k, 3);
+        assert_eq!(back.num_vertices, 10);
+        assert_eq!(back.assignments, sample().assignments);
+        assert_eq!(back.loads, sample().loads);
+        back.validate().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("magic.part");
+        std::fs::write(&path, b"NOTMAGIC0000000000000000000000").unwrap();
+        assert!(read_partitioning(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let path = tmp("trunc.part");
+        write_partitioning(&path, &sample()).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 2]).unwrap();
+        assert!(read_partitioning(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_out_of_range_partition() {
+        let path = tmp("range.part");
+        let mut bad = sample();
+        bad.k = 2; // assignment "2" is now out of range
+        write_partitioning(&path, &bad).unwrap();
+        assert!(read_partitioning(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_partitioning_round_trips() {
+        let path = tmp("empty.part");
+        let p = Partitioning {
+            k: 4,
+            num_vertices: 0,
+            assignments: vec![],
+            loads: vec![0; 4],
+        };
+        write_partitioning(&path, &p).unwrap();
+        let back = read_partitioning(&path).unwrap();
+        assert!(back.assignments.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

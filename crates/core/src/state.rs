@@ -1,0 +1,342 @@
+//! Mutable partitioning state shared by the algorithms: the replica table
+//! (`P(v)` sets) and partition load tracking.
+
+use clugp_graph::types::VertexId;
+
+/// Tracks, for every vertex, the set of partitions holding a replica of it —
+/// the `P(v)` of the paper — as one bitset row of `ceil(k/64)` words per
+/// vertex plus a per-vertex count.
+///
+/// This is simultaneously (a) the evaluation structure behind the
+/// replication factor and (b) the "global status table" that the
+/// heuristic-based baselines (Greedy, HDRF) must maintain, which is exactly
+/// the state the paper charges them for in the memory experiment (Fig. 6).
+#[derive(Debug, Clone)]
+pub struct ReplicaTable {
+    words_per_row: usize,
+    k: u32,
+    bits: Vec<u64>,
+    counts: Vec<u16>,
+    total_replicas: u64,
+    touched_vertices: u64,
+}
+
+impl ReplicaTable {
+    /// Creates an empty table for `num_vertices` vertices and `k` partitions.
+    pub fn new(num_vertices: u64, k: u32) -> Self {
+        let words_per_row = (k as usize).div_ceil(64).max(1);
+        ReplicaTable {
+            words_per_row,
+            k,
+            bits: vec![0; words_per_row * num_vertices as usize],
+            counts: vec![0; num_vertices as usize],
+            total_replicas: 0,
+            touched_vertices: 0,
+        }
+    }
+
+    /// Number of partitions this table was sized for.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of vertices this table was sized for.
+    pub fn num_vertices(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Grows the table to cover at least `num_vertices` vertices.
+    pub fn ensure_vertices(&mut self, num_vertices: u64) {
+        if num_vertices as usize > self.counts.len() {
+            self.counts.resize(num_vertices as usize, 0);
+            self.bits.resize(self.words_per_row * num_vertices as usize, 0);
+        }
+    }
+
+    /// Returns `true` if partition `p` holds a replica of `v`.
+    #[inline]
+    pub fn contains(&self, v: VertexId, p: u32) -> bool {
+        debug_assert!(p < self.k);
+        let row = v as usize * self.words_per_row;
+        self.bits[row + (p as usize >> 6)] & (1u64 << (p & 63)) != 0
+    }
+
+    /// Records a replica of `v` in partition `p`.
+    /// Returns `true` if the replica is new.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId, p: u32) -> bool {
+        debug_assert!(p < self.k);
+        let row = v as usize * self.words_per_row;
+        let word = &mut self.bits[row + (p as usize >> 6)];
+        let mask = 1u64 << (p & 63);
+        if *word & mask != 0 {
+            return false;
+        }
+        *word |= mask;
+        if self.counts[v as usize] == 0 {
+            self.touched_vertices += 1;
+        }
+        self.counts[v as usize] += 1;
+        self.total_replicas += 1;
+        true
+    }
+
+    /// `|P(v)|`: the number of partitions holding `v`.
+    #[inline]
+    pub fn count(&self, v: VertexId) -> u32 {
+        u32::from(self.counts[v as usize])
+    }
+
+    /// `Σ_v |P(v)|` over all vertices.
+    pub fn total_replicas(&self) -> u64 {
+        self.total_replicas
+    }
+
+    /// Number of vertices with at least one replica (i.e. that appeared in
+    /// the stream).
+    pub fn touched_vertices(&self) -> u64 {
+        self.touched_vertices
+    }
+
+    /// Replication factor with the touched-vertex denominator (isolated
+    /// vertices never enter any partition; see DESIGN.md). Returns 0.0 if no
+    /// vertex was touched.
+    pub fn replication_factor(&self) -> f64 {
+        if self.touched_vertices == 0 {
+            0.0
+        } else {
+            self.total_replicas as f64 / self.touched_vertices as f64
+        }
+    }
+
+    /// Iterates the partitions holding `v` in ascending order.
+    pub fn partitions_of(&self, v: VertexId) -> impl Iterator<Item = u32> + '_ {
+        let row = v as usize * self.words_per_row;
+        let words = &self.bits[row..row + self.words_per_row];
+        let k = self.k;
+        words.iter().enumerate().flat_map(move |(wi, &w)| {
+            BitIter { word: w }.map(move |b| (wi as u32) * 64 + b)
+        }).filter(move |&p| p < k)
+    }
+
+    /// Bytes of heap memory held by the table.
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.capacity() * 8 + self.counts.capacity() * 2
+    }
+}
+
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+/// Per-partition edge counts with O(1) max/min queries maintained lazily.
+///
+/// `k` is at most a few hundred in all experiments, so a linear rescan on
+/// demand is cheap; the struct exists to keep that policy in one place.
+#[derive(Debug, Clone)]
+pub struct PartitionLoads {
+    loads: Vec<u64>,
+    total: u64,
+}
+
+impl PartitionLoads {
+    /// Creates `k` empty partitions.
+    pub fn new(k: u32) -> Self {
+        PartitionLoads {
+            loads: vec![0; k as usize],
+            total: 0,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn k(&self) -> u32 {
+        self.loads.len() as u32
+    }
+
+    /// Adds one edge to partition `p`.
+    #[inline]
+    pub fn add(&mut self, p: u32) {
+        self.loads[p as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Edge count of partition `p`.
+    #[inline]
+    pub fn get(&self, p: u32) -> u64 {
+        self.loads[p as usize]
+    }
+
+    /// Total number of assigned edges.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Maximum partition load.
+    pub fn max(&self) -> u64 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum partition load.
+    pub fn min(&self) -> u64 {
+        self.loads.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Index of a least-loaded partition (lowest id wins ties).
+    pub fn argmin(&self) -> u32 {
+        let mut best = 0usize;
+        for (i, &l) in self.loads.iter().enumerate() {
+            if l < self.loads[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+
+    /// Least-loaded partition among `candidates` (first wins ties);
+    /// `None` if `candidates` is empty.
+    pub fn argmin_among(&self, candidates: impl IntoIterator<Item = u32>) -> Option<u32> {
+        let mut best: Option<(u32, u64)> = None;
+        for p in candidates {
+            let l = self.loads[p as usize];
+            match best {
+                Some((_, bl)) if bl <= l => {}
+                _ => best = Some((p, l)),
+            }
+        }
+        best.map(|(p, _)| p)
+    }
+
+    /// Immutable view of the raw load array.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Consumes self, returning the load vector.
+    pub fn into_vec(self) -> Vec<u64> {
+        self.loads
+    }
+
+    /// Bytes of heap memory held.
+    pub fn memory_bytes(&self) -> usize {
+        self.loads.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_count() {
+        let mut t = ReplicaTable::new(4, 8);
+        assert!(t.insert(0, 3));
+        assert!(!t.insert(0, 3));
+        assert!(t.insert(0, 7));
+        assert_eq!(t.count(0), 2);
+        assert_eq!(t.count(1), 0);
+        assert_eq!(t.total_replicas(), 2);
+        assert_eq!(t.touched_vertices(), 1);
+    }
+
+    #[test]
+    fn contains_matches_insert() {
+        let mut t = ReplicaTable::new(2, 130);
+        assert!(!t.contains(1, 129));
+        t.insert(1, 129);
+        assert!(t.contains(1, 129));
+        assert!(!t.contains(1, 64));
+    }
+
+    #[test]
+    fn partitions_of_iterates_in_order() {
+        let mut t = ReplicaTable::new(1, 200);
+        for p in [5u32, 64, 130, 199] {
+            t.insert(0, p);
+        }
+        let got: Vec<u32> = t.partitions_of(0).collect();
+        assert_eq!(got, vec![5, 64, 130, 199]);
+    }
+
+    #[test]
+    fn replication_factor_touched_denominator() {
+        let mut t = ReplicaTable::new(10, 4);
+        t.insert(0, 0);
+        t.insert(0, 1);
+        t.insert(1, 2);
+        // 3 replicas over 2 touched vertices; 8 isolated vertices ignored.
+        assert!((t.replication_factor() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_rf_zero() {
+        let t = ReplicaTable::new(5, 4);
+        assert_eq!(t.replication_factor(), 0.0);
+    }
+
+    #[test]
+    fn ensure_vertices_grows() {
+        let mut t = ReplicaTable::new(1, 4);
+        t.ensure_vertices(10);
+        t.insert(9, 3);
+        assert!(t.contains(9, 3));
+        assert_eq!(t.num_vertices(), 10);
+    }
+
+    #[test]
+    fn k_one_uses_single_word() {
+        let mut t = ReplicaTable::new(3, 1);
+        t.insert(2, 0);
+        assert_eq!(t.count(2), 1);
+        assert_eq!(t.partitions_of(2).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn memory_bytes_nonzero() {
+        let t = ReplicaTable::new(100, 64);
+        assert!(t.memory_bytes() >= 100 * 8 + 100 * 2);
+    }
+
+    #[test]
+    fn loads_track_and_argmin() {
+        let mut l = PartitionLoads::new(3);
+        l.add(1);
+        l.add(1);
+        l.add(2);
+        assert_eq!(l.get(0), 0);
+        assert_eq!(l.get(1), 2);
+        assert_eq!(l.total(), 3);
+        assert_eq!(l.max(), 2);
+        assert_eq!(l.min(), 0);
+        assert_eq!(l.argmin(), 0);
+    }
+
+    #[test]
+    fn argmin_among_subset() {
+        let mut l = PartitionLoads::new(4);
+        l.add(0);
+        l.add(2);
+        l.add(2);
+        assert_eq!(l.argmin_among([2, 0]), Some(0));
+        assert_eq!(l.argmin_among([2, 3]), Some(3));
+        assert_eq!(l.argmin_among(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn argmin_among_first_wins_ties() {
+        let l = PartitionLoads::new(4);
+        assert_eq!(l.argmin_among([3, 1, 2]), Some(3));
+    }
+}

@@ -1,0 +1,177 @@
+//! Single-source BFS levels (unit-weight SSSP), gathering along in-edges of
+//! the *undirected* view like the PowerGraph SSSP example.
+
+use crate::runtime::{GatherDirection, VertexCtx, VertexProgram};
+use clugp_graph::csr::CsrGraph;
+use clugp_graph::types::VertexId;
+use std::collections::VecDeque;
+
+/// Distance value for unreached vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS level computation from a single source.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    /// Source vertex.
+    pub source: VertexId,
+    /// Superstep cap.
+    pub max_supersteps: usize,
+    /// Treat edges as undirected.
+    pub undirected: bool,
+}
+
+impl Bfs {
+    /// BFS from `source` over the undirected view.
+    pub fn undirected(source: VertexId) -> Self {
+        Bfs {
+            source,
+            max_supersteps: 10_000,
+            undirected: true,
+        }
+    }
+
+    /// BFS from `source` following edge direction.
+    pub fn directed(source: VertexId) -> Self {
+        Bfs {
+            source,
+            max_supersteps: 10_000,
+            undirected: false,
+        }
+    }
+}
+
+impl VertexProgram for Bfs {
+    type Value = u32;
+    type Accum = u32;
+
+    fn direction(&self) -> GatherDirection {
+        if self.undirected {
+            GatherDirection::Both
+        } else {
+            GatherDirection::In
+        }
+    }
+
+    fn init(&self, v: VertexId, _ctx: &VertexCtx) -> u32 {
+        if v == self.source {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+
+    fn gather(&self, neighbor: &u32, _ctx: &VertexCtx) -> u32 {
+        neighbor.saturating_add(1)
+    }
+
+    fn merge(&self, a: &mut u32, b: u32) {
+        *a = (*a).min(b);
+    }
+
+    fn apply(&self, _v: VertexId, old: &u32, acc: Option<u32>, _ctx: &VertexCtx) -> u32 {
+        match acc {
+            Some(d) => (*old).min(d),
+            None => *old,
+        }
+    }
+
+    fn max_supersteps(&self) -> usize {
+        self.max_supersteps
+    }
+}
+
+/// Sequential reference BFS levels.
+pub fn sequential_bfs_levels(graph: &CsrGraph, source: VertexId, undirected: bool) -> Vec<u32> {
+    let n = graph.num_vertices() as usize;
+    let mut dist = vec![UNREACHED; n];
+    if n == 0 {
+        return dist;
+    }
+    let reverse = if undirected {
+        Some(graph.transpose())
+    } else {
+        None
+    };
+    dist[source as usize] = 0;
+    let mut q = VecDeque::from([source]);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        let mut visit = |t: u32| {
+            if dist[t as usize] == UNREACHED {
+                dist[t as usize] = du + 1;
+                q.push_back(t);
+            }
+        };
+        for &t in graph.out_neighbors(u) {
+            visit(t);
+        }
+        if let Some(rev) = &reverse {
+            for &t in rev.out_neighbors(u) {
+                visit(t);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::DistributedGraph;
+    use crate::runtime::Engine;
+    use clugp::baselines::Hashing;
+    use clugp::Partitioner;
+    use clugp_graph::stream::InMemoryStream;
+    use clugp_graph::types::Edge;
+
+    fn run_bfs(edges: &[Edge], k: u32, prog: &Bfs) -> Vec<u32> {
+        let n = clugp_graph::types::implied_num_vertices(edges);
+        let mut s = InMemoryStream::new(n, edges.to_vec());
+        let run = Hashing::default().partition(&mut s, k).unwrap();
+        let d = DistributedGraph::place(edges, &run.partitioning);
+        Engine::new(&d).run(prog).0
+    }
+
+    #[test]
+    fn path_levels() {
+        let edges: Vec<Edge> = (0..5).map(|i| Edge::new(i, i + 1)).collect();
+        let levels = run_bfs(&edges, 2, &Bfs::directed(0));
+        assert_eq!(levels, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn directed_unreachable() {
+        let edges = vec![Edge::new(1, 0)];
+        let levels = run_bfs(&edges, 1, &Bfs::directed(0));
+        assert_eq!(levels[0], 0);
+        assert_eq!(levels[1], UNREACHED);
+    }
+
+    #[test]
+    fn undirected_reaches_backwards() {
+        let edges = vec![Edge::new(1, 0)];
+        let levels = run_bfs(&edges, 1, &Bfs::undirected(0));
+        assert_eq!(levels, vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_reference_on_random_graph() {
+        use clugp_graph::gen::{generate_er, ErConfig};
+        let g = generate_er(&ErConfig {
+            vertices: 200,
+            edges: 500,
+            seed: 3,
+        });
+        let edges = g.edge_vec();
+        for undirected in [false, true] {
+            let prog = Bfs {
+                source: 0,
+                max_supersteps: 10_000,
+                undirected,
+            };
+            let engine_levels = run_bfs(&edges, 4, &prog);
+            let reference = sequential_bfs_levels(&g, 0, undirected);
+            assert_eq!(engine_levels, reference, "undirected={undirected}");
+        }
+    }
+}

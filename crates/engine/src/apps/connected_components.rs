@@ -1,0 +1,145 @@
+//! Connected Components by min-label propagation — the paper's second
+//! workload. Treats edges as undirected (gathers both directions);
+//! converges exactly to the smallest vertex id of each weakly connected
+//! component, which equals the union-find ground truth in
+//! [`clugp_graph::analysis::connected_component_labels`].
+
+use crate::runtime::{GatherDirection, VertexCtx, VertexProgram};
+use clugp_graph::csr::CsrGraph;
+use clugp_graph::types::VertexId;
+
+/// The min-label-propagation vertex program.
+#[derive(Debug, Clone)]
+pub struct ConnectedComponents {
+    /// Superstep cap (diameter bound; label propagation needs at most the
+    /// graph diameter plus one rounds).
+    pub max_supersteps: usize,
+}
+
+impl Default for ConnectedComponents {
+    fn default() -> Self {
+        ConnectedComponents {
+            max_supersteps: 10_000,
+        }
+    }
+}
+
+impl VertexProgram for ConnectedComponents {
+    type Value = u32;
+    type Accum = u32;
+
+    fn direction(&self) -> GatherDirection {
+        GatherDirection::Both
+    }
+
+    fn init(&self, v: VertexId, _ctx: &VertexCtx) -> u32 {
+        v
+    }
+
+    fn gather(&self, neighbor: &u32, _ctx: &VertexCtx) -> u32 {
+        *neighbor
+    }
+
+    fn merge(&self, a: &mut u32, b: u32) {
+        *a = (*a).min(b);
+    }
+
+    fn apply(&self, _v: VertexId, old: &u32, acc: Option<u32>, _ctx: &VertexCtx) -> u32 {
+        match acc {
+            Some(m) => (*old).min(m),
+            None => *old,
+        }
+    }
+
+    fn max_supersteps(&self) -> usize {
+        self.max_supersteps
+    }
+}
+
+/// Sequential reference: union-find component labels (min id per
+/// component).
+pub fn sequential_components(graph: &CsrGraph) -> Vec<u32> {
+    clugp_graph::analysis::connected_component_labels(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::DistributedGraph;
+    use crate::runtime::Engine;
+    use clugp::baselines::{Dbh, Hashing};
+    use clugp::Partitioner;
+    use clugp_graph::stream::InMemoryStream;
+    use clugp_graph::types::Edge;
+
+    fn run_cc(edges: &[Edge], k: u32) -> Vec<u32> {
+        let n = clugp_graph::types::implied_num_vertices(edges);
+        let mut s = InMemoryStream::new(n, edges.to_vec());
+        let run = Hashing::default().partition(&mut s, k).unwrap();
+        let d = DistributedGraph::place(edges, &run.partitioning);
+        Engine::new(&d).run(&ConnectedComponents::default()).0
+    }
+
+    #[test]
+    fn two_components_exact() {
+        let edges = vec![
+            Edge::new(1, 0),
+            Edge::new(1, 2),
+            Edge::new(4, 3),
+            Edge::new(4, 5),
+        ];
+        let labels = run_cc(&edges, 2);
+        let g = CsrGraph::from_edges_auto(&edges);
+        assert_eq!(labels, sequential_components(&g));
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // Chain 4→3→2→1→0 all pointing "down": still one component.
+        let edges: Vec<Edge> = (1..5).map(|i| Edge::new(i, i - 1)).collect();
+        let labels = run_cc(&edges, 3);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn matches_union_find_on_random_graph() {
+        use clugp_graph::gen::{generate_er, ErConfig};
+        let g = generate_er(&ErConfig {
+            vertices: 300,
+            edges: 350,
+            seed: 9,
+        });
+        let edges = g.edge_vec();
+        let labels = run_cc(&edges, 4);
+        assert_eq!(labels, sequential_components(&g));
+    }
+
+    #[test]
+    fn partitioner_choice_does_not_change_result() {
+        let edges: Vec<Edge> = (0..50u32).map(|i| Edge::new(i % 13, (i * 7 + 1) % 13)).collect();
+        let n = clugp_graph::types::implied_num_vertices(&edges);
+        let mut s = InMemoryStream::new(n, edges.clone());
+        let a = Hashing::default().partition(&mut s, 4).unwrap();
+        let b = Dbh::default().partition(&mut s, 4).unwrap();
+        let da = DistributedGraph::place(&edges, &a.partitioning);
+        let db = DistributedGraph::place(&edges, &b.partitioning);
+        let la = Engine::new(&da).run(&ConnectedComponents::default()).0;
+        let lb = Engine::new(&db).run(&ConnectedComponents::default()).0;
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn message_volume_decays_as_labels_settle() {
+        // On a long path the frontier of changing labels shrinks is not
+        // monotone, but the final superstep must carry zero sync messages.
+        let edges: Vec<Edge> = (0..40).map(|i| Edge::new(i, i + 1)).collect();
+        let n = clugp_graph::types::implied_num_vertices(&edges);
+        let mut s = InMemoryStream::new(n, edges.clone());
+        let run = Hashing::default().partition(&mut s, 4).unwrap();
+        let d = DistributedGraph::place(&edges, &run.partitioning);
+        let (_, stats) = Engine::new(&d).run(&ConnectedComponents::default());
+        let last = stats.supersteps.last().unwrap();
+        assert_eq!(last.active_vertices, 0);
+    }
+}

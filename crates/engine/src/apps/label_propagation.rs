@@ -1,0 +1,182 @@
+//! Synchronous label propagation (community detection) — one of the
+//! motivating workloads in the paper's introduction.
+//!
+//! Each superstep a vertex adopts the most frequent label among its
+//! (undirected) neighbors, breaking ties toward the smaller label; the
+//! smaller-label tie-break makes the synchronous update deterministic, so
+//! the engine result can be checked against a sequential reference exactly.
+
+use crate::runtime::{GatherDirection, VertexCtx, VertexProgram};
+use clugp_graph::csr::CsrGraph;
+use clugp_graph::types::VertexId;
+use rustc_hash::FxHashMap;
+
+/// The label-propagation vertex program.
+#[derive(Debug, Clone)]
+pub struct LabelPropagation {
+    /// Number of synchronous rounds (label propagation is typically run for
+    /// a fixed small budget; it need not converge).
+    pub rounds: usize,
+}
+
+impl Default for LabelPropagation {
+    fn default() -> Self {
+        LabelPropagation { rounds: 5 }
+    }
+}
+
+impl VertexProgram for LabelPropagation {
+    type Value = u32;
+    type Accum = FxHashMap<u32, u32>;
+
+    fn direction(&self) -> GatherDirection {
+        GatherDirection::Both
+    }
+
+    fn init(&self, v: VertexId, _ctx: &VertexCtx) -> u32 {
+        v
+    }
+
+    fn gather(&self, neighbor: &u32, _ctx: &VertexCtx) -> Self::Accum {
+        let mut m = FxHashMap::default();
+        m.insert(*neighbor, 1);
+        m
+    }
+
+    fn merge(&self, a: &mut Self::Accum, b: Self::Accum) {
+        for (label, count) in b {
+            *a.entry(label).or_insert(0) += count;
+        }
+    }
+
+    fn apply(&self, _v: VertexId, old: &u32, acc: Option<Self::Accum>, _ctx: &VertexCtx) -> u32 {
+        match acc {
+            Some(counts) => pick_label(&counts),
+            None => *old,
+        }
+    }
+
+    fn halt_on_fixpoint(&self) -> bool {
+        false // label propagation may oscillate; run the fixed budget
+    }
+
+    fn max_supersteps(&self) -> usize {
+        self.rounds
+    }
+}
+
+/// Most frequent label, ties toward the smaller label.
+fn pick_label(counts: &FxHashMap<u32, u32>) -> u32 {
+    let mut best: Option<(u32, u32)> = None;
+    for (&label, &count) in counts {
+        best = match best {
+            None => Some((label, count)),
+            Some((bl, bc)) if count > bc || (count == bc && label < bl) => {
+                Some((label, count))
+            }
+            keep => keep,
+        };
+    }
+    best.map(|(l, _)| l).expect("non-empty accumulator")
+}
+
+/// Sequential reference with identical synchronous semantics.
+pub fn sequential_label_propagation(graph: &CsrGraph, rounds: usize) -> Vec<u32> {
+    let n = graph.num_vertices() as usize;
+    let rev = graph.transpose();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..rounds {
+        let mut next = labels.clone();
+        for v in 0..n as u32 {
+            let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+            for &t in graph.out_neighbors(v) {
+                *counts.entry(labels[t as usize]).or_insert(0) += 1;
+            }
+            for &t in rev.out_neighbors(v) {
+                *counts.entry(labels[t as usize]).or_insert(0) += 1;
+            }
+            if !counts.is_empty() {
+                next[v as usize] = pick_label(&counts);
+            }
+        }
+        labels = next;
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::DistributedGraph;
+    use crate::runtime::Engine;
+    use clugp::baselines::Hashing;
+    use clugp::Partitioner;
+    use clugp_graph::stream::InMemoryStream;
+    use clugp_graph::types::Edge;
+
+    fn run_lpa(edges: &[Edge], k: u32, rounds: usize) -> Vec<u32> {
+        let n = clugp_graph::types::implied_num_vertices(edges);
+        let mut s = InMemoryStream::new(n, edges.to_vec());
+        let run = Hashing::default().partition(&mut s, k).unwrap();
+        let d = DistributedGraph::place(edges, &run.partitioning);
+        Engine::new(&d).run(&LabelPropagation { rounds }).0
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let edges: Vec<Edge> = (0..120u32)
+            .map(|i| Edge::new((i * 13) % 31, (i * 7 + 2) % 31))
+            .collect();
+        let g = CsrGraph::from_edges_auto(&edges);
+        for rounds in [1usize, 3, 5] {
+            assert_eq!(
+                run_lpa(&edges, 4, rounds),
+                sequential_label_propagation(&g, rounds),
+                "rounds={rounds}"
+            );
+        }
+    }
+
+    #[test]
+    fn clique_converges_to_min_label() {
+        // A 5-clique (both directions): everyone adopts label 0.
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                if a != b {
+                    edges.push(Edge::new(a, b));
+                }
+            }
+        }
+        let labels = run_lpa(&edges, 2, 4);
+        assert!(labels.iter().all(|&l| l == 0), "{labels:?}");
+    }
+
+    #[test]
+    fn two_cliques_keep_distinct_communities() {
+        let mut edges = Vec::new();
+        for base in [0u32, 10] {
+            for a in 0..5u32 {
+                for b in 0..5u32 {
+                    if a != b {
+                        edges.push(Edge::new(base + a, base + b));
+                    }
+                }
+            }
+        }
+        let mut all = edges.clone();
+        all.push(Edge::new(0, 10)); // weak bridge
+        let labels = run_lpa(&all, 3, 4);
+        assert_eq!(labels[2], 0);
+        assert_eq!(labels[12], 10);
+    }
+
+    #[test]
+    fn pick_label_tie_breaks_to_smaller() {
+        let mut counts = FxHashMap::default();
+        counts.insert(7, 2);
+        counts.insert(3, 2);
+        counts.insert(9, 1);
+        assert_eq!(pick_label(&counts), 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type shared by graph construction, I/O, and streaming.
+
+use std::fmt;
+
+/// Errors raised by the graph substrate.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure (file streams, loaders, writers).
+    Io(std::io::Error),
+    /// A text edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: u64,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// A binary graph file is malformed (bad magic, truncated payload, ...).
+    Format(String),
+    /// An operation received an edge or vertex outside the declared range.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices the structure was built for.
+        num_vertices: u64,
+    },
+    /// A caller-supplied configuration is unusable (e.g. zero vertices).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Format(m) => write!(f, "malformed graph file: {m}"),
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Convenience alias used across the graph substrate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let io = GraphError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        let parse = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert!(parse.to_string().contains("line 7"));
+        let fmt = GraphError::Format("short file".into());
+        assert!(fmt.to_string().contains("short file"));
+        let range = GraphError::VertexOutOfRange {
+            vertex: 10,
+            num_vertices: 5,
+        };
+        assert!(range.to_string().contains("10"));
+        let cfg = GraphError::InvalidConfig("zero vertices".into());
+        assert!(cfg.to_string().contains("zero vertices"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::other("x"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,116 @@
+//! Chung-Lu random graphs with a prescribed expected power-law degree
+//! sequence. Used in tests and benches as a locality-free power-law control:
+//! same degree law as the copying model but no community structure.
+
+use super::degree::PowerLawDegrees;
+use crate::csr::CsrGraph;
+use crate::types::Edge;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Configuration for the Chung-Lu generator.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ChungLuConfig {
+    /// Number of vertices.
+    pub vertices: u64,
+    /// Power-law exponent of the target degree sequence.
+    pub alpha: f64,
+    /// Minimum expected degree.
+    pub min_degree: u64,
+    /// Maximum expected degree.
+    pub max_degree: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChungLuConfig {
+    fn default() -> Self {
+        ChungLuConfig {
+            vertices: 10_000,
+            alpha: 2.1,
+            min_degree: 2,
+            max_degree: 1 << 12,
+            seed: 0xC1,
+        }
+    }
+}
+
+/// Generates a Chung-Lu graph: draws a power-law weight per vertex, then
+/// creates `Σw_i / 2` edges whose endpoints are sampled proportionally to
+/// weight (the "edge-skeleton" formulation, O(|E|)).
+///
+/// # Panics
+///
+/// Panics if `vertices == 0`.
+pub fn generate_chung_lu(cfg: &ChungLuConfig) -> CsrGraph {
+    assert!(cfg.vertices > 0, "Chung-Lu needs at least one vertex");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let sampler = PowerLawDegrees::new(cfg.alpha, cfg.min_degree.max(1), cfg.max_degree.max(1));
+    let weights: Vec<u64> = (0..cfg.vertices).map(|_| sampler.sample(&mut rng)).collect();
+
+    // Ticket pool: vertex v appears weight[v] times; sampling two tickets
+    // uniformly yields endpoint probabilities proportional to weights.
+    let total: u64 = weights.iter().sum();
+    let mut pool = Vec::with_capacity(total as usize);
+    for (v, &w) in weights.iter().enumerate() {
+        for _ in 0..w {
+            pool.push(v as u32);
+        }
+    }
+    let num_edges = (total / 2) as usize;
+    let mut edges = Vec::with_capacity(num_edges);
+    while edges.len() < num_edges {
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = pool[rng.gen_range(0..pool.len())];
+        if a != b {
+            edges.push(Edge { src: a, dst: b });
+        }
+    }
+    CsrGraph::from_edges(cfg.vertices, &edges).expect("generator stays in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = ChungLuConfig {
+            vertices: 1_000,
+            ..Default::default()
+        };
+        assert_eq!(generate_chung_lu(&cfg), generate_chung_lu(&cfg));
+    }
+
+    #[test]
+    fn edge_count_is_half_total_weight_ish() {
+        let cfg = ChungLuConfig {
+            vertices: 5_000,
+            ..Default::default()
+        };
+        let g = generate_chung_lu(&cfg);
+        assert!(g.num_edges() > 0);
+        // Mean degree should be near the power-law mean (> min_degree).
+        let mean = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(mean >= cfg.min_degree as f64 * 0.8);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = generate_chung_lu(&ChungLuConfig {
+            vertices: 2_000,
+            ..Default::default()
+        });
+        assert!(g.edges().all(|e| !e.is_self_loop()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn rejects_empty() {
+        let _ = generate_chung_lu(&ChungLuConfig {
+            vertices: 0,
+            ..Default::default()
+        });
+    }
+}

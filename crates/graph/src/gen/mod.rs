@@ -1,0 +1,30 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on WebGraph corpora (UK-2002, Arabic-2005,
+//! WebBase-2001, IT-2004) and the Twitter social graph — multi-billion-edge
+//! datasets we cannot ship. DESIGN.md §4 documents the substitution: the
+//! site-structured crawl generator ([`generate_web_crawl`]) and the Kumar
+//! copying model ([`generate_copying_model`]) stand in for the web corpora,
+//! and Barabási–Albert preferential attachment ([`generate_ba`]) stands in
+//! for Twitter. Chung-Lu ([`generate_chung_lu`]), R-MAT ([`generate_rmat`]),
+//! and Erdős–Rényi ([`generate_er`]) widen test/bench coverage.
+//!
+//! All generators are deterministic for a fixed seed and label vertices in
+//! creation (crawl) order, so `StreamOrder::AsIs` approximates the crawl
+//! stream and `StreamOrder::Bfs` re-derives a strict BFS order.
+
+mod ba;
+mod chung_lu;
+mod copying;
+mod degree;
+mod er;
+mod rmat;
+mod web_crawl;
+
+pub use ba::{generate_ba, BaConfig};
+pub use chung_lu::{generate_chung_lu, ChungLuConfig};
+pub use copying::{generate_copying_model, CopyingModelConfig};
+pub use degree::{CalibratedPowerLaw, PowerLawDegrees};
+pub use er::{generate_er, ErConfig};
+pub use rmat::{generate_rmat, RmatConfig};
+pub use web_crawl::{generate_web_crawl, site_boundaries, WebCrawlConfig};

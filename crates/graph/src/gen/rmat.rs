@@ -1,0 +1,129 @@
+//! R-MAT (recursive matrix) generator — the Graph500 workload family.
+//!
+//! Included to stress partitioners on a third degree-skew profile and for
+//! property tests; not a paper dataset.
+
+use crate::csr::CsrGraph;
+use crate::types::Edge;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Configuration for the R-MAT generator.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Edges generated = `edge_factor << scale`.
+    pub edge_factor: u64,
+    /// Quadrant probabilities; must sum to ~1. Graph500 uses
+    /// (0.57, 0.19, 0.19, 0.05).
+    pub probabilities: (f64, f64, f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            scale: 14,
+            edge_factor: 16,
+            probabilities: (0.57, 0.19, 0.19, 0.05),
+            seed: 0x2297,
+        }
+    }
+}
+
+/// Generates an R-MAT graph by recursive quadrant descent.
+///
+/// # Panics
+///
+/// Panics if `scale == 0` or quadrant probabilities do not sum to ≈ 1.
+pub fn generate_rmat(cfg: &RmatConfig) -> CsrGraph {
+    assert!(cfg.scale > 0, "R-MAT scale must be positive");
+    let (a, b, c, d) = cfg.probabilities;
+    let sum = a + b + c + d;
+    assert!((sum - 1.0).abs() < 1e-6, "quadrant probabilities must sum to 1");
+    let n = 1u64 << cfg.scale;
+    let m = cfg.edge_factor << cfg.scale;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let (mut x0, mut x1) = (0u64, n);
+        let (mut y0, mut y1) = (0u64, n);
+        while x1 - x0 > 1 {
+            let r: f64 = rng.gen();
+            let (mx, my) = ((x0 + x1) / 2, (y0 + y1) / 2);
+            if r < a {
+                x1 = mx;
+                y1 = my;
+            } else if r < a + b {
+                x1 = mx;
+                y0 = my;
+            } else if r < a + b + c {
+                x0 = mx;
+                y1 = my;
+            } else {
+                x0 = mx;
+                y0 = my;
+            }
+        }
+        if x0 != y0 {
+            edges.push(Edge {
+                src: x0 as u32,
+                dst: y0 as u32,
+            });
+        }
+    }
+    CsrGraph::from_edges(n, &edges).expect("generator stays in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = RmatConfig {
+            scale: 10,
+            edge_factor: 8,
+            ..Default::default()
+        };
+        assert_eq!(generate_rmat(&cfg), generate_rmat(&cfg));
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let cfg = RmatConfig {
+            scale: 10,
+            edge_factor: 8,
+            ..Default::default()
+        };
+        let g = generate_rmat(&cfg);
+        assert_eq!(g.num_vertices(), 1 << 10);
+        // Self-loops are dropped, so slightly fewer edges than requested.
+        assert!(g.num_edges() <= 8 << 10);
+        assert!(g.num_edges() > (8 << 10) * 9 / 10);
+    }
+
+    #[test]
+    fn skew_exists() {
+        let g = generate_rmat(&RmatConfig {
+            scale: 12,
+            edge_factor: 16,
+            ..Default::default()
+        });
+        let max = g.max_out_degree();
+        let mean = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(max as f64 > 5.0 * mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_probabilities() {
+        let _ = generate_rmat(&RmatConfig {
+            probabilities: (0.9, 0.2, 0.2, 0.2),
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,113 @@
+//! Whitespace-separated text edge lists (`src dst` per line, `#` comments) —
+//! the de-facto exchange format of SNAP/WebGraph-derived datasets.
+
+use crate::error::{GraphError, Result};
+use crate::types::Edge;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a text edge list. Lines starting with `#` or `%` and blank lines
+/// are skipped. Each data line must contain two unsigned integers.
+pub fn read_edge_list(path: &Path) -> Result<Vec<Edge>> {
+    let file = std::fs::File::open(path)?;
+    parse_edge_list(file)
+}
+
+/// Parses an edge list from any reader (exposed for tests and in-memory use).
+pub fn parse_edge_list<R: Read>(reader: R) -> Result<Vec<Edge>> {
+    let mut edges = Vec::new();
+    let mut line = String::new();
+    let mut buf = BufReader::new(reader);
+    let mut line_no: u64 = 0;
+    loop {
+        line.clear();
+        let n = buf.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let src = parse_field(it.next(), line_no)?;
+        let dst = parse_field(it.next(), line_no)?;
+        edges.push(Edge { src, dst });
+    }
+    Ok(edges)
+}
+
+fn parse_field(field: Option<&str>, line: u64) -> Result<u32> {
+    let s = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two vertex ids".into(),
+    })?;
+    s.parse::<u32>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("bad vertex id {s:?}: {e}"),
+    })
+}
+
+/// Writes edges as a text edge list with a provenance header comment.
+pub fn write_edge_list(path: &Path, edges: &[Edge]) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# directed edge list, {} edges", edges.len())?;
+    for e in edges {
+        writeln!(w, "{} {}", e.src, e.dst)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_list() {
+        let input = "# comment\n0 1\n\n% also comment\n2 3\n";
+        let edges = parse_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(edges, vec![Edge::new(0, 1), Edge::new(2, 3)]);
+    }
+
+    #[test]
+    fn tolerates_extra_whitespace() {
+        let edges = parse_edge_list("  7\t 8 \n".as_bytes()).unwrap();
+        assert_eq!(edges, vec![Edge::new(7, 8)]);
+    }
+
+    #[test]
+    fn reports_line_of_bad_token() {
+        let err = parse_edge_list("0 1\nx y\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn reports_missing_field() {
+        let err = parse_edge_list("42\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("clugp_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        let edges = vec![Edge::new(0, 1), Edge::new(5, 2), Edge::new(5, 2)];
+        write_edge_list(&path, &edges).unwrap();
+        let back = read_edge_list(&path).unwrap();
+        assert_eq!(back, edges);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse_edge_list("".as_bytes()).unwrap().is_empty());
+        assert!(parse_edge_list("# only comments\n".as_bytes()).unwrap().is_empty());
+    }
+}

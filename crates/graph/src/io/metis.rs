@@ -1,0 +1,219 @@
+//! METIS graph format (the `.graph` adjacency format of METIS/KaHIP) —
+//! the lingua franca of the offline partitioners the paper compares the
+//! streaming family against (§I cites METIS taking 8.5 h for 2 partitions).
+//!
+//! Format: first line `n m [fmt]`; line `i` (1-based) lists the neighbors
+//! of vertex `i` (1-based ids), each undirected edge appearing in both
+//! lists. `%` lines are comments. Only the unweighted variant (`fmt`
+//! absent or `0`) is supported; weighted files are rejected explicitly.
+
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::types::Edge;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a METIS `.graph` file into an *undirected* graph represented as a
+/// directed CSR with both edge directions materialized.
+pub fn read_metis(path: &Path) -> Result<CsrGraph> {
+    parse_metis(std::fs::File::open(path)?)
+}
+
+/// Parses METIS from any reader (exposed for tests).
+pub fn parse_metis<R: Read>(reader: R) -> Result<CsrGraph> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut line_no = 0u64;
+
+    // Header: n m [fmt]
+    let header = loop {
+        line_no += 1;
+        match lines.next() {
+            Some(l) => {
+                let l = l?;
+                let t = l.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break t.to_string();
+                }
+            }
+            None => {
+                return Err(GraphError::Format("missing METIS header".into()));
+            }
+        }
+    };
+    let mut parts = header.split_whitespace();
+    let n: u64 = parse_num(parts.next(), line_no, "vertex count")?;
+    let m: u64 = parse_num(parts.next(), line_no, "edge count")?;
+    if let Some(fmt) = parts.next() {
+        if fmt != "0" && fmt != "000" {
+            return Err(GraphError::Format(format!(
+                "weighted METIS format {fmt:?} not supported"
+            )));
+        }
+    }
+
+    let mut edges = Vec::with_capacity(2 * m as usize);
+    let mut vertex: u64 = 0;
+    for line in lines {
+        line_no += 1;
+        let line = line?;
+        let t = line.trim();
+        if t.starts_with('%') {
+            continue;
+        }
+        vertex += 1;
+        if vertex > n {
+            if t.is_empty() {
+                continue;
+            }
+            return Err(GraphError::Format(format!(
+                "more adjacency lines than the declared {n} vertices"
+            )));
+        }
+        for tok in t.split_whitespace() {
+            let nb: u64 = parse_num(Some(tok), line_no, "neighbor id")?;
+            if nb == 0 || nb > n {
+                return Err(GraphError::Format(format!(
+                    "neighbor {nb} out of 1..={n} on line {line_no}"
+                )));
+            }
+            edges.push(Edge {
+                src: (vertex - 1) as u32,
+                dst: (nb - 1) as u32,
+            });
+        }
+    }
+    if vertex < n {
+        return Err(GraphError::Format(format!(
+            "only {vertex} of {n} adjacency lines present"
+        )));
+    }
+    if edges.len() as u64 != 2 * m {
+        return Err(GraphError::Format(format!(
+            "adjacency lists carry {} entries, header declares {m} undirected edges",
+            edges.len()
+        )));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+fn parse_num(tok: Option<&str>, line: u64, what: &str) -> Result<u64> {
+    let s = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    s.parse().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("bad {what} {s:?}: {e}"),
+    })
+}
+
+/// Writes `graph` as METIS, treating it as undirected: each directed edge
+/// `(u,v)` becomes the undirected pair, deduplicated; self-loops are
+/// dropped (METIS forbids them).
+pub fn write_metis(path: &Path, graph: &CsrGraph) -> Result<()> {
+    // Build symmetric dedup'd adjacency.
+    let n = graph.num_vertices() as usize;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in graph.edges() {
+        if e.src == e.dst {
+            continue;
+        }
+        adj[e.src as usize].push(e.dst);
+        adj[e.dst as usize].push(e.src);
+    }
+    let mut m: u64 = 0;
+    for (v, list) in adj.iter_mut().enumerate() {
+        list.sort_unstable();
+        list.dedup();
+        m += list.iter().filter(|&&nb| (nb as usize) > v).count() as u64;
+    }
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "% written by clugp-graph")?;
+    writeln!(w, "{n} {m}")?;
+    for list in &adj {
+        let mut first = true;
+        for &nb in list {
+            if !first {
+                write!(w, " ")?;
+            }
+            write!(w, "{}", nb + 1)?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_triangle() {
+        // Triangle on 3 vertices, 3 undirected edges.
+        let input = "% comment\n3 3\n2 3\n1 3\n1 2\n";
+        let g = parse_metis(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 6); // both directions
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let input = "3 1\n2\n1\n\n";
+        let g = parse_metis(input.as_bytes()).unwrap();
+        assert_eq!(g.out_degree(2), 0);
+    }
+
+    #[test]
+    fn rejects_weighted_format() {
+        assert!(matches!(
+            parse_metis("2 1 011\n2\n1\n".as_bytes()).unwrap_err(),
+            GraphError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_neighbor() {
+        assert!(parse_metis("2 1\n3\n1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_edge_count() {
+        assert!(parse_metis("2 5\n2\n1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_lines() {
+        assert!(parse_metis("3 1\n2\n1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn round_trip_via_file() {
+        let dir = std::env::temp_dir().join("clugp_metis_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.graph");
+        // Directed diamond with a duplicate and a self-loop: writer
+        // symmetrizes, dedups, drops the loop.
+        let g = CsrGraph::from_edges(
+            4,
+            &[
+                Edge::new(0, 1),
+                Edge::new(0, 1),
+                Edge::new(1, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 3),
+                Edge::new(3, 0),
+            ],
+        )
+        .unwrap();
+        write_metis(&path, &g).unwrap();
+        let back = read_metis(&path).unwrap();
+        assert_eq!(back.num_vertices(), 4);
+        // Ring 0-1-2-3-0: 4 undirected edges = 8 directed.
+        assert_eq!(back.num_edges(), 8);
+        assert_eq!(back.out_neighbors(0), &[1, 3]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,14 @@
+//! Graph I/O: a human-readable text edge list and a compact binary format
+//! with a file-backed resettable stream.
+//!
+//! The binary format is what the Figure 10(a) experiment streams from disk to
+//! charge I/O cost honestly (CLUGP makes three passes, one-pass baselines
+//! one).
+
+pub mod binary;
+pub mod edge_list;
+pub mod metis;
+
+pub use binary::{read_binary_graph, write_binary_graph, FileEdgeStream};
+pub use edge_list::{read_edge_list, write_edge_list};
+pub use metis::{read_metis, write_metis};

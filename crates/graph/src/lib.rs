@@ -1,0 +1,54 @@
+//! Graph substrate for the CLUGP reproduction.
+//!
+//! This crate provides everything the partitioners in the `clugp` crate and
+//! the GAS engine in `clugp-engine` need from a graph layer:
+//!
+//! * [`types`] — compact vertex/edge primitives (`u32` vertex ids, 8-byte
+//!   edges).
+//! * [`csr`] — immutable compressed-sparse-row adjacency used by generators,
+//!   analysis, and the execution engine.
+//! * [`stream`] — the edge-streaming model of the paper (Definition 1):
+//!   single-pass [`stream::EdgeStream`]s and resettable
+//!   [`stream::RestreamableStream`]s for CLUGP's three-pass architecture.
+//! * [`order`] — BFS crawl order (the paper's assumed web-graph stream
+//!   order), random order, and vertex relabeling.
+//! * [`gen`] — synthetic web/social graph generators substituting for the
+//!   WebGraph corpora of Table III (see DESIGN.md §4).
+//! * [`io`] — text edge-list and binary formats with file-backed streaming.
+//! * [`analysis`] — degree distributions, power-law exponent estimation,
+//!   connected components.
+//! * [`sampling`] — nested edge samples (Figure 5's sampled UK graphs).
+//!
+//! # Example
+//!
+//! ```
+//! use clugp_graph::gen::{CopyingModelConfig, generate_copying_model};
+//! use clugp_graph::order::bfs_edge_order;
+//!
+//! let graph = generate_copying_model(&CopyingModelConfig {
+//!     vertices: 1_000,
+//!     mean_out_degree: 8.0,
+//!     copy_probability: 0.6,
+//!     seed: 42,
+//!     ..Default::default()
+//! });
+//! let stream = bfs_edge_order(&graph);
+//! assert_eq!(stream.len() as u64, graph.num_edges());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod csr;
+pub mod error;
+pub mod gen;
+pub mod io;
+pub mod order;
+pub mod sampling;
+pub mod stream;
+pub mod types;
+
+pub use csr::CsrGraph;
+pub use error::{GraphError, Result};
+pub use stream::{EdgeStream, InMemoryStream, RestreamableStream};
+pub use types::{Edge, VertexId};

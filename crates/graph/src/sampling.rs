@@ -1,0 +1,121 @@
+//! Graph sampling for the Figure 5 experiment (replication factor vs sampled
+//! graph size): the paper samples UK-2002 down to a series of graph sizes.
+//!
+//! We use nested uniform edge samples: the `i`-th sample is a prefix of a
+//! fixed random permutation of the edges, so smaller samples are subsets of
+//! larger ones — the same growth-curve methodology the paper plots.
+
+use crate::csr::CsrGraph;
+use crate::types::Edge;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Produces nested edge samples of `graph` with the given edge counts
+/// (clamped to `|E|`). Vertex ids are compacted per sample so each sample is
+/// a standalone graph.
+///
+/// Returned graphs are ordered as `sizes` is.
+pub fn nested_edge_samples(graph: &CsrGraph, sizes: &[u64], seed: u64) -> Vec<CsrGraph> {
+    let mut edges = graph.edge_vec();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    edges.shuffle(&mut rng);
+    sizes
+        .iter()
+        .map(|&s| {
+            let take = (s as usize).min(edges.len());
+            compact(&edges[..take])
+        })
+        .collect()
+}
+
+/// Re-labels the endpoints of `edges` with dense ids (first-appearance
+/// order) and builds a CSR graph over exactly the touched vertices.
+pub fn compact(edges: &[Edge]) -> CsrGraph {
+    let mut remap = rustc_hash::FxHashMap::default();
+    let mut next: u32 = 0;
+    let mut out = Vec::with_capacity(edges.len());
+    for e in edges {
+        let s = *remap.entry(e.src).or_insert_with(|| {
+            let id = next;
+            next += 1;
+            id
+        });
+        let d = *remap.entry(e.dst).or_insert_with(|| {
+            let id = next;
+            next += 1;
+            id
+        });
+        out.push(Edge { src: s, dst: d });
+    }
+    CsrGraph::from_edges(u64::from(next), &out).expect("compaction stays in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> CsrGraph {
+        let mut edges = Vec::new();
+        for i in 0..20u32 {
+            edges.push(Edge::new(i, (i + 1) % 20));
+            edges.push(Edge::new(i, (i + 5) % 20));
+        }
+        CsrGraph::from_edges(20, &edges).unwrap()
+    }
+
+    #[test]
+    fn sample_sizes_respected() {
+        let g = grid();
+        let samples = nested_edge_samples(&g, &[5, 10, 40], 3);
+        assert_eq!(samples[0].num_edges(), 5);
+        assert_eq!(samples[1].num_edges(), 10);
+        assert_eq!(samples[2].num_edges(), 40);
+    }
+
+    #[test]
+    fn oversized_request_clamps() {
+        let g = grid();
+        let samples = nested_edge_samples(&g, &[1_000], 3);
+        assert_eq!(samples[0].num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn samples_are_nested() {
+        let g = grid();
+        let samples = nested_edge_samples(&g, &[5, 10], 7);
+        // Degree sums grow monotonically for nested samples.
+        assert!(samples[0].num_edges() <= samples[1].num_edges());
+    }
+
+    #[test]
+    fn compact_touches_only_used_vertices() {
+        let edges = vec![Edge::new(100, 200), Edge::new(200, 300)];
+        let g = compact(&edges);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn compact_preserves_multiplicity() {
+        let edges = vec![Edge::new(7, 9), Edge::new(7, 9)];
+        let g = compact(&edges);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices(), 2);
+    }
+
+    #[test]
+    fn compact_empty() {
+        let g = compact(&[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let g = grid();
+        let a = nested_edge_samples(&g, &[10], 9);
+        let b = nested_edge_samples(&g, &[10], 9);
+        assert_eq!(a[0], b[0]);
+    }
+}

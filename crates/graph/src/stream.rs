@@ -1,0 +1,259 @@
+//! The edge-streaming graph model (paper Definition 1).
+//!
+//! A streaming partitioner consumes edges one at a time through
+//! [`EdgeStream`]. One-pass algorithms (Hashing, DBH, Greedy, HDRF) need only
+//! that; CLUGP's three-pass restreaming architecture additionally needs
+//! [`RestreamableStream::reset`] to rewind the stream between passes.
+//!
+//! Two concrete sources are provided: [`InMemoryStream`] over a `Vec<Edge>`
+//! and `FileEdgeStream` (in [`crate::io::binary`]) over the on-disk binary
+//! format. The latter is what the Figure 10(a) experiment uses to separate
+//! I/O cost from computation cost.
+
+use crate::error::Result;
+use crate::types::Edge;
+
+/// A single-pass stream of directed edges.
+///
+/// Implementors yield edges in *stream order*; the order is significant
+/// (the paper evaluates BFS order for CLUGP/Mint and random order for the
+/// other baselines).
+pub trait EdgeStream {
+    /// Returns the next edge, or `None` when the stream is exhausted.
+    fn next_edge(&mut self) -> Option<Edge>;
+
+    /// Total number of edges this stream will yield over a full pass, if
+    /// known. Partitioners use it to pre-size tables (e.g. `Vmax = |E|/k`).
+    fn len_hint(&self) -> Option<u64>;
+
+    /// Number of vertices of the underlying graph, if known. Streaming
+    /// algorithms conventionally know `|V|` up front so per-vertex state can
+    /// be array-backed (the paper's `clu[]`/`deg[]` arrays).
+    fn num_vertices_hint(&self) -> Option<u64>;
+}
+
+/// An [`EdgeStream`] that can be rewound to the beginning, enabling
+/// multi-pass (restreaming) algorithms.
+pub trait RestreamableStream: EdgeStream {
+    /// Rewinds the stream so the next `next_edge` yields the first edge
+    /// again.
+    fn reset(&mut self) -> Result<()>;
+}
+
+impl<T: EdgeStream + ?Sized> EdgeStream for &mut T {
+    #[inline]
+    fn next_edge(&mut self) -> Option<Edge> {
+        (**self).next_edge()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        (**self).len_hint()
+    }
+
+    fn num_vertices_hint(&self) -> Option<u64> {
+        (**self).num_vertices_hint()
+    }
+}
+
+impl<T: RestreamableStream + ?Sized> RestreamableStream for &mut T {
+    fn reset(&mut self) -> Result<()> {
+        (**self).reset()
+    }
+}
+
+/// In-memory stream over an owned edge vector.
+///
+/// The cheapest resettable source; all experiments except the I/O-cost
+/// breakdown use it.
+#[derive(Debug, Clone)]
+pub struct InMemoryStream {
+    edges: Vec<Edge>,
+    cursor: usize,
+    num_vertices: u64,
+}
+
+impl InMemoryStream {
+    /// Creates a stream over `edges` with an explicit vertex count.
+    pub fn new(num_vertices: u64, edges: Vec<Edge>) -> Self {
+        InMemoryStream {
+            edges,
+            cursor: 0,
+            num_vertices,
+        }
+    }
+
+    /// Creates a stream inferring the vertex count from the maximum id.
+    pub fn from_edges(edges: Vec<Edge>) -> Self {
+        let n = crate::types::implied_num_vertices(&edges);
+        Self::new(n, edges)
+    }
+
+    /// Read-only view of the backing edges (in stream order).
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Consumes the stream, returning the backing vector.
+    pub fn into_edges(self) -> Vec<Edge> {
+        self.edges
+    }
+}
+
+impl EdgeStream for InMemoryStream {
+    #[inline]
+    fn next_edge(&mut self) -> Option<Edge> {
+        let e = self.edges.get(self.cursor).copied();
+        if e.is_some() {
+            self.cursor += 1;
+        }
+        e
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.edges.len() as u64)
+    }
+
+    fn num_vertices_hint(&self) -> Option<u64> {
+        Some(self.num_vertices)
+    }
+}
+
+impl RestreamableStream for InMemoryStream {
+    fn reset(&mut self) -> Result<()> {
+        self.cursor = 0;
+        Ok(())
+    }
+}
+
+/// Drains a stream into a vector (one full pass from the current position).
+pub fn collect_stream(stream: &mut dyn EdgeStream) -> Vec<Edge> {
+    let mut out = match stream.len_hint() {
+        Some(n) => Vec::with_capacity(n as usize),
+        None => Vec::new(),
+    };
+    while let Some(e) = stream.next_edge() {
+        out.push(e);
+    }
+    out
+}
+
+/// A stream wrapper that counts wall-clock time spent *inside* the source,
+/// separating I/O cost from the consumer's computation (Figure 10a).
+pub struct TimedStream<S> {
+    inner: S,
+    io_time: std::time::Duration,
+}
+
+impl<S: EdgeStream> TimedStream<S> {
+    /// Wraps `inner`, starting with zero accumulated I/O time.
+    pub fn new(inner: S) -> Self {
+        TimedStream {
+            inner,
+            io_time: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Total time spent pulling edges from the wrapped source.
+    pub fn io_time(&self) -> std::time::Duration {
+        self.io_time
+    }
+
+    /// Returns the wrapped stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: EdgeStream> EdgeStream for TimedStream<S> {
+    fn next_edge(&mut self) -> Option<Edge> {
+        let t = std::time::Instant::now();
+        let e = self.inner.next_edge();
+        self.io_time += t.elapsed();
+        e
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint()
+    }
+
+    fn num_vertices_hint(&self) -> Option<u64> {
+        self.inner.num_vertices_hint()
+    }
+}
+
+impl<S: RestreamableStream> RestreamableStream for TimedStream<S> {
+    fn reset(&mut self) -> Result<()> {
+        let t = std::time::Instant::now();
+        let r = self.inner.reset();
+        self.io_time += t.elapsed();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_edges() -> Vec<Edge> {
+        vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)]
+    }
+
+    #[test]
+    fn in_memory_yields_in_order() {
+        let mut s = InMemoryStream::from_edges(sample_edges());
+        assert_eq!(s.next_edge(), Some(Edge::new(0, 1)));
+        assert_eq!(s.next_edge(), Some(Edge::new(1, 2)));
+        assert_eq!(s.next_edge(), Some(Edge::new(2, 0)));
+        assert_eq!(s.next_edge(), None);
+        assert_eq!(s.next_edge(), None);
+    }
+
+    #[test]
+    fn reset_restarts_from_beginning() {
+        let mut s = InMemoryStream::from_edges(sample_edges());
+        let first_pass = collect_stream(&mut s);
+        s.reset().unwrap();
+        let second_pass = collect_stream(&mut s);
+        assert_eq!(first_pass, second_pass);
+        assert_eq!(first_pass.len(), 3);
+    }
+
+    #[test]
+    fn hints_are_exact_for_in_memory() {
+        let s = InMemoryStream::from_edges(sample_edges());
+        assert_eq!(s.len_hint(), Some(3));
+        assert_eq!(s.num_vertices_hint(), Some(3));
+    }
+
+    #[test]
+    fn explicit_vertex_count_respected() {
+        let s = InMemoryStream::new(100, sample_edges());
+        assert_eq!(s.num_vertices_hint(), Some(100));
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut s = InMemoryStream::from_edges(vec![]);
+        assert_eq!(s.next_edge(), None);
+        assert_eq!(s.len_hint(), Some(0));
+        assert_eq!(s.num_vertices_hint(), Some(0));
+    }
+
+    #[test]
+    fn timed_stream_accumulates_and_preserves_content() {
+        let inner = InMemoryStream::from_edges(sample_edges());
+        let mut timed = TimedStream::new(inner);
+        let collected = collect_stream(&mut timed);
+        assert_eq!(collected, sample_edges());
+        // Duration is monotone non-negative; just check the API works.
+        let _ = timed.io_time();
+        timed.reset().unwrap();
+        assert_eq!(collect_stream(&mut timed).len(), 3);
+    }
+
+    #[test]
+    fn into_edges_round_trips() {
+        let s = InMemoryStream::from_edges(sample_edges());
+        assert_eq!(s.into_edges(), sample_edges());
+    }
+}

@@ -1,0 +1,126 @@
+//! Compact primitives shared across the workspace.
+//!
+//! Vertex ids are `u32` (the paper's corpora top out at 118M vertices) and an
+//! [`Edge`] is exactly 8 bytes, so a 10M-edge stream fits in 80 MB and copies
+//! by value everywhere (see the perf-book guidance on small oft-instantiated
+//! types).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex. Dense, 0-based.
+pub type VertexId = u32;
+
+/// A directed edge `src -> dst` of the streamed graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+}
+
+impl Edge {
+    /// Creates an edge from `src` to `dst`.
+    #[inline]
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst }
+    }
+
+    /// Returns `true` if both endpoints are the same vertex.
+    #[inline]
+    pub fn is_self_loop(&self) -> bool {
+        self.src == self.dst
+    }
+
+    /// Returns the edge with endpoints swapped.
+    #[inline]
+    pub fn reversed(&self) -> Edge {
+        Edge {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+
+    /// Returns the endpoint pair in canonical (sorted) order; useful for
+    /// treating the graph as undirected.
+    #[inline]
+    pub fn canonical(&self) -> (VertexId, VertexId) {
+        if self.src <= self.dst {
+            (self.src, self.dst)
+        } else {
+            (self.dst, self.src)
+        }
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    #[inline]
+    fn from((src, dst): (VertexId, VertexId)) -> Self {
+        Edge { src, dst }
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({} -> {})", self.src, self.dst)
+    }
+}
+
+/// Computes the number of vertices implied by an edge list: `max id + 1`,
+/// or 0 for an empty list.
+pub fn implied_num_vertices(edges: &[Edge]) -> u64 {
+    edges
+        .iter()
+        .map(|e| u64::from(e.src.max(e.dst)) + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_is_8_bytes() {
+        assert_eq!(std::mem::size_of::<Edge>(), 8);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Edge::new(3, 3).is_self_loop());
+        assert!(!Edge::new(3, 4).is_self_loop());
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        assert_eq!(Edge::new(1, 2).reversed(), Edge::new(2, 1));
+    }
+
+    #[test]
+    fn canonical_orders_endpoints() {
+        assert_eq!(Edge::new(5, 2).canonical(), (2, 5));
+        assert_eq!(Edge::new(2, 5).canonical(), (2, 5));
+    }
+
+    #[test]
+    fn implied_vertices_of_empty_is_zero() {
+        assert_eq!(implied_num_vertices(&[]), 0);
+    }
+
+    #[test]
+    fn implied_vertices_uses_max_endpoint() {
+        let edges = vec![Edge::new(0, 9), Edge::new(3, 2)];
+        assert_eq!(implied_num_vertices(&edges), 10);
+    }
+
+    #[test]
+    fn tuple_conversion() {
+        let e: Edge = (1u32, 2u32).into();
+        assert_eq!(e, Edge::new(1, 2));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Edge::new(1, 2).to_string(), "(1 -> 2)");
+    }
+}

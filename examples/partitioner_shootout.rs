@@ -1,0 +1,69 @@
+//! Shootout: all six streaming partitioners on the same web graph — the
+//! Table I / Figure 3 comparison in miniature.
+//!
+//! ```text
+//! cargo run --release --example partitioner_shootout [vertices] [k]
+//! ```
+
+use clugp::baselines::{Dbh, Greedy, Hashing, Hdrf, Mint};
+use clugp::clugp::Clugp;
+use clugp::metrics::PartitionQuality;
+use clugp::partitioner::Partitioner;
+use clugp_graph::gen::{generate_web_crawl, WebCrawlConfig};
+use clugp_graph::order::{ordered_edges, StreamOrder};
+use clugp_graph::stream::InMemoryStream;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let vertices: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
+    let k: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+
+    let graph = generate_web_crawl(&WebCrawlConfig {
+        vertices,
+        ..Default::default()
+    });
+    let bfs = ordered_edges(&graph, StreamOrder::Bfs);
+    let random = ordered_edges(&graph, StreamOrder::Random(0x5EED));
+    println!(
+        "web graph: |V|={} |E|={} k={k}\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    println!(
+        "{:<10} {:>6} {:>10} {:>9} {:>12} {:>12}",
+        "algorithm", "order", "RF", "balance", "time", "memory(MiB)"
+    );
+
+    // Each algorithm gets its best stream order, as in the paper.
+    let mut contenders: Vec<(Box<dyn Partitioner>, &[_])> = vec![
+        (Box::new(Hdrf::default()), random.as_slice()),
+        (Box::new(Greedy::new()), random.as_slice()),
+        (Box::new(Hashing::default()), random.as_slice()),
+        (Box::new(Dbh::default()), random.as_slice()),
+        (Box::new(Mint::default()), bfs.as_slice()),
+        (Box::new(Clugp::default()), bfs.as_slice()),
+    ];
+
+    for (partitioner, edges) in contenders.iter_mut() {
+        let mut stream = InMemoryStream::new(graph.num_vertices(), edges.to_vec());
+        let run = partitioner.partition(&mut stream, k).expect("run failed");
+        let q = PartitionQuality::compute(edges, &run.partitioning);
+        let order = if std::ptr::eq(edges.as_ptr(), bfs.as_ptr()) {
+            "BFS"
+        } else {
+            "random"
+        };
+        println!(
+            "{:<10} {:>6} {:>10.3} {:>9.3} {:>12?} {:>12.2}",
+            partitioner.name(),
+            order,
+            q.replication_factor,
+            q.relative_balance,
+            run.timings.total,
+            run.memory.total_bytes() as f64 / (1024.0 * 1024.0),
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: generate a web graph, partition it with CLUGP, inspect the
+//! quality metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use clugp::clugp::{Clugp, ClugpConfig};
+use clugp::metrics::PartitionQuality;
+use clugp::partitioner::Partitioner;
+use clugp_graph::gen::{generate_web_crawl, WebCrawlConfig};
+use clugp_graph::order::{ordered_edges, StreamOrder};
+use clugp_graph::stream::InMemoryStream;
+
+fn main() {
+    // 1. A synthetic web graph: power-law sites, crawl-order vertex ids.
+    let graph = generate_web_crawl(&WebCrawlConfig {
+        vertices: 50_000,
+        mean_out_degree: 12.0,
+        ..Default::default()
+    });
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // 2. Stream the edges in BFS (crawl) order — the paper's web setting.
+    let edges = ordered_edges(&graph, StreamOrder::Bfs);
+    let mut stream = InMemoryStream::new(graph.num_vertices(), edges.clone());
+
+    // 3. Partition into 16 parts with the paper's default configuration.
+    let k = 16;
+    let mut clugp = Clugp::new(ClugpConfig::default());
+    let run = clugp.partition(&mut stream, k).expect("partitioning failed");
+
+    // 4. Inspect quality: replication factor (communication proxy) and
+    //    relative balance (computation proxy).
+    let quality = PartitionQuality::compute(&edges, &run.partitioning);
+    println!("k = {k}");
+    println!("replication factor = {:.3}", quality.replication_factor);
+    println!("relative balance   = {:.3}", quality.relative_balance);
+    println!("mirrors            = {}", quality.mirrors);
+    println!("partition time     = {:?}", run.timings.total);
+    for (phase, t) in &run.timings.phases {
+        println!("  {phase:<14} {t:?}");
+    }
+    println!("working memory     = {}", run.memory);
+}

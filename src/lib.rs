@@ -1,0 +1,29 @@
+//! Reproduction root crate for *Clustering-based Partitioning for Large Web
+//! Graphs* (ICDE 2022).
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the implementation lives in:
+//!
+//! * [`clugp_graph`] — graph substrate (CSR, streams, generators, I/O).
+//! * [`clugp`] — the CLUGP partitioner and all baselines.
+//! * [`clugp_engine`] — the PowerGraph-style GAS execution simulator.
+//!
+//! See README.md for the repository map and EXPERIMENTS.md for
+//! paper-vs-measured results.
+
+pub use clugp;
+pub use clugp_engine;
+pub use clugp_graph;
+
+/// Convenience used by the integration tests: a deterministic mid-sized web
+/// graph in BFS stream order.
+pub fn test_web_graph(vertices: u64, seed: u64) -> (u64, Vec<clugp_graph::types::Edge>) {
+    use clugp_graph::gen::{generate_web_crawl, WebCrawlConfig};
+    use clugp_graph::order::{ordered_edges, StreamOrder};
+    let g = generate_web_crawl(&WebCrawlConfig {
+        vertices,
+        seed,
+        ..Default::default()
+    });
+    (g.num_vertices(), ordered_edges(&g, StreamOrder::Bfs))
+}

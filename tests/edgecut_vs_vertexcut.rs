@@ -1,0 +1,101 @@
+//! The paper's §II-C motivation, measured: "traditional balanced edge-cut
+//! partitioning performs poorly on power-law graphs [while] power-law graphs
+//! have good vertex-cuts". These tests compare the two families on the same
+//! graphs.
+
+use clugp::clugp::Clugp;
+use clugp::edgecut::{
+    vertex_stream_from_graph, EdgeCutQuality, Fennel, HashVertex, Ldg, VertexPartitioner,
+};
+use clugp::metrics::PartitionQuality;
+use clugp::partitioner::Partitioner;
+use clugp_graph::csr::CsrGraph;
+use clugp_graph::gen::{generate_ba, BaConfig};
+use clugp_graph::order::{ordered_edges, StreamOrder};
+use clugp_graph::stream::InMemoryStream;
+use clugp_repro::test_web_graph;
+
+fn edgecut_fraction(g: &CsrGraph, p: &mut dyn VertexPartitioner, k: u32) -> f64 {
+    let mut s = vertex_stream_from_graph(g);
+    let part = p.partition(&mut s, k).unwrap();
+    EdgeCutQuality::compute(g, &part).cut_fraction
+}
+
+/// On a heavy-tailed social graph, even the best streaming edge-cut
+/// heuristics leave a large fraction of edges cut — the §II-C failure mode.
+#[test]
+fn edge_cut_struggles_on_power_law_graphs() {
+    let g = generate_ba(&BaConfig {
+        vertices: 10_000,
+        edges_per_vertex: 8,
+        seed: 42,
+    });
+    let k = 16;
+    let ldg = edgecut_fraction(&g, &mut Ldg, k);
+    let fennel = edgecut_fraction(&g, &mut Fennel::default(), k);
+    // Hubs touch every partition, so a large share of edges must cross.
+    assert!(
+        ldg > 0.3 && fennel > 0.3,
+        "expected high cut on BA graph: ldg={ldg:.2} fennel={fennel:.2}"
+    );
+}
+
+/// On the same power-law graph, the vertex-cut family keeps the
+/// communication proxy small: CLUGP's mirrors per edge stay well below the
+/// edge-cut fraction's implied communication.
+#[test]
+fn vertex_cut_handles_power_law_better() {
+    let g = generate_ba(&BaConfig {
+        vertices: 10_000,
+        edges_per_vertex: 8,
+        seed: 42,
+    });
+    let k = 16;
+    let edges = ordered_edges(&g, StreamOrder::Bfs);
+    let mut stream = InMemoryStream::new(g.num_vertices(), edges.clone());
+    let run = Clugp::default().partition(&mut stream, k).unwrap();
+    let q = PartitionQuality::compute(&edges, &run.partitioning);
+    // Communication proxies: vertex-cut syncs (RF−1)·|V| values; edge-cut
+    // sends one message per cut edge. Normalize both per edge.
+    let vertex_cut_cost = (q.replication_factor - 1.0) * g.num_vertices() as f64
+        / g.num_edges() as f64;
+    let edge_cut_cost = edgecut_fraction(&g, &mut Ldg, k);
+    assert!(
+        vertex_cut_cost < edge_cut_cost,
+        "vertex-cut {vertex_cut_cost:.3} should beat edge-cut {edge_cut_cost:.3} on power-law"
+    );
+}
+
+/// Edge-cut heuristics do fine on locality-rich web crawls — the contrast
+/// that makes §II-C about *power-law tails*, not about streaming per se.
+#[test]
+fn edge_cut_is_fine_on_web_crawls() {
+    let (n, edges) = test_web_graph(10_000, 33);
+    let g = CsrGraph::from_edges(n, &edges).unwrap();
+    let ldg = edgecut_fraction(&g, &mut Ldg, 16);
+    let hash = edgecut_fraction(&g, &mut HashVertex, 16);
+    assert!(
+        ldg < 0.7 * hash,
+        "LDG {ldg:.2} should clearly beat hash {hash:.2} on a crawl"
+    );
+}
+
+/// Both LDG and FENNEL respect their balance guarantees across k.
+#[test]
+fn edge_cut_balance_guarantees() {
+    let (n, edges) = test_web_graph(5_000, 34);
+    let g = CsrGraph::from_edges(n, &edges).unwrap();
+    for k in [2u32, 8, 32] {
+        let mut s = vertex_stream_from_graph(&g);
+        let ldg = Ldg.partition(&mut s, k).unwrap();
+        let ql = EdgeCutQuality::compute(&g, &ldg);
+        assert!(ql.relative_balance <= 1.35, "LDG k={k}: {}", ql.relative_balance);
+        let fennel = Fennel::default().partition(&mut s, k).unwrap();
+        let qf = EdgeCutQuality::compute(&g, &fennel);
+        assert!(
+            qf.relative_balance <= 1.11,
+            "FENNEL k={k}: {}",
+            qf.relative_balance
+        );
+    }
+}

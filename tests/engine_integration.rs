@@ -1,0 +1,148 @@
+//! Engine integration: the GAS simulator must compute *exactly* what a
+//! sequential implementation computes, no matter which partitioner produced
+//! the placement — partitioning may change performance, never results.
+
+use clugp::baselines::{Dbh, Greedy, Hashing, Hdrf, Mint};
+use clugp::clugp::Clugp;
+use clugp::partitioner::Partitioner;
+use clugp_engine::apps::{
+    sequential_bfs_levels, sequential_components, sequential_pagerank, Bfs,
+    ConnectedComponents, PageRank,
+};
+use clugp_engine::{CostModel, DistributedGraph, Engine};
+use clugp_graph::csr::CsrGraph;
+use clugp_graph::stream::InMemoryStream;
+use clugp_repro::test_web_graph;
+
+fn partitioners() -> Vec<Box<dyn Partitioner>> {
+    vec![
+        Box::new(Hashing::default()),
+        Box::new(Dbh::default()),
+        Box::new(Greedy::new()),
+        Box::new(Hdrf::default()),
+        Box::new(Mint::default()),
+        Box::new(Clugp::default()),
+    ]
+}
+
+#[test]
+fn pagerank_is_partitioning_invariant() {
+    let (n, edges) = test_web_graph(2_000, 11);
+    let graph = CsrGraph::from_edges(n, &edges).unwrap();
+    let reference = sequential_pagerank(&graph, 0.85, 10);
+    let mut stream = InMemoryStream::new(n, edges.clone());
+    for partitioner in partitioners().iter_mut() {
+        let run = partitioner.partition(&mut stream, 8).unwrap();
+        let placed = DistributedGraph::place(&edges, &run.partitioning);
+        let (ranks, _) = Engine::new(&placed).run(&PageRank::default());
+        for (v, (a, b)) in ranks.iter().zip(&reference).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "{} vertex {v}: {a} vs {b}",
+                partitioner.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn connected_components_match_union_find_exactly() {
+    let (n, edges) = test_web_graph(2_000, 12);
+    let graph = CsrGraph::from_edges(n, &edges).unwrap();
+    let reference = sequential_components(&graph);
+    let mut stream = InMemoryStream::new(n, edges.clone());
+    for partitioner in partitioners().iter_mut() {
+        let run = partitioner.partition(&mut stream, 8).unwrap();
+        let placed = DistributedGraph::place(&edges, &run.partitioning);
+        let (labels, _) = Engine::new(&placed).run(&ConnectedComponents::default());
+        assert_eq!(labels, reference, "{}", partitioner.name());
+    }
+}
+
+#[test]
+fn bfs_levels_match_reference() {
+    let (n, edges) = test_web_graph(1_500, 13);
+    let graph = CsrGraph::from_edges(n, &edges).unwrap();
+    let reference = sequential_bfs_levels(&graph, 0, true);
+    let mut stream = InMemoryStream::new(n, edges.clone());
+    let run = Clugp::default().partition(&mut stream, 8).unwrap();
+    let placed = DistributedGraph::place(&edges, &run.partitioning);
+    let (levels, _) = Engine::new(&placed).run(&Bfs::undirected(0));
+    assert_eq!(levels, reference);
+}
+
+/// The paper's core systems claim (Fig. 8): fewer mirrors ⇒ fewer messages.
+/// CLUGP's sync traffic must be below Hashing's on a web graph.
+#[test]
+fn better_partitioning_means_less_communication() {
+    let (n, edges) = test_web_graph(5_000, 14);
+    let mut stream = InMemoryStream::new(n, edges.clone());
+
+    let runs: Vec<(String, u64)> = partitioners()
+        .iter_mut()
+        .map(|p| {
+            let run = p.partition(&mut stream, 16).unwrap();
+            let placed = DistributedGraph::place(&edges, &run.partitioning);
+            let (_, stats) = Engine::new(&placed).run(&PageRank::default());
+            (p.name().to_string(), stats.total_messages())
+        })
+        .collect();
+    let messages = |name: &str| runs.iter().find(|(n, _)| n == name).unwrap().1;
+    assert!(
+        messages("CLUGP") < messages("Hashing"),
+        "CLUGP {} vs Hashing {}",
+        messages("CLUGP"),
+        messages("Hashing")
+    );
+}
+
+/// Placement invariants hold for every partitioner.
+#[test]
+fn placement_conserves_edges_and_replicas() {
+    let (n, edges) = test_web_graph(2_000, 15);
+    let mut stream = InMemoryStream::new(n, edges.clone());
+    for partitioner in partitioners().iter_mut() {
+        let run = partitioner.partition(&mut stream, 8).unwrap();
+        let placed = DistributedGraph::place(&edges, &run.partitioning);
+        assert_eq!(
+            placed.total_edges(),
+            edges.len() as u64,
+            "{}",
+            partitioner.name()
+        );
+        // Exactly one master per touched vertex.
+        let q = clugp::metrics::PartitionQuality::compute(&edges, &run.partitioning);
+        assert_eq!(
+            placed.total_replicas(),
+            q.total_replicas,
+            "{}",
+            partitioner.name()
+        );
+        assert_eq!(
+            placed.total_mirrors(),
+            q.mirrors,
+            "{}",
+            partitioner.name()
+        );
+    }
+}
+
+/// Latency sweep monotonicity: higher RTT can only slow the estimate.
+#[test]
+fn cost_estimates_monotone_in_rtt() {
+    let (n, edges) = test_web_graph(2_000, 16);
+    let mut stream = InMemoryStream::new(n, edges.clone());
+    let run = Clugp::default().partition(&mut stream, 8).unwrap();
+    let placed = DistributedGraph::place(&edges, &run.partitioning);
+    let (_, stats) = Engine::new(&placed).run(&PageRank::default());
+    let mut last = 0.0;
+    for ms in [1u64, 10, 50, 100] {
+        let est = CostModel {
+            rtt: std::time::Duration::from_millis(ms),
+            ..Default::default()
+        }
+        .estimate(&stats);
+        assert!(est.total_secs() >= last);
+        last = est.total_secs();
+    }
+}

@@ -1,0 +1,246 @@
+//! Property-based tests (proptest) over the core invariants: arbitrary edge
+//! multisets through every layer of the stack.
+
+use clugp::baselines::{Dbh, Greedy, Hashing, Hdrf, Mint};
+use clugp::clugp::{
+    solve_game, stream_clustering, Clugp, ClugpConfig, ClusterGraph,
+};
+use clugp::metrics::PartitionQuality;
+use clugp::partitioner::Partitioner;
+use clugp_graph::csr::CsrGraph;
+use clugp_graph::order::{bfs_edge_order, bfs_ranks};
+use clugp_graph::sampling::compact;
+use clugp_graph::stream::{InMemoryStream, RestreamableStream};
+use clugp_graph::types::Edge;
+use proptest::prelude::*;
+
+/// Arbitrary small edge lists over up to 64 vertices (self-loops and
+/// duplicates included on purpose).
+fn arb_edges() -> impl Strategy<Value = Vec<Edge>> {
+    prop::collection::vec((0u32..64, 0u32..64), 1..200)
+        .prop_map(|pairs| pairs.into_iter().map(|(a, b)| Edge::new(a, b)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every partitioner assigns every edge exactly once with in-range ids.
+    #[test]
+    fn partitioners_assign_all_edges(edges in arb_edges(), k in 1u32..12) {
+        let mut stream = InMemoryStream::from_edges(edges.clone());
+        let mut algos: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(Hashing::default()),
+            Box::new(Dbh::default()),
+            Box::new(Greedy::new()),
+            Box::new(Hdrf::default()),
+            Box::new(Mint::default()),
+            Box::new(Clugp::default()),
+        ];
+        for algo in algos.iter_mut() {
+            let run = algo.partition(&mut stream, k).unwrap();
+            prop_assert_eq!(run.partitioning.assignments.len(), edges.len());
+            prop_assert!(run.partitioning.validate().is_ok());
+        }
+    }
+
+    /// RF bounds: 1 ≤ RF ≤ min(k, max |P(v)| possible).
+    #[test]
+    fn replication_factor_in_range(edges in arb_edges(), k in 1u32..12) {
+        let mut stream = InMemoryStream::from_edges(edges.clone());
+        let run = Clugp::default().partition(&mut stream, k).unwrap();
+        let q = PartitionQuality::compute(&edges, &run.partitioning);
+        prop_assert!(q.replication_factor >= 1.0 - 1e-12);
+        prop_assert!(q.replication_factor <= f64::from(k) + 1e-12);
+    }
+
+    /// CLUGP's balance cap holds for arbitrary inputs.
+    #[test]
+    fn clugp_cap_holds(edges in arb_edges(), k in 1u32..12) {
+        let mut stream = InMemoryStream::from_edges(edges.clone());
+        let run = Clugp::default().partition(&mut stream, k).unwrap();
+        let lmax = (edges.len() as f64 / f64::from(k)).ceil() as u64;
+        prop_assert!(run.partitioning.loads.iter().all(|&l| l <= lmax));
+    }
+
+    /// Clustering invariant: tracked cluster volumes equal the sum of member
+    /// degrees, and every touched vertex has a dense cluster id.
+    #[test]
+    fn clustering_volume_invariant(edges in arb_edges(), vmax in 2u64..64) {
+        let mut stream = InMemoryStream::from_edges(edges.clone());
+        let r = stream_clustering(&mut stream, vmax, true);
+        let mut recomputed = vec![0u64; r.num_clusters as usize];
+        for (v, &c) in r.cluster_of.iter().enumerate() {
+            if c != u32::MAX {
+                recomputed[c as usize] += u64::from(r.degree[v]);
+            }
+        }
+        prop_assert_eq!(recomputed, r.volumes.clone());
+        // Degrees double-count each edge.
+        let total: u64 = r.degree.iter().map(|&d| u64::from(d)).sum();
+        prop_assert_eq!(total, 2 * edges.len() as u64);
+    }
+
+    /// Cluster graph conservation: intra + inter = |E| for any input.
+    #[test]
+    fn cluster_graph_conserves_edges(edges in arb_edges(), vmax in 2u64..64) {
+        let mut stream = InMemoryStream::from_edges(edges.clone());
+        let clustering = stream_clustering(&mut stream, vmax, true);
+        stream.reset().unwrap();
+        let cg = ClusterGraph::build(&mut stream, &clustering);
+        prop_assert_eq!(cg.total_intra() + cg.total_inter_edges(), edges.len() as u64);
+        prop_assert_eq!(cg.total_size(), 2 * edges.len() as u64);
+    }
+
+    /// The game never increases the exact potential relative to its random
+    /// initial profile (single batch, full visibility).
+    #[test]
+    fn game_potential_never_increases(edges in arb_edges(), k in 2u32..8) {
+        let mut stream = InMemoryStream::from_edges(edges.clone());
+        let clustering = stream_clustering(&mut stream, 16, true);
+        stream.reset().unwrap();
+        let cg = ClusterGraph::build(&mut stream, &clustering);
+        let cfg = ClugpConfig { batch_size: 0, threads: 1, ..Default::default() };
+        let outcome = solve_game(&cg, k, &cfg).unwrap();
+        prop_assert!(outcome.final_potential <= outcome.initial_potential + 1e-6);
+    }
+
+    /// BFS stream order is a permutation of the edge multiset, and BFS ranks
+    /// are a bijection.
+    #[test]
+    fn bfs_order_is_permutation(edges in arb_edges()) {
+        let g = CsrGraph::from_edges_auto(&edges);
+        let mut bfs = bfs_edge_order(&g);
+        let mut orig = g.edge_vec();
+        bfs.sort();
+        orig.sort();
+        prop_assert_eq!(bfs, orig);
+        let ranks = bfs_ranks(&g);
+        let mut seen = vec![false; ranks.len()];
+        for &r in &ranks {
+            prop_assert!(!seen[r as usize]);
+            seen[r as usize] = true;
+        }
+    }
+
+    /// CSR round-trips arbitrary edge lists (as multisets grouped by
+    /// source).
+    #[test]
+    fn csr_round_trip(edges in arb_edges()) {
+        let g = CsrGraph::from_edges_auto(&edges);
+        prop_assert_eq!(g.num_edges(), edges.len() as u64);
+        let mut out = g.edge_vec();
+        let mut inp = edges.clone();
+        out.sort();
+        inp.sort();
+        prop_assert_eq!(out, inp);
+    }
+
+    /// Compaction preserves edge count and produces dense ids.
+    #[test]
+    fn compaction_is_dense(edges in arb_edges()) {
+        let g = compact(&edges);
+        prop_assert_eq!(g.num_edges(), edges.len() as u64);
+        // All vertices touched: no isolated vertex can exist after compact.
+        let degrees = g.total_degrees();
+        prop_assert!(degrees.iter().all(|&d| d > 0));
+    }
+
+    /// Binary I/O round-trips arbitrary graphs.
+    #[test]
+    fn binary_io_round_trip(edges in arb_edges()) {
+        use clugp_graph::io::binary::{read_binary_graph, write_binary_graph};
+        let dir = std::env::temp_dir().join("clugp_prop_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("g{}.bin", edges.len()));
+        write_binary_graph(&path, 64, &edges).unwrap();
+        let (n, back) = read_binary_graph(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(n, 64);
+        prop_assert_eq!(back, edges);
+    }
+
+    /// Engine PageRank conservation-ish property: all ranks ≥ the base
+    /// (1 − d) and finite, regardless of partitioning.
+    #[test]
+    fn engine_pagerank_sane(edges in arb_edges(), k in 1u32..6) {
+        use clugp_engine::apps::PageRank;
+        use clugp_engine::{DistributedGraph, Engine};
+        let mut stream = InMemoryStream::from_edges(edges.clone());
+        let run = Hashing::default().partition(&mut stream, k).unwrap();
+        let placed = DistributedGraph::place(&edges, &run.partitioning);
+        let (ranks, _) = Engine::new(&placed).run(&PageRank::default());
+        for r in ranks {
+            prop_assert!(r.is_finite());
+            prop_assert!(r >= 0.15 - 1e-12);
+        }
+    }
+
+    /// Grid's replication bound `|P(v)| ≤ 2⌈√k⌉ − 1` holds for arbitrary
+    /// inputs.
+    #[test]
+    fn grid_replication_bound(edges in arb_edges(), k in 1u32..20) {
+        use clugp::baselines::Grid;
+        let mut stream = InMemoryStream::from_edges(edges.clone());
+        let run = Grid::default().partition(&mut stream, k).unwrap();
+        let q = PartitionQuality::compute(&edges, &run.partitioning);
+        let r = (f64::from(k)).sqrt().ceil();
+        prop_assert!(q.replication_factor <= 2.0 * r - 1.0 + 1e-9);
+    }
+
+    /// Edge-cut partitioners assign every streamed vertex and the cut
+    /// fraction is a valid probability.
+    #[test]
+    fn edgecut_assigns_everything(edges in arb_edges(), k in 1u32..8) {
+        use clugp::edgecut::{vertex_stream_from_graph, EdgeCutQuality, Fennel, Ldg, VertexPartitioner};
+        let g = CsrGraph::from_edges_auto(&edges);
+        let mut s = vertex_stream_from_graph(&g);
+        for p in [&mut Ldg as &mut dyn VertexPartitioner, &mut Fennel::default()] {
+            let part = p.partition(&mut s, k).unwrap();
+            prop_assert!(part.assignment.iter().all(|&a| a < k), "{}", p.name());
+            let q = EdgeCutQuality::compute(&g, &part);
+            prop_assert!((0.0..=1.0).contains(&q.cut_fraction));
+        }
+    }
+
+    /// Partitioning snapshots round-trip through the binary format.
+    #[test]
+    fn partitioning_snapshot_round_trip(edges in arb_edges(), k in 1u32..8) {
+        use clugp::partition_io::{read_partitioning, write_partitioning};
+        let mut stream = InMemoryStream::from_edges(edges.clone());
+        let run = Hashing::default().partition(&mut stream, k).unwrap();
+        let dir = std::env::temp_dir().join("clugp_prop_part_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("p{}_{}.part", edges.len(), k));
+        write_partitioning(&path, &run.partitioning).unwrap();
+        let back = read_partitioning(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back.assignments, run.partitioning.assignments);
+        prop_assert_eq!(back.loads, run.partitioning.loads);
+    }
+
+    /// METIS write/read round-trips the undirected simple graph underlying
+    /// arbitrary edge lists.
+    #[test]
+    fn metis_round_trip(edges in arb_edges()) {
+        use clugp_graph::io::metis::{read_metis, write_metis};
+        let g = CsrGraph::from_edges_auto(&edges);
+        let dir = std::env::temp_dir().join("clugp_prop_metis");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("g{}.graph", edges.len()));
+        write_metis(&path, &g).unwrap();
+        let back = read_metis(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // The canonical undirected simple edge set must be preserved.
+        let canon = |g: &CsrGraph| {
+            let mut set: Vec<(u32, u32)> = g
+                .edges()
+                .filter(|e| !e.is_self_loop())
+                .map(|e| e.canonical())
+                .collect();
+            set.sort_unstable();
+            set.dedup();
+            set
+        };
+        prop_assert_eq!(canon(&g), canon(&back));
+    }
+}
