@@ -43,7 +43,10 @@ fn fig10(c: &mut Criterion) {
                 ..Default::default()
             },
         );
-        eprintln!("# Fig 10(b) batch={batch}: rf={:.3}", cell.replication_factor);
+        eprintln!(
+            "# Fig 10(b) batch={batch}: rf={:.3}",
+            cell.replication_factor
+        );
         group.bench_with_input(BenchmarkId::new("CLUGP", batch), &batch, |b, &batch| {
             b.iter(|| {
                 std::hint::black_box(run_cell_with(

@@ -15,7 +15,11 @@ fn fig6(c: &mut Criterion) {
             .iter()
             .map(|&k| {
                 let cell = run_cell(&prep, algo, k);
-                format!("k{}={:.2}MiB", k, cell.memory_bytes as f64 / (1024.0 * 1024.0))
+                format!(
+                    "k{}={:.2}MiB",
+                    k,
+                    cell.memory_bytes as f64 / (1024.0 * 1024.0)
+                )
             })
             .collect();
         eprintln!("# Fig 6 {:<8} {}", algo.name(), series.join(" "));

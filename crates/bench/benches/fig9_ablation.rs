@@ -32,7 +32,10 @@ fn fig9(c: &mut Criterion) {
         });
         let run = algo.partition(&mut stream, 32).unwrap();
         let q = PartitionQuality::compute(edges, &run.partitioning);
-        eprintln!("# Fig 9(ext) migration={label}: rf={:.3}", q.replication_factor);
+        eprintln!(
+            "# Fig 9(ext) migration={label}: rf={:.3}",
+            q.replication_factor
+        );
     }
     let mut group = c.benchmark_group("fig9_variants");
     group.sample_size(10);

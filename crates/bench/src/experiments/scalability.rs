@@ -141,7 +141,12 @@ pub fn fig10(ctx: &ExpContext) {
     run_one("Greedy", Algorithm::Greedy, 0, &mut table);
     run_one("Mint", Algorithm::Mint, 32, &mut table);
     for threads in [8usize, 16, 32] {
-        run_one(&format!("CLU{threads}"), Algorithm::Clugp, threads, &mut table);
+        run_one(
+            &format!("CLU{threads}"),
+            Algorithm::Clugp,
+            threads,
+            &mut table,
+        );
     }
     table.print();
     table.save_csv(&results_dir().join("fig10a.csv")).ok();

@@ -95,8 +95,7 @@ pub fn fig8(ctx: &ExpContext) {
     for algo in Algorithm::COMPETITORS {
         let mut row = vec![algo.name().to_string()];
         for &ms in &rtts {
-            let (_, est) =
-                pagerank_estimate(&prep, algo, k, Some(Duration::from_millis(ms)));
+            let (_, est) = pagerank_estimate(&prep, algo, k, Some(Duration::from_millis(ms)));
             row.push(fmt_secs(est.total_secs()));
             json.push((prep.name.as_str(), algo.name(), est));
         }

@@ -45,8 +45,11 @@ impl Partitioner for Greedy {
             let cu = replicas.count(e.src);
             let cv = replicas.count(e.dst);
             let p = if cu > 0 && cv > 0 {
-                let both = loads
-                    .argmin_among(replicas.partitions_of(e.src).filter(|&p| replicas.contains(e.dst, p)));
+                let both = loads.argmin_among(
+                    replicas
+                        .partitions_of(e.src)
+                        .filter(|&p| replicas.contains(e.dst, p)),
+                );
                 match both {
                     Some(p) => p, // case 1: intersection
                     None => {

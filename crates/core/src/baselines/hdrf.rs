@@ -164,7 +164,9 @@ mod tests {
 
     #[test]
     fn balance_is_tight_on_uniform_input() {
-        let edges: Vec<Edge> = (0..400u32).map(|i| Edge::new(i % 97, (i * 31) % 97)).collect();
+        let edges: Vec<Edge> = (0..400u32)
+            .map(|i| Edge::new(i % 97, (i * 31) % 97))
+            .collect();
         let mut s = InMemoryStream::from_edges(edges.clone());
         let run = Hdrf::default().partition(&mut s, 8).unwrap();
         let q = PartitionQuality::compute(&edges, &run.partitioning);

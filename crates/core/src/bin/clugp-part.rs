@@ -145,9 +145,8 @@ fn run(opts: &Options) -> Result<(), String> {
     println!("working memory     = {}", run.memory);
 
     if let Some(out) = &opts.output {
-        let mut w = std::io::BufWriter::new(
-            std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?,
-        );
+        let mut w =
+            std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?);
         for (e, p) in edges.iter().zip(&run.partitioning.assignments) {
             writeln!(w, "{}\t{}\t{}", e.src, e.dst, p).map_err(|e| e.to_string())?;
         }
@@ -202,8 +201,19 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let o = parse_args(&strs(&[
-            "--algo", "HDRF", "--order", "random", "--tau", "1.05", "--threads", "4",
-            "--output", "out.tsv", "g.bin", "--k", "16",
+            "--algo",
+            "HDRF",
+            "--order",
+            "random",
+            "--tau",
+            "1.05",
+            "--threads",
+            "4",
+            "--output",
+            "out.tsv",
+            "g.bin",
+            "--k",
+            "16",
         ]))
         .unwrap();
         assert_eq!(o.algo, "hdrf");

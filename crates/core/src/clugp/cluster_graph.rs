@@ -165,10 +165,7 @@ mod tests {
 
     #[test]
     fn triangle_is_all_intra() {
-        let (_, cg) = build(
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)],
-            100,
-        );
+        let (_, cg) = build(vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)], 100);
         assert_eq!(cg.num_clusters, 1);
         assert_eq!(cg.total_intra(), 3);
         assert_eq!(cg.total_inter_edges(), 0);
@@ -252,10 +249,7 @@ mod tests {
 
     #[test]
     fn lambda_max_formula() {
-        let (_, cg) = build(
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)],
-            100,
-        );
+        let (_, cg) = build(vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)], 100);
         // intra=3, inter=0 → λ_max = 0.
         assert_eq!(cg.lambda_max(4), 0.0);
     }

@@ -344,7 +344,9 @@ mod tests {
 
     #[test]
     fn dense_ids_are_contiguous() {
-        let edges: Vec<Edge> = (0..200u32).map(|i| Edge::new(i % 37, (i * 3) % 37)).collect();
+        let edges: Vec<Edge> = (0..200u32)
+            .map(|i| Edge::new(i % 37, (i * 3) % 37))
+            .collect();
         let r = cluster(edges, 10, true);
         let mut seen = vec![false; r.num_clusters as usize];
         for &c in &r.cluster_of {

@@ -82,7 +82,11 @@ pub fn solve_game(cg: &ClusterGraph, k: u32, cfg: &ClugpConfig) -> Result<GameOu
         });
     }
 
-    let batch_size = if cfg.batch_size == 0 { m } else { cfg.batch_size };
+    let batch_size = if cfg.batch_size == 0 {
+        m
+    } else {
+        cfg.batch_size
+    };
     let ranges: Vec<(usize, usize)> = (0..m)
         .step_by(batch_size)
         .map(|s| (s, (s + batch_size).min(m)))
@@ -126,11 +130,7 @@ pub fn solve_game(cg: &ClusterGraph, k: u32, cfg: &ClugpConfig) -> Result<GameOu
     })
 }
 
-fn run_parallel<F>(
-    threads: usize,
-    ranges: &[(usize, usize)],
-    solve: F,
-) -> Result<Vec<BatchResult>>
+fn run_parallel<F>(threads: usize, ranges: &[(usize, usize)], solve: F) -> Result<Vec<BatchResult>>
 where
     F: Fn((usize, &(usize, usize))) -> BatchResult + Sync,
 {
@@ -154,9 +154,7 @@ struct BatchResult {
 }
 
 fn random_profile(batch_index: u64, seed: u64, k: u32, len: usize) -> Vec<u32> {
-    let mut rng = SmallRng::seed_from_u64(
-        seed ^ batch_index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-    );
+    let mut rng = SmallRng::seed_from_u64(seed ^ batch_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     (0..len).map(|_| rng.gen_range(0..k)).collect()
 }
 
@@ -214,8 +212,7 @@ fn solve_batch(
             let mut cur_cost = f64::INFINITY;
             for p in 0..k {
                 let pl = (load[p as usize] + size) as f64;
-                let cost = balance_coeff * size as f64 * pl
-                    - 0.5 * adj[p as usize] as f64;
+                let cost = balance_coeff * size as f64 * pl - 0.5 * adj[p as usize] as f64;
                 if p == cur {
                     cur_cost = cost;
                 }
@@ -226,7 +223,11 @@ fn solve_batch(
             }
             // Move only on strict improvement so the potential strictly
             // decreases and the loop terminates.
-            let chosen = if best_cost < cur_cost - 1e-9 { best_p } else { cur };
+            let chosen = if best_cost < cur_cost - 1e-9 {
+                best_p
+            } else {
+                cur
+            };
             if chosen != cur {
                 moved_this_round += 1;
             }
@@ -379,15 +380,7 @@ mod tests {
             },
         )
         .unwrap();
-        let b = solve_game(
-            &cg,
-            8,
-            &ClugpConfig {
-                threads: 4,
-                ..base
-            },
-        )
-        .unwrap();
+        let b = solve_game(&cg, 8, &ClugpConfig { threads: 4, ..base }).unwrap();
         assert_eq!(a.partition_of, b.partition_of);
     }
 

@@ -63,7 +63,9 @@ mod tests {
 
     #[test]
     fn all_assignments_valid() {
-        let edges: Vec<Edge> = (0..100u32).map(|i| Edge::new(i % 23, (i * 5) % 23)).collect();
+        let edges: Vec<Edge> = (0..100u32)
+            .map(|i| Edge::new(i % 23, (i * 5) % 23))
+            .collect();
         let cg = cluster_graph(edges, 10);
         let assign = greedy_assign(&cg, 3);
         assert_eq!(assign.len(), cg.num_clusters as usize);

@@ -23,9 +23,9 @@ pub mod greedy_assign;
 pub mod transform;
 
 pub use cluster_graph::ClusterGraph;
-pub use distributed::ShardedClugp;
 pub use clustering::{stream_clustering, stream_clustering_with, ClusteringResult};
 pub use config::{ClugpConfig, ClusterAssignMode, LambdaMode, MigrationPolicy};
+pub use distributed::ShardedClugp;
 pub use game::{solve_game, GameOutcome};
 
 use crate::error::Result;
@@ -70,8 +70,7 @@ impl Clugp {
         // DESIGN.md; all provided stream types carry hints).
         let t = Instant::now();
         let vmax = if m > 0 { cfg.vmax(m, k) } else { u64::MAX };
-        let clustering =
-            stream_clustering_with(stream, vmax, cfg.splitting, cfg.migration);
+        let clustering = stream_clustering_with(stream, vmax, cfg.splitting, cfg.migration);
         let clustering_time = t.elapsed();
         // Exact edge count, independent of the hint: each edge added 2 to
         // the degree total.
@@ -97,14 +96,8 @@ impl Clugp {
         // Pass 3: partition transformation.
         let t = Instant::now();
         stream.reset()?;
-        let transform = transform::transform(
-            stream,
-            &clustering,
-            &cluster_partition,
-            k,
-            cfg.tau,
-            m_real,
-        )?;
+        let transform =
+            transform::transform(stream, &clustering, &cluster_partition, k, cfg.tau, m_real)?;
         let transform_time = t.elapsed();
 
         let mut memory = MemoryReport::new();

@@ -157,7 +157,9 @@ mod tests {
 
     #[test]
     fn hard_cap_is_never_exceeded() {
-        let edges: Vec<Edge> = (0..100u32).map(|i| Edge::new(i % 17, (i * 3 + 1) % 17)).collect();
+        let edges: Vec<Edge> = (0..100u32)
+            .map(|i| Edge::new(i % 17, (i * 3 + 1) % 17))
+            .collect();
         for k in [2u32, 4, 8] {
             for tau in [1.0f64, 1.05, 1.5] {
                 let (_, t) = run(edges.clone(), 10, |c| c % k, k, tau);

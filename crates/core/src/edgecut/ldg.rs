@@ -79,7 +79,11 @@ mod tests {
         let mut s = vertex_stream_from_graph(&g);
         let p = Ldg.partition(&mut s, 2).unwrap();
         let q = EdgeCutQuality::compute(&g, &p);
-        assert_eq!(q.cut_edges, 0, "cliques should not be cut: {:?}", p.assignment);
+        assert_eq!(
+            q.cut_edges, 0,
+            "cliques should not be cut: {:?}",
+            p.assignment
+        );
         assert_eq!(q.vertex_counts, vec![4, 4]);
     }
 

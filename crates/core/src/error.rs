@@ -49,8 +49,7 @@ mod tests {
         assert!(e.to_string().contains("k must be positive"));
         assert!(e.source().is_none());
 
-        let g: PartitionError =
-            clugp_graph::GraphError::InvalidConfig("broken".into()).into();
+        let g: PartitionError = clugp_graph::GraphError::InvalidConfig("broken".into()).into();
         assert!(g.to_string().contains("broken"));
         assert!(g.source().is_some());
     }

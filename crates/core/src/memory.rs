@@ -44,7 +44,11 @@ impl MemoryReport {
 
 impl std::fmt::Display for MemoryReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.2} MiB", self.total_bytes() as f64 / (1024.0 * 1024.0))?;
+        write!(
+            f,
+            "{:.2} MiB",
+            self.total_bytes() as f64 / (1024.0 * 1024.0)
+        )?;
         if !self.items.is_empty() {
             write!(f, " (")?;
             for (i, (n, b)) in self.items.iter().enumerate() {

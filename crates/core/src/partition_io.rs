@@ -63,7 +63,9 @@ pub fn read_partitioning(path: &Path) -> Result<Partitioning> {
         r.read_exact(&mut b4).map_err(truncated)?;
         let p = u32::from_le_bytes(b4);
         if p >= k {
-            return Err(format_err(&format!("partition id {p} out of range (k={k})")));
+            return Err(format_err(&format!(
+                "partition id {p} out of range (k={k})"
+            )));
         }
         loads[p as usize] += 1;
         assignments.push(p);

@@ -24,10 +24,7 @@ pub trait Partitioner {
 
 /// Validates `k` and resets the stream; returns `(num_vertices_hint,
 /// len_hint)`.
-pub(crate) fn start_run(
-    stream: &mut dyn RestreamableStream,
-    k: u32,
-) -> Result<(u64, u64)> {
+pub(crate) fn start_run(stream: &mut dyn RestreamableStream, k: u32) -> Result<(u64, u64)> {
     if k == 0 {
         return Err(PartitionError::InvalidParam("k must be at least 1".into()));
     }

@@ -49,7 +49,8 @@ impl ReplicaTable {
     pub fn ensure_vertices(&mut self, num_vertices: u64) {
         if num_vertices as usize > self.counts.len() {
             self.counts.resize(num_vertices as usize, 0);
-            self.bits.resize(self.words_per_row * num_vertices as usize, 0);
+            self.bits
+                .resize(self.words_per_row * num_vertices as usize, 0);
         }
     }
 
@@ -114,9 +115,11 @@ impl ReplicaTable {
         let row = v as usize * self.words_per_row;
         let words = &self.bits[row..row + self.words_per_row];
         let k = self.k;
-        words.iter().enumerate().flat_map(move |(wi, &w)| {
-            BitIter { word: w }.map(move |b| (wi as u32) * 64 + b)
-        }).filter(move |&p| p < k)
+        words
+            .iter()
+            .enumerate()
+            .flat_map(move |(wi, &w)| BitIter { word: w }.map(move |b| (wi as u32) * 64 + b))
+            .filter(move |&p| p < k)
     }
 
     /// Bytes of heap memory held by the table.

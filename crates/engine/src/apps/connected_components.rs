@@ -117,7 +117,9 @@ mod tests {
 
     #[test]
     fn partitioner_choice_does_not_change_result() {
-        let edges: Vec<Edge> = (0..50u32).map(|i| Edge::new(i % 13, (i * 7 + 1) % 13)).collect();
+        let edges: Vec<Edge> = (0..50u32)
+            .map(|i| Edge::new(i % 13, (i * 7 + 1) % 13))
+            .collect();
         let n = clugp_graph::types::implied_num_vertices(&edges);
         let mut s = InMemoryStream::new(n, edges.clone());
         let a = Hashing::default().partition(&mut s, 4).unwrap();

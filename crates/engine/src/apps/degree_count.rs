@@ -56,7 +56,9 @@ mod tests {
 
     #[test]
     fn counts_match_reference() {
-        let edges: Vec<Edge> = (0..60u32).map(|i| Edge::new(i % 11, (i * 3 + 1) % 11)).collect();
+        let edges: Vec<Edge> = (0..60u32)
+            .map(|i| Edge::new(i % 11, (i * 3 + 1) % 11))
+            .collect();
         let g = CsrGraph::from_edges_auto(&edges);
         let mut s = InMemoryStream::new(g.num_vertices(), edges.clone());
         let run = Hashing::default().partition(&mut s, 4).unwrap();

@@ -71,9 +71,7 @@ fn pick_label(counts: &FxHashMap<u32, u32>) -> u32 {
     for (&label, &count) in counts {
         best = match best {
             None => Some((label, count)),
-            Some((bl, bc)) if count > bc || (count == bc && label < bl) => {
-                Some((label, count))
-            }
+            Some((bl, bc)) if count > bc || (count == bc && label < bl) => Some((label, count)),
             keep => keep,
         };
     }

@@ -80,8 +80,7 @@ impl CostModel {
 
             let step_messages = step.total_messages();
             let step_bytes = step_messages * self.bytes_per_message;
-            let max_machine_bytes =
-                step.max_machine_messages() * self.bytes_per_message;
+            let max_machine_bytes = step.max_machine_messages() * self.bytes_per_message;
             messages += step_messages;
             bytes += step_bytes;
             // Two message rounds per superstep: gather partials, value sync.

@@ -136,10 +136,7 @@ impl DistributedGraph {
 
     /// Total number of mirrors (`Σ_v (|P(v)|−1)`).
     pub fn total_mirrors(&self) -> u64 {
-        self.machines
-            .iter()
-            .map(|m| m.num_mirrors() as u64)
-            .sum()
+        self.machines.iter().map(|m| m.num_mirrors() as u64).sum()
     }
 
     /// Total edges across machines (must equal the input edge count).

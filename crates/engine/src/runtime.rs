@@ -188,12 +188,7 @@ impl<'g> Engine<'g> {
             // Apply at masters; sync changed values to mirrors.
             let mut changed = 0u64;
             for v in 0..n {
-                let new = program.apply(
-                    v as u32,
-                    &values[v],
-                    accums[v].take(),
-                    &self.ctx[v],
-                );
+                let new = program.apply(v as u32, &values[v], accums[v].take(), &self.ctx[v]);
                 if new != values[v] {
                     changed += 1;
                     let master = g.master_of[v];

@@ -225,11 +225,8 @@ mod tests {
     #[test]
     fn component_labels_are_min_ids() {
         // Components {0,1,2} and {3,4}, vertex 5 isolated.
-        let g = CsrGraph::from_edges(
-            6,
-            &[Edge::new(1, 0), Edge::new(1, 2), Edge::new(4, 3)],
-        )
-        .unwrap();
+        let g =
+            CsrGraph::from_edges(6, &[Edge::new(1, 0), Edge::new(1, 2), Edge::new(4, 3)]).unwrap();
         assert_eq!(connected_component_labels(&g), vec![0, 0, 0, 3, 3, 5]);
         assert_eq!(num_components(&g), 3);
     }

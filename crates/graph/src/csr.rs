@@ -135,8 +135,7 @@ impl CsrGraph {
     /// Returns the transposed graph (all edges reversed).
     pub fn transpose(&self) -> CsrGraph {
         let edges: Vec<Edge> = self.edges().map(|e| e.reversed()).collect();
-        CsrGraph::from_edges(self.num_vertices(), &edges)
-            .expect("transpose preserves vertex range")
+        CsrGraph::from_edges(self.num_vertices(), &edges).expect("transpose preserves vertex range")
     }
 
     /// Maximum out-degree over all vertices (0 for an empty graph).
@@ -191,7 +190,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range() {
         let err = CsrGraph::from_edges(2, &[Edge::new(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
     }
 
     #[test]

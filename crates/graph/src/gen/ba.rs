@@ -41,7 +41,10 @@ impl Default for BaConfig {
 /// Panics if `vertices == 0` or `edges_per_vertex == 0`.
 pub fn generate_ba(cfg: &BaConfig) -> CsrGraph {
     assert!(cfg.vertices > 0, "BA needs at least one vertex");
-    assert!(cfg.edges_per_vertex > 0, "BA needs at least one edge per vertex");
+    assert!(
+        cfg.edges_per_vertex > 0,
+        "BA needs at least one edge per vertex"
+    );
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let m = cfg.edges_per_vertex as usize;
     let mut edges: Vec<Edge> = Vec::with_capacity(cfg.vertices as usize * m);
@@ -56,7 +59,10 @@ pub fn generate_ba(cfg: &BaConfig) -> CsrGraph {
             if target == v {
                 continue;
             }
-            edges.push(Edge { src: v, dst: target });
+            edges.push(Edge {
+                src: v,
+                dst: target,
+            });
             pool.push(target);
             pool.push(v);
         }
@@ -91,7 +97,12 @@ mod tests {
         };
         let g = generate_ba(&cfg);
         let target = cfg.vertices * cfg.edges_per_vertex;
-        assert!(g.num_edges() > target * 8 / 10, "{} vs {}", g.num_edges(), target);
+        assert!(
+            g.num_edges() > target * 8 / 10,
+            "{} vs {}",
+            g.num_edges(),
+            target
+        );
         assert!(g.num_edges() <= target);
     }
 

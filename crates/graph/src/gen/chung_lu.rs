@@ -47,7 +47,9 @@ pub fn generate_chung_lu(cfg: &ChungLuConfig) -> CsrGraph {
     assert!(cfg.vertices > 0, "Chung-Lu needs at least one vertex");
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let sampler = PowerLawDegrees::new(cfg.alpha, cfg.min_degree.max(1), cfg.max_degree.max(1));
-    let weights: Vec<u64> = (0..cfg.vertices).map(|_| sampler.sample(&mut rng)).collect();
+    let weights: Vec<u64> = (0..cfg.vertices)
+        .map(|_| sampler.sample(&mut rng))
+        .collect();
 
     // Ticket pool: vertex v appears weight[v] times; sampling two tickets
     // uniformly yields endpoint probabilities proportional to weights.

@@ -71,7 +71,8 @@ pub fn generate_copying_model(cfg: &CopyingModelConfig) -> CsrGraph {
         cfg.max_out_degree.max(2),
     );
 
-    let mut edges: Vec<Edge> = Vec::with_capacity((cfg.vertices as f64 * cfg.mean_out_degree) as usize);
+    let mut edges: Vec<Edge> =
+        Vec::with_capacity((cfg.vertices as f64 * cfg.mean_out_degree) as usize);
     // Preferential attachment pool: vertex ids repeated once per in-link,
     // plus one base entry per vertex so new pages are reachable targets.
     let mut pa_pool: Vec<VertexId> = Vec::with_capacity(edges.capacity() + n);
@@ -100,7 +101,11 @@ pub fn generate_copying_model(cfg: &CopyingModelConfig) -> CsrGraph {
             };
             // The prototype itself is a natural link target for the first
             // copied link (a page links to the page it was derived from).
-            let target = if i == 0 && rng.gen_bool(0.3) { prototype } else { target };
+            let target = if i == 0 && rng.gen_bool(0.3) {
+                prototype
+            } else {
+                target
+            };
             if target != v {
                 links.push(target);
             }
@@ -115,8 +120,6 @@ pub fn generate_copying_model(cfg: &CopyingModelConfig) -> CsrGraph {
 
     CsrGraph::from_edges(cfg.vertices, &edges).expect("generator stays in vertex range")
 }
-
-
 
 #[cfg(test)]
 mod tests {

@@ -43,7 +43,10 @@ pub fn generate_rmat(cfg: &RmatConfig) -> CsrGraph {
     assert!(cfg.scale > 0, "R-MAT scale must be positive");
     let (a, b, c, d) = cfg.probabilities;
     let sum = a + b + c + d;
-    assert!((sum - 1.0).abs() < 1e-6, "quadrant probabilities must sum to 1");
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "quadrant probabilities must sum to 1"
+    );
     let n = 1u64 << cfg.scale;
     let m = cfg.edge_factor << cfg.scale;
     let mut rng = SmallRng::seed_from_u64(cfg.seed);

@@ -209,9 +209,7 @@ mod tests {
         let cfg = small();
         let g = generate_web_crawl(&cfg);
         let bounds = site_boundaries(&cfg);
-        let site_of = |v: u64| -> usize {
-            bounds.partition_point(|&b| b <= v) - 1
-        };
+        let site_of = |v: u64| -> usize { bounds.partition_point(|&b| b <= v) - 1 };
         let intra = g
             .edges()
             .filter(|e| site_of(u64::from(e.src)) == site_of(u64::from(e.dst)))

@@ -160,7 +160,12 @@ mod tests {
     }
 
     fn sample() -> Vec<Edge> {
-        vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0), Edge::new(0, 2)]
+        vec![
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(2, 0),
+            Edge::new(0, 2),
+        ]
     }
 
     #[test]

@@ -108,6 +108,8 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(parse_edge_list("".as_bytes()).unwrap().is_empty());
-        assert!(parse_edge_list("# only comments\n".as_bytes()).unwrap().is_empty());
+        assert!(parse_edge_list("# only comments\n".as_bytes())
+            .unwrap()
+            .is_empty());
     }
 }

@@ -244,8 +244,12 @@ mod tests {
         assert_eq!(r.num_vertices(), g.num_vertices());
         assert_eq!(r.num_edges(), g.num_edges());
         // Degree multiset is preserved under relabeling.
-        let mut dg: Vec<u64> = (0..g.num_vertices() as u32).map(|v| g.out_degree(v)).collect();
-        let mut dr: Vec<u64> = (0..r.num_vertices() as u32).map(|v| r.out_degree(v)).collect();
+        let mut dg: Vec<u64> = (0..g.num_vertices() as u32)
+            .map(|v| g.out_degree(v))
+            .collect();
+        let mut dr: Vec<u64> = (0..r.num_vertices() as u32)
+            .map(|v| r.out_degree(v))
+            .collect();
         dg.sort_unstable();
         dr.sort_unstable();
         assert_eq!(dg, dr);
@@ -287,7 +291,10 @@ mod tests {
         let dfs = dfs_edge_order(&g);
         let pos_12 = dfs.iter().position(|e| *e == Edge::new(1, 2)).unwrap();
         let pos_34 = dfs.iter().position(|e| *e == Edge::new(3, 4)).unwrap();
-        assert!(pos_12 < pos_34, "DFS should finish 1's subtree first: {dfs:?}");
+        assert!(
+            pos_12 < pos_34,
+            "DFS should finish 1's subtree first: {dfs:?}"
+        );
     }
 
     #[test]

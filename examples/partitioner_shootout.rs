@@ -15,10 +15,7 @@ use clugp_graph::stream::InMemoryStream;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let vertices: u64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(100_000);
+    let vertices: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
     let k: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
 
     let graph = generate_web_crawl(&WebCrawlConfig {

@@ -32,7 +32,9 @@ fn main() {
     // 3. Partition into 16 parts with the paper's default configuration.
     let k = 16;
     let mut clugp = Clugp::new(ClugpConfig::default());
-    let run = clugp.partition(&mut stream, k).expect("partitioning failed");
+    let run = clugp
+        .partition(&mut stream, k)
+        .expect("partitioning failed");
 
     // 4. Inspect quality: replication factor (communication proxy) and
     //    relative balance (computation proxy).

@@ -41,8 +41,8 @@ fn main() {
         let clustering = stream_clustering(&mut stream, vmax, true);
         stream.reset().unwrap();
         let cg = ClusterGraph::build(&mut stream, &clustering);
-        let intra_frac = cg.total_intra() as f64
-            / (cg.total_intra() + cg.total_inter_edges()) as f64;
+        let intra_frac =
+            cg.total_intra() as f64 / (cg.total_intra() + cg.total_inter_edges()) as f64;
         println!(
             "{name:<10} clusters={:<6} intra-edge fraction={:.1}% splits={} migrations={}",
             clustering.num_clusters,

@@ -27,3 +27,84 @@ pub fn test_web_graph(vertices: u64, seed: u64) -> (u64, Vec<clugp_graph::types:
     });
     (g.num_vertices(), ordered_edges(&g, StreamOrder::Bfs))
 }
+
+#[cfg(test)]
+mod tests {
+    use super::test_web_graph;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fixture_is_deterministic_per_seed() {
+        let (n1, e1) = test_web_graph(800, 7);
+        let (n2, e2) = test_web_graph(800, 7);
+        assert_eq!(n1, n2);
+        assert_eq!(e1, e2, "same (vertices, seed) must give identical streams");
+    }
+
+    #[test]
+    fn fixture_varies_across_seeds() {
+        let (_, a) = test_web_graph(800, 1);
+        let (_, b) = test_web_graph(800, 2);
+        assert_ne!(a, b, "different seeds should give different streams");
+    }
+
+    #[test]
+    fn endpoints_are_in_range_and_stream_is_nonempty() {
+        let (n, edges) = test_web_graph(500, 3);
+        assert!(!edges.is_empty());
+        assert!(edges
+            .iter()
+            .all(|e| u64::from(e.src) < n && u64::from(e.dst) < n));
+    }
+
+    /// BFS streams emit each vertex's whole out-burst contiguously: a source
+    /// id never reappears after its burst ended.
+    #[test]
+    fn bfs_stream_has_contiguous_source_bursts() {
+        let (_, edges) = test_web_graph(600, 11);
+        let mut finished: HashSet<u32> = HashSet::new();
+        let mut current = None;
+        for e in &edges {
+            if current != Some(e.src) {
+                if let Some(prev) = current {
+                    finished.insert(prev);
+                }
+                assert!(
+                    !finished.contains(&e.src),
+                    "source {} restarted a burst — not a BFS emission order",
+                    e.src
+                );
+                current = Some(e.src);
+            }
+        }
+    }
+
+    /// BFS discovery order: when a burst starts for a vertex never seen
+    /// before in the stream, it must be a fresh BFS root, and roots are
+    /// taken in increasing id order.
+    #[test]
+    fn bfs_stream_discovers_before_expanding() {
+        let (_, edges) = test_web_graph(600, 5);
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut last_root: Option<u32> = None;
+        let mut current = None;
+        for e in &edges {
+            if current != Some(e.src) {
+                current = Some(e.src);
+                if !seen.contains(&e.src) {
+                    // Unreached source ⇒ a new BFS root; root ids ascend.
+                    if let Some(r) = last_root {
+                        assert!(
+                            e.src > r,
+                            "root {} started after root {r}; roots must ascend",
+                            e.src
+                        );
+                    }
+                    last_root = Some(e.src);
+                }
+            }
+            seen.insert(e.src);
+            seen.insert(e.dst);
+        }
+    }
+}

@@ -57,8 +57,8 @@ fn vertex_cut_handles_power_law_better() {
     let q = PartitionQuality::compute(&edges, &run.partitioning);
     // Communication proxies: vertex-cut syncs (RF−1)·|V| values; edge-cut
     // sends one message per cut edge. Normalize both per edge.
-    let vertex_cut_cost = (q.replication_factor - 1.0) * g.num_vertices() as f64
-        / g.num_edges() as f64;
+    let vertex_cut_cost =
+        (q.replication_factor - 1.0) * g.num_vertices() as f64 / g.num_edges() as f64;
     let edge_cut_cost = edgecut_fraction(&g, &mut Ldg, k);
     assert!(
         vertex_cut_cost < edge_cut_cost,
@@ -89,7 +89,11 @@ fn edge_cut_balance_guarantees() {
         let mut s = vertex_stream_from_graph(&g);
         let ldg = Ldg.partition(&mut s, k).unwrap();
         let ql = EdgeCutQuality::compute(&g, &ldg);
-        assert!(ql.relative_balance <= 1.35, "LDG k={k}: {}", ql.relative_balance);
+        assert!(
+            ql.relative_balance <= 1.35,
+            "LDG k={k}: {}",
+            ql.relative_balance
+        );
         let fennel = Fennel::default().partition(&mut s, k).unwrap();
         let qf = EdgeCutQuality::compute(&g, &fennel);
         assert!(

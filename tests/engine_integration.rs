@@ -6,8 +6,8 @@ use clugp::baselines::{Dbh, Greedy, Hashing, Hdrf, Mint};
 use clugp::clugp::Clugp;
 use clugp::partitioner::Partitioner;
 use clugp_engine::apps::{
-    sequential_bfs_levels, sequential_components, sequential_pagerank, Bfs,
-    ConnectedComponents, PageRank,
+    sequential_bfs_levels, sequential_components, sequential_pagerank, Bfs, ConnectedComponents,
+    PageRank,
 };
 use clugp_engine::{CostModel, DistributedGraph, Engine};
 use clugp_graph::csr::CsrGraph;
@@ -118,12 +118,7 @@ fn placement_conserves_edges_and_replicas() {
             "{}",
             partitioner.name()
         );
-        assert_eq!(
-            placed.total_mirrors(),
-            q.mirrors,
-            "{}",
-            partitioner.name()
-        );
+        assert_eq!(placed.total_mirrors(), q.mirrors, "{}", partitioner.name());
     }
 }
 

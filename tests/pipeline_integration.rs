@@ -131,7 +131,8 @@ fn all_algorithms_are_deterministic() {
         let a = partitioner.partition(&mut stream, 8).unwrap();
         let b = partitioner.partition(&mut stream, 8).unwrap();
         assert_eq!(
-            a.partitioning.assignments, b.partitioning.assignments,
+            a.partitioning.assignments,
+            b.partitioning.assignments,
             "{} must be deterministic",
             partitioner.name()
         );

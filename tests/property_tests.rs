@@ -2,9 +2,7 @@
 //! multisets through every layer of the stack.
 
 use clugp::baselines::{Dbh, Greedy, Hashing, Hdrf, Mint};
-use clugp::clugp::{
-    solve_game, stream_clustering, Clugp, ClugpConfig, ClusterGraph,
-};
+use clugp::clugp::{solve_game, stream_clustering, Clugp, ClugpConfig, ClusterGraph};
 use clugp::metrics::PartitionQuality;
 use clugp::partitioner::Partitioner;
 use clugp_graph::csr::CsrGraph;

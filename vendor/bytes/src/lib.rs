@@ -1,0 +1,98 @@
+//! Offline stand-in for the subset of the `bytes` crate this workspace
+//! uses: the [`Buf`] / [`BufMut`] little-endian integer accessors on
+//! `&[u8]` cursors and `Vec<u8>` sinks.
+
+/// Read-side cursor operations. Implemented for `&[u8]`, which advances
+/// through the slice as values are consumed (as the real crate does).
+pub trait Buf {
+    /// Number of bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Consumes `n` bytes, returning them.
+    fn copy_slice(&mut self, n: usize) -> &[u8];
+
+    /// Reads a little-endian `u32` and advances.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.copy_slice(4).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `u64` and advances.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.copy_slice(8).try_into().unwrap())
+    }
+
+    /// Reads one byte and advances.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_slice(1)[0]
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_slice(&mut self, n: usize) -> &[u8] {
+        assert!(
+            n <= self.len(),
+            "buffer underflow: need {n}, have {}",
+            self.len()
+        );
+        let whole = *self;
+        let (head, tail) = whole.split_at(n);
+        *self = tail;
+        head
+    }
+}
+
+/// Write-side operations. Implemented for `Vec<u8>`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(42);
+        buf.put_slice(b"xy");
+        let mut cursor = &buf[..];
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64_le(), 42);
+        assert_eq!(cursor.get_u8(), b'x');
+        assert_eq!(cursor.remaining(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        let _ = cursor.get_u32_le();
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment cannot fetch crates.io, so this crate keeps the
+//! `rayon` call-site syntax (`par_iter`, `par_chunks`, `ThreadPoolBuilder`,
+//! `current_num_threads`) while executing **sequentially**: the parallel
+//! iterators are ordinary `std` iterators, and `ThreadPool::install` runs its
+//! closure inline. Every call site in the workspace only relies on rayon for
+//! throughput, never for semantics — results are collected in input order
+//! either way — so correctness is unaffected. Swapping back to the real
+//! crate is a one-line manifest change.
+
+use std::fmt;
+
+/// Sequential stand-ins for rayon's parallel iterator traits.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelSlice};
+}
+
+/// Conversion of `&self` into a "parallel" iterator (sequential here).
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator type produced.
+    type Iter;
+
+    /// Returns an iterator over references; in real rayon this is a
+    /// work-stealing parallel iterator, here it is `slice::iter`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.as_slice().iter()
+    }
+}
+
+/// Chunked slice traversal (`par_chunks`).
+pub trait ParallelSlice<T> {
+    /// Sequential equivalent of rayon's `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Number of threads the default pool would use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of threads (0 = automatic). Recorded but unused by
+    /// this sequential stand-in.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. Never fails in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                current_num_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A "thread pool" that runs installed closures inline.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Executes `op` (inline in this stand-in) and returns its result.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced here but kept so
+/// call-site error handling compiles unchanged.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_chunks_covers_all() {
+        let v: Vec<u32> = (0..10).collect();
+        let sums: Vec<u32> = v.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 41 + 1), 42);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}

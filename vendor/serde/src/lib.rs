@@ -1,0 +1,222 @@
+//! Offline stand-in for the `serde` surface this workspace uses:
+//! `#[derive(Serialize, Deserialize)]`, `T: Serialize` bounds, and (via the
+//! sibling `serde_json` stand-in) JSON export of experiment results.
+//!
+//! Unlike real serde there is no generic `Serializer` visitor: [`Serialize`]
+//! lowers values into one concrete self-describing [`Value`] tree that
+//! `serde_json` prints. That is exactly enough for the one data flow in this
+//! repository (derive → `serde_json::to_string_pretty`), keeps all call
+//! sites source-compatible with the real crate, and avoids needing `syn` /
+//! `quote` (unavailable offline) for anything beyond the small hand-rolled
+//! derive in `serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered map; field order is preserved (unlike a `HashMap`-backed
+    /// model) so exported JSON matches declaration order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the [`Value`] data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait mirroring serde's `Deserialize`. The workspace derives it
+/// on config types for forward compatibility but never deserializes, so no
+/// methods are required.
+pub trait Deserialize {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    // The derive emits `serde::`-prefixed paths, which inside this crate's
+    // own tests must resolve back to the crate root.
+    use crate as serde;
+
+    #[test]
+    fn primitives_lower() {
+        assert_eq!(3u32.to_value(), Value::U64(3));
+        assert_eq!((-3i64).to_value(), Value::I64(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn containers_lower() {
+        let v = vec![(String::from("a"), 1usize)];
+        assert_eq!(
+            v.to_value(),
+            Value::Array(vec![Value::Array(vec![
+                Value::Str("a".into()),
+                Value::U64(1)
+            ])])
+        );
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+    }
+
+    #[derive(Serialize)]
+    struct Demo {
+        x: u64,
+        label: String,
+    }
+
+    #[derive(Serialize)]
+    enum Kind {
+        Unit,
+        Newtype(u64),
+        Pair(u64, bool),
+    }
+
+    #[test]
+    fn derive_struct() {
+        let d = Demo {
+            x: 7,
+            label: "seven".into(),
+        };
+        assert_eq!(
+            d.to_value(),
+            Value::Object(vec![
+                ("x".into(), Value::U64(7)),
+                ("label".into(), Value::Str("seven".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_enum() {
+        assert_eq!(Kind::Unit.to_value(), Value::Str("Unit".into()));
+        assert_eq!(
+            Kind::Newtype(9).to_value(),
+            Value::Object(vec![("Newtype".into(), Value::U64(9))])
+        );
+        assert_eq!(
+            Kind::Pair(1, false).to_value(),
+            Value::Object(vec![(
+                "Pair".into(),
+                Value::Array(vec![Value::U64(1), Value::Bool(false)])
+            )])
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `serde_json` functions this workspace uses:
+//! [`to_string`] and [`to_string_pretty`] over the `serde` stand-in's
+//! concrete [`serde::Value`] model.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The concrete `Value` model cannot actually fail,
+/// so this is only produced for non-finite floats, which JSON cannot
+/// represent (mirroring real serde_json's behaviour).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable, 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+fn write_value(
+    out: &mut String,
+    v: &Value,
+    indent: Option<usize>,
+    level: usize,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(f) => {
+            if !f.is_finite() {
+                return Err(Error(format!("JSON cannot represent {f}")));
+            }
+            // Match serde_json: integral floats print with a trailing `.0`.
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&f.to_string());
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            write_seq(
+                out,
+                items.iter(),
+                indent,
+                level,
+                ('[', ']'),
+                |out, item, lvl| write_value(out, item, indent, lvl),
+            )?;
+        }
+        Value::Object(entries) => {
+            write_seq(
+                out,
+                entries.iter(),
+                indent,
+                level,
+                ('{', '}'),
+                |out, (key, val), lvl| {
+                    write_json_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, val, indent, lvl)
+                },
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn write_seq<I, F>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    level: usize,
+    brackets: (char, char),
+    mut write_item: F,
+) -> Result<(), Error>
+where
+    I: ExactSizeIterator,
+    F: FnMut(&mut String, I::Item, usize) -> Result<(), Error>,
+{
+    out.push(brackets.0);
+    if items.len() == 0 {
+        out.push(brackets.1);
+        return Ok(());
+    }
+    let inner = level + 1;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * inner));
+        }
+        write_item(out, item, inner)?;
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+    out.push(brackets.1);
+    Ok(())
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("uk".into())),
+            ("rf".into(), Value::F64(1.5)),
+            (
+                "ks".into(),
+                Value::Array(vec![Value::U64(4), Value::U64(16)]),
+            ),
+        ]);
+        struct Wrap(Value);
+        impl Serialize for Wrap {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let w = Wrap(v);
+        assert_eq!(
+            to_string(&w).unwrap(),
+            r#"{"name":"uk","rf":1.5,"ks":[4,16]}"#
+        );
+        let pretty = to_string_pretty(&w).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"uk\""));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn integral_floats_keep_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(to_string(&empty).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+}
