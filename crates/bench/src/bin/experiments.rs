@@ -7,7 +7,8 @@
 //! experiments --quick <id>         reduced scale + short k sweep
 //! ```
 //!
-//! ids: table1 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 all
+//! ids: table1 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+//! parallel all
 //!
 //! Environment: `CLUGP_SCALE` (dataset scale multiplier, default 1.0),
 //! `CLUGP_KS` (comma-separated partition counts), `CLUGP_RESULTS_DIR`
@@ -24,7 +25,9 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if ids.is_empty() {
-        eprintln!("usage: experiments [--quick] <table1|table3|fig3|...|fig11|orders|all>");
+        eprintln!(
+            "usage: experiments [--quick] <table1|table3|fig3|...|fig11|orders|parallel|all>"
+        );
         std::process::exit(2);
     }
     let ctx = if quick {
@@ -53,6 +56,7 @@ fn main() {
             "fig10" => experiments::scalability::fig10(&ctx),
             "fig11" => experiments::quality::fig11(&ctx),
             "orders" => experiments::orders::orders(&ctx),
+            "parallel" => experiments::scalability::parallel(&ctx),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 std::process::exit(2);

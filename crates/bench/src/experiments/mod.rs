@@ -12,6 +12,7 @@
 //! | [`system::fig8`] | Fig. 8 | PageRank on the GAS simulator: comm volume, runtime, latency sweep |
 //! | [`quality::fig9`] | Fig. 9 | ablations CLUGP / CLUGP-S / CLUGP-G (+ migration policies) |
 //! | [`scalability::fig10`] | Fig. 10 | parallelization: threads, compute-vs-I/O, batch size |
+//! | [`scalability::parallel`] | Fig. 10(a) claim | measured game thread-scaling curve (`BENCH_parallel.json`) |
 //! | [`quality::fig11`] | Fig. 11 | imbalance factor τ and relative weight sweeps |
 
 pub mod orders;
@@ -63,4 +64,5 @@ pub fn run_all(ctx: &ExpContext) {
     scalability::fig10(ctx);
     quality::fig11(ctx);
     orders::orders(ctx);
+    scalability::parallel(ctx);
 }

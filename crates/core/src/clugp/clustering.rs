@@ -221,6 +221,13 @@ fn split_vertex(
     let old = cluster_of[w as usize] as usize;
     let d = u64::from(degree[w as usize]);
     debug_assert!(vol[old] >= d, "cluster volume below member degree");
+    // A vertex alone in its cluster would be evicted into a fresh cluster
+    // identical to the one it left: the mapping is unchanged, but the raw
+    // vol vec grows and the splits/divided diagnostics inflate on every
+    // further edge of a saturated hub. Skip the vacuous self-split.
+    if vol[old] <= d {
+        return;
+    }
     vol[old] -= d;
     vol.push(d);
     cluster_of[w as usize] = (vol.len() - 1) as u32;
@@ -293,6 +300,39 @@ mod tests {
         assert!(r.splits > 0, "expected at least one split");
         assert!(r.divided[0], "hub must be marked divided");
         assert!(r.num_clusters > 1);
+    }
+
+    #[test]
+    fn saturated_hub_does_not_self_split_repeatedly() {
+        // With Vmax=2 the hub is evicted once into its own cluster, which
+        // immediately saturates; every further spoke edge used to "split"
+        // the then-solitary hub into a fresh identical cluster, inflating
+        // `splits` (one per remaining edge) and the raw cluster id space
+        // with no effect on the final mapping.
+        let spokes = 40u32;
+        let edges: Vec<Edge> = (1..=spokes).map(|i| Edge::new(0, i)).collect();
+        let r = cluster(edges, 2, true);
+        assert_eq!(r.splits, 1, "only the genuine eviction counts");
+        assert!(r.divided[0]);
+        assert_eq!(
+            r.divided.iter().filter(|&&d| d).count(),
+            1,
+            "only the hub is divided"
+        );
+        // The hub sits alone in its cluster; no other vertex shares it.
+        let hub_cluster = r.cluster_of[0];
+        assert_eq!(
+            r.cluster_of.iter().filter(|&&c| c == hub_cluster).count(),
+            1
+        );
+        // Final volumes must still equal the sum of member degrees.
+        let mut recomputed = vec![0u64; r.num_clusters as usize];
+        for (v, &c) in r.cluster_of.iter().enumerate() {
+            if c != NO_CLUSTER {
+                recomputed[c as usize] += u64::from(r.degree[v]);
+            }
+        }
+        assert_eq!(recomputed, r.volumes);
     }
 
     #[test]

@@ -16,7 +16,8 @@ pub struct ReplicaTable {
     words_per_row: usize,
     k: u32,
     bits: Vec<u64>,
-    counts: Vec<u16>,
+    // u32, not u16: a count can reach k, and k is not bounded by u16::MAX.
+    counts: Vec<u32>,
     total_replicas: u64,
     touched_vertices: u64,
 }
@@ -85,7 +86,7 @@ impl ReplicaTable {
     /// `|P(v)|`: the number of partitions holding `v`.
     #[inline]
     pub fn count(&self, v: VertexId) -> u32 {
-        u32::from(self.counts[v as usize])
+        self.counts[v as usize]
     }
 
     /// `Σ_v |P(v)|` over all vertices.
@@ -124,7 +125,7 @@ impl ReplicaTable {
 
     /// Bytes of heap memory held by the table.
     pub fn memory_bytes(&self) -> usize {
-        self.bits.capacity() * 8 + self.counts.capacity() * 2
+        self.bits.capacity() * 8 + self.counts.capacity() * 4
     }
 }
 
@@ -309,7 +310,21 @@ mod tests {
     #[test]
     fn memory_bytes_nonzero() {
         let t = ReplicaTable::new(100, 64);
-        assert!(t.memory_bytes() >= 100 * 8 + 100 * 2);
+        assert!(t.memory_bytes() >= 100 * 8 + 100 * 4);
+    }
+
+    #[test]
+    fn count_survives_k_beyond_u16() {
+        // A u16 count silently wrapped once |P(v)| exceeded 65535; with
+        // k > u16::MAX a single vertex can legitimately reach such counts.
+        let k = u32::from(u16::MAX) + 5;
+        let mut t = ReplicaTable::new(1, k);
+        for p in 0..k {
+            assert!(t.insert(0, p));
+        }
+        assert_eq!(t.count(0), k);
+        assert_eq!(t.total_replicas(), u64::from(k));
+        assert_eq!(t.partitions_of(0).count(), k as usize);
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Parallel iterator facade over [`crate::pool::run_indexed`].
+//!
+//! The subset of rayon's iterator API this workspace uses, with the same
+//! source-level shapes: `par_iter().enumerate().map(f).collect()` and
+//! `par_chunks(n).map(f).collect()`. Everything is an *indexed* parallel
+//! iterator — a length plus a `Sync` per-index producer — so `collect`
+//! always returns results in input order no matter which worker computed
+//! which item.
+
+use crate::pool::run_indexed;
+
+/// An indexed parallel iterator: `len` items, each computable independently
+/// (and concurrently) from its index.
+pub trait ParallelIterator: Sized {
+    /// The element type produced per index.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produces the item at `index`; called concurrently from worker
+    /// threads.
+    fn par_at(&self, index: usize) -> Self::Item;
+
+    /// Maps each item through `f` (applied on the worker that claims the
+    /// item's index).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its input index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Computes every item on the current thread budget and collects them
+    /// **in input order**.
+    fn collect<C>(self) -> C
+    where
+        Self: Sync,
+        C: FromIterator<Self::Item>,
+    {
+        run_indexed(self.par_len(), |i| self.par_at(i))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Parallel iterator over `&[T]` (rayon's `par_iter` on slices/Vecs).
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T> ParIter<'a, T> {
+    pub(crate) fn new(slice: &'a [T]) -> Self {
+        ParIter { slice }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn par_at(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+/// Parallel iterator over contiguous chunks of a slice (rayon's
+/// `par_chunks`); the final chunk may be shorter.
+#[derive(Debug)]
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T> ParChunks<'a, T> {
+    pub(crate) fn new(slice: &'a [T], size: usize) -> Self {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParChunks { slice, size }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn par_at(&self, index: usize) -> &'a [T] {
+        let start = index * self.size;
+        &self.slice[start..(start + self.size).min(self.slice.len())]
+    }
+}
+
+/// Result of [`ParallelIterator::map`].
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_at(&self, index: usize) -> R {
+        (self.f)(self.base.par_at(index))
+    }
+}
+
+/// Result of [`ParallelIterator::enumerate`].
+#[derive(Debug)]
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_at(&self, index: usize) -> (usize, I::Item) {
+        (index, self.base.par_at(index))
+    }
+}
+
+/// Conversion of `&self` into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator type produced.
+    type Iter;
+
+    /// Returns a work-stealing parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter::new(self)
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter::new(self.as_slice())
+    }
+}
+
+/// Chunked parallel slice traversal (`par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel equivalent of `slice::chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        ParChunks::new(self, chunk_size)
+    }
+}

@@ -1,64 +1,50 @@
-//! Offline stand-in for the subset of `rayon` this workspace uses.
+//! Offline stand-in for the subset of `rayon` this workspace uses, backed
+//! by a **real `std::thread` pool**.
 //!
-//! The build environment cannot fetch crates.io, so this crate keeps the
-//! `rayon` call-site syntax (`par_iter`, `par_chunks`, `ThreadPoolBuilder`,
-//! `current_num_threads`) while executing **sequentially**: the parallel
-//! iterators are ordinary `std` iterators, and `ThreadPool::install` runs its
-//! closure inline. Every call site in the workspace only relies on rayon for
-//! throughput, never for semantics — results are collected in input order
-//! either way — so correctness is unaffected. Swapping back to the real
-//! crate is a one-line manifest change.
+//! The build environment cannot fetch crates.io, so this crate reimplements
+//! the rayon call-site API (`par_iter`, `par_chunks`, `ThreadPoolBuilder`,
+//! `ThreadPool::install`, `current_num_threads`) on top of scoped worker
+//! threads: every parallel operation fans out over `N` OS threads that
+//! claim chunks of the index range from an atomic work-stealing cursor
+//! (the engine lives in `pool.rs`). Guarantees:
+//!
+//! * **Input order** — `collect` returns results in input order regardless
+//!   of which worker computed which item, exactly like rayon's indexed
+//!   parallel iterators.
+//! * **Bounded concurrency** — [`ThreadPoolBuilder::num_threads`] is a hard
+//!   bound: work executed under [`ThreadPool::install`] uses at most that
+//!   many worker threads, and nested parallel calls issued from inside a
+//!   worker run inline rather than spawning further threads — even when the
+//!   nested call installs its own, wider pool (a divergence from real
+//!   rayon, where a second pool genuinely adds threads).
+//! * **Panic propagation** — a panic in any worker is re-raised on the
+//!   calling thread with its original payload after all workers are joined.
+//!
+//! Workers are spawned per parallel call via `std::thread::scope` (so
+//! closures may borrow the caller's stack) rather than parked in a
+//! persistent pool; for the coarse-grained batch/shard/wave work in this
+//! workspace the spawn cost is noise. Swapping back to the real crate
+//! remains a one-line manifest change.
 
 use std::fmt;
 
-/// Sequential stand-ins for rayon's parallel iterator traits.
+mod iter;
+mod pool;
+
+pub use iter::{
+    Enumerate, IntoParallelRefIterator, Map, ParChunks, ParIter, ParallelIterator, ParallelSlice,
+};
+
+/// The traits needed at `par_iter`/`par_chunks` call sites.
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, ParallelSlice};
+    pub use crate::{IntoParallelRefIterator, ParallelIterator, ParallelSlice};
 }
 
-/// Conversion of `&self` into a "parallel" iterator (sequential here).
-pub trait IntoParallelRefIterator<'a> {
-    /// The iterator type produced.
-    type Iter;
-
-    /// Returns an iterator over references; in real rayon this is a
-    /// work-stealing parallel iterator, here it is `slice::iter`.
-    fn par_iter(&'a self) -> Self::Iter;
-}
-
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-    type Iter = std::slice::Iter<'a, T>;
-
-    fn par_iter(&'a self) -> Self::Iter {
-        self.iter()
-    }
-}
-
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-    type Iter = std::slice::Iter<'a, T>;
-
-    fn par_iter(&'a self) -> Self::Iter {
-        self.as_slice().iter()
-    }
-}
-
-/// Chunked slice traversal (`par_chunks`).
-pub trait ParallelSlice<T> {
-    /// Sequential equivalent of rayon's `par_chunks`.
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
-    }
-}
-
-/// Number of threads the default pool would use.
+/// Number of threads parallel work issued from this thread may use: the
+/// innermost [`ThreadPool::install`] scope's width, or the machine's
+/// available parallelism outside any pool.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    pool::effective_threads()
 }
 
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
@@ -73,8 +59,8 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Sets the number of threads (0 = automatic). Recorded but unused by
-    /// this sequential stand-in.
+    /// Sets the number of worker threads (0 = the machine default). This is
+    /// a hard concurrency bound for work installed into the built pool.
     pub fn num_threads(mut self, num_threads: usize) -> Self {
         self.num_threads = num_threads;
         self
@@ -84,7 +70,7 @@ impl ThreadPoolBuilder {
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
             num_threads: if self.num_threads == 0 {
-                current_num_threads()
+                pool::default_threads()
             } else {
                 self.num_threads
             },
@@ -92,18 +78,26 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A "thread pool" that runs installed closures inline.
+/// A thread pool: a concurrency budget that [`ThreadPool::install`] scopes
+/// onto parallel operations. Worker threads themselves are spawned lazily
+/// per parallel call (scoped threads), not parked here.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Executes `op` (inline in this stand-in) and returns its result.
+    /// Executes `op` with this pool's thread budget: every parallel
+    /// operation reached from `op` runs on at most
+    /// [`ThreadPool::current_num_threads`] worker threads. The budget is
+    /// restored when `op` returns or unwinds. Installing from inside
+    /// another pool's worker does not escape that pool's bound — the work
+    /// still runs inline on the worker.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R,
     {
+        let _scope = pool::enter_pool(self.num_threads);
         op()
     }
 
@@ -129,6 +123,17 @@ impl std::error::Error for ThreadPoolBuildError {}
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    fn pool(n: usize) -> super::ThreadPool {
+        super::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn par_iter_matches_iter() {
@@ -145,11 +150,171 @@ mod tests {
     }
 
     #[test]
-    fn pool_installs_inline() {
-        let pool = super::ThreadPoolBuilder::new()
-            .num_threads(4)
-            .build()
-            .unwrap();
+    fn enumerate_pairs_input_indices() {
+        let v: Vec<u32> = (100..164).collect();
+        let pairs: Vec<(usize, u32)> =
+            pool(4).install(|| v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect());
+        for (i, (idx, x)) in pairs.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*x, 100 + i as u32);
+        }
+    }
+
+    #[test]
+    fn collect_preserves_input_order_under_contention() {
+        // Early items sleep longest, so a naive completion-order collect
+        // would reverse the prefix; input order must survive anyway.
+        let v: Vec<u64> = (0..48).collect();
+        let out: Vec<u64> = pool(8).install(|| {
+            v.par_iter()
+                .map(|&x| {
+                    if x < 8 {
+                        std::thread::sleep(Duration::from_millis(8 - x));
+                    }
+                    x * 10
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..48).map(|x| x * 10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn work_runs_on_multiple_os_threads() {
+        let ids = Mutex::new(HashSet::new());
+        let v: Vec<u32> = (0..16).collect();
+        let _: Vec<()> = pool(4).install(|| {
+            v.par_iter()
+                .map(|_| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(Duration::from_millis(5));
+                })
+                .collect()
+        });
+        let distinct = ids.lock().unwrap().len();
+        assert!(distinct >= 2, "expected >1 OS thread, saw {distinct}");
+    }
+
+    #[test]
+    fn num_threads_bounds_concurrency() {
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let v: Vec<u32> = (0..32).collect();
+        let _: Vec<()> = pool(2).install(|| {
+            v.par_iter()
+                .map(|_| {
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(3));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                })
+                .collect()
+        });
+        // Only the upper bound is asserted: demanding overlap (peak == 2)
+        // flakes on oversubscribed runners where the second worker's spawn
+        // can be delayed past the first worker draining the items.
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(peak <= 2, "pool of 2 ran {peak} items concurrently");
+    }
+
+    #[test]
+    fn panic_propagates_to_caller() {
+        let v: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = pool(4).install(|| {
+                v.par_iter()
+                    .map(|&x| {
+                        if x == 33 {
+                            panic!("boom at {x}");
+                        }
+                        x
+                    })
+                    .collect()
+            });
+        });
+        let payload = result.expect_err("worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 33"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn install_scopes_thread_budget() {
+        let outside = super::current_num_threads();
+        let inside = pool(3).install(super::current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(super::current_num_threads(), outside);
+    }
+
+    #[test]
+    fn install_restores_budget_on_panic() {
+        let outside = super::current_num_threads();
+        let _ = std::panic::catch_unwind(|| pool(3).install(|| panic!("unwind")));
+        assert_eq!(super::current_num_threads(), outside);
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline() {
+        // A parallel call from inside a worker must not deadlock or explode
+        // the thread count — it runs sequentially on that worker.
+        let outer: Vec<u32> = (0..8).collect();
+        let sums: Vec<u32> = pool(4).install(|| {
+            outer
+                .par_iter()
+                .map(|&x| {
+                    let inner: Vec<u32> = (0..4u32).collect::<Vec<_>>();
+                    let parts: Vec<u32> = inner.par_iter().map(|&y| x + y).collect();
+                    parts.iter().sum()
+                })
+                .collect()
+        });
+        assert_eq!(sums, (0..8).map(|x| 4 * x + 6).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn nested_install_inside_worker_stays_bounded() {
+        // A worker that installs its own, wider pool must still run its
+        // parallel calls inline: the outer pool's num_threads is a hard
+        // bound on total concurrency, not a per-install budget.
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let outer: Vec<u32> = (0..8).collect();
+        let _: Vec<()> = pool(2).install(|| {
+            outer
+                .par_iter()
+                .map(|_| {
+                    let inner: Vec<u32> = (0..4).collect();
+                    let _: Vec<()> = pool(8).install(|| {
+                        inner
+                            .par_iter()
+                            .map(|_| {
+                                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                                peak.fetch_max(now, Ordering::SeqCst);
+                                std::thread::sleep(Duration::from_millis(2));
+                                running.fetch_sub(1, Ordering::SeqCst);
+                            })
+                            .collect()
+                    });
+                })
+                .collect()
+        });
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(peak <= 2, "outer pool of 2 ran {peak} items concurrently");
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let chunks: Vec<usize> = v.par_chunks(4).map(<[u32]>::len).collect();
+        assert!(chunks.is_empty());
+    }
+
+    #[test]
+    fn pool_installs_and_returns() {
+        let pool = pool(4);
         assert_eq!(pool.install(|| 41 + 1), 42);
         assert_eq!(pool.current_num_threads(), 4);
     }

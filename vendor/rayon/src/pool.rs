@@ -1,0 +1,129 @@
+//! The execution engine: scoped worker threads pulling chunks of an index
+//! range off a shared atomic counter.
+//!
+//! Every parallel operation in this crate reduces to [`run_indexed`]: map a
+//! `Sync` closure over `0..len` and return the results **in index order**.
+//! Workers are `std::thread::scope` threads (so they may borrow the
+//! caller's stack) that claim contiguous chunks of the index range from an
+//! atomic cursor — idle workers keep stealing chunks until the range is
+//! exhausted, which balances uneven per-item cost without any queues.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Thread budget installed by the innermost [`crate::ThreadPool::install`]
+    /// scope (0 = none; fall back to the machine default).
+    static SCOPED_THREADS: Cell<usize> = const { Cell::new(0) };
+
+    /// True on a pool worker thread. Workers must run every nested parallel
+    /// call inline — even one routed through a nested
+    /// [`crate::ThreadPool::install`], which would otherwise replace the
+    /// budget and let `outer × inner` threads run — so the outermost pool's
+    /// `num_threads` stays a hard bound on total concurrency.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Width of the default (unscoped) pool: the machine's available
+/// parallelism.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Thread budget for parallel calls issued from the current thread: the
+/// innermost installed pool's width, or the machine default outside any
+/// [`crate::ThreadPool::install`] scope.
+pub(crate) fn effective_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    let scoped = SCOPED_THREADS.with(Cell::get);
+    if scoped == 0 {
+        default_threads()
+    } else {
+        scoped
+    }
+}
+
+/// RAII guard restoring the previous thread budget (unwind-safe, so a
+/// panicking `install` closure cannot leak its budget into the caller).
+pub(crate) struct ScopeGuard {
+    prev: usize,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPED_THREADS.with(|c| c.set(self.prev));
+    }
+}
+
+/// Installs `threads` as the current thread's budget until the guard drops.
+pub(crate) fn enter_pool(threads: usize) -> ScopeGuard {
+    let prev = SCOPED_THREADS.with(|c| c.replace(threads));
+    ScopeGuard { prev }
+}
+
+/// Maps `f` over `0..len` on up to [`effective_threads`] worker threads and
+/// returns the results in index order. A panic in any worker is propagated
+/// to the caller with its original payload after all workers are joined.
+pub(crate) fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = effective_threads().min(len).max(1);
+    if threads == 1 {
+        return (0..len).map(f).collect();
+    }
+
+    // Chunked work stealing: each idle worker claims the next `chunk`
+    // indices from the cursor. Four chunks per worker trades claim overhead
+    // against load balance for skewed per-item costs.
+    let chunk = (len / (threads * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let worker = || -> Vec<(usize, R)> {
+        // Nested parallel calls from inside an item run inline (the flag
+        // survives nested `install`s), keeping total OS-thread concurrency
+        // bounded by `threads`. Worker threads are fresh per call, so the
+        // flag needs no reset.
+        IN_WORKER.with(|c| c.set(true));
+        let mut local = Vec::with_capacity(chunk * 4);
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= len {
+                break;
+            }
+            for i in start..(start + chunk).min(len) {
+                local.push((i, f(i)));
+            }
+        }
+        local
+    };
+
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(bucket) => bucket,
+                // Re-raise the worker's panic on the calling thread; the
+                // scope joins the remaining workers during unwind.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+    slots.resize_with(len, || None);
+    for (i, r) in buckets.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("work-stealing cursor covered every index"))
+        .collect()
+}
