@@ -14,12 +14,14 @@
 //! | [`scalability::fig10`] | Fig. 10 | parallelization: threads, compute-vs-I/O, batch size |
 //! | [`scalability::parallel`] | Fig. 10(a) claim | measured game thread-scaling curve (`BENCH_parallel.json`) |
 //! | [`quality::fig11`] | Fig. 11 | imbalance factor τ and relative weight sweeps |
+//! | [`throughput::throughput`] | perf trajectory | per-edge vs chunked streaming throughput (`BENCH_throughput.json`) |
 
 pub mod orders;
 pub mod quality;
 pub mod scalability;
 pub mod system;
 pub mod tables;
+pub mod throughput;
 
 /// Shared experiment context.
 #[derive(Debug, Clone)]
@@ -65,4 +67,5 @@ pub fn run_all(ctx: &ExpContext) {
     quality::fig11(ctx);
     orders::orders(ctx);
     scalability::parallel(ctx);
+    throughput::throughput(ctx);
 }

@@ -1,0 +1,251 @@
+//! BENCH_throughput — the streaming-ABI throughput baseline
+//! (`results/BENCH_throughput.{json,csv}`).
+//!
+//! Measures end-to-end partitioning throughput (edges/second) for each
+//! algorithm on the standard generator mix, comparing the legacy per-edge
+//! pull path (one virtual dispatch, one `Option` branch, one buffer
+//! round-trip per edge — forced via
+//! [`clugp_graph::stream::PerEdgeStream`]) against the chunked path (the
+//! zero-copy slice fast path of `InMemoryStream`), plus a sweep over source
+//! chunk granularities via [`clugp_graph::stream::ChunkLimited`].
+//!
+//! The committed artifact is the perf trajectory baseline future PRs are
+//! judged against: regressions in the streaming layer show up as a drop in
+//! `chunked_eps`, and the `bit_identical` flag guards against the chunked
+//! path ever buying speed with different partitions.
+
+use super::ExpContext;
+use crate::algorithms::{Algorithm, BuildOptions};
+use crate::datasets::Dataset;
+use crate::report::{results_dir, save_json, Table};
+use crate::runner::PreparedDataset;
+use clugp_graph::stream::{ChunkLimited, InMemoryStream, PerEdgeStream, DEFAULT_CHUNK_EDGES};
+
+/// One point of the chunk-granularity sweep.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ChunkPoint {
+    /// Source chunk cap (edges per pull).
+    pub chunk_edges: usize,
+    /// Best-of-repeats wall clock, seconds.
+    pub secs: f64,
+    /// Edges per second at this granularity.
+    pub eps: f64,
+}
+
+/// One `(dataset, algorithm)` row of the throughput report.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ThroughputRun {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of partitions.
+    pub k: u32,
+    /// Edge count of the measured stream.
+    pub edges: u64,
+    /// Best-of-repeats wall clock on the forced per-edge path, seconds.
+    pub per_edge_secs: f64,
+    /// Edges per second on the per-edge path.
+    pub per_edge_eps: f64,
+    /// Best-of-repeats wall clock on the chunked (slice fast-path) stream.
+    pub chunked_secs: f64,
+    /// Edges per second on the chunked path.
+    pub chunked_eps: f64,
+    /// `chunked_eps / per_edge_eps`.
+    pub speedup: f64,
+    /// Whether both paths produced byte-identical assignments.
+    pub bit_identical: bool,
+    /// Throughput at capped source chunk granularities.
+    pub chunk_sweep: Vec<ChunkPoint>,
+}
+
+/// The `results/BENCH_throughput.json` payload.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ThroughputReport {
+    /// Datasets of the generator mix (web crawl + social analogues).
+    pub datasets: Vec<String>,
+    /// Number of partitions.
+    pub k: u32,
+    /// Timing repeats for the per-edge/chunked legs (best is reported).
+    pub repeats: usize,
+    /// Timing repeats per chunk-sweep point (best is reported).
+    pub sweep_repeats: usize,
+    /// The consumer-side chunk size (edges per `next_chunk` pull).
+    pub default_chunk_edges: usize,
+    /// True iff `chunked_eps >= per_edge_eps` for every run.
+    pub chunked_wins_everywhere: bool,
+    /// True iff every run was bit-identical across paths.
+    pub bit_identical: bool,
+    /// One row per `(dataset, algorithm)`.
+    pub runs: Vec<ThroughputRun>,
+}
+
+fn best_of<F: FnMut() -> (f64, Vec<u32>)>(repeats: usize, mut f: F) -> (f64, Vec<u32>) {
+    let mut best = f64::INFINITY;
+    let mut assignments = Vec::new();
+    for _ in 0..repeats {
+        let (secs, a) = f();
+        if secs < best {
+            best = secs;
+        }
+        assignments = a;
+    }
+    (best, assignments)
+}
+
+/// BENCH_throughput — per-edge vs chunked streaming throughput on the uk-s
+/// (web crawl) and twitter-s (BA social) analogues for the five algorithms
+/// whose stream pull is a measurable share of runtime (see the roster note
+/// inside for why Mint sits this one out).
+pub fn throughput(ctx: &ExpContext) {
+    let k = 32u32;
+    // Mint is deliberately absent: at its default batch size the stream
+    // pull is <1% of runtime (game solving dominates at ~0.5M edges/s), so
+    // the per-edge/chunked delta (~0.2%) is far below single-host noise and
+    // the comparison carries no signal either way — committing a coin flip
+    // would poison the trajectory baseline. Mint's chunking *correctness*
+    // (batch boundaries independent of source granularity) is pinned by
+    // tests/chunked_equivalence.rs instead.
+    let roster = [
+        Algorithm::Hdrf,
+        Algorithm::Greedy,
+        Algorithm::Hashing,
+        Algorithm::Dbh,
+        Algorithm::Clugp,
+    ];
+    // Best-of-9 on the decisive per-edge/chunked legs: the chunked path
+    // does strictly less work per edge, so with enough repeats both minima
+    // converge and the comparison reflects the ABI, not scheduler noise
+    // (the compute-bound algorithms' stream share is small, putting their
+    // honest speedup near 1.0x — sub-percent noise on a multi-second run
+    // needs this many repeats to settle). The granularity sweep is
+    // informational and keeps a shorter best-of-5.
+    let repeats = 9usize;
+    let sweep_repeats = 5usize;
+    let sweep_caps = [64usize, 512, DEFAULT_CHUNK_EDGES];
+    let datasets = [Dataset::UkS, Dataset::TwitterS];
+
+    let mut table = Table::new(
+        "BENCH_throughput — edges/sec, per-edge vs chunked streaming (k=32)",
+        &[
+            "Dataset",
+            "Algorithm",
+            "Edges",
+            "Per-edge",
+            "Chunked",
+            "Speedup",
+            "Identical",
+        ],
+    );
+    let mut runs: Vec<ThroughputRun> = Vec::new();
+    for ds in datasets {
+        let prep = PreparedDataset::load(ds, ctx.scale);
+        let n = prep.graph.num_vertices();
+        for algo in roster {
+            let edges = prep.edges_for(algo);
+            let m = edges.len() as u64;
+
+            // One worker thread for the parallel algorithms (Mint, CLUGP):
+            // this experiment measures the streaming ABI, and on small
+            // machines pool-scheduling jitter would otherwise swamp the
+            // per-edge/chunked delta for the compute-bound algorithms.
+            let time_run = |stream: &mut dyn clugp_graph::stream::RestreamableStream| {
+                let mut partitioner = algo.build_with(&BuildOptions {
+                    threads: 1,
+                    ..Default::default()
+                });
+                let t = std::time::Instant::now();
+                let run = partitioner.partition(stream, k).expect("partition");
+                (t.elapsed().as_secs_f64(), run.partitioning.assignments)
+            };
+
+            // The two main legs are interleaved within each repeat so that
+            // slow drift (thermal, background load) cannot bias one leg.
+            // One resettable stream per leg — `partition` itself resets
+            // before streaming, so no per-repeat edge copies.
+            let mut per_edge_stream = PerEdgeStream::new(InMemoryStream::new(n, edges.to_vec()));
+            let mut chunked_stream = InMemoryStream::new(n, edges.to_vec());
+            let mut per_edge_secs = f64::INFINITY;
+            let mut chunked_secs = f64::INFINITY;
+            let mut per_edge_assign = Vec::new();
+            let mut chunked_assign = Vec::new();
+            for _ in 0..repeats {
+                let (secs, a) = time_run(&mut per_edge_stream);
+                per_edge_secs = per_edge_secs.min(secs);
+                per_edge_assign = a;
+                let (secs, a) = time_run(&mut chunked_stream);
+                chunked_secs = chunked_secs.min(secs);
+                chunked_assign = a;
+            }
+            let bit_identical = per_edge_assign == chunked_assign;
+
+            let chunk_sweep: Vec<ChunkPoint> = sweep_caps
+                .iter()
+                .map(|&cap| {
+                    let mut s = ChunkLimited::new(InMemoryStream::new(n, edges.to_vec()), cap);
+                    let (secs, _) = best_of(sweep_repeats, || time_run(&mut s));
+                    ChunkPoint {
+                        chunk_edges: cap,
+                        secs,
+                        eps: m as f64 / secs.max(f64::EPSILON),
+                    }
+                })
+                .collect();
+
+            let run = ThroughputRun {
+                dataset: prep.name.clone(),
+                algorithm: algo.name().to_string(),
+                k,
+                edges: m,
+                per_edge_secs,
+                per_edge_eps: m as f64 / per_edge_secs.max(f64::EPSILON),
+                chunked_secs,
+                chunked_eps: m as f64 / chunked_secs.max(f64::EPSILON),
+                speedup: per_edge_secs / chunked_secs.max(f64::EPSILON),
+                bit_identical,
+                chunk_sweep,
+            };
+            table.row(vec![
+                run.dataset.clone(),
+                run.algorithm.clone(),
+                run.edges.to_string(),
+                format!("{:.2}M/s", run.per_edge_eps / 1e6),
+                format!("{:.2}M/s", run.chunked_eps / 1e6),
+                format!("{:.2}x", run.speedup),
+                run.bit_identical.to_string(),
+            ]);
+            runs.push(run);
+        }
+    }
+    table.print();
+    table
+        .save_csv(&results_dir().join("BENCH_throughput.csv"))
+        .ok();
+    let report = ThroughputReport {
+        datasets: datasets.iter().map(|d| d.name().to_string()).collect(),
+        k,
+        repeats,
+        sweep_repeats,
+        default_chunk_edges: DEFAULT_CHUNK_EDGES,
+        chunked_wins_everywhere: runs.iter().all(|r| r.chunked_eps >= r.per_edge_eps),
+        bit_identical: runs.iter().all(|r| r.bit_identical),
+        runs,
+    };
+    save_json("BENCH_throughput", &report).ok();
+    assert!(
+        report.bit_identical,
+        "chunked streaming must not change any partition"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_of_keeps_minimum() {
+        let mut times = [3.0f64, 1.0, 2.0].into_iter();
+        let (best, _) = best_of(3, || (times.next().unwrap(), vec![1]));
+        assert_eq!(best, 1.0);
+    }
+}

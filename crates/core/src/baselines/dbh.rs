@@ -11,7 +11,7 @@ use crate::memory::MemoryReport;
 use crate::partition::{PartitionRun, Partitioning, Timings};
 use crate::partitioner::{ensure_index, mix64, start_run, Partitioner};
 use crate::state::PartitionLoads;
-use clugp_graph::stream::RestreamableStream;
+use clugp_graph::stream::{for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
 
 /// The degree-based hashing partitioner.
 #[derive(Debug, Clone)]
@@ -43,20 +43,22 @@ impl Partitioner for Dbh {
         let mut degree: Vec<u32> = vec![0; n as usize];
         let mut assignments = Vec::with_capacity(m as usize);
         let mut loads = PartitionLoads::new(k);
-        while let Some(e) = stream.next_edge() {
-            ensure_index(&mut degree, e.src.max(e.dst) as usize, 0);
-            degree[e.src as usize] += 1;
-            degree[e.dst as usize] += 1;
-            // Hash the lower-degree endpoint (cut the higher-degree one).
-            let key = if degree[e.src as usize] <= degree[e.dst as usize] {
-                e.src
-            } else {
-                e.dst
-            };
-            let p = (mix64(u64::from(key) ^ self.seed) % u64::from(k)) as u32;
-            assignments.push(p);
-            loads.add(p);
-        }
+        for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+            for &e in chunk {
+                ensure_index(&mut degree, e.src.max(e.dst) as usize, 0);
+                degree[e.src as usize] += 1;
+                degree[e.dst as usize] += 1;
+                // Hash the lower-degree endpoint (cut the higher-degree one).
+                let key = if degree[e.src as usize] <= degree[e.dst as usize] {
+                    e.src
+                } else {
+                    e.dst
+                };
+                let p = (mix64(u64::from(key) ^ self.seed) % u64::from(k)) as u32;
+                assignments.push(p);
+                loads.add(p);
+            }
+        });
         let mut memory = MemoryReport::new();
         memory.add("degrees", degree.capacity() * 4);
         Ok(PartitionRun {

@@ -15,7 +15,7 @@ use crate::memory::MemoryReport;
 use crate::partition::{PartitionRun, Partitioning, Timings};
 use crate::partitioner::{start_run, Partitioner};
 use crate::state::{PartitionLoads, ReplicaTable};
-use clugp_graph::stream::RestreamableStream;
+use clugp_graph::stream::{for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
 
 /// The PowerGraph greedy (oblivious) partitioner.
 #[derive(Debug, Clone, Default)]
@@ -40,45 +40,47 @@ impl Partitioner for Greedy {
         let mut loads = PartitionLoads::new(k);
         let mut assignments = Vec::with_capacity(m as usize);
 
-        while let Some(e) = stream.next_edge() {
-            replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1);
-            let cu = replicas.count(e.src);
-            let cv = replicas.count(e.dst);
-            let p = if cu > 0 && cv > 0 {
-                let both = loads.argmin_among(
-                    replicas
-                        .partitions_of(e.src)
-                        .filter(|&p| replicas.contains(e.dst, p)),
-                );
-                match both {
-                    Some(p) => p, // case 1: intersection
-                    None => {
-                        // case 2: union of the two replica sets
-                        loads
-                            .argmin_among(
-                                replicas
-                                    .partitions_of(e.src)
-                                    .chain(replicas.partitions_of(e.dst)),
-                            )
-                            .expect("both sets nonempty")
+        for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+            for &e in chunk {
+                replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1);
+                let cu = replicas.count(e.src);
+                let cv = replicas.count(e.dst);
+                let p = if cu > 0 && cv > 0 {
+                    let both = loads.argmin_among(
+                        replicas
+                            .partitions_of(e.src)
+                            .filter(|&p| replicas.contains(e.dst, p)),
+                    );
+                    match both {
+                        Some(p) => p, // case 1: intersection
+                        None => {
+                            // case 2: union of the two replica sets
+                            loads
+                                .argmin_among(
+                                    replicas
+                                        .partitions_of(e.src)
+                                        .chain(replicas.partitions_of(e.dst)),
+                                )
+                                .expect("both sets nonempty")
+                        }
                     }
-                }
-            } else if cu > 0 {
-                loads
-                    .argmin_among(replicas.partitions_of(e.src))
-                    .expect("A(u) nonempty")
-            } else if cv > 0 {
-                loads
-                    .argmin_among(replicas.partitions_of(e.dst))
-                    .expect("A(v) nonempty")
-            } else {
-                loads.argmin() // case 4: fresh edge
-            };
-            replicas.insert(e.src, p);
-            replicas.insert(e.dst, p);
-            loads.add(p);
-            assignments.push(p);
-        }
+                } else if cu > 0 {
+                    loads
+                        .argmin_among(replicas.partitions_of(e.src))
+                        .expect("A(u) nonempty")
+                } else if cv > 0 {
+                    loads
+                        .argmin_among(replicas.partitions_of(e.dst))
+                        .expect("A(v) nonempty")
+                } else {
+                    loads.argmin() // case 4: fresh edge
+                };
+                replicas.insert(e.src, p);
+                replicas.insert(e.dst, p);
+                loads.add(p);
+                assignments.push(p);
+            }
+        });
 
         let mut memory = MemoryReport::new();
         memory.add("replica-table", replicas.memory_bytes());

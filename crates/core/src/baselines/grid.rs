@@ -15,7 +15,7 @@ use crate::memory::MemoryReport;
 use crate::partition::{PartitionRun, Partitioning, Timings};
 use crate::partitioner::{mix64, start_run, Partitioner};
 use crate::state::PartitionLoads;
-use clugp_graph::stream::RestreamableStream;
+use clugp_graph::stream::{for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
 use clugp_graph::types::VertexId;
 
 /// The grid-hashing partitioner.
@@ -77,18 +77,20 @@ impl Partitioner for Grid {
         let mut loads = PartitionLoads::new(k);
         let mut cs_u = Vec::with_capacity(2 * r as usize);
         let mut cs_v = Vec::with_capacity(2 * r as usize);
-        while let Some(e) = stream.next_edge() {
-            constraint_set(e.src, self.seed, r, k, &mut cs_u);
-            constraint_set(e.dst, self.seed, r, k, &mut cs_v);
-            let p = loads
-                .argmin_among(cs_u.iter().copied().filter(|p| cs_v.contains(p)))
-                // Overhung grids may have disjoint sets; fall back to the
-                // union (still bounded replication).
-                .or_else(|| loads.argmin_among(cs_u.iter().chain(cs_v.iter()).copied()))
-                .expect("constraint sets are never empty");
-            assignments.push(p);
-            loads.add(p);
-        }
+        for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+            for &e in chunk {
+                constraint_set(e.src, self.seed, r, k, &mut cs_u);
+                constraint_set(e.dst, self.seed, r, k, &mut cs_v);
+                let p = loads
+                    .argmin_among(cs_u.iter().copied().filter(|p| cs_v.contains(p)))
+                    // Overhung grids may have disjoint sets; fall back to the
+                    // union (still bounded replication).
+                    .or_else(|| loads.argmin_among(cs_u.iter().chain(cs_v.iter()).copied()))
+                    .expect("constraint sets are never empty");
+                assignments.push(p);
+                loads.add(p);
+            }
+        });
         let mut memory = MemoryReport::new();
         memory.add("loads", loads.memory_bytes());
         Ok(PartitionRun {

@@ -9,7 +9,7 @@ use crate::memory::MemoryReport;
 use crate::partition::{PartitionRun, Partitioning, Timings};
 use crate::partitioner::{mix64, start_run, Partitioner};
 use crate::state::PartitionLoads;
-use clugp_graph::stream::RestreamableStream;
+use clugp_graph::stream::{for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
 
 /// The random-hashing partitioner.
 #[derive(Debug, Clone)]
@@ -40,12 +40,14 @@ impl Partitioner for Hashing {
         let (n, m) = start_run(stream, k)?;
         let mut assignments = Vec::with_capacity(m as usize);
         let mut loads = PartitionLoads::new(k);
-        while let Some(e) = stream.next_edge() {
-            let key = (u64::from(e.src) << 32) | u64::from(e.dst);
-            let p = (mix64(key ^ self.seed) % u64::from(k)) as u32;
-            assignments.push(p);
-            loads.add(p);
-        }
+        for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+            for &e in chunk {
+                let key = (u64::from(e.src) << 32) | u64::from(e.dst);
+                let p = (mix64(key ^ self.seed) % u64::from(k)) as u32;
+                assignments.push(p);
+                loads.add(p);
+            }
+        });
         Ok(PartitionRun {
             partitioning: Partitioning {
                 k,

@@ -18,7 +18,7 @@ use crate::memory::MemoryReport;
 use crate::partition::{PartitionRun, Partitioning, Timings};
 use crate::partitioner::{ensure_index, start_run, Partitioner};
 use crate::state::{PartitionLoads, ReplicaTable};
-use clugp_graph::stream::RestreamableStream;
+use clugp_graph::stream::{for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
 
 /// Tunables of HDRF.
 #[derive(Debug, Clone)]
@@ -65,39 +65,41 @@ impl Partitioner for Hdrf {
         let mut loads = PartitionLoads::new(k);
         let mut assignments = Vec::with_capacity(m as usize);
 
-        while let Some(e) = stream.next_edge() {
-            ensure_index(&mut degree, e.src.max(e.dst) as usize, 0);
-            replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1);
-            degree[e.src as usize] += 1;
-            degree[e.dst as usize] += 1;
-            let du = f64::from(degree[e.src as usize]);
-            let dv = f64::from(degree[e.dst as usize]);
-            let theta_u = du / (du + dv);
-            let theta_v = 1.0 - theta_u;
-            let (maxload, minload) = (loads.max() as f64, loads.min() as f64);
-            let denom = self.config.epsilon + maxload - minload;
+        for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+            for &e in chunk {
+                ensure_index(&mut degree, e.src.max(e.dst) as usize, 0);
+                replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1);
+                degree[e.src as usize] += 1;
+                degree[e.dst as usize] += 1;
+                let du = f64::from(degree[e.src as usize]);
+                let dv = f64::from(degree[e.dst as usize]);
+                let theta_u = du / (du + dv);
+                let theta_v = 1.0 - theta_u;
+                let (maxload, minload) = (loads.max() as f64, loads.min() as f64);
+                let denom = self.config.epsilon + maxload - minload;
 
-            let mut best_p = 0u32;
-            let mut best_score = f64::NEG_INFINITY;
-            for p in 0..k {
-                let mut score = 0.0;
-                if replicas.contains(e.src, p) {
-                    score += 1.0 + (1.0 - theta_u);
+                let mut best_p = 0u32;
+                let mut best_score = f64::NEG_INFINITY;
+                for p in 0..k {
+                    let mut score = 0.0;
+                    if replicas.contains(e.src, p) {
+                        score += 1.0 + (1.0 - theta_u);
+                    }
+                    if replicas.contains(e.dst, p) {
+                        score += 1.0 + (1.0 - theta_v);
+                    }
+                    score += self.config.lambda * (maxload - loads.get(p) as f64) / denom;
+                    if score > best_score {
+                        best_score = score;
+                        best_p = p;
+                    }
                 }
-                if replicas.contains(e.dst, p) {
-                    score += 1.0 + (1.0 - theta_v);
-                }
-                score += self.config.lambda * (maxload - loads.get(p) as f64) / denom;
-                if score > best_score {
-                    best_score = score;
-                    best_p = p;
-                }
+                replicas.insert(e.src, best_p);
+                replicas.insert(e.dst, best_p);
+                loads.add(best_p);
+                assignments.push(best_p);
             }
-            replicas.insert(e.src, best_p);
-            replicas.insert(e.dst, best_p);
-            loads.add(best_p);
-            assignments.push(best_p);
-        }
+        });
 
         let mut memory = MemoryReport::new();
         memory.add("replica-table", replicas.memory_bytes());

@@ -20,7 +20,7 @@ use crate::memory::MemoryReport;
 use crate::partition::{PartitionRun, Partitioning, Timings};
 use crate::partitioner::{mix64, start_run, Partitioner};
 use crate::state::PartitionLoads;
-use clugp_graph::stream::RestreamableStream;
+use clugp_graph::stream::{EdgeStream, RestreamableStream};
 use clugp_graph::types::Edge;
 use rustc_hash::FxHashMap;
 
@@ -109,21 +109,18 @@ impl Partitioner for Mint {
         };
 
         let mut peak_wave_state = 0usize;
+        let mut scratch: Vec<Edge> = Vec::new();
         let mut exhausted = false;
         while !exhausted {
-            // Pull up to `wave_width` batches for one parallel wave.
+            // Pull up to `wave_width` batches for one parallel wave. Batches
+            // are filled through chunked pulls; batch boundaries depend only
+            // on `batch_size`, never on the source's chunk granularity, so
+            // the equilibria (and assignments) stay bit-identical for any
+            // chunking of the same stream.
             let mut wave: Vec<Vec<Edge>> = Vec::with_capacity(wave_width);
             for _ in 0..wave_width {
                 let mut batch = Vec::with_capacity(self.config.batch_size);
-                while batch.len() < self.config.batch_size {
-                    match stream.next_edge() {
-                        Some(e) => batch.push(e),
-                        None => {
-                            exhausted = true;
-                            break;
-                        }
-                    }
-                }
+                exhausted = fill_batch(stream, self.config.batch_size, &mut batch, &mut scratch);
                 if batch.is_empty() {
                     break;
                 }
@@ -197,6 +194,49 @@ impl Partitioner for Mint {
 struct BatchOutcome {
     assignments: Vec<u32>,
     state_bytes: usize,
+}
+
+/// Fills `batch` with exactly `target` edges (or fewer at end-of-stream)
+/// using chunked pulls: zero-copy slices when the source lends them,
+/// otherwise block copies through `scratch`. Returns `true` once the stream
+/// is exhausted.
+///
+/// Mirrors `clugp_graph::stream::for_each_chunk`'s drain structure exactly —
+/// one borrow-scoped `next_slice` attempt, and after the first `None`
+/// (a source either always or never lends, per the trait contract) the rest
+/// of the stream goes through the copying `next_chunk` pull — so the two
+/// consumers of the dual-path ABI cannot diverge in exhaustion semantics.
+fn fill_batch<S: EdgeStream + ?Sized>(
+    stream: &mut S,
+    target: usize,
+    batch: &mut Vec<Edge>,
+    scratch: &mut Vec<Edge>,
+) -> bool {
+    batch.clear();
+    while batch.len() < target {
+        let want = target - batch.len();
+        let lent = match stream.next_slice(want) {
+            Some(slice) => {
+                if slice.is_empty() {
+                    return true;
+                }
+                batch.extend_from_slice(slice);
+                true
+            }
+            None => false,
+        };
+        if !lent {
+            // Copying path for the rest of the stream.
+            while batch.len() < target {
+                if stream.next_chunk(scratch, target - batch.len()) == 0 {
+                    return true;
+                }
+                batch.extend_from_slice(scratch);
+            }
+            return false;
+        }
+    }
+    false
 }
 
 /// Plays one batch game to (local) equilibrium.

@@ -26,7 +26,7 @@
 
 use super::config::MigrationPolicy;
 use crate::partitioner::ensure_index;
-use clugp_graph::stream::EdgeStream;
+use clugp_graph::stream::{for_each_chunk, EdgeStream, DEFAULT_CHUNK_EDGES};
 use clugp_graph::types::VertexId;
 
 /// Sentinel for "no cluster assigned yet".
@@ -105,73 +105,78 @@ pub fn stream_clustering_with(
         (vol.len() - 1) as u32
     };
 
-    while let Some(e) = stream.next_edge() {
-        let (u, v) = (e.src, e.dst);
-        let hi = u.max(v) as usize;
-        ensure_index(&mut cluster_of, hi, NO_CLUSTER);
-        ensure_index(&mut degree, hi, 0);
-        ensure_index(&mut divided, hi, false);
+    // Chunked drain: one virtual dispatch per block of edges, then a tight
+    // loop — chunk boundaries carry no semantics, so the result is
+    // bit-identical to the per-edge pull for any chunking.
+    for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+        for &e in chunk {
+            let (u, v) = (e.src, e.dst);
+            let hi = u.max(v) as usize;
+            ensure_index(&mut cluster_of, hi, NO_CLUSTER);
+            ensure_index(&mut degree, hi, 0);
+            ensure_index(&mut divided, hi, false);
 
-        // Allocation.
-        if cluster_of[u as usize] == NO_CLUSTER {
-            cluster_of[u as usize] = new_cluster(&mut vol);
-        }
-        if cluster_of[v as usize] == NO_CLUSTER {
-            cluster_of[v as usize] = new_cluster(&mut vol);
-        }
-        degree[u as usize] += 1;
-        degree[v as usize] += 1;
-        vol[cluster_of[u as usize] as usize] += 1;
-        vol[cluster_of[v as usize] as usize] += 1;
+            // Allocation.
+            if cluster_of[u as usize] == NO_CLUSTER {
+                cluster_of[u as usize] = new_cluster(&mut vol);
+            }
+            if cluster_of[v as usize] == NO_CLUSTER {
+                cluster_of[v as usize] = new_cluster(&mut vol);
+            }
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+            vol[cluster_of[u as usize] as usize] += 1;
+            vol[cluster_of[v as usize] as usize] += 1;
 
-        // Splitting: evict the endpoint whose cluster just overflowed into
-        // a fresh cluster, carrying its degree with it.
-        if splitting {
-            if vol[cluster_of[u as usize] as usize] >= vmax {
-                split_vertex(u, &mut cluster_of, &degree, &mut vol, &mut divided, || {
-                    splits += 1;
-                });
+            // Splitting: evict the endpoint whose cluster just overflowed into
+            // a fresh cluster, carrying its degree with it.
+            if splitting {
+                if vol[cluster_of[u as usize] as usize] >= vmax {
+                    split_vertex(u, &mut cluster_of, &degree, &mut vol, &mut divided, || {
+                        splits += 1;
+                    });
+                }
+                if v != u && vol[cluster_of[v as usize] as usize] >= vmax {
+                    split_vertex(v, &mut cluster_of, &degree, &mut vol, &mut divided, || {
+                        splits += 1;
+                    });
+                }
             }
-            if v != u && vol[cluster_of[v as usize] as usize] >= vmax {
-                split_vertex(v, &mut cluster_of, &degree, &mut vol, &mut divided, || {
-                    splits += 1;
-                });
-            }
-        }
 
-        // Migration: pull an endpoint of the smaller cluster into the
-        // bigger one, provided neither cluster is full. The policy decides
-        // which vertices may move:
-        //  * Paper    — Algorithm 2 verbatim, no further conditions; lets
-        //    migrations overfill clusters, which parks them at Vmax and
-        //    turns every subsequent member edge into a spurious split.
-        //  * Headroom — Hollocou's original guard (destination stays ≤ Vmax).
-        //  * Anchored — Headroom plus: only vertices alone in their cluster
-        //    (anchor 0) move, so a single cross edge cannot yank an
-        //    established vertex out of its community (churn guard).
-        let cu = cluster_of[u as usize];
-        let cv = cluster_of[v as usize];
-        if cu != cv && vol[cu as usize] < vmax && vol[cv as usize] < vmax {
-            let du = u64::from(degree[u as usize]);
-            let dv = u64::from(degree[v as usize]);
-            let (mover, mover_deg, dest) = if vol[cu as usize] <= vol[cv as usize] {
-                (u, du, cv)
-            } else {
-                (v, dv, cu)
-            };
-            let anchor = vol[cluster_of[mover as usize] as usize] - mover_deg;
-            let headroom_ok = vol[dest as usize] + mover_deg <= vmax;
-            let allowed = match migration {
-                MigrationPolicy::Paper => true,
-                MigrationPolicy::Headroom => headroom_ok,
-                MigrationPolicy::Anchored => anchor == 0 && headroom_ok,
-            };
-            if allowed {
-                migrate(mover, dest, &mut cluster_of, &degree, &mut vol);
-                migrations += 1;
+            // Migration: pull an endpoint of the smaller cluster into the
+            // bigger one, provided neither cluster is full. The policy decides
+            // which vertices may move:
+            //  * Paper    — Algorithm 2 verbatim, no further conditions; lets
+            //    migrations overfill clusters, which parks them at Vmax and
+            //    turns every subsequent member edge into a spurious split.
+            //  * Headroom — Hollocou's original guard (destination stays ≤ Vmax).
+            //  * Anchored — Headroom plus: only vertices alone in their cluster
+            //    (anchor 0) move, so a single cross edge cannot yank an
+            //    established vertex out of its community (churn guard).
+            let cu = cluster_of[u as usize];
+            let cv = cluster_of[v as usize];
+            if cu != cv && vol[cu as usize] < vmax && vol[cv as usize] < vmax {
+                let du = u64::from(degree[u as usize]);
+                let dv = u64::from(degree[v as usize]);
+                let (mover, mover_deg, dest) = if vol[cu as usize] <= vol[cv as usize] {
+                    (u, du, cv)
+                } else {
+                    (v, dv, cu)
+                };
+                let anchor = vol[cluster_of[mover as usize] as usize] - mover_deg;
+                let headroom_ok = vol[dest as usize] + mover_deg <= vmax;
+                let allowed = match migration {
+                    MigrationPolicy::Paper => true,
+                    MigrationPolicy::Headroom => headroom_ok,
+                    MigrationPolicy::Anchored => anchor == 0 && headroom_ok,
+                };
+                if allowed {
+                    migrate(mover, dest, &mut cluster_of, &degree, &mut vol);
+                    migrations += 1;
+                }
             }
         }
-    }
+    });
 
     // Compact raw cluster ids (dropping emptied ones) in creation order, so
     // dense ids keep the stream-locality property §V-D relies on.

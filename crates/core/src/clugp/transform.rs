@@ -18,7 +18,7 @@
 
 use super::clustering::{ClusteringResult, NO_CLUSTER};
 use crate::error::{PartitionError, Result};
-use clugp_graph::stream::EdgeStream;
+use clugp_graph::stream::{for_each_chunk, EdgeStream, DEFAULT_CHUNK_EDGES};
 
 /// Output of the transformation pass.
 #[derive(Debug, Clone)]
@@ -56,62 +56,64 @@ pub fn transform(
     // grow, so full partitions stay full and the scan is O(1) amortized.
     let mut cursor = 0u32;
 
-    while let Some(e) = stream.next_edge() {
-        let (u, v) = (e.src as usize, e.dst as usize);
-        let cu = clustering.cluster_of[u];
-        let cv = clustering.cluster_of[v];
-        debug_assert_ne!(cu, NO_CLUSTER, "pass 3 saw a vertex pass 1 did not");
-        debug_assert_ne!(cv, NO_CLUSTER, "pass 3 saw a vertex pass 1 did not");
-        let pu = cluster_partition[cu as usize];
-        let pv = cluster_partition[cv as usize];
+    for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+        for &e in chunk {
+            let (u, v) = (e.src as usize, e.dst as usize);
+            let cu = clustering.cluster_of[u];
+            let cv = clustering.cluster_of[v];
+            debug_assert_ne!(cu, NO_CLUSTER, "pass 3 saw a vertex pass 1 did not");
+            debug_assert_ne!(cv, NO_CLUSTER, "pass 3 saw a vertex pass 1 did not");
+            let pu = cluster_partition[cu as usize];
+            let pv = cluster_partition[cv as usize];
 
-        let p = if loads[pu as usize] >= lmax || loads[pv as usize] >= lmax {
-            balance_reroutes += 1;
-            if loads[pu as usize] < lmax {
+            let p = if loads[pu as usize] >= lmax || loads[pv as usize] >= lmax {
+                balance_reroutes += 1;
+                if loads[pu as usize] < lmax {
+                    pu
+                } else if loads[pv as usize] < lmax {
+                    pv
+                } else {
+                    while loads[cursor as usize] >= lmax {
+                        cursor += 1;
+                        debug_assert!(cursor < k, "no partition under Lmax: infeasible cap");
+                    }
+                    cursor
+                }
+            } else if pu == pv {
                 pu
-            } else if loads[pv as usize] < lmax {
-                pv
             } else {
-                while loads[cursor as usize] >= lmax {
-                    cursor += 1;
-                    debug_assert!(cursor < k, "no partition under Lmax: infeasible cap");
-                }
-                cursor
-            }
-        } else if pu == pv {
-            pu
-        } else {
-            let du = clustering.degree[u];
-            let dv = clustering.degree[v];
-            match (clustering.divided[u], clustering.divided[v]) {
-                // Both already replicated: cut the higher-degree one, i.e.
-                // follow the lower-degree endpoint (§IV note on divided
-                // vertices).
-                (true, true) => {
-                    if du <= dv {
-                        pu
-                    } else {
-                        pv
+                let du = clustering.degree[u];
+                let dv = clustering.degree[v];
+                match (clustering.divided[u], clustering.divided[v]) {
+                    // Both already replicated: cut the higher-degree one, i.e.
+                    // follow the lower-degree endpoint (§IV note on divided
+                    // vertices).
+                    (true, true) => {
+                        if du <= dv {
+                            pu
+                        } else {
+                            pv
+                        }
+                    }
+                    (true, false) => pv, // u has mirrors: cutting it again is cheap
+                    (false, true) => pu,
+                    (false, false) => {
+                        if dv > du {
+                            pu // cut v, the higher-degree endpoint
+                        } else if du > dv {
+                            pv
+                        } else if loads[pu as usize] <= loads[pv as usize] {
+                            pu
+                        } else {
+                            pv
+                        }
                     }
                 }
-                (true, false) => pv, // u has mirrors: cutting it again is cheap
-                (false, true) => pu,
-                (false, false) => {
-                    if dv > du {
-                        pu // cut v, the higher-degree endpoint
-                    } else if du > dv {
-                        pv
-                    } else if loads[pu as usize] <= loads[pv as usize] {
-                        pu
-                    } else {
-                        pv
-                    }
-                }
-            }
-        };
-        loads[p as usize] += 1;
-        assignments.push(p);
-    }
+            };
+            loads[p as usize] += 1;
+            assignments.push(p);
+        }
+    });
 
     Ok(TransformResult {
         assignments,

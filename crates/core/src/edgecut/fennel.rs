@@ -5,7 +5,7 @@
 //! setting.
 
 use super::metrics::VertexPartitioning;
-use super::stream::VertexStream;
+use super::stream::{VertexStream, DEFAULT_CHUNK_VERTICES};
 use super::VertexPartitioner;
 use crate::error::{PartitionError, Result};
 
@@ -53,39 +53,41 @@ impl VertexPartitioner for Fennel {
         let mut counts = vec![0u64; k as usize];
         let mut neighbor_hits = vec![0u64; k as usize];
         stream.reset();
-        while let Some(rec) = stream.next_vertex() {
-            neighbor_hits.iter_mut().for_each(|h| *h = 0);
-            for &nb in rec.neighbors {
-                let p = assignment[nb as usize];
-                if p != u32::MAX {
-                    neighbor_hits[p as usize] += 1;
+        while let Some(chunk) = stream.next_chunk(DEFAULT_CHUNK_VERTICES) {
+            for rec in chunk {
+                neighbor_hits.iter_mut().for_each(|h| *h = 0);
+                for &nb in rec.neighbors {
+                    let p = assignment[nb as usize];
+                    if p != u32::MAX {
+                        neighbor_hits[p as usize] += 1;
+                    }
                 }
+                let mut best: Option<(u32, f64)> = None;
+                for p in 0..k {
+                    if counts[p as usize] >= cap {
+                        continue; // hard slack cap
+                    }
+                    let load = counts[p as usize] as f64;
+                    let score = neighbor_hits[p as usize] as f64
+                        - self.gamma * alpha * load.powf(self.gamma - 1.0);
+                    match best {
+                        Some((_, bs)) if bs >= score => {}
+                        _ => best = Some((p, score)),
+                    }
+                }
+                // All partitions capped can only happen with pathological
+                // slack; fall back to the least-loaded partition.
+                let chosen = best.map(|(p, _)| p).unwrap_or_else(|| {
+                    counts
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &c)| c)
+                        .map(|(p, _)| p as u32)
+                        .expect("k >= 1")
+                });
+                assignment[rec.vertex as usize] = chosen;
+                counts[chosen as usize] += 1;
             }
-            let mut best: Option<(u32, f64)> = None;
-            for p in 0..k {
-                if counts[p as usize] >= cap {
-                    continue; // hard slack cap
-                }
-                let load = counts[p as usize] as f64;
-                let score = neighbor_hits[p as usize] as f64
-                    - self.gamma * alpha * load.powf(self.gamma - 1.0);
-                match best {
-                    Some((_, bs)) if bs >= score => {}
-                    _ => best = Some((p, score)),
-                }
-            }
-            // All partitions capped can only happen with pathological slack;
-            // fall back to the least-loaded partition.
-            let chosen = best.map(|(p, _)| p).unwrap_or_else(|| {
-                counts
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, &c)| c)
-                    .map(|(p, _)| p as u32)
-                    .expect("k >= 1")
-            });
-            assignment[rec.vertex as usize] = chosen;
-            counts[chosen as usize] += 1;
         }
         Ok(VertexPartitioning { k, assignment })
     }

@@ -4,7 +4,7 @@
 //! linear capacity penalty.
 
 use super::metrics::VertexPartitioning;
-use super::stream::VertexStream;
+use super::stream::{VertexStream, DEFAULT_CHUNK_VERTICES};
 use super::VertexPartitioner;
 use crate::error::{PartitionError, Result};
 
@@ -28,28 +28,30 @@ impl VertexPartitioner for Ldg {
         let mut counts = vec![0u64; k as usize];
         let mut neighbor_hits = vec![0u64; k as usize];
         stream.reset();
-        while let Some(rec) = stream.next_vertex() {
-            neighbor_hits.iter_mut().for_each(|h| *h = 0);
-            for &nb in rec.neighbors {
-                let p = assignment[nb as usize];
-                if p != u32::MAX {
-                    neighbor_hits[p as usize] += 1;
+        while let Some(chunk) = stream.next_chunk(DEFAULT_CHUNK_VERTICES) {
+            for rec in chunk {
+                neighbor_hits.iter_mut().for_each(|h| *h = 0);
+                for &nb in rec.neighbors {
+                    let p = assignment[nb as usize];
+                    if p != u32::MAX {
+                        neighbor_hits[p as usize] += 1;
+                    }
                 }
-            }
-            let mut best = 0u32;
-            let mut best_score = f64::NEG_INFINITY;
-            for p in 0..k {
-                let weight = 1.0 - counts[p as usize] as f64 / capacity;
-                // +1 keeps the capacity factor decisive when no neighbor is
-                // placed yet (pure balance), the standard LDG tweak.
-                let score = (neighbor_hits[p as usize] as f64 + 1.0) * weight;
-                if score > best_score {
-                    best_score = score;
-                    best = p;
+                let mut best = 0u32;
+                let mut best_score = f64::NEG_INFINITY;
+                for p in 0..k {
+                    let weight = 1.0 - counts[p as usize] as f64 / capacity;
+                    // +1 keeps the capacity factor decisive when no neighbor
+                    // is placed yet (pure balance), the standard LDG tweak.
+                    let score = (neighbor_hits[p as usize] as f64 + 1.0) * weight;
+                    if score > best_score {
+                        best_score = score;
+                        best = p;
+                    }
                 }
+                assignment[rec.vertex as usize] = best;
+                counts[best as usize] += 1;
             }
-            assignment[rec.vertex as usize] = best;
-            counts[best as usize] += 1;
         }
         Ok(VertexPartitioning { k, assignment })
     }

@@ -25,7 +25,7 @@ mod stream;
 pub use fennel::Fennel;
 pub use ldg::Ldg;
 pub use metrics::{EdgeCutQuality, VertexPartitioning};
-pub use stream::{vertex_stream_from_graph, VertexRecord, VertexStream};
+pub use stream::{vertex_stream_from_graph, VertexChunk, VertexRecord, VertexStream};
 
 use crate::error::Result;
 

@@ -1,9 +1,17 @@
 //! The vertex-streaming model for edge-cut partitioning: vertices arrive
 //! one at a time together with their full (undirected) neighbor list — the
 //! model of Stanton–Kliot and Fennel.
+//!
+//! Mirroring the chunked edge-stream ABI, consumers pull *blocks* of
+//! vertices via [`VertexStream::next_chunk`] (one cursor check per block,
+//! records decoded straight off the CSR arrays) instead of paying a call and
+//! an `Option` branch per vertex.
 
 use clugp_graph::csr::CsrGraph;
 use clugp_graph::types::VertexId;
+
+/// Default number of vertex records per chunk pull.
+pub const DEFAULT_CHUNK_VERTICES: usize = 1024;
 
 /// One arriving vertex with its undirected neighborhood.
 #[derive(Debug, Clone)]
@@ -49,32 +57,96 @@ impl VertexStream {
         })
     }
 
+    /// Lends an iterator over the next block of up to `cap` vertex records
+    /// and advances the cursor past them; `None` at the end of the stream.
+    ///
+    /// Records are yielded in the same order `next_vertex` would produce, so
+    /// any chunking is result-identical to the per-vertex pull.
+    pub fn next_chunk(&mut self, cap: usize) -> Option<VertexChunk<'_>> {
+        let n = self.num_vertices();
+        let remaining = n - u64::from(self.cursor);
+        if remaining == 0 {
+            return None;
+        }
+        let take = remaining.min(cap.max(1) as u64) as u32;
+        let start = self.cursor;
+        self.cursor += take;
+        Some(VertexChunk {
+            vertex: start,
+            end: start + take,
+            offsets: &self.offsets,
+            neighbors: &self.neighbors,
+        })
+    }
+
     /// Rewinds to the first vertex.
     pub fn reset(&mut self) {
         self.cursor = 0;
     }
 }
 
+/// A borrowed block of consecutive vertex records (see
+/// [`VertexStream::next_chunk`]).
+#[derive(Debug)]
+pub struct VertexChunk<'a> {
+    vertex: u32,
+    end: u32,
+    offsets: &'a [u64],
+    neighbors: &'a [VertexId],
+}
+
+impl<'a> Iterator for VertexChunk<'a> {
+    type Item = VertexRecord<'a>;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexRecord<'a>> {
+        if self.vertex >= self.end {
+            return None;
+        }
+        let v = self.vertex;
+        self.vertex += 1;
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        Some(VertexRecord {
+            vertex: v,
+            neighbors: &self.neighbors[lo..hi],
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.vertex) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for VertexChunk<'_> {}
+
 /// Builds the undirected vertex stream of `graph` (neighbors = out ∪ in).
 pub fn vertex_stream_from_graph(graph: &CsrGraph) -> VertexStream {
     let n = graph.num_vertices() as usize;
-    let mut deg = vec![0u64; n];
-    for e in graph.edges() {
-        deg[e.src as usize] += 1;
-        deg[e.dst as usize] += 1;
-    }
+    // Exclusive-prefix-shift CSR build (no cloned cursor vector): count
+    // degrees, prefix-sum into bucket starts, bump the starts to ends while
+    // scattering, then shift right once to restore canonical offsets.
     let mut offsets = vec![0u64; n + 1];
-    for i in 0..n {
-        offsets[i + 1] = offsets[i] + deg[i];
-    }
-    let mut cursor = offsets.clone();
-    let mut neighbors = vec![0 as VertexId; offsets[n] as usize];
     for e in graph.edges() {
-        neighbors[cursor[e.src as usize] as usize] = e.dst;
-        cursor[e.src as usize] += 1;
-        neighbors[cursor[e.dst as usize] as usize] = e.src;
-        cursor[e.dst as usize] += 1;
+        offsets[e.src as usize] += 1;
+        offsets[e.dst as usize] += 1;
     }
+    let mut acc = 0u64;
+    for o in offsets.iter_mut() {
+        let count = *o;
+        *o = acc;
+        acc += count;
+    }
+    let mut neighbors = vec![0 as VertexId; acc as usize];
+    for e in graph.edges() {
+        neighbors[offsets[e.src as usize] as usize] = e.dst;
+        offsets[e.src as usize] += 1;
+        neighbors[offsets[e.dst as usize] as usize] = e.src;
+        offsets[e.dst as usize] += 1;
+    }
+    offsets.copy_within(0..n, 1);
+    offsets[0] = 0;
     VertexStream {
         offsets,
         neighbors,
@@ -116,5 +188,39 @@ mod tests {
         let s = vertex_stream_from_graph(&g);
         assert_eq!(s.num_vertices(), 3);
         assert_eq!(s.total_adjacency(), 4);
+    }
+
+    #[test]
+    fn chunked_records_match_per_vertex_records() {
+        let edges: Vec<Edge> = (0..200u32)
+            .map(|i| Edge::new(i % 40, (i * 7 + 1) % 40))
+            .collect();
+        let g = CsrGraph::from_edges(40, &edges).unwrap();
+        let mut per_vertex = vertex_stream_from_graph(&g);
+        let mut reference: Vec<(VertexId, Vec<VertexId>)> = Vec::new();
+        while let Some(r) = per_vertex.next_vertex() {
+            reference.push((r.vertex, r.neighbors.to_vec()));
+        }
+        for cap in [1usize, 7, 4096] {
+            let mut s = vertex_stream_from_graph(&g);
+            let mut seen = Vec::new();
+            while let Some(chunk) = s.next_chunk(cap) {
+                for r in chunk {
+                    seen.push((r.vertex, r.neighbors.to_vec()));
+                }
+            }
+            assert_eq!(seen, reference, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_and_exhaustion() {
+        let g = CsrGraph::from_edges(5, &[Edge::new(0, 1)]).unwrap();
+        let mut s = vertex_stream_from_graph(&g);
+        assert_eq!(s.next_chunk(3).unwrap().len(), 3);
+        assert_eq!(s.next_chunk(3).unwrap().len(), 2);
+        assert!(s.next_chunk(3).is_none());
+        s.reset();
+        assert_eq!(s.next_chunk(100).unwrap().len(), 5);
     }
 }

@@ -77,10 +77,19 @@ fn read_header<R: Read>(r: &mut R) -> Result<(u64, u64)> {
 
 /// A resettable edge stream backed by a binary graph file.
 ///
-/// Reads through a [`BufReader`] in 8-byte records; `reset` seeks back to the
-/// start of the edge payload. This is the source used by the Figure 10(a)
-/// compute/I-O breakdown, where CLUGP's three passes really do read the file
-/// three times.
+/// Chunked pulls ([`EdgeStream::next_chunk`]) read whole blocks of records
+/// in bulk `read` calls into a reused scratch buffer and decode them in a
+/// tight loop; the per-edge path reads 8-byte records through the
+/// [`BufReader`]. `reset` seeks back to the start of the edge payload. This
+/// is the source used by the Figure 10(a) compute/I-O breakdown, where
+/// CLUGP's three passes really do read the file three times.
+///
+/// A *truncated* file ends the stream early (callers comparing against
+/// [`EdgeStream::len_hint`] can detect the shortfall); a genuine I/O error
+/// also ends the stream but parks the error in [`FileEdgeStream::error`],
+/// and the next [`RestreamableStream::reset`] reports it — same contract as
+/// [`crate::io::edge_list::TextEdgeStream`], so a restreaming consumer
+/// cannot silently loop over a half-read stream.
 #[derive(Debug)]
 pub struct FileEdgeStream {
     reader: BufReader<std::fs::File>,
@@ -88,6 +97,9 @@ pub struct FileEdgeStream {
     num_vertices: u64,
     num_edges: u64,
     yielded: u64,
+    /// Scratch for block decodes; grown to one chunk's bytes and reused.
+    raw: Vec<u8>,
+    error: Option<GraphError>,
 }
 
 impl FileEdgeStream {
@@ -102,6 +114,8 @@ impl FileEdgeStream {
             num_vertices,
             num_edges,
             yielded: 0,
+            raw: Vec::new(),
+            error: None,
         })
     }
 
@@ -109,11 +123,19 @@ impl FileEdgeStream {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// The I/O error that ended the stream early, if any. (Also reported by
+    /// the next [`RestreamableStream::reset`].) Truncation is not an error
+    /// here — compare yielded edges against [`EdgeStream::len_hint`] for
+    /// that.
+    pub fn error(&self) -> Option<&GraphError> {
+        self.error.as_ref()
+    }
 }
 
 impl EdgeStream for FileEdgeStream {
     fn next_edge(&mut self) -> Option<Edge> {
-        if self.yielded >= self.num_edges {
+        if self.yielded >= self.num_edges || self.error.is_some() {
             return None;
         }
         let mut rec = [0u8; 8];
@@ -125,10 +147,52 @@ impl EdgeStream for FileEdgeStream {
                 let dst = cursor.get_u32_le();
                 Some(Edge { src, dst })
             }
-            // Truncated file: end the stream. Callers comparing against
-            // len_hint can detect the shortfall.
-            Err(_) => None,
+            // Truncated file: end the stream (detectable via len_hint).
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => None,
+            // Real I/O failure: end the stream and park the error for
+            // error()/reset().
+            Err(e) => {
+                self.error = Some(GraphError::from(e));
+                None
+            }
         }
+    }
+
+    fn next_chunk(&mut self, buf: &mut Vec<Edge>, cap: usize) -> usize {
+        buf.clear();
+        if self.error.is_some() {
+            return 0;
+        }
+        let remaining = (self.num_edges - self.yielded) as usize;
+        let want = cap.max(1).min(remaining);
+        if want == 0 {
+            return 0;
+        }
+        let want_bytes = want * 8;
+        self.raw.resize(want_bytes, 0);
+        let mut filled = 0usize;
+        while filled < want_bytes {
+            match self.reader.read(&mut self.raw[filled..want_bytes]) {
+                Ok(0) => break, // truncated file: decode what we have
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.error = Some(GraphError::from(e));
+                    break;
+                }
+            }
+        }
+        // A trailing partial record (truncated file) is dropped, matching
+        // the per-edge path's end-early behavior.
+        let complete = filled / 8;
+        buf.reserve(complete);
+        for rec in self.raw[..complete * 8].chunks_exact(8) {
+            let src = u32::from_le_bytes(rec[..4].try_into().expect("4-byte field"));
+            let dst = u32::from_le_bytes(rec[4..].try_into().expect("4-byte field"));
+            buf.push(Edge { src, dst });
+        }
+        self.yielded += complete as u64;
+        complete
     }
 
     fn len_hint(&self) -> Option<u64> {
@@ -141,10 +205,20 @@ impl EdgeStream for FileEdgeStream {
 }
 
 impl RestreamableStream for FileEdgeStream {
+    /// Rewinds to the first edge record.
+    ///
+    /// # Errors
+    ///
+    /// Fails on seek errors, or reports (and clears) the I/O error that
+    /// ended the previous pass early.
     fn reset(&mut self) -> Result<()> {
+        let parked = self.error.take();
         self.reader.seek(SeekFrom::Start(HEADER_LEN))?;
         self.yielded = 0;
-        Ok(())
+        match parked {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -228,10 +302,55 @@ mod tests {
             read_binary_graph(&path).unwrap_err(),
             GraphError::Format(_)
         ));
-        // The streaming reader ends early instead of erroring.
+        // The streaming reader ends early instead of erroring; truncation
+        // parks no error (it's detectable via len_hint), so reset stays Ok.
         let mut s = FileEdgeStream::open(&path).unwrap();
         let edges = collect_stream(&mut s);
         assert_eq!(edges.len(), 3);
+        assert!(s.error().is_none());
+        s.reset().unwrap();
+        assert_eq!(collect_stream(&mut s).len(), 3);
+    }
+
+    #[test]
+    fn chunked_reads_match_per_edge_reads() {
+        let path = tmp("chunked.bin");
+        let edges: Vec<Edge> = (0..1000u32).map(|i| Edge::new(i, (i * 7) % 1000)).collect();
+        write_binary_graph(&path, 1000, &edges).unwrap();
+        for cap in [1usize, 7, 256, 4096] {
+            let mut s = FileEdgeStream::open(&path).unwrap();
+            let mut seen = Vec::new();
+            let mut buf = Vec::new();
+            while s.next_chunk(&mut buf, cap) != 0 {
+                seen.extend_from_slice(&buf);
+            }
+            assert_eq!(seen, edges, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn chunked_read_of_truncated_payload_ends_early() {
+        let path = tmp("trunc_chunk.bin");
+        write_binary_graph(&path, 3, &sample()).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 4]).unwrap();
+        let mut s = FileEdgeStream::open(&path).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(s.next_chunk(&mut buf, 4096), 3);
+        assert_eq!(buf, sample()[..3]);
+        assert_eq!(s.next_chunk(&mut buf, 4096), 0);
+    }
+
+    #[test]
+    fn chunked_stream_resets() {
+        let path = tmp("chunk_reset.bin");
+        write_binary_graph(&path, 3, &sample()).unwrap();
+        let mut s = FileEdgeStream::open(&path).unwrap();
+        let first = collect_stream(&mut s);
+        s.reset().unwrap();
+        let second = collect_stream(&mut s);
+        assert_eq!(first, sample());
+        assert_eq!(first, second);
     }
 
     #[test]

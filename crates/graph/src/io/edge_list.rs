@@ -2,9 +2,10 @@
 //! the de-facto exchange format of SNAP/WebGraph-derived datasets.
 
 use crate::error::{GraphError, Result};
+use crate::stream::{EdgeStream, RestreamableStream};
 use crate::types::Edge;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::{BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 /// Reads a text edge list. Lines starting with `#` or `%` and blank lines
 /// are skipped. Each data line must contain two unsigned integers.
@@ -47,6 +48,167 @@ fn parse_field(field: Option<&str>, line: u64) -> Result<u32> {
         line,
         message: format!("bad vertex id {s:?}: {e}"),
     })
+}
+
+/// A resettable edge stream over a text edge list, parsing lazily so the
+/// whole file never has to sit in memory.
+///
+/// Lines are pulled through a [`BufReader`] (real buffered block reads);
+/// chunked pulls ([`EdgeStream::next_chunk`]) parse a block of lines per
+/// virtual dispatch. Comment (`#`/`%`) and blank lines are skipped.
+///
+/// [`TextEdgeStream::open`] validates the whole file up front (one extra
+/// buffered pass) so a malformed line fails loudly at open time — never as
+/// a silently truncated partition — and the stream carries exact
+/// [`EdgeStream::len_hint`]/[`EdgeStream::num_vertices_hint`] values, which
+/// CLUGP needs for `Vmax = |E|/k`. [`TextEdgeStream::open_lazy`] skips the
+/// validation pass for trusted or too-large-to-rescan inputs; there a
+/// malformed line ends the stream early (mirroring the truncation behavior
+/// of the binary [`crate::io::binary::FileEdgeStream`]), parks the error in
+/// [`TextEdgeStream::error`], and the next [`RestreamableStream::reset`]
+/// reports it, so multi-pass consumers cannot keep re-reading a truncated
+/// stream unknowingly.
+#[derive(Debug)]
+pub struct TextEdgeStream {
+    reader: BufReader<std::fs::File>,
+    path: PathBuf,
+    line: String,
+    line_no: u64,
+    done: bool,
+    error: Option<GraphError>,
+    num_edges: Option<u64>,
+    num_vertices: Option<u64>,
+}
+
+impl TextEdgeStream {
+    /// Opens `path`, validating every line in one buffered pre-pass and
+    /// recording exact edge/vertex hints.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or on the first malformed line (same contract as
+    /// [`read_edge_list`]).
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut s = Self::open_lazy(path)?;
+        let mut edges = 0u64;
+        let mut max_id: Option<u32> = None;
+        while let Some(e) = s.parse_next() {
+            edges += 1;
+            let hi = e.src.max(e.dst);
+            max_id = Some(max_id.map_or(hi, |m| m.max(hi)));
+        }
+        if let Some(err) = s.error.take() {
+            return Err(err);
+        }
+        s.num_edges = Some(edges);
+        s.num_vertices = Some(max_id.map_or(0, |m| u64::from(m) + 1));
+        s.reset()?;
+        Ok(s)
+    }
+
+    /// Opens `path` without the validation pre-pass: hints are `None` and a
+    /// malformed line ends the stream early with the error parked (see the
+    /// type docs for the failure contract).
+    pub fn open_lazy(path: &Path) -> Result<Self> {
+        let file = std::fs::File::open(path)?;
+        Ok(TextEdgeStream {
+            reader: BufReader::new(file),
+            path: path.to_path_buf(),
+            line: String::new(),
+            line_no: 0,
+            done: false,
+            error: None,
+            num_edges: None,
+            num_vertices: None,
+        })
+    }
+
+    /// The file this stream reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The parse error that ended the stream early, if any. (Also reported
+    /// by the next [`RestreamableStream::reset`].)
+    pub fn error(&self) -> Option<&GraphError> {
+        self.error.as_ref()
+    }
+
+    fn parse_next(&mut self) -> Option<Edge> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            let n = match self.reader.read_line(&mut self.line) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.done = true;
+                    self.error = Some(GraphError::from(e));
+                    return None;
+                }
+            };
+            if n == 0 {
+                self.done = true;
+                return None;
+            }
+            self.line_no += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+                continue;
+            }
+            let mut it = trimmed.split_whitespace();
+            let parsed = parse_field(it.next(), self.line_no)
+                .and_then(|src| parse_field(it.next(), self.line_no).map(|dst| Edge { src, dst }));
+            match parsed {
+                Ok(e) => return Some(e),
+                Err(e) => {
+                    self.done = true;
+                    self.error = Some(e);
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl EdgeStream for TextEdgeStream {
+    // `next_chunk` is deliberately not overridden: the trait default loops
+    // `next_edge`, which statically dispatches to `parse_next` here — an
+    // override would duplicate it byte for byte. The chunking win for this
+    // source is the BufReader's block reads plus one virtual dispatch per
+    // chunk at the consumer, both of which the default already provides.
+    fn next_edge(&mut self) -> Option<Edge> {
+        self.parse_next()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.num_edges
+    }
+
+    fn num_vertices_hint(&self) -> Option<u64> {
+        self.num_vertices
+    }
+}
+
+impl RestreamableStream for TextEdgeStream {
+    /// Rewinds to the start of the file.
+    ///
+    /// # Errors
+    ///
+    /// Fails on seek errors, or — for lazily opened streams — reports (and
+    /// clears) the parse/I-O error that ended the previous pass early, so a
+    /// restreaming consumer cannot silently loop over a truncated stream.
+    fn reset(&mut self) -> Result<()> {
+        let parked = self.error.take();
+        self.reader.seek(SeekFrom::Start(0))?;
+        self.line_no = 0;
+        self.done = false;
+        match parked {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 }
 
 /// Writes edges as a text edge list with a provenance header comment.
@@ -103,6 +265,80 @@ mod tests {
         let back = read_edge_list(&path).unwrap();
         assert_eq!(back, edges);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("clugp_text_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn text_stream_matches_eager_reader() {
+        let path = tmp("stream.txt");
+        let edges: Vec<Edge> = (0..500u32).map(|i| Edge::new(i, (i * 3) % 500)).collect();
+        write_edge_list(&path, &edges).unwrap();
+        let mut s = TextEdgeStream::open(&path).unwrap();
+        // The validating open records exact hints.
+        assert_eq!(s.len_hint(), Some(500));
+        assert_eq!(s.num_vertices_hint(), Some(500));
+        let streamed = crate::stream::collect_stream(&mut s);
+        assert_eq!(streamed, read_edge_list(&path).unwrap());
+        assert!(s.error().is_none());
+        // The lazy open streams the same edges, just without hints.
+        let mut lazy = TextEdgeStream::open_lazy(&path).unwrap();
+        assert_eq!(lazy.len_hint(), None);
+        assert_eq!(crate::stream::collect_stream(&mut lazy), streamed);
+    }
+
+    #[test]
+    fn text_stream_resets() {
+        let path = tmp("reset.txt");
+        write_edge_list(&path, &[Edge::new(0, 1), Edge::new(2, 3)]).unwrap();
+        let mut s = TextEdgeStream::open(&path).unwrap();
+        let first = crate::stream::collect_stream(&mut s);
+        s.reset().unwrap();
+        let second = crate::stream::collect_stream(&mut s);
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 2);
+    }
+
+    #[test]
+    fn text_stream_chunked_pulls_skip_comments() {
+        let path = tmp("comments.txt");
+        std::fs::write(&path, "# header\n0 1\n\n% note\n2 3\n4 5\n").unwrap();
+        let mut s = TextEdgeStream::open(&path).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(s.next_chunk(&mut buf, 2), 2);
+        assert_eq!(buf, vec![Edge::new(0, 1), Edge::new(2, 3)]);
+        assert_eq!(s.next_chunk(&mut buf, 2), 1);
+        assert_eq!(buf, vec![Edge::new(4, 5)]);
+        assert_eq!(s.next_chunk(&mut buf, 2), 0);
+    }
+
+    #[test]
+    fn validating_open_rejects_malformed_file() {
+        let path = tmp("bad_open.txt");
+        std::fs::write(&path, "0 1\nnot numbers\n2 3\n").unwrap();
+        let err = TextEdgeStream::open(&path).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn lazy_stream_parks_parse_error_and_reset_reports_it() {
+        let path = tmp("bad.txt");
+        std::fs::write(&path, "0 1\nnot numbers\n2 3\n").unwrap();
+        let mut s = TextEdgeStream::open_lazy(&path).unwrap();
+        assert_eq!(s.next_edge(), Some(Edge::new(0, 1)));
+        assert_eq!(s.next_edge(), None);
+        assert!(matches!(s.error(), Some(GraphError::Parse { line: 2, .. })));
+        // The next reset surfaces the parked error (a restreaming consumer
+        // cannot silently loop over the truncated stream)...
+        let err = s.reset().unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        // ...after which the stream is rewound and replays the good prefix.
+        assert!(s.error().is_none());
+        assert_eq!(s.next_edge(), Some(Edge::new(0, 1)));
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!   analysis, and the execution engine.
 //! * [`stream`] — the edge-streaming model of the paper (Definition 1):
 //!   single-pass [`stream::EdgeStream`]s and resettable
-//!   [`stream::RestreamableStream`]s for CLUGP's three-pass architecture.
+//!   [`stream::RestreamableStream`]s for CLUGP's three-pass architecture,
+//!   with a chunked-pull ABI ([`stream::EdgeStream::next_chunk`] /
+//!   [`stream::for_each_chunk`]) so hot loops pay one virtual dispatch per
+//!   block of edges, not one per edge (see DESIGN.md §2).
 //! * [`order`] — BFS crawl order (the paper's assumed web-graph stream
 //!   order), random order, and vertex relabeling.
 //! * [`gen`] — synthetic web/social graph generators substituting for the

@@ -1,26 +1,100 @@
 //! The edge-streaming graph model (paper Definition 1).
 //!
-//! A streaming partitioner consumes edges one at a time through
-//! [`EdgeStream`]. One-pass algorithms (Hashing, DBH, Greedy, HDRF) need only
-//! that; CLUGP's three-pass restreaming architecture additionally needs
+//! A streaming partitioner consumes edges through [`EdgeStream`]. One-pass
+//! algorithms (Hashing, DBH, Greedy, HDRF) need only that; CLUGP's
+//! three-pass restreaming architecture additionally needs
 //! [`RestreamableStream::reset`] to rewind the stream between passes.
+//!
+//! # Chunked pulls
+//!
+//! The ABI is *chunked*: the hot path is [`EdgeStream::next_chunk`] (copy a
+//! block of edges into a caller buffer) with an optional zero-copy
+//! [`EdgeStream::next_slice`] fast path for memory-backed sources. The
+//! per-edge [`EdgeStream::next_edge`] remains for convenience and as the
+//! compatibility default — `next_chunk` has a default implementation that
+//! loops `next_edge`, so a third-party stream that only implements the
+//! per-edge method keeps working unchanged. Consumers drive streams with
+//! [`for_each_chunk`] and iterate tight `&[Edge]` loops, paying one virtual
+//! dispatch per *chunk* instead of one per *edge*.
+//!
+//! Chunk boundaries are **not semantic**: a source may return fewer than the
+//! requested number of edges at any time (block boundaries, internal buffer
+//! sizes); only an empty chunk means exhaustion. Consumers must therefore be
+//! insensitive to where chunks split — all in-tree consumers produce
+//! bit-identical results for any chunking of the same edge sequence (see
+//! `tests/chunked_equivalence.rs`).
 //!
 //! Two concrete sources are provided: [`InMemoryStream`] over a `Vec<Edge>`
 //! and `FileEdgeStream` (in [`crate::io::binary`]) over the on-disk binary
 //! format. The latter is what the Figure 10(a) experiment uses to separate
-//! I/O cost from computation cost.
+//! I/O cost from computation cost. [`PerEdgeStream`] and [`ChunkLimited`]
+//! wrap any stream to force the legacy per-edge pull path or an arbitrary
+//! chunk granularity — the A/B levers of the throughput benchmark and the
+//! equivalence suite.
 
 use crate::error::Result;
 use crate::types::Edge;
+
+/// Default number of edges per chunk pull.
+///
+/// 4096 edges = 32 KiB of `Edge` payload — large enough to amortize the
+/// virtual dispatch and buffer bookkeeping to noise, small enough to stay
+/// L1/L2-resident while the consumer's tables are hot. The throughput
+/// experiment (`experiments throughput`) sweeps sizes around this value.
+pub const DEFAULT_CHUNK_EDGES: usize = 4096;
 
 /// A single-pass stream of directed edges.
 ///
 /// Implementors yield edges in *stream order*; the order is significant
 /// (the paper evaluates BFS order for CLUGP/Mint and random order for the
 /// other baselines).
+///
+/// Only [`next_edge`](EdgeStream::next_edge) and the hints are required;
+/// [`next_chunk`](EdgeStream::next_chunk) and
+/// [`next_slice`](EdgeStream::next_slice) have compatibility defaults, so an
+/// implementor written against the per-edge ABI compiles and behaves
+/// identically under chunked consumers.
 pub trait EdgeStream {
     /// Returns the next edge, or `None` when the stream is exhausted.
     fn next_edge(&mut self) -> Option<Edge>;
+
+    /// Pulls the next block of up to `cap` edges into `buf`.
+    ///
+    /// `buf` is cleared first; the return value equals `buf.len()`. A return
+    /// of `0` means the stream is exhausted — implementations treat
+    /// `cap == 0` as 1, so an empty chunk *always* means exhaustion, even
+    /// for consumers that compute `cap` dynamically. A source **may** return
+    /// fewer than `cap` edges while more remain (e.g. at an internal block
+    /// boundary) — consumers must keep pulling until an empty chunk and must
+    /// not attach meaning to chunk boundaries.
+    ///
+    /// The default implementation loops [`next_edge`](EdgeStream::next_edge),
+    /// preserving the per-edge ABI for implementors that don't override it.
+    fn next_chunk(&mut self, buf: &mut Vec<Edge>, cap: usize) -> usize {
+        let cap = cap.max(1);
+        buf.clear();
+        while buf.len() < cap {
+            match self.next_edge() {
+                Some(e) => buf.push(e),
+                None => break,
+            }
+        }
+        buf.len()
+    }
+
+    /// Zero-copy variant of [`next_chunk`](EdgeStream::next_chunk): lends a
+    /// slice of up to `cap` edges directly from the source's backing storage
+    /// and advances the cursor past it.
+    ///
+    /// Returns `None` if this source cannot lend slices (the answer must not
+    /// change over the stream's lifetime); `Some(&[])` means the stream is
+    /// exhausted. As with `next_chunk`, implementations treat `cap == 0` as
+    /// 1 so the exhaustion signal is unambiguous. The default returns
+    /// `None`.
+    fn next_slice(&mut self, cap: usize) -> Option<&[Edge]> {
+        let _ = cap;
+        None
+    }
 
     /// Total number of edges this stream will yield over a full pass, if
     /// known. Partitioners use it to pre-size tables (e.g. `Vmax = |E|/k`).
@@ -35,8 +109,7 @@ pub trait EdgeStream {
 /// An [`EdgeStream`] that can be rewound to the beginning, enabling
 /// multi-pass (restreaming) algorithms.
 pub trait RestreamableStream: EdgeStream {
-    /// Rewinds the stream so the next `next_edge` yields the first edge
-    /// again.
+    /// Rewinds the stream so the next pull yields the first edge again.
     fn reset(&mut self) -> Result<()>;
 }
 
@@ -44,6 +117,16 @@ impl<T: EdgeStream + ?Sized> EdgeStream for &mut T {
     #[inline]
     fn next_edge(&mut self) -> Option<Edge> {
         (**self).next_edge()
+    }
+
+    #[inline]
+    fn next_chunk(&mut self, buf: &mut Vec<Edge>, cap: usize) -> usize {
+        (**self).next_chunk(buf, cap)
+    }
+
+    #[inline]
+    fn next_slice(&mut self, cap: usize) -> Option<&[Edge]> {
+        (**self).next_slice(cap)
     }
 
     fn len_hint(&self) -> Option<u64> {
@@ -61,10 +144,43 @@ impl<T: RestreamableStream + ?Sized> RestreamableStream for &mut T {
     }
 }
 
+/// Drives `stream` to exhaustion in chunks of (at most) `cap` edges, calling
+/// `f` on each non-empty chunk.
+///
+/// This is the consumer-side hot loop of the chunked ABI: one virtual
+/// dispatch per chunk, then a tight borrow-checked iteration over `&[Edge]`.
+/// Sources that lend slices ([`EdgeStream::next_slice`]) are drained
+/// zero-copy; everything else goes through one reused copy buffer.
+pub fn for_each_chunk(stream: &mut dyn EdgeStream, cap: usize, mut f: impl FnMut(&[Edge])) {
+    let cap = cap.max(1);
+    loop {
+        // Borrow-scoped slice attempt; `None` (source can't lend) drops to
+        // the copying path for the rest of the stream.
+        let lent = match stream.next_slice(cap) {
+            Some(slice) => {
+                if slice.is_empty() {
+                    return;
+                }
+                f(slice);
+                true
+            }
+            None => false,
+        };
+        if !lent {
+            let mut buf: Vec<Edge> = Vec::with_capacity(cap);
+            while stream.next_chunk(&mut buf, cap) != 0 {
+                f(&buf);
+            }
+            return;
+        }
+    }
+}
+
 /// In-memory stream over an owned edge vector.
 ///
 /// The cheapest resettable source; all experiments except the I/O-cost
-/// breakdown use it.
+/// breakdown use it. Chunked consumers drain it zero-copy through
+/// [`EdgeStream::next_slice`].
 #[derive(Debug, Clone)]
 pub struct InMemoryStream {
     edges: Vec<Edge>,
@@ -102,17 +218,36 @@ impl InMemoryStream {
 impl EdgeStream for InMemoryStream {
     #[inline]
     fn next_edge(&mut self) -> Option<Edge> {
-        let e = self.edges.get(self.cursor).copied();
-        if e.is_some() {
-            self.cursor += 1;
-        }
-        e
+        // Single bounds check: `get` both tests and fetches; the cursor bump
+        // only happens on the hit path.
+        let e = *self.edges.get(self.cursor)?;
+        self.cursor += 1;
+        Some(e)
     }
 
+    #[inline]
+    fn next_chunk(&mut self, buf: &mut Vec<Edge>, cap: usize) -> usize {
+        buf.clear();
+        let n = cap.max(1).min(self.edges.len() - self.cursor);
+        buf.extend_from_slice(&self.edges[self.cursor..self.cursor + n]);
+        self.cursor += n;
+        n
+    }
+
+    #[inline]
+    fn next_slice(&mut self, cap: usize) -> Option<&[Edge]> {
+        let n = cap.max(1).min(self.edges.len() - self.cursor);
+        let s = &self.edges[self.cursor..self.cursor + n];
+        self.cursor += n;
+        Some(s)
+    }
+
+    #[inline]
     fn len_hint(&self) -> Option<u64> {
         Some(self.edges.len() as u64)
     }
 
+    #[inline]
     fn num_vertices_hint(&self) -> Option<u64> {
         Some(self.num_vertices)
     }
@@ -131,14 +266,18 @@ pub fn collect_stream(stream: &mut dyn EdgeStream) -> Vec<Edge> {
         Some(n) => Vec::with_capacity(n as usize),
         None => Vec::new(),
     };
-    while let Some(e) = stream.next_edge() {
-        out.push(e);
-    }
+    for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+        out.extend_from_slice(chunk);
+    });
     out
 }
 
 /// A stream wrapper that counts wall-clock time spent *inside* the source,
 /// separating I/O cost from the consumer's computation (Figure 10a).
+///
+/// Time is accumulated per *pull*: chunked consumers pay one `Instant`
+/// read-pair per chunk rather than one per edge, so the accounting overhead
+/// no longer distorts the I/O share it is meant to measure.
 pub struct TimedStream<S> {
     inner: S,
     io_time: std::time::Duration,
@@ -172,6 +311,20 @@ impl<S: EdgeStream> EdgeStream for TimedStream<S> {
         e
     }
 
+    fn next_chunk(&mut self, buf: &mut Vec<Edge>, cap: usize) -> usize {
+        let t = std::time::Instant::now();
+        let n = self.inner.next_chunk(buf, cap);
+        self.io_time += t.elapsed();
+        n
+    }
+
+    fn next_slice(&mut self, cap: usize) -> Option<&[Edge]> {
+        let t = std::time::Instant::now();
+        let s = self.inner.next_slice(cap);
+        self.io_time += t.elapsed();
+        s
+    }
+
     fn len_hint(&self) -> Option<u64> {
         self.inner.len_hint()
     }
@@ -187,6 +340,116 @@ impl<S: RestreamableStream> RestreamableStream for TimedStream<S> {
         let r = self.inner.reset();
         self.io_time += t.elapsed();
         r
+    }
+}
+
+/// Forces the legacy per-edge pull path over any stream.
+///
+/// Hides the inner stream's `next_chunk`/`next_slice` overrides: every chunk
+/// pull yields at most **one** edge, so a chunked consumer pays one virtual
+/// dispatch, one branch, and one buffer round-trip per edge — the cost model
+/// of the pre-chunking ABI. This is the "per-edge" leg of the throughput
+/// benchmark and the baseline of the equivalence suite.
+#[derive(Debug, Clone)]
+pub struct PerEdgeStream<S>(S);
+
+impl<S> PerEdgeStream<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        PerEdgeStream(inner)
+    }
+
+    /// Returns the wrapped stream.
+    pub fn into_inner(self) -> S {
+        self.0
+    }
+}
+
+impl<S: EdgeStream> EdgeStream for PerEdgeStream<S> {
+    #[inline]
+    fn next_edge(&mut self) -> Option<Edge> {
+        self.0.next_edge()
+    }
+
+    fn next_chunk(&mut self, buf: &mut Vec<Edge>, _cap: usize) -> usize {
+        buf.clear();
+        if let Some(e) = self.0.next_edge() {
+            buf.push(e);
+        }
+        buf.len()
+    }
+
+    // next_slice deliberately not overridden: stays `None`, so chunked
+    // consumers fall back to the copying path above.
+
+    fn len_hint(&self) -> Option<u64> {
+        self.0.len_hint()
+    }
+
+    fn num_vertices_hint(&self) -> Option<u64> {
+        self.0.num_vertices_hint()
+    }
+}
+
+impl<S: RestreamableStream> RestreamableStream for PerEdgeStream<S> {
+    fn reset(&mut self) -> Result<()> {
+        self.0.reset()
+    }
+}
+
+/// Caps every chunk or slice pull at `limit` edges, regardless of what the
+/// consumer asks for.
+///
+/// Simulates a source with its own block granularity (a sharded reader, a
+/// small I/O buffer). Consumers must produce identical results under any
+/// `limit` — the chunk-size axis of the equivalence suite.
+#[derive(Debug, Clone)]
+pub struct ChunkLimited<S> {
+    inner: S,
+    limit: usize,
+}
+
+impl<S> ChunkLimited<S> {
+    /// Wraps `inner`, capping pulls at `limit` (≥ 1) edges.
+    pub fn new(inner: S, limit: usize) -> Self {
+        ChunkLimited {
+            inner,
+            limit: limit.max(1),
+        }
+    }
+
+    /// Returns the wrapped stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: EdgeStream> EdgeStream for ChunkLimited<S> {
+    #[inline]
+    fn next_edge(&mut self) -> Option<Edge> {
+        self.inner.next_edge()
+    }
+
+    fn next_chunk(&mut self, buf: &mut Vec<Edge>, cap: usize) -> usize {
+        self.inner.next_chunk(buf, cap.min(self.limit))
+    }
+
+    fn next_slice(&mut self, cap: usize) -> Option<&[Edge]> {
+        self.inner.next_slice(cap.min(self.limit))
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint()
+    }
+
+    fn num_vertices_hint(&self) -> Option<u64> {
+        self.inner.num_vertices_hint()
+    }
+}
+
+impl<S: RestreamableStream> RestreamableStream for ChunkLimited<S> {
+    fn reset(&mut self) -> Result<()> {
+        self.inner.reset()
     }
 }
 
@@ -237,6 +500,131 @@ mod tests {
         assert_eq!(s.next_edge(), None);
         assert_eq!(s.len_hint(), Some(0));
         assert_eq!(s.num_vertices_hint(), Some(0));
+        assert_eq!(s.next_slice(4096), Some(&[][..]));
+        let mut buf = Vec::new();
+        assert_eq!(s.next_chunk(&mut buf, 4096), 0);
+    }
+
+    #[test]
+    fn zero_cap_is_clamped_never_a_false_exhaustion_signal() {
+        // A dynamically computed cap can reach 0 mid-drain; that must not
+        // read as "exhausted" while edges remain.
+        let mut s = InMemoryStream::from_edges(sample_edges());
+        assert_eq!(s.next_slice(0).map(<[Edge]>::len), Some(1));
+        let mut buf = Vec::new();
+        assert_eq!(s.next_chunk(&mut buf, 0), 1);
+        // The default impl (per-edge implementors) clamps too.
+        struct One(bool);
+        impl EdgeStream for One {
+            fn next_edge(&mut self) -> Option<Edge> {
+                std::mem::take(&mut self.0).then_some(Edge::new(0, 1))
+            }
+            fn len_hint(&self) -> Option<u64> {
+                None
+            }
+            fn num_vertices_hint(&self) -> Option<u64> {
+                None
+            }
+        }
+        assert_eq!(One(true).next_chunk(&mut buf, 0), 1);
+    }
+
+    #[test]
+    fn in_memory_chunk_pull_matches_per_edge() {
+        let edges = sample_edges();
+        let mut s = InMemoryStream::from_edges(edges.clone());
+        let mut buf = Vec::new();
+        assert_eq!(s.next_chunk(&mut buf, 2), 2);
+        assert_eq!(buf, &edges[..2]);
+        assert_eq!(s.next_chunk(&mut buf, 2), 1);
+        assert_eq!(buf, &edges[2..]);
+        assert_eq!(s.next_chunk(&mut buf, 2), 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn in_memory_slice_is_zero_copy_view() {
+        let edges = sample_edges();
+        let mut s = InMemoryStream::from_edges(edges.clone());
+        assert_eq!(s.next_slice(2), Some(&edges[..2]));
+        assert_eq!(s.next_slice(10), Some(&edges[2..]));
+        assert_eq!(s.next_slice(10), Some(&[][..]));
+        // Mixing pull styles keeps the single cursor coherent.
+        s.reset().unwrap();
+        assert_eq!(s.next_edge(), Some(edges[0]));
+        assert_eq!(s.next_slice(10), Some(&edges[1..]));
+    }
+
+    #[test]
+    fn default_next_chunk_loops_next_edge() {
+        // A minimal implementor that only provides the per-edge method: the
+        // compatibility contract of the chunked ABI.
+        struct Countdown(u32);
+        impl EdgeStream for Countdown {
+            fn next_edge(&mut self) -> Option<Edge> {
+                if self.0 == 0 {
+                    return None;
+                }
+                self.0 -= 1;
+                Some(Edge::new(self.0, self.0 + 1))
+            }
+            fn len_hint(&self) -> Option<u64> {
+                None
+            }
+            fn num_vertices_hint(&self) -> Option<u64> {
+                None
+            }
+        }
+        let mut s = Countdown(5);
+        assert_eq!(s.next_slice(8), None);
+        let mut buf = Vec::new();
+        assert_eq!(s.next_chunk(&mut buf, 3), 3);
+        assert_eq!(s.next_chunk(&mut buf, 3), 2);
+        assert_eq!(s.next_chunk(&mut buf, 3), 0);
+        let collected = collect_stream(&mut Countdown(7));
+        assert_eq!(collected.len(), 7);
+    }
+
+    #[test]
+    fn for_each_chunk_covers_stream_exactly_once() {
+        let edges: Vec<Edge> = (0..1000u32).map(|i| Edge::new(i, i + 1)).collect();
+        for cap in [1usize, 7, 256, 4096] {
+            let mut s = InMemoryStream::from_edges(edges.clone());
+            let mut seen = Vec::new();
+            for_each_chunk(&mut s, cap, |chunk| seen.extend_from_slice(chunk));
+            assert_eq!(seen, edges, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn per_edge_wrapper_forces_singleton_chunks() {
+        let edges = sample_edges();
+        let mut s = PerEdgeStream::new(InMemoryStream::from_edges(edges.clone()));
+        assert_eq!(s.next_slice(100), None, "slices must be hidden");
+        let mut buf = Vec::new();
+        assert_eq!(s.next_chunk(&mut buf, 100), 1);
+        assert_eq!(buf, &edges[..1]);
+        s.reset().unwrap();
+        let mut seen = Vec::new();
+        for_each_chunk(&mut s, 4096, |chunk| {
+            assert_eq!(chunk.len(), 1);
+            seen.extend_from_slice(chunk);
+        });
+        assert_eq!(seen, edges);
+    }
+
+    #[test]
+    fn chunk_limited_caps_but_preserves_content() {
+        let edges: Vec<Edge> = (0..100u32).map(|i| Edge::new(i, i + 1)).collect();
+        for limit in [1usize, 7, 4096] {
+            let mut s = ChunkLimited::new(InMemoryStream::from_edges(edges.clone()), limit);
+            let mut seen = Vec::new();
+            for_each_chunk(&mut s, 4096, |chunk| {
+                assert!(chunk.len() <= limit);
+                seen.extend_from_slice(chunk);
+            });
+            assert_eq!(seen, edges, "limit={limit}");
+        }
     }
 
     #[test]
@@ -249,6 +637,15 @@ mod tests {
         let _ = timed.io_time();
         timed.reset().unwrap();
         assert_eq!(collect_stream(&mut timed).len(), 3);
+    }
+
+    #[test]
+    fn timed_stream_times_chunk_pulls() {
+        let mut timed = TimedStream::new(InMemoryStream::from_edges(sample_edges()));
+        let mut buf = Vec::new();
+        assert_eq!(timed.next_chunk(&mut buf, 2), 2);
+        assert_eq!(timed.next_slice(10), Some(&sample_edges()[2..]));
+        let _ = timed.io_time();
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Chunked-vs-per-edge equivalence: every partitioner must produce
+//! byte-identical `PartitionRun` assignments whether its stream is drained
+//! through the zero-copy slice fast path, the legacy per-edge pull path, or
+//! chunk granularities of 1, 7, and 4096 edges — and the empty stream must
+//! behave the same everywhere. This is the contract that lets the chunked
+//! ABI claim "same partitions, fewer virtual dispatches".
+
+use clugp::baselines::{Dbh, Greedy, Grid, Hashing, Hdrf, Mint, MintConfig};
+use clugp::clugp::{Clugp, ClugpConfig, ClusterAssignMode};
+use clugp::partitioner::Partitioner;
+use clugp_graph::stream::{
+    ChunkLimited, EdgeStream, InMemoryStream, PerEdgeStream, RestreamableStream,
+};
+use clugp_graph::types::Edge;
+use clugp_repro::test_web_graph;
+
+/// The roster under test: CLUGP (+ablations) and every vertex-cut baseline.
+fn roster() -> Vec<(&'static str, Box<dyn Partitioner>)> {
+    vec![
+        ("Hashing", Box::new(Hashing::default())),
+        ("DBH", Box::new(Dbh::default())),
+        ("Grid", Box::new(Grid::default())),
+        ("Greedy", Box::new(Greedy::new())),
+        ("HDRF", Box::new(Hdrf::default())),
+        // Small batches so batch boundaries interleave with chunk limits.
+        (
+            "Mint",
+            Box::new(Mint::new(MintConfig {
+                batch_size: 97,
+                ..Default::default()
+            })),
+        ),
+        ("CLUGP", Box::new(Clugp::default())),
+        (
+            "CLUGP-S",
+            Box::new(Clugp::new(ClugpConfig {
+                splitting: false,
+                ..Default::default()
+            })),
+        ),
+        (
+            "CLUGP-G",
+            Box::new(Clugp::new(ClugpConfig {
+                assign_mode: ClusterAssignMode::Greedy,
+                ..Default::default()
+            })),
+        ),
+    ]
+}
+
+fn run(
+    p: &mut dyn Partitioner,
+    stream: &mut dyn RestreamableStream,
+    k: u32,
+) -> (Vec<u32>, Vec<u64>) {
+    let run = p.partition(stream, k).expect("partition");
+    (run.partitioning.assignments, run.partitioning.loads)
+}
+
+#[test]
+fn per_edge_and_chunked_paths_are_bit_identical() {
+    let (n, edges) = test_web_graph(2_000, 31);
+    let k = 8;
+    for (name, mut p) in roster() {
+        // Reference: the native zero-copy slice path.
+        let mut native = InMemoryStream::new(n, edges.clone());
+        let reference = run(p.as_mut(), &mut native, k);
+        assert_eq!(reference.0.len(), edges.len(), "{name}: wrong edge count");
+
+        // Legacy per-edge pull path (one virtual dispatch per edge).
+        let mut per_edge = PerEdgeStream::new(InMemoryStream::new(n, edges.clone()));
+        assert_eq!(
+            run(p.as_mut(), &mut per_edge, k),
+            reference,
+            "{name}: per-edge path diverged from the slice path"
+        );
+
+        // Arbitrary source chunk granularities.
+        for limit in [1usize, 7, 4096] {
+            let mut limited = ChunkLimited::new(InMemoryStream::new(n, edges.clone()), limit);
+            assert_eq!(
+                run(p.as_mut(), &mut limited, k),
+                reference,
+                "{name}: chunk limit {limit} changed the partition"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_stream_is_identical_on_every_path() {
+    for (name, mut p) in roster() {
+        let mut native = InMemoryStream::new(0, vec![]);
+        let reference = run(p.as_mut(), &mut native, 4);
+        assert!(
+            reference.0.is_empty(),
+            "{name}: empty stream assigned edges"
+        );
+        assert_eq!(reference.1, vec![0; 4], "{name}: empty stream has load");
+
+        let mut per_edge = PerEdgeStream::new(InMemoryStream::new(0, vec![]));
+        assert_eq!(run(p.as_mut(), &mut per_edge, 4), reference, "{name}");
+        for limit in [1usize, 7, 4096] {
+            let mut limited = ChunkLimited::new(InMemoryStream::new(0, vec![]), limit);
+            assert_eq!(run(p.as_mut(), &mut limited, 4), reference, "{name}");
+        }
+    }
+}
+
+#[test]
+fn mint_batch_boundaries_survive_any_chunking() {
+    // Mint is the one consumer whose *semantics* depend on how many edges it
+    // groups per batch: if chunk granularity leaked into batch boundaries,
+    // equilibria would change. Exercise batch sizes that are coprime with
+    // the chunk limits.
+    let (n, edges) = test_web_graph(1_500, 32);
+    for batch_size in [37usize, 64, 1000] {
+        let mut reference_stream = InMemoryStream::new(n, edges.clone());
+        let reference = Mint::new(MintConfig {
+            batch_size,
+            ..Default::default()
+        })
+        .partition(&mut reference_stream, 8)
+        .unwrap()
+        .partitioning
+        .assignments;
+        for limit in [1usize, 7, 4096] {
+            let mut s = ChunkLimited::new(InMemoryStream::new(n, edges.clone()), limit);
+            let got = Mint::new(MintConfig {
+                batch_size,
+                ..Default::default()
+            })
+            .partition(&mut s, 8)
+            .unwrap()
+            .partitioning
+            .assignments;
+            assert_eq!(
+                got, reference,
+                "batch_size={batch_size} limit={limit} changed Mint's equilibria"
+            );
+        }
+    }
+}
+
+#[test]
+fn file_backed_stream_matches_in_memory_chunked() {
+    use clugp_graph::io::binary::{write_binary_graph, FileEdgeStream};
+    let (n, edges) = test_web_graph(1_200, 33);
+    let dir = std::env::temp_dir().join("clugp_chunked_equiv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("equiv.bin");
+    write_binary_graph(&path, n, &edges).unwrap();
+
+    let mut mem = InMemoryStream::new(n, edges.clone());
+    let mut file = FileEdgeStream::open(&path).unwrap();
+    let mut clugp = Clugp::default();
+    let a = run(&mut clugp, &mut mem, 8);
+    let b = run(&mut clugp, &mut file, 8);
+    assert_eq!(a, b, "block-read file stream diverged from memory stream");
+    std::fs::remove_file(&path).ok();
+}
+
+/// A third-party stream written against the *pre-chunking* trait surface:
+/// only `next_edge` and the hints are implemented. It must compile unchanged
+/// and partition identically to the native source — the default-impl
+/// compatibility contract of `next_chunk`/`next_slice`.
+struct LegacyStream {
+    edges: Vec<Edge>,
+    cursor: usize,
+    n: u64,
+}
+
+impl EdgeStream for LegacyStream {
+    fn next_edge(&mut self) -> Option<Edge> {
+        let e = self.edges.get(self.cursor).copied();
+        if e.is_some() {
+            self.cursor += 1;
+        }
+        e
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.edges.len() as u64)
+    }
+
+    fn num_vertices_hint(&self) -> Option<u64> {
+        Some(self.n)
+    }
+}
+
+impl RestreamableStream for LegacyStream {
+    fn reset(&mut self) -> clugp_graph::Result<()> {
+        self.cursor = 0;
+        Ok(())
+    }
+}
+
+#[test]
+fn external_per_edge_implementor_still_works() {
+    let (n, edges) = test_web_graph(1_000, 34);
+    let mut legacy = LegacyStream {
+        edges: edges.clone(),
+        cursor: 0,
+        n,
+    };
+    let mut native = InMemoryStream::new(n, edges);
+    for (name, mut p) in roster() {
+        let a = run(p.as_mut(), &mut legacy, 4);
+        let b = run(p.as_mut(), &mut native, 4);
+        assert_eq!(a, b, "{name}: legacy implementor diverged");
+    }
+}
