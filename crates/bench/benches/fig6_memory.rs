@@ -28,7 +28,7 @@ fn fig6(c: &mut Criterion) {
     for k in [64u32, 256] {
         group.bench_with_input(BenchmarkId::new("insert_1M", k), &k, |b, &k| {
             b.iter(|| {
-                let mut t = ReplicaTable::new(100_000, k);
+                let mut t = ReplicaTable::new(100_000, k).unwrap();
                 for i in 0..1_000_000u32 {
                     t.insert(i % 100_000, i % k);
                 }

@@ -15,7 +15,9 @@
 //! | [`scalability::parallel`] | Fig. 10(a) claim | measured game thread-scaling curve (`BENCH_parallel.json`) |
 //! | [`quality::fig11`] | Fig. 11 | imbalance factor τ and relative weight sweeps |
 //! | [`throughput::throughput`] | perf trajectory | per-edge vs chunked streaming throughput (`BENCH_throughput.json`) |
+//! | [`memory::memory`] | Fig. 6 claim + id-space layer | memory trajectory + sparse-web remap leg (`BENCH_memory.json`) |
 
+pub mod memory;
 pub mod orders;
 pub mod quality;
 pub mod scalability;
@@ -68,4 +70,5 @@ pub fn run_all(ctx: &ExpContext) {
     orders::orders(ctx);
     scalability::parallel(ctx);
     throughput::throughput(ctx);
+    memory::memory(ctx);
 }

@@ -9,20 +9,30 @@
 use crate::error::Result;
 use crate::memory::MemoryReport;
 use crate::partition::{PartitionRun, Partitioning, Timings};
-use crate::partitioner::{ensure_index, mix64, start_run, Partitioner};
+use crate::partitioner::{mix64, start_run, Partitioner};
 use crate::state::PartitionLoads;
-use clugp_graph::stream::{for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
+use crate::vertex_table::{VertexTable, DEFAULT_MAX_VERTICES};
+use clugp_graph::stream::{try_for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
 
 /// The degree-based hashing partitioner.
 #[derive(Debug, Clone)]
 pub struct Dbh {
     seed: u64,
+    max_vertices: u64,
 }
 
 impl Dbh {
     /// Creates a DBH partitioner with the given hash seed.
     pub fn new(seed: u64) -> Self {
-        Dbh { seed }
+        Dbh {
+            seed,
+            max_vertices: DEFAULT_MAX_VERTICES,
+        }
+    }
+
+    /// Caps the internal vertex id space (see `crate::vertex_table`).
+    pub fn with_max_vertices(seed: u64, max_vertices: u64) -> Self {
+        Dbh { seed, max_vertices }
     }
 }
 
@@ -40,16 +50,16 @@ impl Partitioner for Dbh {
     fn partition(&mut self, stream: &mut dyn RestreamableStream, k: u32) -> Result<PartitionRun> {
         let start = std::time::Instant::now();
         let (n, m) = start_run(stream, k)?;
-        let mut degree: Vec<u32> = vec![0; n as usize];
+        let mut degree: VertexTable<u32> = VertexTable::with_limit(n, 0, self.max_vertices)?;
         let mut assignments = Vec::with_capacity(m as usize);
         let mut loads = PartitionLoads::new(k);
-        for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+        try_for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| -> Result<()> {
             for &e in chunk {
-                ensure_index(&mut degree, e.src.max(e.dst) as usize, 0);
-                degree[e.src as usize] += 1;
-                degree[e.dst as usize] += 1;
+                degree.ensure(e.src.max(e.dst))?;
+                degree[e.src] += 1;
+                degree[e.dst] += 1;
                 // Hash the lower-degree endpoint (cut the higher-degree one).
-                let key = if degree[e.src as usize] <= degree[e.dst as usize] {
+                let key = if degree[e.src] <= degree[e.dst] {
                     e.src
                 } else {
                     e.dst
@@ -58,13 +68,14 @@ impl Partitioner for Dbh {
                 assignments.push(p);
                 loads.add(p);
             }
-        });
+            Ok(())
+        })?;
         let mut memory = MemoryReport::new();
-        memory.add("degrees", degree.capacity() * 4);
+        memory.add("degrees", degree.memory_bytes());
         Ok(PartitionRun {
             partitioning: Partitioning {
                 k,
-                num_vertices: n.max(degree.len() as u64),
+                num_vertices: n.max(degree.len()),
                 assignments,
                 loads: loads.into_vec(),
             },

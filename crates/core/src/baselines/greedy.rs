@@ -15,16 +15,34 @@ use crate::memory::MemoryReport;
 use crate::partition::{PartitionRun, Partitioning, Timings};
 use crate::partitioner::{start_run, Partitioner};
 use crate::state::{PartitionLoads, ReplicaTable};
-use clugp_graph::stream::{for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
+use crate::vertex_table::DEFAULT_MAX_VERTICES;
+use clugp_graph::stream::{try_for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
 
 /// The PowerGraph greedy (oblivious) partitioner.
-#[derive(Debug, Clone, Default)]
-pub struct Greedy;
+#[derive(Debug, Clone)]
+pub struct Greedy {
+    max_vertices: u64,
+}
+
+impl Default for Greedy {
+    fn default() -> Self {
+        Greedy::new()
+    }
+}
 
 impl Greedy {
     /// Creates the greedy partitioner.
     pub fn new() -> Self {
-        Greedy
+        Greedy {
+            max_vertices: DEFAULT_MAX_VERTICES,
+        }
+    }
+
+    /// Caps the internal vertex id space: a stream whose ids reach the cap
+    /// fails with `InvalidParam` instead of growing the replica table
+    /// without bound (see `crate::vertex_table`).
+    pub fn with_max_vertices(max_vertices: u64) -> Self {
+        Greedy { max_vertices }
     }
 }
 
@@ -36,13 +54,13 @@ impl Partitioner for Greedy {
     fn partition(&mut self, stream: &mut dyn RestreamableStream, k: u32) -> Result<PartitionRun> {
         let start = std::time::Instant::now();
         let (n, m) = start_run(stream, k)?;
-        let mut replicas = ReplicaTable::new(n, k);
+        let mut replicas = ReplicaTable::with_limit(n, k, self.max_vertices)?;
         let mut loads = PartitionLoads::new(k);
         let mut assignments = Vec::with_capacity(m as usize);
 
-        for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+        try_for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| -> Result<()> {
             for &e in chunk {
-                replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1);
+                replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1)?;
                 let cu = replicas.count(e.src);
                 let cv = replicas.count(e.dst);
                 let p = if cu > 0 && cv > 0 {
@@ -80,7 +98,8 @@ impl Partitioner for Greedy {
                 loads.add(p);
                 assignments.push(p);
             }
-        });
+            Ok(())
+        })?;
 
         let mut memory = MemoryReport::new();
         memory.add("replica-table", replicas.memory_bytes());
@@ -163,6 +182,23 @@ mod tests {
             qg.replication_factor,
             qh.replication_factor
         );
+    }
+
+    #[test]
+    fn id_explosion_is_a_clean_error() {
+        use crate::error::PartitionError;
+        // An id past the configured cap mid-stream: InvalidParam, not OOM.
+        let mut s = InMemoryStream::new(10, vec![Edge::new(0, 1), Edge::new(5_000, 2)]);
+        let err = Greedy::with_max_vertices(100)
+            .partition(&mut s, 4)
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::InvalidParam(_)));
+        // A stream claiming u64::MAX vertices up front: rejected at sizing.
+        let mut lying = InMemoryStream::new(u64::MAX, vec![Edge::new(0, 1)]);
+        assert!(matches!(
+            Greedy::new().partition(&mut lying, 4),
+            Err(PartitionError::InvalidParam(_))
+        ));
     }
 
     #[test]

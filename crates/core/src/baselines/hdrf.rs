@@ -16,9 +16,10 @@
 use crate::error::Result;
 use crate::memory::MemoryReport;
 use crate::partition::{PartitionRun, Partitioning, Timings};
-use crate::partitioner::{ensure_index, start_run, Partitioner};
+use crate::partitioner::{start_run, Partitioner};
 use crate::state::{PartitionLoads, ReplicaTable};
-use clugp_graph::stream::{for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
+use crate::vertex_table::{VertexTable, DEFAULT_MAX_VERTICES};
+use clugp_graph::stream::{try_for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
 
 /// Tunables of HDRF.
 #[derive(Debug, Clone)]
@@ -28,6 +29,8 @@ pub struct HdrfConfig {
     pub lambda: f64,
     /// Balance denominator smoothing term.
     pub epsilon: f64,
+    /// Cap on the internal vertex id space (see `crate::vertex_table`).
+    pub max_vertices: u64,
 }
 
 impl Default for HdrfConfig {
@@ -35,6 +38,7 @@ impl Default for HdrfConfig {
         HdrfConfig {
             lambda: 1.0,
             epsilon: 1.0,
+            max_vertices: DEFAULT_MAX_VERTICES,
         }
     }
 }
@@ -60,19 +64,20 @@ impl Partitioner for Hdrf {
     fn partition(&mut self, stream: &mut dyn RestreamableStream, k: u32) -> Result<PartitionRun> {
         let start = std::time::Instant::now();
         let (n, m) = start_run(stream, k)?;
-        let mut degree: Vec<u32> = vec![0; n as usize];
-        let mut replicas = ReplicaTable::new(n, k);
+        let cap = self.config.max_vertices;
+        let mut degree: VertexTable<u32> = VertexTable::with_limit(n, 0, cap)?;
+        let mut replicas = ReplicaTable::with_limit(n, k, cap)?;
         let mut loads = PartitionLoads::new(k);
         let mut assignments = Vec::with_capacity(m as usize);
 
-        for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+        try_for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| -> Result<()> {
             for &e in chunk {
-                ensure_index(&mut degree, e.src.max(e.dst) as usize, 0);
-                replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1);
-                degree[e.src as usize] += 1;
-                degree[e.dst as usize] += 1;
-                let du = f64::from(degree[e.src as usize]);
-                let dv = f64::from(degree[e.dst as usize]);
+                degree.ensure(e.src.max(e.dst))?;
+                replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1)?;
+                degree[e.src] += 1;
+                degree[e.dst] += 1;
+                let du = f64::from(degree[e.src]);
+                let dv = f64::from(degree[e.dst]);
                 let theta_u = du / (du + dv);
                 let theta_v = 1.0 - theta_u;
                 let (maxload, minload) = (loads.max() as f64, loads.min() as f64);
@@ -99,11 +104,12 @@ impl Partitioner for Hdrf {
                 loads.add(best_p);
                 assignments.push(best_p);
             }
-        });
+            Ok(())
+        })?;
 
         let mut memory = MemoryReport::new();
         memory.add("replica-table", replicas.memory_bytes());
-        memory.add("degrees", degree.capacity() * 4);
+        memory.add("degrees", degree.memory_bytes());
         memory.add("loads", loads.memory_bytes());
         Ok(PartitionRun {
             partitioning: Partitioning {
@@ -202,13 +208,13 @@ mod tests {
         let mut s = InMemoryStream::new(g.num_vertices(), edges.clone());
         let soft = Hdrf::new(HdrfConfig {
             lambda: 0.1,
-            epsilon: 1.0,
+            ..Default::default()
         })
         .partition(&mut s, 8)
         .unwrap();
         let hard = Hdrf::new(HdrfConfig {
             lambda: 10.0,
-            epsilon: 1.0,
+            ..Default::default()
         })
         .partition(&mut s, 8)
         .unwrap();

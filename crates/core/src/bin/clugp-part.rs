@@ -10,6 +10,11 @@
 //! --order <name>    bfs (default) | dfs | random | asis
 //! --tau <float>     CLUGP imbalance factor (default 1.0)
 //! --threads <N>     CLUGP/Mint worker threads (default: all cores)
+//! --sparse          treat the input as a text edge list with arbitrary
+//!                   (sparse) 64-bit vertex ids — hashed URLs, crawl ids —
+//!                   remapped onto the dense internal space during the
+//!                   first pass; output is translated back to the external
+//!                   ids. Streams in file order.
 //! --output <file>   write per-edge assignment as "src dst partition" TSV
 //! ```
 
@@ -18,10 +23,11 @@ use clugp::clugp::{Clugp, ClugpConfig};
 use clugp::metrics::PartitionQuality;
 use clugp::partitioner::Partitioner;
 use clugp_graph::csr::CsrGraph;
+use clugp_graph::idmap::RemappedStream;
 use clugp_graph::io::binary::read_binary_graph;
-use clugp_graph::io::edge_list::read_edge_list;
+use clugp_graph::io::edge_list::{read_edge_list, RawTextEdgeStream};
 use clugp_graph::order::{ordered_edges, StreamOrder};
-use clugp_graph::stream::InMemoryStream;
+use clugp_graph::stream::{collect_stream, InMemoryStream, RestreamableStream};
 use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
@@ -34,6 +40,7 @@ struct Options {
     order: String,
     tau: f64,
     threads: usize,
+    sparse: bool,
     output: Option<String>,
 }
 
@@ -45,10 +52,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         order: "bfs".into(),
         tau: 1.0,
         threads: 0,
+        sparse: false,
         output: None,
     };
     let mut it = args.iter().peekable();
     let mut positional = Vec::new();
+    let mut order_set = false;
     while let Some(a) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
             it.next()
@@ -58,13 +67,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match a.as_str() {
             "--k" => opts.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
             "--algo" => opts.algo = value("--algo")?.to_lowercase(),
-            "--order" => opts.order = value("--order")?.to_lowercase(),
+            "--order" => {
+                opts.order = value("--order")?.to_lowercase();
+                order_set = true;
+            }
             "--tau" => opts.tau = value("--tau")?.parse().map_err(|e| format!("--tau: {e}"))?,
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--sparse" => opts.sparse = true,
             "--output" => opts.output = Some(value("--output")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => positional.push(a.clone()),
@@ -77,6 +90,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.k == 0 {
         return Err("--k is required and must be >= 1".into());
+    }
+    if opts.sparse && order_set {
+        return Err(
+            "--sparse streams in file order (ids are remapped on the fly); \
+             --order is not supported with it"
+                .into(),
+        );
     }
     Ok(opts)
 }
@@ -111,7 +131,63 @@ fn parse_order(name: &str) -> Result<StreamOrder, String> {
     })
 }
 
+/// Sparse-id mode: the input is a text edge list of arbitrary 64-bit ids.
+/// The remap layer compacts them during its build pass (in file order, so
+/// internal ids are the first-appearance relabeling), the partitioner runs
+/// over internal ids, and the output TSV is translated back to the external
+/// ids through the map.
+fn run_sparse(opts: &Options) -> Result<(), String> {
+    let raw = RawTextEdgeStream::open(Path::new(&opts.input)).map_err(|e| e.to_string())?;
+    let mut stream = RemappedStream::remap(raw).map_err(|e| e.to_string())?;
+    let distinct = stream.id_map().len();
+    eprintln!(
+        "loaded {} (sparse ids): |V|={distinct} distinct, id map {:.1} KiB \
+         (order: file)",
+        opts.input,
+        stream.id_map().memory_bytes() as f64 / 1024.0,
+    );
+    let mut partitioner = build_partitioner(opts)?;
+    let run = partitioner
+        .partition(&mut stream, opts.k)
+        .map_err(|e| e.to_string())?;
+    stream.reset().map_err(|e| e.to_string())?;
+    let edges = collect_stream(&mut stream);
+    let quality = PartitionQuality::compute(&edges, &run.partitioning);
+
+    println!("algorithm          = {}", partitioner.name());
+    println!("k                  = {}", opts.k);
+    println!("distinct vertices  = {distinct}");
+    println!("replication factor = {:.4}", quality.replication_factor);
+    println!("relative balance   = {:.4}", quality.relative_balance);
+    println!("mirrors            = {}", quality.mirrors);
+    println!("partition time     = {:?}", run.timings.total);
+    println!("working memory     = {}", run.memory);
+
+    if let Some(out) = &opts.output {
+        let map = stream.id_map();
+        let mut w =
+            std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?);
+        for (e, p) in edges.iter().zip(&run.partitioning.assignments) {
+            // Translate internal ids back to the input's external ids.
+            writeln!(
+                w,
+                "{}\t{}\t{}",
+                map.external_of(e.src),
+                map.external_of(e.dst),
+                p
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!("assignment written to {out} (external ids)");
+    }
+    Ok(())
+}
+
 fn run(opts: &Options) -> Result<(), String> {
+    if opts.sparse {
+        return run_sparse(opts);
+    }
     let path = Path::new(&opts.input);
     let (n, raw_edges) = if path.extension().is_some_and(|e| e == "bin") {
         read_binary_graph(path).map_err(|e| e.to_string())?
@@ -161,7 +237,7 @@ fn main() -> ExitCode {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: clugp-part <edges-file> --k <K> [--algo clugp|hdrf|greedy|hashing|dbh|mint|grid] \
-             [--order bfs|dfs|random|asis] [--tau F] [--threads N] [--output file]"
+             [--order bfs|dfs|random|asis] [--tau F] [--threads N] [--sparse] [--output file]"
         );
         return ExitCode::from(2);
     }
@@ -243,6 +319,7 @@ mod tests {
                 order: "bfs".into(),
                 tau: 1.0,
                 threads: 0,
+                sparse: false,
                 output: None,
             };
             assert!(build_partitioner(&opts).is_ok(), "{algo}");
@@ -254,6 +331,7 @@ mod tests {
             order: "bfs".into(),
             tau: 1.0,
             threads: 0,
+            sparse: false,
             output: None,
         };
         assert!(build_partitioner(&bad).is_err());
@@ -281,6 +359,7 @@ mod tests {
             order: "asis".into(),
             tau: 1.5,
             threads: 1,
+            sparse: false,
             output: Some(output.to_string_lossy().into_owned()),
         };
         run(&opts).unwrap();
@@ -294,5 +373,53 @@ mod tests {
         }
         std::fs::remove_file(&input).ok();
         std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn sparse_mode_round_trips_external_ids() {
+        let dir = std::env::temp_dir().join("clugp_part_cli_sparse_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt");
+        let output = dir.join("out.tsv");
+        // Hashed-URL-style ids, far outside u32.
+        std::fs::write(
+            &input,
+            "18446744073709551615 9000000000\n9000000000 1099511627776\n1099511627776 18446744073709551615\n",
+        )
+        .unwrap();
+        let opts = Options {
+            input: input.to_string_lossy().into_owned(),
+            k: 2,
+            algo: "hdrf".into(),
+            order: "bfs".into(),
+            tau: 1.0,
+            threads: 1,
+            sparse: true,
+            output: Some(output.to_string_lossy().into_owned()),
+        };
+        run(&opts).unwrap();
+        let written = std::fs::read_to_string(&output).unwrap();
+        let lines: Vec<&str> = written.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // External ids round-trip into the output, in file order.
+        let first: Vec<&str> = lines[0].split('\t').collect();
+        assert_eq!(first[0], "18446744073709551615");
+        assert_eq!(first[1], "9000000000");
+        assert!(first[2].parse::<u32>().unwrap() < 2);
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn sparse_flag_parses_and_rejects_explicit_order() {
+        let o = parse_args(&strs(&["g.txt", "--k", "4", "--sparse"])).unwrap();
+        assert!(o.sparse);
+        // Sparse mode streams in file order; an explicit --order would be
+        // silently ignored, so it is a usage error instead.
+        let err = parse_args(&strs(&[
+            "g.txt", "--k", "4", "--sparse", "--order", "random",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--order"), "{err}");
     }
 }

@@ -61,8 +61,8 @@ impl ClusterGraph {
         let mut agg: Vec<(u64, u32)> = Vec::new();
         for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
             for &e in chunk {
-                let cu = clustering.cluster_of[e.src as usize];
-                let cv = clustering.cluster_of[e.dst as usize];
+                let cu = clustering.cluster_of[e.src];
+                let cv = clustering.cluster_of[e.dst];
                 debug_assert_ne!(cu, NO_CLUSTER);
                 debug_assert_ne!(cv, NO_CLUSTER);
                 if cu == cv {
@@ -219,7 +219,7 @@ mod tests {
     /// Clusters then builds the cluster graph over the same edges.
     fn build(edges: Vec<Edge>, vmax: u64) -> (ClusteringResult, ClusterGraph) {
         let mut s = InMemoryStream::from_edges(edges);
-        let clustering = stream_clustering(&mut s, vmax, true);
+        let clustering = stream_clustering(&mut s, vmax, true).unwrap();
         s.reset().unwrap();
         let cg = ClusterGraph::build(&mut s, &clustering);
         (clustering, cg)
@@ -333,9 +333,9 @@ mod tests {
         let (clustering, cg) = build(edges, 9);
         assert_eq!(cg.total_size(), 2 * m);
         let mut vol = vec![0u64; cg.num_clusters as usize];
-        for (v, &c) in clustering.cluster_of.iter().enumerate() {
+        for (v, &c) in clustering.cluster_of.as_slice().iter().enumerate() {
             if c != crate::clugp::clustering::NO_CLUSTER {
-                vol[c as usize] += u64::from(clustering.degree[v]);
+                vol[c as usize] += u64::from(clustering.degree[v as u32]);
             }
         }
         assert_eq!(vol, cg.size);

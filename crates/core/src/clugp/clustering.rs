@@ -25,25 +25,29 @@
 //! notes).
 
 use super::config::MigrationPolicy;
-use crate::partitioner::ensure_index;
-use clugp_graph::stream::{for_each_chunk, EdgeStream, DEFAULT_CHUNK_EDGES};
+use crate::error::Result;
+use crate::vertex_table::{VertexTable, DEFAULT_MAX_VERTICES};
+use clugp_graph::stream::{try_for_each_chunk, EdgeStream, DEFAULT_CHUNK_EDGES};
 use clugp_graph::types::VertexId;
 
 /// Sentinel for "no cluster assigned yet".
 pub const NO_CLUSTER: u32 = u32::MAX;
 
 /// Output of the streaming-clustering pass.
+///
+/// The per-vertex tables are [`VertexTable`]s keyed by compact internal
+/// ids — index them with a bare [`VertexId`] (`result.cluster_of[v]`).
 #[derive(Debug, Clone)]
 pub struct ClusteringResult {
     /// Vertex → dense cluster id (`NO_CLUSTER` for vertices absent from the
     /// stream). This is the paper's vertex-cluster mapping table.
-    pub cluster_of: Vec<u32>,
+    pub cluster_of: VertexTable<u32>,
     /// Per-vertex degree observed by the pass (the paper's `deg[]`,
     /// consumed by the transformation pass).
-    pub degree: Vec<u32>,
+    pub degree: VertexTable<u32>,
     /// Vertices marked *divided* (they triggered a split and therefore have
     /// mirror vertices).
-    pub divided: Vec<bool>,
+    pub divided: VertexTable<bool>,
     /// Number of dense clusters.
     pub num_clusters: u32,
     /// Final volume per dense cluster (sum of member degrees).
@@ -58,9 +62,9 @@ impl ClusteringResult {
     /// Heap bytes of the tables the algorithm kept (the `O(2|V|)` state the
     /// paper cites for CLUGP in the space experiment).
     pub fn memory_bytes(&self) -> usize {
-        self.cluster_of.capacity() * 4
-            + self.degree.capacity() * 4
-            + self.divided.capacity()
+        self.cluster_of.memory_bytes()
+            + self.degree.memory_bytes()
+            + self.divided.memory_bytes()
             + self.volumes.capacity() * 8
     }
 
@@ -71,15 +75,20 @@ impl ClusteringResult {
 }
 
 /// Runs Algorithm 2 over one pass of `stream` with the default (Anchored)
-/// migration policy.
+/// migration policy and the default `max_vertices` cap.
 ///
 /// `vmax` is the maximum cluster volume (`|E|/k` in the paper); `splitting`
 /// toggles CLUGP vs Holl behaviour.
+///
+/// # Errors
+///
+/// Fails with `InvalidParam` if the stream's ids or vertex hint exceed the
+/// `max_vertices` cap (see `crate::vertex_table`).
 pub fn stream_clustering(
     stream: &mut dyn EdgeStream,
     vmax: u64,
     splitting: bool,
-) -> ClusteringResult {
+) -> Result<ClusteringResult> {
     stream_clustering_with(stream, vmax, splitting, MigrationPolicy::Anchored)
 }
 
@@ -89,14 +98,27 @@ pub fn stream_clustering_with(
     vmax: u64,
     splitting: bool,
     migration: MigrationPolicy,
-) -> ClusteringResult {
-    let n_hint = stream.num_vertices_hint().unwrap_or(0) as usize;
-    let mut cluster_of: Vec<u32> = vec![NO_CLUSTER; n_hint];
-    let mut degree: Vec<u32> = vec![0; n_hint];
-    let mut divided: Vec<bool> = vec![false; n_hint];
+) -> Result<ClusteringResult> {
+    stream_clustering_capped(stream, vmax, splitting, migration, DEFAULT_MAX_VERTICES)
+}
+
+/// Runs Algorithm 2 with an explicit [`MigrationPolicy`] and `max_vertices`
+/// cap on the internal id space.
+pub fn stream_clustering_capped(
+    stream: &mut dyn EdgeStream,
+    vmax: u64,
+    splitting: bool,
+    migration: MigrationPolicy,
+    max_vertices: u64,
+) -> Result<ClusteringResult> {
+    let n_hint = stream.num_vertices_hint().unwrap_or(0);
+    let mut cluster_of: VertexTable<u32> =
+        VertexTable::with_limit(n_hint, NO_CLUSTER, max_vertices)?;
+    let mut degree: VertexTable<u32> = VertexTable::with_limit(n_hint, 0, max_vertices)?;
+    let mut divided: VertexTable<bool> = VertexTable::with_limit(n_hint, false, max_vertices)?;
     // Raw (pre-compaction) cluster volumes; ids grow monotonically in
     // creation order, which preserves stream locality for batching.
-    let mut vol: Vec<u64> = Vec::with_capacity(n_hint / 4 + 16);
+    let mut vol: Vec<u64> = Vec::with_capacity(n_hint as usize / 4 + 16);
     let mut splits = 0u64;
     let mut migrations = 0u64;
 
@@ -108,35 +130,35 @@ pub fn stream_clustering_with(
     // Chunked drain: one virtual dispatch per block of edges, then a tight
     // loop — chunk boundaries carry no semantics, so the result is
     // bit-identical to the per-edge pull for any chunking.
-    for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+    try_for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| -> Result<()> {
         for &e in chunk {
             let (u, v) = (e.src, e.dst);
-            let hi = u.max(v) as usize;
-            ensure_index(&mut cluster_of, hi, NO_CLUSTER);
-            ensure_index(&mut degree, hi, 0);
-            ensure_index(&mut divided, hi, false);
+            let hi = u.max(v);
+            cluster_of.ensure(hi)?;
+            degree.ensure(hi)?;
+            divided.ensure(hi)?;
 
             // Allocation.
-            if cluster_of[u as usize] == NO_CLUSTER {
-                cluster_of[u as usize] = new_cluster(&mut vol);
+            if cluster_of[u] == NO_CLUSTER {
+                cluster_of[u] = new_cluster(&mut vol);
             }
-            if cluster_of[v as usize] == NO_CLUSTER {
-                cluster_of[v as usize] = new_cluster(&mut vol);
+            if cluster_of[v] == NO_CLUSTER {
+                cluster_of[v] = new_cluster(&mut vol);
             }
-            degree[u as usize] += 1;
-            degree[v as usize] += 1;
-            vol[cluster_of[u as usize] as usize] += 1;
-            vol[cluster_of[v as usize] as usize] += 1;
+            degree[u] += 1;
+            degree[v] += 1;
+            vol[cluster_of[u] as usize] += 1;
+            vol[cluster_of[v] as usize] += 1;
 
             // Splitting: evict the endpoint whose cluster just overflowed into
             // a fresh cluster, carrying its degree with it.
             if splitting {
-                if vol[cluster_of[u as usize] as usize] >= vmax {
+                if vol[cluster_of[u] as usize] >= vmax {
                     split_vertex(u, &mut cluster_of, &degree, &mut vol, &mut divided, || {
                         splits += 1;
                     });
                 }
-                if v != u && vol[cluster_of[v as usize] as usize] >= vmax {
+                if v != u && vol[cluster_of[v] as usize] >= vmax {
                     split_vertex(v, &mut cluster_of, &degree, &mut vol, &mut divided, || {
                         splits += 1;
                     });
@@ -153,17 +175,17 @@ pub fn stream_clustering_with(
             //  * Anchored — Headroom plus: only vertices alone in their cluster
             //    (anchor 0) move, so a single cross edge cannot yank an
             //    established vertex out of its community (churn guard).
-            let cu = cluster_of[u as usize];
-            let cv = cluster_of[v as usize];
+            let cu = cluster_of[u];
+            let cv = cluster_of[v];
             if cu != cv && vol[cu as usize] < vmax && vol[cv as usize] < vmax {
-                let du = u64::from(degree[u as usize]);
-                let dv = u64::from(degree[v as usize]);
+                let du = u64::from(degree[u]);
+                let dv = u64::from(degree[v]);
                 let (mover, mover_deg, dest) = if vol[cu as usize] <= vol[cv as usize] {
                     (u, du, cv)
                 } else {
                     (v, dv, cu)
                 };
-                let anchor = vol[cluster_of[mover as usize] as usize] - mover_deg;
+                let anchor = vol[cluster_of[mover] as usize] - mover_deg;
                 let headroom_ok = vol[dest as usize] + mover_deg <= vmax;
                 let allowed = match migration {
                     MigrationPolicy::Paper => true,
@@ -176,12 +198,13 @@ pub fn stream_clustering_with(
                 }
             }
         }
-    });
+        Ok(())
+    })?;
 
     // Compact raw cluster ids (dropping emptied ones) in creation order, so
     // dense ids keep the stream-locality property §V-D relies on.
     let mut used = vec![false; vol.len()];
-    for &c in &cluster_of {
+    for &c in cluster_of.iter() {
         if c != NO_CLUSTER {
             used[c as usize] = true;
         }
@@ -195,16 +218,17 @@ pub fn stream_clustering_with(
         }
     }
     let mut volumes = vec![0u64; next_dense as usize];
-    for (vtx, c) in cluster_of.iter_mut().enumerate() {
+    let degrees = degree.as_slice();
+    for (vtx, c) in cluster_of.as_mut_slice().iter_mut().enumerate() {
         if *c != NO_CLUSTER {
             let dense = raw_to_dense[*c as usize];
             debug_assert_ne!(dense, NO_CLUSTER);
             *c = dense;
-            volumes[dense as usize] += u64::from(degree[vtx]);
+            volumes[dense as usize] += u64::from(degrees[vtx]);
         }
     }
 
-    ClusteringResult {
+    Ok(ClusteringResult {
         cluster_of,
         degree,
         divided,
@@ -212,19 +236,19 @@ pub fn stream_clustering_with(
         volumes,
         splits,
         migrations,
-    }
+    })
 }
 
 fn split_vertex(
     w: VertexId,
-    cluster_of: &mut [u32],
-    degree: &[u32],
+    cluster_of: &mut VertexTable<u32>,
+    degree: &VertexTable<u32>,
     vol: &mut Vec<u64>,
-    divided: &mut [bool],
+    divided: &mut VertexTable<bool>,
     mut on_split: impl FnMut(),
 ) {
-    let old = cluster_of[w as usize] as usize;
-    let d = u64::from(degree[w as usize]);
+    let old = cluster_of[w] as usize;
+    let d = u64::from(degree[w]);
     debug_assert!(vol[old] >= d, "cluster volume below member degree");
     // A vertex alone in its cluster would be evicted into a fresh cluster
     // identical to the one it left: the mapping is unchanged, but the raw
@@ -235,18 +259,24 @@ fn split_vertex(
     }
     vol[old] -= d;
     vol.push(d);
-    cluster_of[w as usize] = (vol.len() - 1) as u32;
-    divided[w as usize] = true;
+    cluster_of[w] = (vol.len() - 1) as u32;
+    divided[w] = true;
     on_split();
 }
 
-fn migrate(w: VertexId, into: u32, cluster_of: &mut [u32], degree: &[u32], vol: &mut [u64]) {
-    let from = cluster_of[w as usize] as usize;
-    let d = u64::from(degree[w as usize]);
+fn migrate(
+    w: VertexId,
+    into: u32,
+    cluster_of: &mut VertexTable<u32>,
+    degree: &VertexTable<u32>,
+    vol: &mut [u64],
+) {
+    let from = cluster_of[w] as usize;
+    let d = u64::from(degree[w]);
     debug_assert!(vol[from] >= d, "cluster volume below member degree");
     vol[from] -= d;
     vol[into as usize] += d;
-    cluster_of[w as usize] = into;
+    cluster_of[w] = into;
 }
 
 #[cfg(test)]
@@ -257,7 +287,7 @@ mod tests {
 
     fn cluster(edges: Vec<Edge>, vmax: u64, splitting: bool) -> ClusteringResult {
         let mut s = InMemoryStream::from_edges(edges);
-        stream_clustering(&mut s, vmax, splitting)
+        stream_clustering(&mut s, vmax, splitting).unwrap()
     }
 
     #[test]
@@ -265,7 +295,7 @@ mod tests {
         let r = cluster(vec![Edge::new(0, 1)], 100, true);
         assert_eq!(r.num_clusters, 1);
         assert_eq!(r.cluster_of[0], r.cluster_of[1]);
-        assert_eq!(r.degree, vec![1, 1]);
+        assert_eq!(r.degree.as_slice(), &[1, 1]);
         assert_eq!(r.migrations, 1);
         assert_eq!(r.splits, 0);
     }
@@ -289,9 +319,9 @@ mod tests {
             .collect();
         let r = cluster(edges, 8, true);
         let mut recomputed = vec![0u64; r.num_clusters as usize];
-        for (v, &c) in r.cluster_of.iter().enumerate() {
+        for (v, &c) in r.cluster_of.as_slice().iter().enumerate() {
             if c != NO_CLUSTER {
-                recomputed[c as usize] += u64::from(r.degree[v]);
+                recomputed[c as usize] += u64::from(r.degree[v as u32]);
             }
         }
         assert_eq!(recomputed, r.volumes);
@@ -332,9 +362,9 @@ mod tests {
         );
         // Final volumes must still equal the sum of member degrees.
         let mut recomputed = vec![0u64; r.num_clusters as usize];
-        for (v, &c) in r.cluster_of.iter().enumerate() {
+        for (v, &c) in r.cluster_of.as_slice().iter().enumerate() {
             if c != NO_CLUSTER {
-                recomputed[c as usize] += u64::from(r.degree[v]);
+                recomputed[c as usize] += u64::from(r.degree[v as u32]);
             }
         }
         assert_eq!(recomputed, r.volumes);
@@ -366,7 +396,7 @@ mod tests {
     #[test]
     fn untouched_vertices_have_no_cluster() {
         let mut s = InMemoryStream::new(10, vec![Edge::new(0, 1)]);
-        let r = stream_clustering(&mut s, 100, true);
+        let r = stream_clustering(&mut s, 100, true).unwrap();
         assert_eq!(r.cluster_of[5], NO_CLUSTER);
         assert_eq!(r.clustered_vertices(), 2);
     }
@@ -394,7 +424,7 @@ mod tests {
             .collect();
         let r = cluster(edges, 10, true);
         let mut seen = vec![false; r.num_clusters as usize];
-        for &c in &r.cluster_of {
+        for &c in r.cluster_of.iter() {
             if c != NO_CLUSTER {
                 seen[c as usize] = true;
             }

@@ -75,6 +75,10 @@ pub struct ClugpConfig {
     pub migration: MigrationPolicy,
     /// Cluster → partition assignment mode (Greedy = CLUGP-G ablation).
     pub assign_mode: ClusterAssignMode,
+    /// Cap on the internal vertex id space: clustering-table growth past it
+    /// fails with `InvalidParam` instead of OOM (see `crate::vertex_table`).
+    /// Sparse 64-bit external ids must come through `clugp_graph::idmap`.
+    pub max_vertices: u64,
 }
 
 impl Default for ClugpConfig {
@@ -90,6 +94,7 @@ impl Default for ClugpConfig {
             splitting: true,
             migration: MigrationPolicy::Anchored,
             assign_mode: ClusterAssignMode::Game,
+            max_vertices: crate::vertex_table::DEFAULT_MAX_VERTICES,
         }
     }
 }
@@ -127,6 +132,11 @@ impl ClugpConfig {
                     "fixed lambda must be non-negative".into(),
                 ));
             }
+        }
+        if self.max_vertices == 0 {
+            return Err(PartitionError::InvalidParam(
+                "max_vertices must be at least 1".into(),
+            ));
         }
         Ok(())
     }

@@ -289,7 +289,7 @@ mod tests {
         });
         let edges = ordered_edges(&g, StreamOrder::Bfs);
         let mut s = InMemoryStream::new(g.num_vertices(), edges);
-        let clustering = stream_clustering(&mut s, vmax, true);
+        let clustering = stream_clustering(&mut s, vmax, true).unwrap();
         s.reset().unwrap();
         ClusterGraph::build(&mut s, &clustering)
     }

@@ -34,7 +34,7 @@ mod tests {
 
     fn cluster_graph(edges: Vec<Edge>, vmax: u64) -> ClusterGraph {
         let mut s = InMemoryStream::from_edges(edges);
-        let clustering = stream_clustering(&mut s, vmax, true);
+        let clustering = stream_clustering(&mut s, vmax, true).unwrap();
         s.reset().unwrap();
         ClusterGraph::build(&mut s, &clustering)
     }

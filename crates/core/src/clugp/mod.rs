@@ -70,7 +70,13 @@ impl Clugp {
         // DESIGN.md; all provided stream types carry hints).
         let t = Instant::now();
         let vmax = if m > 0 { cfg.vmax(m, k) } else { u64::MAX };
-        let clustering = stream_clustering_with(stream, vmax, cfg.splitting, cfg.migration);
+        let clustering = clustering::stream_clustering_capped(
+            stream,
+            vmax,
+            cfg.splitting,
+            cfg.migration,
+            cfg.max_vertices,
+        )?;
         let clustering_time = t.elapsed();
         // Exact edge count, independent of the hint: each edge added 2 to
         // the degree total.
@@ -121,7 +127,7 @@ impl Clugp {
             run: PartitionRun {
                 partitioning: Partitioning {
                     k,
-                    num_vertices: n.max(clustering.cluster_of.len() as u64),
+                    num_vertices: n.max(clustering.cluster_of.len()),
                     assignments: transform.assignments,
                     loads: transform.loads,
                 },

@@ -58,7 +58,7 @@ pub fn transform(
 
     for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
         for &e in chunk {
-            let (u, v) = (e.src as usize, e.dst as usize);
+            let (u, v) = (e.src, e.dst);
             let cu = clustering.cluster_of[u];
             let cv = clustering.cluster_of[v];
             debug_assert_ne!(cu, NO_CLUSTER, "pass 3 saw a vertex pass 1 did not");
@@ -139,7 +139,7 @@ mod tests {
     ) -> (ClusteringResult, TransformResult) {
         let m = edges.len() as u64;
         let mut s = InMemoryStream::from_edges(edges);
-        let clustering = stream_clustering(&mut s, vmax, true);
+        let clustering = stream_clustering(&mut s, vmax, true).unwrap();
         let map: Vec<u32> = (0..clustering.num_clusters)
             .map(&cluster_partition_of)
             .collect();
@@ -199,7 +199,7 @@ mod tests {
         ];
         let m = edges.len() as u64;
         let mut s = InMemoryStream::from_edges(edges);
-        let clustering = stream_clustering(&mut s, 100, true);
+        let clustering = stream_clustering(&mut s, 100, true).unwrap();
         let c0 = clustering.cluster_of[0];
         let c3 = clustering.cluster_of[3];
         if c0 == c3 {
@@ -221,7 +221,7 @@ mod tests {
         let edges: Vec<Edge> = (1..=30).map(|i| Edge::new(0, i)).collect();
         let m = edges.len() as u64;
         let mut s = InMemoryStream::from_edges(edges);
-        let clustering = stream_clustering(&mut s, 6, true);
+        let clustering = stream_clustering(&mut s, 6, true).unwrap();
         assert!(clustering.divided[0]);
         let map: Vec<u32> = (0..clustering.num_clusters).map(|c| c % 4).collect();
         s.reset().unwrap();
@@ -231,7 +231,7 @@ mod tests {
         let hub_part = map[hub_cluster as usize];
         for (idx, &p) in t.assignments.iter().enumerate() {
             let spoke = (idx + 1) as u32;
-            let sp = map[clustering.cluster_of[spoke as usize] as usize];
+            let sp = map[clustering.cluster_of[spoke] as usize];
             if sp != hub_part {
                 assert_eq!(p, sp, "edge to spoke {spoke} should follow the spoke");
             }
@@ -248,7 +248,7 @@ mod tests {
         edges.push(Edge::new(0, 50)); // the bridge
         let m = edges.len() as u64;
         let mut s = InMemoryStream::from_edges(edges);
-        let clustering = stream_clustering(&mut s, 6, true);
+        let clustering = stream_clustering(&mut s, 6, true).unwrap();
         if !(clustering.divided[0] && clustering.divided[50]) {
             return; // splitting pattern differs; rule not exercised
         }
@@ -271,7 +271,7 @@ mod tests {
     fn rejects_bad_tau() {
         let edges = vec![Edge::new(0, 1)];
         let mut s = InMemoryStream::from_edges(edges);
-        let clustering = stream_clustering(&mut s, 10, true);
+        let clustering = stream_clustering(&mut s, 10, true).unwrap();
         s.reset().unwrap();
         let err = transform(&mut s, &clustering, &[0], 2, 0.5, 1);
         assert!(err.is_err());
@@ -280,7 +280,7 @@ mod tests {
     #[test]
     fn empty_stream_is_fine() {
         let mut s = InMemoryStream::from_edges(vec![]);
-        let clustering = stream_clustering(&mut s, 10, true);
+        let clustering = stream_clustering(&mut s, 10, true).unwrap();
         s.reset().unwrap();
         let t = transform(&mut s, &clustering, &[], 3, 1.0, 0).unwrap();
         assert!(t.assignments.is_empty());

@@ -8,6 +8,7 @@ use super::metrics::VertexPartitioning;
 use super::stream::{VertexStream, DEFAULT_CHUNK_VERTICES};
 use super::VertexPartitioner;
 use crate::error::{PartitionError, Result};
+use crate::vertex_table::VertexTable;
 
 /// The FENNEL partitioner.
 #[derive(Debug, Clone)]
@@ -48,8 +49,7 @@ impl VertexPartitioner for Fennel {
         let alpha = m * kf.powf(self.gamma - 1.0) / n.powf(self.gamma);
         let cap = (self.slack * n / kf).ceil() as u64;
 
-        let nv = stream.num_vertices() as usize;
-        let mut assignment = vec![u32::MAX; nv];
+        let mut assignment: VertexTable<u32> = VertexTable::new(stream.num_vertices(), u32::MAX)?;
         let mut counts = vec![0u64; k as usize];
         let mut neighbor_hits = vec![0u64; k as usize];
         stream.reset();
@@ -57,7 +57,7 @@ impl VertexPartitioner for Fennel {
             for rec in chunk {
                 neighbor_hits.iter_mut().for_each(|h| *h = 0);
                 for &nb in rec.neighbors {
-                    let p = assignment[nb as usize];
+                    let p = assignment[nb];
                     if p != u32::MAX {
                         neighbor_hits[p as usize] += 1;
                     }
@@ -85,11 +85,14 @@ impl VertexPartitioner for Fennel {
                         .map(|(p, _)| p as u32)
                         .expect("k >= 1")
                 });
-                assignment[rec.vertex as usize] = chosen;
+                assignment[rec.vertex] = chosen;
                 counts[chosen as usize] += 1;
             }
         }
-        Ok(VertexPartitioning { k, assignment })
+        Ok(VertexPartitioning {
+            k,
+            assignment: assignment.into_vec(),
+        })
     }
 }
 

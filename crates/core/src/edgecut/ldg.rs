@@ -7,6 +7,7 @@ use super::metrics::VertexPartitioning;
 use super::stream::{VertexStream, DEFAULT_CHUNK_VERTICES};
 use super::VertexPartitioner;
 use crate::error::{PartitionError, Result};
+use crate::vertex_table::VertexTable;
 
 /// The LDG partitioner.
 #[derive(Debug, Clone, Default)]
@@ -24,7 +25,9 @@ impl VertexPartitioner for Ldg {
         let n = stream.num_vertices();
         // Capacity C = ceil(n/k); the (1 − |p|/C) factor caps partitions.
         let capacity = n.div_ceil(u64::from(k)).max(1) as f64;
-        let mut assignment = vec![u32::MAX; n as usize];
+        // VertexTable gives the cap-checked, honestly-measured per-vertex
+        // state; n comes from the CSR-backed stream, so growth never occurs.
+        let mut assignment: VertexTable<u32> = VertexTable::new(n, u32::MAX)?;
         let mut counts = vec![0u64; k as usize];
         let mut neighbor_hits = vec![0u64; k as usize];
         stream.reset();
@@ -32,7 +35,7 @@ impl VertexPartitioner for Ldg {
             for rec in chunk {
                 neighbor_hits.iter_mut().for_each(|h| *h = 0);
                 for &nb in rec.neighbors {
-                    let p = assignment[nb as usize];
+                    let p = assignment[nb];
                     if p != u32::MAX {
                         neighbor_hits[p as usize] += 1;
                     }
@@ -49,11 +52,14 @@ impl VertexPartitioner for Ldg {
                         best = p;
                     }
                 }
-                assignment[rec.vertex as usize] = best;
+                assignment[rec.vertex] = best;
                 counts[best as usize] += 1;
             }
         }
-        Ok(VertexPartitioning { k, assignment })
+        Ok(VertexPartitioning {
+            k,
+            assignment: assignment.into_vec(),
+        })
     }
 }
 

@@ -55,7 +55,9 @@ pub mod partition;
 pub mod partition_io;
 pub mod partitioner;
 pub mod state;
+pub mod vertex_table;
 
 pub use error::{PartitionError, Result};
 pub use partition::{PartitionRun, Partitioning, Timings};
 pub use partitioner::Partitioner;
+pub use vertex_table::VertexTable;

@@ -33,16 +33,22 @@ impl PartitionQuality {
     ///
     /// # Panics
     ///
-    /// Panics if `edges.len() != partitioning.assignments.len()`.
+    /// Panics if `edges.len() != partitioning.assignments.len()`, or if the
+    /// partitioning's dimensions exceed the internal id space (impossible
+    /// for a `Partitioning` produced by an in-tree partitioner, whose own
+    /// caps are checked first).
     pub fn compute(edges: &[Edge], partitioning: &Partitioning) -> Self {
         assert_eq!(
             edges.len(),
             partitioning.assignments.len(),
             "edge list and assignment length mismatch"
         );
-        let mut table = ReplicaTable::new(partitioning.num_vertices, partitioning.k);
+        let mut table = ReplicaTable::new(partitioning.num_vertices, partitioning.k)
+            .expect("partitioning dimensions exceed the internal id space");
         for (e, &p) in edges.iter().zip(&partitioning.assignments) {
-            table.ensure_vertices(u64::from(e.src.max(e.dst)) + 1);
+            table
+                .ensure_vertices(u64::from(e.src.max(e.dst)) + 1)
+                .expect("edge id exceeds the internal id space");
             table.insert(e.src, p);
             table.insert(e.dst, p);
         }

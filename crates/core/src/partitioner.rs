@@ -34,14 +34,6 @@ pub(crate) fn start_run(stream: &mut dyn RestreamableStream, k: u32) -> Result<(
     Ok((n, m))
 }
 
-/// Grows `vec` (filling with `fill`) so that index `idx` is valid.
-#[inline]
-pub(crate) fn ensure_index<T: Clone>(vec: &mut Vec<T>, idx: usize, fill: T) {
-    if idx >= vec.len() {
-        vec.resize(idx + 1, fill);
-    }
-}
-
 /// 64-bit mix (splitmix64 finalizer) used by the hashing-based partitioners;
 /// seedable so that Hashing runs are reproducible but not trivially aligned
 /// with vertex ids.
@@ -75,15 +67,6 @@ mod tests {
         let (n, m) = start_run(&mut s, 4).unwrap();
         assert_eq!((n, m), (5, 2));
         assert_eq!(s.next_edge(), Some(Edge::new(0, 1)));
-    }
-
-    #[test]
-    fn ensure_index_grows_once() {
-        let mut v = vec![1u32];
-        ensure_index(&mut v, 3, 0);
-        assert_eq!(v, vec![1, 0, 0, 0]);
-        ensure_index(&mut v, 1, 9); // no-op
-        assert_eq!(v.len(), 4);
     }
 
     #[test]

@@ -1,7 +1,77 @@
 //! Mutable partitioning state shared by the algorithms: the replica table
 //! (`P(v)` sets) and partition load tracking.
 
+use crate::error::Result;
+use crate::vertex_table::{cap_error, DEFAULT_MAX_VERTICES};
 use clugp_graph::types::VertexId;
+
+/// Per-vertex replica counts at the narrowest width that can hold `k`:
+/// `u16` rows when `k ≤ u16::MAX` (every experiment in the paper), `u32`
+/// rows beyond. A count is bounded by `k`, so the width is decided once at
+/// construction — half the count bytes on the common path, still safe for
+/// `k > 65535`.
+#[derive(Debug, Clone)]
+enum Counts {
+    Narrow(Vec<u16>),
+    Wide(Vec<u32>),
+}
+
+impl Counts {
+    fn with_len(len: usize, k: u32) -> Self {
+        if k <= u32::from(u16::MAX) {
+            Counts::Narrow(vec![0; len])
+        } else {
+            Counts::Wide(vec![0; len])
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Counts::Narrow(v) => v.len(),
+            Counts::Wide(v) => v.len(),
+        }
+    }
+
+    fn resize(&mut self, len: usize) {
+        match self {
+            Counts::Narrow(v) => v.resize(len, 0),
+            Counts::Wide(v) => v.resize(len, 0),
+        }
+    }
+
+    #[inline]
+    fn get(&self, v: usize) -> u32 {
+        match self {
+            Counts::Narrow(c) => u32::from(c[v]),
+            Counts::Wide(c) => c[v],
+        }
+    }
+
+    /// Increments the count of `v`, returning the previous value.
+    #[inline]
+    fn bump(&mut self, v: usize) -> u32 {
+        match self {
+            // Cannot wrap: counts are bounded by k ≤ u16::MAX in this arm.
+            Counts::Narrow(c) => {
+                let prev = c[v];
+                c[v] = prev + 1;
+                u32::from(prev)
+            }
+            Counts::Wide(c) => {
+                let prev = c[v];
+                c[v] = prev + 1;
+                prev
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            Counts::Narrow(v) => v.capacity() * 2,
+            Counts::Wide(v) => v.capacity() * 4,
+        }
+    }
+}
 
 /// Tracks, for every vertex, the set of partitions holding a replica of it —
 /// the `P(v)` of the paper — as one bitset row of `ceil(k/64)` words per
@@ -11,29 +81,65 @@ use clugp_graph::types::VertexId;
 /// replication factor and (b) the "global status table" that the
 /// heuristic-based baselines (Greedy, HDRF) must maintain, which is exactly
 /// the state the paper charges them for in the memory experiment (Fig. 6).
+///
+/// Vertices are compact internal ids (see `clugp_graph::idmap`); sizing is
+/// checked (`k × n` cannot overflow into a silent misallocation) and growth
+/// is capped by a `max_vertices` limit, so adversarial id/dimension requests
+/// fail with a clean error instead of aborting.
 #[derive(Debug, Clone)]
 pub struct ReplicaTable {
     words_per_row: usize,
     k: u32,
     bits: Vec<u64>,
-    // u32, not u16: a count can reach k, and k is not bounded by u16::MAX.
-    counts: Vec<u32>,
+    counts: Counts,
+    limit: u64,
     total_replicas: u64,
     touched_vertices: u64,
 }
 
+/// Checked `words_per_row × num_vertices`, failing cleanly when the product
+/// exceeds the cap-independent addressable size (the satellite guard for
+/// 32-bit-usize targets).
+fn checked_words(words_per_row: usize, num_vertices: u64, k: u32) -> Result<usize> {
+    (words_per_row as u64)
+        .checked_mul(num_vertices)
+        .and_then(|w| usize::try_from(w).ok())
+        .ok_or_else(|| {
+            crate::error::PartitionError::InvalidParam(format!(
+                "replica table of k={k} × n={num_vertices} overflows addressable memory"
+            ))
+        })
+}
+
 impl ReplicaTable {
-    /// Creates an empty table for `num_vertices` vertices and `k` partitions.
-    pub fn new(num_vertices: u64, k: u32) -> Self {
+    /// Creates an empty table for `num_vertices` vertices and `k` partitions
+    /// with the [`DEFAULT_MAX_VERTICES`] growth limit.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::PartitionError::InvalidParam`] if `num_vertices`
+    /// exceeds the limit or `k × n` overflows addressable memory.
+    pub fn new(num_vertices: u64, k: u32) -> Result<Self> {
+        Self::with_limit(num_vertices, k, DEFAULT_MAX_VERTICES)
+    }
+
+    /// Creates an empty table with an explicit `max_vertices` growth limit.
+    pub fn with_limit(num_vertices: u64, k: u32, limit: u64) -> Result<Self> {
+        let limit = limit.min(DEFAULT_MAX_VERTICES);
+        if num_vertices > limit {
+            return Err(cap_error("num_vertices", num_vertices, limit));
+        }
         let words_per_row = (k as usize).div_ceil(64).max(1);
-        ReplicaTable {
+        let words = checked_words(words_per_row, num_vertices, k)?;
+        Ok(ReplicaTable {
             words_per_row,
             k,
-            bits: vec![0; words_per_row * num_vertices as usize],
-            counts: vec![0; num_vertices as usize],
+            bits: vec![0; words],
+            counts: Counts::with_len(num_vertices as usize, k),
+            limit,
             total_replicas: 0,
             touched_vertices: 0,
-        }
+        })
     }
 
     /// Number of partitions this table was sized for.
@@ -47,12 +153,28 @@ impl ReplicaTable {
     }
 
     /// Grows the table to cover at least `num_vertices` vertices.
-    pub fn ensure_vertices(&mut self, num_vertices: u64) {
-        if num_vertices as usize > self.counts.len() {
-            self.counts.resize(num_vertices as usize, 0);
-            self.bits
-                .resize(self.words_per_row * num_vertices as usize, 0);
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::PartitionError::InvalidParam`] if the request exceeds
+    /// the `max_vertices` limit or overflows addressable memory.
+    #[inline]
+    pub fn ensure_vertices(&mut self, num_vertices: u64) -> Result<()> {
+        if num_vertices as usize <= self.counts.len() {
+            return Ok(());
         }
+        self.grow(num_vertices)
+    }
+
+    #[cold]
+    fn grow(&mut self, num_vertices: u64) -> Result<()> {
+        if num_vertices > self.limit {
+            return Err(cap_error("num_vertices", num_vertices, self.limit));
+        }
+        let words = checked_words(self.words_per_row, num_vertices, self.k)?;
+        self.counts.resize(num_vertices as usize);
+        self.bits.resize(words, 0);
+        Ok(())
     }
 
     /// Returns `true` if partition `p` holds a replica of `v`.
@@ -75,10 +197,9 @@ impl ReplicaTable {
             return false;
         }
         *word |= mask;
-        if self.counts[v as usize] == 0 {
+        if self.counts.bump(v as usize) == 0 {
             self.touched_vertices += 1;
         }
-        self.counts[v as usize] += 1;
         self.total_replicas += 1;
         true
     }
@@ -86,7 +207,7 @@ impl ReplicaTable {
     /// `|P(v)|`: the number of partitions holding `v`.
     #[inline]
     pub fn count(&self, v: VertexId) -> u32 {
-        self.counts[v as usize]
+        self.counts.get(v as usize)
     }
 
     /// `Σ_v |P(v)|` over all vertices.
@@ -125,7 +246,14 @@ impl ReplicaTable {
 
     /// Bytes of heap memory held by the table.
     pub fn memory_bytes(&self) -> usize {
-        self.bits.capacity() * 8 + self.counts.capacity() * 4
+        self.bits.capacity() * 8 + self.counts.memory_bytes()
+    }
+
+    /// What the pre-compaction dense layout (fixed `u32` counts) would have
+    /// held for the same dimensions — the honest comparison point of the
+    /// `experiments memory` trajectory artifact.
+    pub fn memory_bytes_seed_layout(&self) -> usize {
+        self.bits.capacity() * 8 + self.counts.len() * 4
     }
 }
 
@@ -245,7 +373,7 @@ mod tests {
 
     #[test]
     fn insert_and_count() {
-        let mut t = ReplicaTable::new(4, 8);
+        let mut t = ReplicaTable::new(4, 8).unwrap();
         assert!(t.insert(0, 3));
         assert!(!t.insert(0, 3));
         assert!(t.insert(0, 7));
@@ -257,7 +385,7 @@ mod tests {
 
     #[test]
     fn contains_matches_insert() {
-        let mut t = ReplicaTable::new(2, 130);
+        let mut t = ReplicaTable::new(2, 130).unwrap();
         assert!(!t.contains(1, 129));
         t.insert(1, 129);
         assert!(t.contains(1, 129));
@@ -266,7 +394,7 @@ mod tests {
 
     #[test]
     fn partitions_of_iterates_in_order() {
-        let mut t = ReplicaTable::new(1, 200);
+        let mut t = ReplicaTable::new(1, 200).unwrap();
         for p in [5u32, 64, 130, 199] {
             t.insert(0, p);
         }
@@ -276,7 +404,7 @@ mod tests {
 
     #[test]
     fn replication_factor_touched_denominator() {
-        let mut t = ReplicaTable::new(10, 4);
+        let mut t = ReplicaTable::new(10, 4).unwrap();
         t.insert(0, 0);
         t.insert(0, 1);
         t.insert(1, 2);
@@ -286,14 +414,14 @@ mod tests {
 
     #[test]
     fn empty_table_rf_zero() {
-        let t = ReplicaTable::new(5, 4);
+        let t = ReplicaTable::new(5, 4).unwrap();
         assert_eq!(t.replication_factor(), 0.0);
     }
 
     #[test]
     fn ensure_vertices_grows() {
-        let mut t = ReplicaTable::new(1, 4);
-        t.ensure_vertices(10);
+        let mut t = ReplicaTable::new(1, 4).unwrap();
+        t.ensure_vertices(10).unwrap();
         t.insert(9, 3);
         assert!(t.contains(9, 3));
         assert_eq!(t.num_vertices(), 10);
@@ -301,7 +429,7 @@ mod tests {
 
     #[test]
     fn k_one_uses_single_word() {
-        let mut t = ReplicaTable::new(3, 1);
+        let mut t = ReplicaTable::new(3, 1).unwrap();
         t.insert(2, 0);
         assert_eq!(t.count(2), 1);
         assert_eq!(t.partitions_of(2).collect::<Vec<_>>(), vec![0]);
@@ -309,8 +437,8 @@ mod tests {
 
     #[test]
     fn memory_bytes_nonzero() {
-        let t = ReplicaTable::new(100, 64);
-        assert!(t.memory_bytes() >= 100 * 8 + 100 * 4);
+        let t = ReplicaTable::new(100, 64).unwrap();
+        assert!(t.memory_bytes() >= 100 * 8 + 100 * 2);
     }
 
     #[test]
@@ -318,13 +446,54 @@ mod tests {
         // A u16 count silently wrapped once |P(v)| exceeded 65535; with
         // k > u16::MAX a single vertex can legitimately reach such counts.
         let k = u32::from(u16::MAX) + 5;
-        let mut t = ReplicaTable::new(1, k);
+        let mut t = ReplicaTable::new(1, k).unwrap();
         for p in 0..k {
             assert!(t.insert(0, p));
         }
         assert_eq!(t.count(0), k);
         assert_eq!(t.total_replicas(), u64::from(k));
         assert_eq!(t.partitions_of(0).count(), k as usize);
+    }
+
+    #[test]
+    fn oversized_dimension_requests_fail_cleanly() {
+        use crate::error::PartitionError;
+        // A stream lying about its vertex count (u64::MAX) used to abort or
+        // OOM in the `words_per_row * n as usize` sizing; now it is a clean
+        // InvalidParam at construction and at growth.
+        assert!(matches!(
+            ReplicaTable::new(u64::MAX, 8),
+            Err(PartitionError::InvalidParam(_))
+        ));
+        let mut t = ReplicaTable::new(4, 8).unwrap();
+        assert!(matches!(
+            t.ensure_vertices(u64::MAX),
+            Err(PartitionError::InvalidParam(_))
+        ));
+        // The table stays usable after a rejected growth.
+        assert!(t.insert(3, 1));
+    }
+
+    #[test]
+    fn configurable_cap_bounds_growth() {
+        let mut t = ReplicaTable::with_limit(4, 8, 100).unwrap();
+        t.ensure_vertices(100).unwrap();
+        assert!(t.ensure_vertices(101).is_err());
+        assert!(ReplicaTable::with_limit(101, 8, 100).is_err());
+    }
+
+    #[test]
+    fn counts_are_narrow_for_small_k_and_wide_beyond_u16() {
+        // k ≤ u16::MAX → 2-byte counts; the seed layout charged 4 bytes.
+        let narrow = ReplicaTable::new(1000, 64).unwrap();
+        assert!(narrow.memory_bytes() < narrow.memory_bytes_seed_layout());
+        assert_eq!(
+            narrow.memory_bytes_seed_layout() - narrow.memory_bytes(),
+            1000 * 2
+        );
+        // k > u16::MAX → 4-byte counts; identical to the seed layout.
+        let wide = ReplicaTable::new(10, u32::from(u16::MAX) + 5).unwrap();
+        assert_eq!(wide.memory_bytes(), wide.memory_bytes_seed_layout());
     }
 
     #[test]

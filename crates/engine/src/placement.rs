@@ -53,7 +53,10 @@ impl DistributedGraph {
     ///
     /// # Panics
     ///
-    /// Panics if `edges.len() != partitioning.assignments.len()`.
+    /// Panics if `edges.len() != partitioning.assignments.len()`, or if the
+    /// partitioning's dimensions exceed the internal id space (impossible
+    /// for a `Partitioning` produced by an in-tree partitioner, whose own
+    /// `max_vertices` caps are checked first — see `clugp::vertex_table`).
     pub fn place(edges: &[Edge], partitioning: &Partitioning) -> Self {
         assert_eq!(
             edges.len(),
@@ -64,9 +67,12 @@ impl DistributedGraph {
         let n = partitioning.num_vertices as usize;
 
         // Per-machine presence bitmaps via replica table.
-        let mut replicas = clugp::state::ReplicaTable::new(n as u64, k);
+        let mut replicas = clugp::state::ReplicaTable::new(n as u64, k)
+            .expect("partitioning dimensions exceed the internal id space");
         for (e, &p) in edges.iter().zip(&partitioning.assignments) {
-            replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1);
+            replicas
+                .ensure_vertices(u64::from(e.src.max(e.dst)) + 1)
+                .expect("edge id exceeds the internal id space");
             replicas.insert(e.src, p);
             replicas.insert(e.dst, p);
         }

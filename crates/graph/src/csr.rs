@@ -34,7 +34,17 @@ impl CsrGraph {
                 "num_vertices {num_vertices} exceeds u32 id space"
             )));
         }
-        let n = num_vertices as usize;
+        // Checked sizing: on 32-bit-usize targets a u32-ranged count can
+        // still overflow the address space; fail cleanly instead of
+        // truncating the allocation.
+        let n = usize::try_from(num_vertices)
+            .ok()
+            .filter(|n| n.checked_add(1).is_some())
+            .ok_or_else(|| {
+                GraphError::InvalidConfig(format!(
+                    "num_vertices {num_vertices} exceeds addressable memory on this target"
+                ))
+            })?;
         for e in edges {
             let max = u64::from(e.src.max(e.dst));
             if max >= num_vertices {

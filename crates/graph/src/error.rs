@@ -25,6 +25,16 @@ pub enum GraphError {
     },
     /// A caller-supplied configuration is unusable (e.g. zero vertices).
     InvalidConfig(String),
+    /// An id map ran out of internal id space: the stream contains more
+    /// distinct external ids than the configured `max_vertices` cap (or an
+    /// identity-mode id exceeded it). The guard that turns adversarial id
+    /// explosions into clean errors instead of OOM.
+    TooManyVertices {
+        /// The external id whose interning hit the cap.
+        external: u64,
+        /// The configured cap on internal vertex ids.
+        max_vertices: u64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -43,6 +53,13 @@ impl fmt::Display for GraphError {
                 "vertex {vertex} out of range for graph with {num_vertices} vertices"
             ),
             GraphError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            GraphError::TooManyVertices {
+                external,
+                max_vertices,
+            } => write!(
+                f,
+                "external id {external} cannot be interned: max_vertices cap is {max_vertices}"
+            ),
         }
     }
 }
@@ -87,6 +104,11 @@ mod tests {
         assert!(range.to_string().contains("10"));
         let cfg = GraphError::InvalidConfig("zero vertices".into());
         assert!(cfg.to_string().contains("zero vertices"));
+        let cap = GraphError::TooManyVertices {
+            external: u64::MAX,
+            max_vertices: 100,
+        };
+        assert!(cap.to_string().contains("max_vertices cap is 100"));
     }
 
     #[test]

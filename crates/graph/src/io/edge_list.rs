@@ -2,8 +2,9 @@
 //! the de-facto exchange format of SNAP/WebGraph-derived datasets.
 
 use crate::error::{GraphError, Result};
+use crate::idmap::RawEdgeStream;
 use crate::stream::{EdgeStream, RestreamableStream};
-use crate::types::Edge;
+use crate::types::{Edge, RawEdge};
 use std::io::{BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
@@ -45,6 +46,17 @@ fn parse_field(field: Option<&str>, line: u64) -> Result<u32> {
         message: "expected two vertex ids".into(),
     })?;
     s.parse::<u32>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("bad vertex id {s:?}: {e}"),
+    })
+}
+
+fn parse_field_u64(field: Option<&str>, line: u64) -> Result<u64> {
+    let s = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two vertex ids".into(),
+    })?;
+    s.parse::<u64>().map_err(|e| GraphError::Parse {
         line,
         message: format!("bad vertex id {s:?}: {e}"),
     })
@@ -211,6 +223,135 @@ impl RestreamableStream for TextEdgeStream {
     }
 }
 
+/// A resettable [`RawEdgeStream`] over a text edge list whose vertex ids
+/// may be arbitrary (sparse) 64-bit values — the form web corpora actually
+/// ship in (hashed URLs, crawl ids).
+///
+/// Where [`TextEdgeStream`] parses `u32` ids for already-dense lists, this
+/// stream parses full `u64` ids and is meant to be wrapped in
+/// [`crate::idmap::RemappedStream`], which compacts the ids onto the dense
+/// internal space during its first pass. [`RawTextEdgeStream::open`]
+/// validates every line up front (one buffered pre-pass) and records an
+/// exact [`RawEdgeStream::len_hint`], so later pulls only fail if the file
+/// is mutated underneath the stream — in which case the error is *parked*,
+/// the stream ends early, and the next [`RawEdgeStream::reset`] reports it
+/// (the same contract as [`TextEdgeStream`], so a restreaming consumer
+/// cannot silently loop over a truncated stream). [`RawTextEdgeStream::error`]
+/// exposes the parked error for single-pass consumers.
+#[derive(Debug)]
+pub struct RawTextEdgeStream {
+    reader: BufReader<std::fs::File>,
+    path: PathBuf,
+    line: String,
+    line_no: u64,
+    done: bool,
+    error: Option<GraphError>,
+    num_edges: u64,
+}
+
+impl RawTextEdgeStream {
+    /// Opens `path`, validating every line in one buffered pre-pass.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or on the first malformed line.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let mut s = RawTextEdgeStream {
+            reader: BufReader::new(file),
+            path: path.to_path_buf(),
+            line: String::new(),
+            line_no: 0,
+            done: false,
+            error: None,
+            num_edges: 0,
+        };
+        let mut edges = 0u64;
+        while s.parse_next()?.is_some() {
+            edges += 1;
+        }
+        s.num_edges = edges;
+        RawEdgeStream::reset(&mut s)?;
+        Ok(s)
+    }
+
+    /// The file this stream reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The error that ended the stream early, if any (also reported by the
+    /// next [`RawEdgeStream::reset`]). Only possible if the file changed
+    /// after the validating open.
+    pub fn error(&self) -> Option<&GraphError> {
+        self.error.as_ref()
+    }
+
+    fn parse_next(&mut self) -> Result<Option<RawEdge>> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            self.line.clear();
+            let n = self.reader.read_line(&mut self.line)?;
+            if n == 0 {
+                self.done = true;
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+                continue;
+            }
+            let mut it = trimmed.split_whitespace();
+            let src = parse_field_u64(it.next(), self.line_no)?;
+            let dst = parse_field_u64(it.next(), self.line_no)?;
+            return Ok(Some(RawEdge { src, dst }));
+        }
+    }
+}
+
+impl RawEdgeStream for RawTextEdgeStream {
+    fn next_raw(&mut self) -> Option<RawEdge> {
+        // The validating open proved every line parses; a failure here can
+        // only be a racing file mutation. Park it so the next reset reports
+        // it instead of letting a restreaming consumer silently loop over a
+        // truncated stream.
+        if self.error.is_some() {
+            return None;
+        }
+        match self.parse_next() {
+            Ok(e) => e,
+            Err(err) => {
+                self.done = true;
+                self.error = Some(err);
+                None
+            }
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.num_edges)
+    }
+
+    /// Rewinds to the start of the file.
+    ///
+    /// # Errors
+    ///
+    /// Fails on seek errors, or reports (and clears) the error that ended
+    /// the previous pass early.
+    fn reset(&mut self) -> Result<()> {
+        let parked = self.error.take();
+        self.reader.seek(SeekFrom::Start(0))?;
+        self.line_no = 0;
+        self.done = false;
+        match parked {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
 /// Writes edges as a text edge list with a provenance header comment.
 pub fn write_edge_list(path: &Path, edges: &[Edge]) -> Result<()> {
     let file = std::fs::File::create(path)?;
@@ -339,6 +480,74 @@ mod tests {
         // ...after which the stream is rewound and replays the good prefix.
         assert!(s.error().is_none());
         assert_eq!(s.next_edge(), Some(Edge::new(0, 1)));
+    }
+
+    #[test]
+    fn raw_text_stream_parses_sparse_u64_ids() {
+        let path = tmp("raw_sparse.txt");
+        std::fs::write(
+            &path,
+            format!(
+                "# hashed-url ids\n18446744073709551615 9000000000\n9000000000 {}\n",
+                1u64 << 40
+            ),
+        )
+        .unwrap();
+        let mut s = RawTextEdgeStream::open(&path).unwrap();
+        assert_eq!(RawEdgeStream::len_hint(&s), Some(2));
+        assert_eq!(s.next_raw(), Some(RawEdge::new(u64::MAX, 9_000_000_000)));
+        assert_eq!(s.next_raw(), Some(RawEdge::new(9_000_000_000, 1 << 40)));
+        assert_eq!(s.next_raw(), None);
+        // Resets for multi-pass consumption.
+        RawEdgeStream::reset(&mut s).unwrap();
+        assert_eq!(s.next_raw(), Some(RawEdge::new(u64::MAX, 9_000_000_000)));
+    }
+
+    #[test]
+    fn raw_text_stream_feeds_the_remap_layer() {
+        use crate::idmap::RemappedStream;
+        use crate::stream::collect_stream;
+        let path = tmp("raw_remap.txt");
+        std::fs::write(&path, "18446744073709551615 7\n7 42\n").unwrap();
+        let raw = RawTextEdgeStream::open(&path).unwrap();
+        let mut s = RemappedStream::remap(raw).unwrap();
+        assert_eq!(
+            collect_stream(&mut s),
+            vec![Edge::new(0, 1), Edge::new(1, 2)]
+        );
+        assert_eq!(s.id_map().external_of(0), u64::MAX);
+    }
+
+    #[test]
+    fn raw_text_stream_parks_error_on_mid_stream_mutation() {
+        // A file mutated *underneath* an open stream (after the validating
+        // pre-pass) must not be silently truncated: the parse error is
+        // parked and the next reset reports it, so a restreaming consumer
+        // cannot loop over a corrupted stream. The file must exceed the
+        // BufReader buffer (8 KiB) for the mutation to be observable.
+        let path = tmp("raw_mutated.txt");
+        let good: String = (0..4000u64).map(|i| format!("{i} {}\n", i + 1)).collect();
+        std::fs::write(&path, &good).unwrap();
+        let mut s = RawTextEdgeStream::open(&path).unwrap();
+        assert_eq!(s.next_raw(), Some(RawEdge::new(0, 1)));
+        // Same-length garbage so reads keep succeeding but parsing fails.
+        std::fs::write(&path, good.replace(' ', "x")).unwrap();
+        while s.next_raw().is_some() {}
+        assert!(s.error().is_some(), "mutation must park an error");
+        assert!(
+            RawEdgeStream::reset(&mut s).is_err(),
+            "reset must report it"
+        );
+        // After reporting, the stream is usable again (over the new bytes).
+        assert!(s.error().is_none());
+    }
+
+    #[test]
+    fn raw_text_stream_rejects_malformed_lines_at_open() {
+        let path = tmp("raw_bad.txt");
+        std::fs::write(&path, "1 2\nnot numbers\n").unwrap();
+        let err = RawTextEdgeStream::open(&path).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //!   with a chunked-pull ABI ([`stream::EdgeStream::next_chunk`] /
 //!   [`stream::for_each_chunk`]) so hot loops pay one virtual dispatch per
 //!   block of edges, not one per edge (see DESIGN.md §2).
+//! * [`idmap`] — the id-space layer: [`idmap::IdMap`] compacts sparse
+//!   64-bit external ids (hashed URLs, crawl ids) onto the dense internal
+//!   `u32` space, with a zero-cost identity mode for already-dense sources
+//!   and a first-appearance remap mode for raw text/file streams
+//!   ([`idmap::RemappedStream`]); both modes cap growth at a configurable
+//!   `max_vertices` (see DESIGN.md §5).
 //! * [`order`] — BFS crawl order (the paper's assumed web-graph stream
 //!   order), random order, and vertex relabeling.
 //! * [`gen`] — synthetic web/social graph generators substituting for the
@@ -45,6 +51,7 @@ pub mod analysis;
 pub mod csr;
 pub mod error;
 pub mod gen;
+pub mod idmap;
 pub mod io;
 pub mod order;
 pub mod sampling;
@@ -53,5 +60,6 @@ pub mod types;
 
 pub use csr::CsrGraph;
 pub use error::{GraphError, Result};
+pub use idmap::{IdMap, RawEdgeStream, RawInMemoryStream, RemappedStream};
 pub use stream::{EdgeStream, InMemoryStream, RestreamableStream};
-pub use types::{Edge, VertexId};
+pub use types::{Edge, ExternalId, RawEdge, VertexId};

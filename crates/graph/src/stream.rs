@@ -152,6 +152,26 @@ impl<T: RestreamableStream + ?Sized> RestreamableStream for &mut T {
 /// Sources that lend slices ([`EdgeStream::next_slice`]) are drained
 /// zero-copy; everything else goes through one reused copy buffer.
 pub fn for_each_chunk(stream: &mut dyn EdgeStream, cap: usize, mut f: impl FnMut(&[Edge])) {
+    // One drain loop to maintain: the infallible version is the fallible
+    // one at an uninhabited error type (compiles to the same code).
+    let Ok(()) = try_for_each_chunk::<std::convert::Infallible>(stream, cap, |chunk| {
+        f(chunk);
+        Ok(())
+    });
+}
+
+/// Fallible variant of [`for_each_chunk`]: drives `stream` to exhaustion in
+/// chunks, stopping at the first `Err` from `f` and propagating it.
+///
+/// This is the hot loop of consumers whose per-vertex state can refuse to
+/// grow (the `max_vertices` guards against adversarial id explosions): the
+/// chunk structure and dispatch cost are identical to [`for_each_chunk`],
+/// plus one branch per chunk.
+pub fn try_for_each_chunk<E>(
+    stream: &mut dyn EdgeStream,
+    cap: usize,
+    mut f: impl FnMut(&[Edge]) -> std::result::Result<(), E>,
+) -> std::result::Result<(), E> {
     let cap = cap.max(1);
     loop {
         // Borrow-scoped slice attempt; `None` (source can't lend) drops to
@@ -159,9 +179,9 @@ pub fn for_each_chunk(stream: &mut dyn EdgeStream, cap: usize, mut f: impl FnMut
         let lent = match stream.next_slice(cap) {
             Some(slice) => {
                 if slice.is_empty() {
-                    return;
+                    return Ok(());
                 }
-                f(slice);
+                f(slice)?;
                 true
             }
             None => false,
@@ -169,9 +189,9 @@ pub fn for_each_chunk(stream: &mut dyn EdgeStream, cap: usize, mut f: impl FnMut
         if !lent {
             let mut buf: Vec<Edge> = Vec::with_capacity(cap);
             while stream.next_chunk(&mut buf, cap) != 0 {
-                f(&buf);
+                f(&buf)?;
             }
-            return;
+            return Ok(());
         }
     }
 }
@@ -594,6 +614,41 @@ mod tests {
             for_each_chunk(&mut s, cap, |chunk| seen.extend_from_slice(chunk));
             assert_eq!(seen, edges, "cap={cap}");
         }
+    }
+
+    #[test]
+    fn try_for_each_chunk_covers_stream_and_stops_on_error() {
+        let edges: Vec<Edge> = (0..100u32).map(|i| Edge::new(i, i + 1)).collect();
+        for cap in [1usize, 7, 4096] {
+            // Success path: sees every edge exactly once, like for_each_chunk.
+            let mut s = InMemoryStream::from_edges(edges.clone());
+            let mut seen = Vec::new();
+            let ok: std::result::Result<(), ()> = try_for_each_chunk(&mut s, cap, |chunk| {
+                seen.extend_from_slice(chunk);
+                Ok(())
+            });
+            assert!(ok.is_ok());
+            assert_eq!(seen, edges, "cap={cap}");
+            // Error path: stops at the failing chunk and propagates.
+            let mut s = InMemoryStream::from_edges(edges.clone());
+            let mut consumed = 0usize;
+            let err: std::result::Result<(), &str> = try_for_each_chunk(&mut s, cap, |chunk| {
+                consumed += chunk.len();
+                if consumed > 50 {
+                    Err("cap exceeded")
+                } else {
+                    Ok(())
+                }
+            });
+            assert_eq!(err, Err("cap exceeded"), "cap={cap}");
+            if cap < 50 {
+                assert!(consumed < 100, "cap={cap}: error must stop the drain");
+            }
+        }
+        // The per-edge fallback path propagates too.
+        let mut legacy = PerEdgeStream::new(InMemoryStream::from_edges(edges));
+        let err: std::result::Result<(), u8> = try_for_each_chunk(&mut legacy, 4096, |_| Err(7));
+        assert_eq!(err, Err(7));
     }
 
     #[test]

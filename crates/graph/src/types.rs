@@ -8,7 +8,52 @@
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a vertex. Dense, 0-based.
+///
+/// This is the *internal* id space: every structure that keeps per-vertex
+/// state indexes by `VertexId`, so ids must be contiguous (or close to it).
+/// Sparse 64-bit ids from the wild ([`ExternalId`]) enter through
+/// [`crate::idmap::IdMap`], which compacts them onto this space.
 pub type VertexId = u32;
+
+/// Identifier of a vertex in an *external* dataset: an arbitrary — possibly
+/// sparse — 64-bit value (hashed URL, crawl id, database key). External ids
+/// are never used as array indices; [`crate::idmap::IdMap`] translates them
+/// to dense internal [`VertexId`]s.
+pub type ExternalId = u64;
+
+/// A directed edge over external 64-bit ids, as read from raw datasets
+/// before id compaction (16 bytes; the internal [`Edge`] is 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RawEdge {
+    /// Source vertex (external id).
+    pub src: ExternalId,
+    /// Destination vertex (external id).
+    pub dst: ExternalId,
+}
+
+impl RawEdge {
+    /// Creates a raw edge from `src` to `dst`.
+    #[inline]
+    pub fn new(src: ExternalId, dst: ExternalId) -> Self {
+        RawEdge { src, dst }
+    }
+}
+
+impl From<Edge> for RawEdge {
+    #[inline]
+    fn from(e: Edge) -> Self {
+        RawEdge {
+            src: u64::from(e.src),
+            dst: u64::from(e.dst),
+        }
+    }
+}
+
+impl std::fmt::Display for RawEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({} -> {})", self.src, self.dst)
+    }
+}
 
 /// A directed edge `src -> dst` of the streamed graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -117,6 +162,14 @@ mod tests {
     fn tuple_conversion() {
         let e: Edge = (1u32, 2u32).into();
         assert_eq!(e, Edge::new(1, 2));
+    }
+
+    #[test]
+    fn raw_edge_is_16_bytes_and_converts() {
+        assert_eq!(std::mem::size_of::<RawEdge>(), 16);
+        let r: RawEdge = Edge::new(3, 4).into();
+        assert_eq!(r, RawEdge::new(3, 4));
+        assert_eq!(r.to_string(), "(3 -> 4)");
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn main() {
         let edges = ordered_edges(g, StreamOrder::Bfs);
         let vmax = edges.len() as u64 / 32;
         let mut stream = InMemoryStream::new(g.num_vertices(), edges);
-        let clustering = stream_clustering(&mut stream, vmax, true);
+        let clustering = stream_clustering(&mut stream, vmax, true).unwrap();
         stream.reset().unwrap();
         let cg = ClusterGraph::build(&mut stream, &clustering);
         let intra_frac =

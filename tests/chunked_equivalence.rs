@@ -160,6 +160,73 @@ fn file_backed_stream_matches_in_memory_chunked() {
     std::fs::remove_file(&path).ok();
 }
 
+#[test]
+fn sparse_remapped_stream_matches_dense_relabeled_run_bit_for_bit() {
+    // The id-space contract: partitioning a stream of sparse 64-bit hashed
+    // ids through the remap layer must equal partitioning the equivalent
+    // pre-relabeled dense graph (remap interns ids in first-appearance
+    // order, which IS the dense relabeling of the stream) — for every
+    // algorithm, on every pull path, at every source chunk granularity.
+    use clugp_graph::idmap::{scramble_edges, IdMap, RawInMemoryStream, RemappedStream};
+    let (_, edges) = test_web_graph(1_500, 35);
+    let raw = scramble_edges(&edges);
+    // Dense first-appearance relabeling of the same stream.
+    let mut map = IdMap::remap();
+    let relabeled: Vec<Edge> = edges
+        .iter()
+        .map(|e| {
+            Edge::new(
+                map.intern(u64::from(e.src)).unwrap(),
+                map.intern(u64::from(e.dst)).unwrap(),
+            )
+        })
+        .collect();
+    let distinct = map.len();
+
+    let remap = || RemappedStream::remap(RawInMemoryStream::new(raw.clone())).unwrap();
+    for (name, mut p) in roster() {
+        let mut dense = InMemoryStream::new(distinct, relabeled.clone());
+        let reference = run(p.as_mut(), &mut dense, 8);
+        let mut sparse = remap();
+        assert_eq!(
+            run(p.as_mut(), &mut sparse, 8),
+            reference,
+            "{name}: remapped sparse stream diverged from dense relabeling"
+        );
+        let mut per_edge = PerEdgeStream::new(remap());
+        assert_eq!(
+            run(p.as_mut(), &mut per_edge, 8),
+            reference,
+            "{name}: per-edge pull over the remap layer diverged"
+        );
+        for limit in [1usize, 7, 4096] {
+            let mut limited = ChunkLimited::new(remap(), limit);
+            assert_eq!(
+                run(p.as_mut(), &mut limited, 8),
+                reference,
+                "{name}: chunk limit {limit} over the remap layer diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn sparse_ids_error_cleanly_without_the_remap_layer() {
+    // The same sparse stream in identity mode (the seed-equivalent path)
+    // must fail loudly on restream rather than silently truncating: the
+    // out-of-cap id parks an error that the next reset reports, so CLUGP's
+    // multi-pass pipeline surfaces it as a stream error.
+    use clugp_graph::idmap::{RawInMemoryStream, RemappedStream};
+    use clugp_graph::types::RawEdge;
+    let raw = vec![RawEdge::new(0, 1), RawEdge::new(u64::MAX, 1)];
+    let mut s = RemappedStream::identity(RawInMemoryStream::new(raw));
+    let err = Clugp::default().partition(&mut s, 4).unwrap_err();
+    assert!(
+        err.to_string().contains("max_vertices"),
+        "unexpected error: {err}"
+    );
+}
+
 /// A third-party stream written against the *pre-chunking* trait surface:
 /// only `next_edge` and the hints are implemented. It must compile unchanged
 /// and partition identically to the native source — the default-impl

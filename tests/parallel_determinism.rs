@@ -19,7 +19,7 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 fn web_cluster_graph(vertices: u64, seed: u64, vmax: u64) -> ClusterGraph {
     let (n, edges) = test_web_graph(vertices, seed);
     let mut s = InMemoryStream::new(n, edges);
-    let clustering = stream_clustering(&mut s, vmax, true);
+    let clustering = stream_clustering(&mut s, vmax, true).unwrap();
     s.reset().unwrap();
     ClusterGraph::build(&mut s, &clustering)
 }

@@ -6,10 +6,11 @@ use clugp::clugp::{solve_game, stream_clustering, Clugp, ClugpConfig, ClusterGra
 use clugp::metrics::PartitionQuality;
 use clugp::partitioner::Partitioner;
 use clugp_graph::csr::CsrGraph;
+use clugp_graph::idmap::{IdMap, RawInMemoryStream, RemappedStream};
 use clugp_graph::order::{bfs_edge_order, bfs_ranks};
 use clugp_graph::sampling::compact;
-use clugp_graph::stream::{InMemoryStream, RestreamableStream};
-use clugp_graph::types::Edge;
+use clugp_graph::stream::{EdgeStream, InMemoryStream, RestreamableStream};
+use clugp_graph::types::{Edge, RawEdge};
 use proptest::prelude::*;
 
 /// Arbitrary small edge lists over up to 64 vertices (self-loops and
@@ -17,6 +18,22 @@ use proptest::prelude::*;
 fn arb_edges() -> impl Strategy<Value = Vec<Edge>> {
     prop::collection::vec((0u32..64, 0u32..64), 1..200)
         .prop_map(|pairs| pairs.into_iter().map(|(a, b)| Edge::new(a, b)).collect())
+}
+
+/// Arbitrary raw edge lists over sparse 64-bit external ids: a small pool of
+/// huge ids (so edges share endpoints, exercising the interning fast path)
+/// mixed with fully random ids.
+fn arb_raw_edges() -> impl Strategy<Value = Vec<RawEdge>> {
+    prop::collection::vec((0u64..40, 0u64..u64::MAX), 1..200).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(pool, wild)| {
+                // Endpoint 1 from a pool of 40 scrambled huge ids; endpoint 2
+                // anywhere in u64.
+                RawEdge::new(clugp_graph::idmap::scramble_id(pool), wild)
+            })
+            .collect()
+    })
 }
 
 proptest! {
@@ -65,11 +82,11 @@ proptest! {
     #[test]
     fn clustering_volume_invariant(edges in arb_edges(), vmax in 2u64..64) {
         let mut stream = InMemoryStream::from_edges(edges.clone());
-        let r = stream_clustering(&mut stream, vmax, true);
+        let r = stream_clustering(&mut stream, vmax, true).unwrap();
         let mut recomputed = vec![0u64; r.num_clusters as usize];
-        for (v, &c) in r.cluster_of.iter().enumerate() {
+        for (v, &c) in r.cluster_of.as_slice().iter().enumerate() {
             if c != u32::MAX {
-                recomputed[c as usize] += u64::from(r.degree[v]);
+                recomputed[c as usize] += u64::from(r.degree[v as u32]);
             }
         }
         prop_assert_eq!(recomputed, r.volumes.clone());
@@ -82,7 +99,7 @@ proptest! {
     #[test]
     fn cluster_graph_conserves_edges(edges in arb_edges(), vmax in 2u64..64) {
         let mut stream = InMemoryStream::from_edges(edges.clone());
-        let clustering = stream_clustering(&mut stream, vmax, true);
+        let clustering = stream_clustering(&mut stream, vmax, true).unwrap();
         stream.reset().unwrap();
         let cg = ClusterGraph::build(&mut stream, &clustering);
         prop_assert_eq!(cg.total_intra() + cg.total_inter_edges(), edges.len() as u64);
@@ -94,12 +111,67 @@ proptest! {
     #[test]
     fn game_potential_never_increases(edges in arb_edges(), k in 2u32..8) {
         let mut stream = InMemoryStream::from_edges(edges.clone());
-        let clustering = stream_clustering(&mut stream, 16, true);
+        let clustering = stream_clustering(&mut stream, 16, true).unwrap();
         stream.reset().unwrap();
         let cg = ClusterGraph::build(&mut stream, &clustering);
         let cfg = ClugpConfig { batch_size: 0, threads: 1, ..Default::default() };
         let outcome = solve_game(&cg, k, &cfg).unwrap();
         prop_assert!(outcome.final_potential <= outcome.initial_potential + 1e-6);
+    }
+
+    /// Id-map round trip: external → internal → external is the identity on
+    /// every interned id, internal ids are dense first-appearance order, and
+    /// distinct externals get distinct internals (bijectivity).
+    #[test]
+    fn idmap_round_trip_is_bijective(raw in arb_raw_edges()) {
+        let mut map = IdMap::remap();
+        let mut firsts: Vec<u64> = Vec::new();
+        for e in &raw {
+            for ext in [e.src, e.dst] {
+                let before = map.len();
+                let internal = map.intern(ext).unwrap();
+                if !firsts.contains(&ext) {
+                    // New id: interned densely in appearance order.
+                    prop_assert_eq!(u64::from(internal), before);
+                    firsts.push(ext);
+                } else {
+                    prop_assert_eq!(map.len(), before);
+                }
+                prop_assert_eq!(map.external_of(internal), ext);
+                prop_assert_eq!(map.resolve(ext), Some(internal));
+            }
+        }
+        prop_assert_eq!(map.len() as usize, firsts.len());
+    }
+
+    /// Partitioning sparse external ids through the remap layer equals
+    /// partitioning the pre-relabeled dense graph bit-for-bit, and the
+    /// remapped stream restreams identically (CLUGP's three passes).
+    #[test]
+    fn remapped_partitions_equal_dense_relabeled_partitions(raw in arb_raw_edges(), k in 1u32..8) {
+        // Dense reference: intern in stream order = first-appearance relabel.
+        let mut map = IdMap::remap();
+        let dense: Vec<Edge> = raw
+            .iter()
+            .map(|e| Edge::new(map.intern(e.src).unwrap(), map.intern(e.dst).unwrap()))
+            .collect();
+        let mut dense_stream = InMemoryStream::new(map.len(), dense);
+        let mut sparse_stream = RemappedStream::remap(RawInMemoryStream::new(raw)).unwrap();
+        prop_assert_eq!(sparse_stream.num_vertices_hint(), Some(map.len()));
+        let mut algos: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(Hashing::default()),
+            Box::new(Hdrf::default()),
+            Box::new(Clugp::default()),
+        ];
+        for algo in algos.iter_mut() {
+            let a = algo.partition(&mut sparse_stream, k).unwrap();
+            let b = algo.partition(&mut dense_stream, k).unwrap();
+            prop_assert_eq!(
+                a.partitioning.assignments,
+                b.partitioning.assignments
+            );
+            prop_assert_eq!(a.partitioning.loads, b.partitioning.loads);
+        }
     }
 
     /// BFS stream order is a permutation of the edge multiset, and BFS ranks
