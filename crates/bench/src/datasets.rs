@@ -166,6 +166,17 @@ pub fn relabel_first_appearance(edges: &[Edge]) -> (u64, Vec<Edge>) {
     (map.len(), relabeled)
 }
 
+/// Opens an on-disk dataset file as a resettable edge stream, auto-detecting
+/// the format from its magic bytes (`CLUGPGR1` flat binary, `CLUGPZ01`
+/// compressed pack, anything else text) — extensions are never consulted.
+/// This is how the bench harness consumes materialized dataset files (the
+/// `experiments io` sweep drives all three formats through it).
+pub fn open_edge_stream(
+    path: &std::path::Path,
+) -> clugp_graph::Result<Box<dyn clugp_graph::stream::RestreamableStream>> {
+    clugp_graph::io::open_edge_stream(path)
+}
+
 /// The global scale factor, read once from `CLUGP_SCALE` (default 1.0).
 pub fn scale() -> f64 {
     static SCALE: OnceLock<f64> = OnceLock::new();
@@ -249,6 +260,36 @@ mod tests {
             relabeled,
             vec![Edge::new(0, 1), Edge::new(1, 0), Edge::new(2, 0)]
         );
+    }
+
+    #[test]
+    fn open_edge_stream_detects_all_formats_by_magic() {
+        use clugp_graph::order::{ordered_edges, StreamOrder};
+        use clugp_graph::stream::collect_stream;
+        let g = load(Dataset::UkS, 0.02);
+        let edges = clugp_graph::pack::canonical_order(&ordered_edges(&g, StreamOrder::Bfs));
+        let dir = std::env::temp_dir().join("clugp_bench_sniff");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Extensions deliberately shuffled: only the magic matters.
+        let bin = dir.join("a.clugpz");
+        let packed = dir.join("a.txt");
+        let text = dir.join("a.bin");
+        clugp_graph::io::write_binary_graph(&bin, g.num_vertices(), &edges).unwrap();
+        clugp_graph::pack::write_pack(
+            &packed,
+            g.num_vertices(),
+            &edges,
+            &clugp_graph::pack::PackOptions::default(),
+        )
+        .unwrap();
+        clugp_graph::io::write_edge_list(&text, &edges).unwrap();
+        for p in [&bin, &packed, &text] {
+            let mut s = open_edge_stream(p).unwrap();
+            assert_eq!(collect_stream(s.as_mut()), edges, "{}", p.display());
+        }
+        for p in [bin, packed, text] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

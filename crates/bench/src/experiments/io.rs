@@ -1,0 +1,440 @@
+//! BENCH_io — the on-disk storage sweep (`results/BENCH_io.{json,csv}`).
+//!
+//! A Fig. 10(a)-style I/O study over the three on-disk representations of
+//! the same canonical edge sequence — text edge list, flat binary
+//! (`CLUGPGR1`, 8 B/edge), and the block-compressed pack (`CLUGPZ01`, see
+//! `clugp_graph::pack`) — on the uk-s web-crawl and twitter-s social
+//! analogues:
+//!
+//! * **bytes/edge** of each materialized file (the storage claim: the pack
+//!   must land well under the flat format's fixed 8.0 on web graphs);
+//! * **decode throughput** (edges/s, best-of-repeats) draining each file
+//!   through the format-auto-detecting dataset layer with the standard
+//!   chunked pulls, with a position-sensitive checksum proving the three
+//!   files replay the identical sequence;
+//! * a **partition leg**: CLUGP, HDRF, and Hashing each partition the flat
+//!   binary stream and the packed stream, and the assignments must match
+//!   bit-for-bit (the full roster × chunk-size matrix lives in
+//!   `tests/chunked_equivalence.rs`);
+//! * a **sharded-read probe**: the pack is cut into 1/2/4/8 block-range
+//!   shards via its index and drained concurrently on a vendored-rayon
+//!   pool of the same width, verifying the shards cover the file exactly
+//!   once and recording the scaling curve (on a single-core container the
+//!   honest speedup ceiling is ~1.0×, as with `BENCH_parallel`).
+//!
+//! The committed artifact is the storage-trajectory baseline: compression
+//! regressions show up as `bytes_per_edge` growth and decode regressions as
+//! `decode_eps` drops at fixed `(dataset, format)`.
+
+use super::ExpContext;
+use crate::datasets::{open_edge_stream, Dataset};
+use crate::report::{results_dir, save_json, Table};
+use clugp::partitioner::Partitioner;
+use clugp_graph::io::{write_binary_graph, write_edge_list};
+use clugp_graph::order::{ordered_edges, StreamOrder};
+use clugp_graph::pack::{pack_edge_stream, PackOptions, ShardedPackReader};
+use clugp_graph::stream::{
+    for_each_chunk, EdgeStream, InMemoryStream, RestreamableStream, DEFAULT_CHUNK_EDGES,
+};
+use clugp_graph::types::Edge;
+
+/// One `(dataset, format)` row of the storage sweep.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FormatRun {
+    /// Dataset name.
+    pub dataset: String,
+    /// Format name (`text` | `binary` | `packed`).
+    pub format: String,
+    /// Edges in the file.
+    pub edges: u64,
+    /// Total file bytes.
+    pub file_bytes: u64,
+    /// File bytes per edge.
+    pub bytes_per_edge: f64,
+    /// Best-of-repeats full-drain wall clock, seconds.
+    pub decode_secs: f64,
+    /// Decode throughput, edges per second.
+    pub decode_eps: f64,
+    /// Position-sensitive checksum of the decoded sequence (must agree
+    /// across the three formats of a dataset).
+    pub checksum: u64,
+}
+
+/// One algorithm of the packed-vs-flat partition leg.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PartitionCheck {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Whether packed and flat-binary inputs produced byte-identical
+    /// assignments.
+    pub bit_identical: bool,
+}
+
+/// One point of the sharded-read scaling probe.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ShardPoint {
+    /// Dataset name.
+    pub dataset: String,
+    /// Shards requested (= pool width).
+    pub shards: usize,
+    /// Shards actually cut (≤ requested when the pack has few blocks).
+    pub shards_used: usize,
+    /// Best-of-repeats wall clock to drain all shards, seconds.
+    pub secs: f64,
+    /// Aggregate decode throughput, edges per second.
+    pub eps: f64,
+    /// Speedup over the 1-shard drain.
+    pub speedup: f64,
+    /// Whether the shards covered the pack exactly once (count + per-shard
+    /// checksum aggregation match the unsharded drain).
+    pub consistent: bool,
+}
+
+/// The `results/BENCH_io.json` payload.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct IoReport {
+    /// Datasets of the sweep.
+    pub datasets: Vec<String>,
+    /// Timing repeats per decode/shard measurement (best is reported).
+    pub repeats: usize,
+    /// Pack block target, bytes.
+    pub block_bytes: usize,
+    /// Flat binary bytes per edge (the fixed baseline).
+    pub flat_bytes_per_edge: f64,
+    /// One row per `(dataset, format)`.
+    pub runs: Vec<FormatRun>,
+    /// True iff the packed format is smaller per edge than flat binary on
+    /// every dataset.
+    pub packed_smaller_than_flat: bool,
+    /// Packed bytes/edge on the web-graph fixture (uk-s) — the headline
+    /// compression number the acceptance gate reads.
+    pub packed_web_bytes_per_edge: f64,
+    /// True iff all three formats of each dataset decoded the identical
+    /// edge sequence (checksums agree).
+    pub streams_identical: bool,
+    /// The packed-vs-flat partition checks.
+    pub partition_checks: Vec<PartitionCheck>,
+    /// True iff every partition check was bit-identical.
+    pub bit_identical: bool,
+    /// The sharded-read scaling probe.
+    pub sharded: Vec<ShardPoint>,
+}
+
+/// Position-sensitive sequence checksum: detects reorders, not just
+/// multiset changes.
+#[inline]
+fn fold(h: u64, e: Edge) -> u64 {
+    let x = (u64::from(e.src) << 32) | u64::from(e.dst);
+    (h.rotate_left(5) ^ x).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Drains a stream once, returning `(edges, checksum)`.
+fn drain(stream: &mut dyn EdgeStream) -> (u64, u64) {
+    let mut count = 0u64;
+    let mut h = 0u64;
+    for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+        for &e in chunk {
+            h = fold(h, e);
+        }
+        count += chunk.len() as u64;
+    });
+    (count, h)
+}
+
+fn best_of<F: FnMut() -> (f64, u64, u64)>(repeats: usize, mut f: F) -> (f64, u64, u64) {
+    let mut best = f64::INFINITY;
+    let mut out = (0u64, 0u64);
+    for _ in 0..repeats {
+        let (secs, count, h) = f();
+        if secs < best {
+            best = secs;
+        }
+        out = (count, h);
+    }
+    (best, out.0, out.1)
+}
+
+/// BENCH_io — bytes/edge and decode throughput for text vs flat binary vs
+/// packed storage, the packed-vs-flat partition identity leg, and the
+/// sharded-read scaling probe (see the module docs).
+pub fn io(ctx: &ExpContext) {
+    let repeats = 3usize;
+    let block_bytes = clugp_graph::pack::DEFAULT_BLOCK_BYTES;
+    let datasets = [Dataset::UkS, Dataset::TwitterS];
+    let scratch = std::env::temp_dir().join(format!("clugp_io_exp_{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+
+    let mut table = Table::new(
+        "BENCH_io — on-disk formats: bytes/edge and decode throughput",
+        &[
+            "Dataset", "Format", "Edges", "Bytes", "B/edge", "Decode", "Edges/s",
+        ],
+    );
+    let mut runs: Vec<FormatRun> = Vec::new();
+    let mut partition_checks: Vec<PartitionCheck> = Vec::new();
+    let mut sharded: Vec<ShardPoint> = Vec::new();
+    let mut streams_identical = true;
+    let mut packed_web_bpe = f64::NAN;
+
+    for ds in datasets {
+        let graph = crate::datasets::load(ds, ctx.scale);
+        let n = graph.num_vertices();
+        // The pack canonically sorts; materialize the same sequence in all
+        // three formats so the comparison is apples to apples. The pack is
+        // written from the *BFS-ordered* stream to exercise the writer's
+        // external sort for real.
+        let bfs = ordered_edges(&graph, StreamOrder::Bfs);
+        let canonical = clugp_graph::pack::canonical_order(&bfs);
+        let m = canonical.len() as u64;
+
+        let text_path = scratch.join(format!("{}.txt", ds.name()));
+        let bin_path = scratch.join(format!("{}.bin", ds.name()));
+        let pack_path = scratch.join(format!("{}.clugpz", ds.name()));
+        write_edge_list(&text_path, &canonical).expect("write text");
+        write_binary_graph(&bin_path, n, &canonical).expect("write binary");
+        let mut src = InMemoryStream::new(n, bfs);
+        pack_edge_stream(
+            &mut src,
+            &pack_path,
+            &PackOptions {
+                block_bytes,
+                ..Default::default()
+            },
+        )
+        .expect("write pack");
+
+        let mut checksums: Vec<u64> = Vec::new();
+        for (format, path) in [
+            ("text", &text_path),
+            ("binary", &bin_path),
+            ("packed", &pack_path),
+        ] {
+            let file_bytes = std::fs::metadata(path).expect("stat").len();
+            let (secs, count, checksum) = best_of(repeats, || {
+                // Open inside the timed region: decode cost includes
+                // header/index validation, as a cold reader would pay it.
+                let t = std::time::Instant::now();
+                let mut s = open_edge_stream(path).expect("open dataset file");
+                let (count, h) = drain(s.as_mut());
+                (t.elapsed().as_secs_f64(), count, h)
+            });
+            assert_eq!(count, m, "{format} file lost edges");
+            checksums.push(checksum);
+            let bytes_per_edge = file_bytes as f64 / m as f64;
+            if format == "packed" && ds == Dataset::UkS {
+                packed_web_bpe = bytes_per_edge;
+            }
+            let run = FormatRun {
+                dataset: ds.name().to_string(),
+                format: format.to_string(),
+                edges: m,
+                file_bytes,
+                bytes_per_edge,
+                decode_secs: secs,
+                decode_eps: m as f64 / secs.max(f64::EPSILON),
+                checksum,
+            };
+            table.row(vec![
+                run.dataset.clone(),
+                run.format.clone(),
+                run.edges.to_string(),
+                run.file_bytes.to_string(),
+                format!("{:.3}", run.bytes_per_edge),
+                crate::report::fmt_secs(run.decode_secs),
+                format!("{:.2}M/s", run.decode_eps / 1e6),
+            ]);
+            runs.push(run);
+        }
+        streams_identical &= checksums.windows(2).all(|w| w[0] == w[1]);
+
+        // Partition leg: packed input must reproduce the flat-binary
+        // partitions bit for bit.
+        for (name, mut p) in [
+            (
+                "CLUGP",
+                Box::new(clugp::clugp::Clugp::new(clugp::clugp::ClugpConfig {
+                    threads: 1,
+                    ..Default::default()
+                })) as Box<dyn Partitioner>,
+            ),
+            ("HDRF", Box::new(clugp::baselines::Hdrf::default())),
+            ("Hashing", Box::new(clugp::baselines::Hashing::default())),
+        ] {
+            let mut flat = clugp_graph::io::FileEdgeStream::open(&bin_path).unwrap();
+            let a = p.partition(&mut flat, 32).expect("flat partition");
+            let mut packed = clugp_graph::pack::PackedEdgeStream::open(&pack_path).unwrap();
+            let b = p.partition(&mut packed, 32).expect("packed partition");
+            partition_checks.push(PartitionCheck {
+                dataset: ds.name().to_string(),
+                algorithm: name.to_string(),
+                bit_identical: a.partitioning.assignments == b.partitioning.assignments
+                    && a.partitioning.loads == b.partitioning.loads,
+            });
+        }
+
+        // Sharded-read probe: drain the pack with 1/2/4/8 shards on a pool
+        // of matching width; shards must cover the file exactly once.
+        let reader = ShardedPackReader::open(&pack_path).expect("open pack");
+        let (_, reference_checksum) = {
+            let mut s = reader
+                .open_shard(&clugp_graph::pack::ShardSpec {
+                    blocks: 0..reader.index().num_blocks(),
+                    edges: m,
+                })
+                .unwrap();
+            drain(&mut s)
+        };
+        let mut one_shard_secs = f64::NAN;
+        for shards in [1usize, 2, 4, 8] {
+            use rayon::prelude::*;
+            let specs = reader.shards(shards);
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(shards)
+                .build()
+                .expect("pool");
+            let mut best = f64::INFINITY;
+            let mut parts: Vec<(u64, u64)> = Vec::new();
+            for _ in 0..repeats {
+                let t = std::time::Instant::now();
+                let result: Vec<(u64, u64)> = pool.install(|| {
+                    specs
+                        .par_iter()
+                        .map(|spec| {
+                            let mut s = reader.open_shard(spec).expect("open shard");
+                            drain(&mut s)
+                        })
+                        .collect()
+                });
+                best = best.min(t.elapsed().as_secs_f64());
+                parts = result;
+            }
+            if shards == 1 {
+                one_shard_secs = best;
+            }
+            let total: u64 = parts.iter().map(|(c, _)| c).sum();
+            // Shard checksums chain in block order exactly like the
+            // unsharded drain only for shards=1; for >1 verify coverage by
+            // count and by re-deriving the sequence checksum serially.
+            let consistent = total == m && {
+                let mut h = 0u64;
+                let mut ok = true;
+                for spec in &specs {
+                    let mut s = reader.open_shard(spec).expect("open shard");
+                    for_each_chunk(&mut s, DEFAULT_CHUNK_EDGES, |chunk| {
+                        for &e in chunk {
+                            h = fold(h, e);
+                        }
+                    });
+                    ok &= s.reset().is_ok();
+                }
+                ok && h == reference_checksum
+            };
+            sharded.push(ShardPoint {
+                dataset: ds.name().to_string(),
+                shards,
+                shards_used: specs.len(),
+                secs: best,
+                eps: m as f64 / best.max(f64::EPSILON),
+                speedup: one_shard_secs / best.max(f64::EPSILON),
+                consistent,
+            });
+        }
+        for p in [&text_path, &bin_path, &pack_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+    std::fs::remove_dir(&scratch).ok();
+
+    table.print();
+    let mut shard_table = Table::new(
+        "BENCH_io — sharded pack decode scaling",
+        &[
+            "Dataset",
+            "Shards",
+            "Used",
+            "Secs",
+            "Edges/s",
+            "Speedup",
+            "Consistent",
+        ],
+    );
+    for s in &sharded {
+        shard_table.row(vec![
+            s.dataset.clone(),
+            s.shards.to_string(),
+            s.shards_used.to_string(),
+            crate::report::fmt_secs(s.secs),
+            format!("{:.2}M/s", s.eps / 1e6),
+            format!("{:.2}x", s.speedup),
+            s.consistent.to_string(),
+        ]);
+    }
+    shard_table.print();
+    table.save_csv(&results_dir().join("BENCH_io.csv")).ok();
+
+    let packed_smaller_than_flat = datasets.iter().all(|ds| {
+        let flat = runs
+            .iter()
+            .find(|r| r.dataset == ds.name() && r.format == "binary")
+            .map(|r| r.bytes_per_edge)
+            .unwrap_or(8.0);
+        runs.iter()
+            .any(|r| r.dataset == ds.name() && r.format == "packed" && r.bytes_per_edge < flat)
+    });
+    let report = IoReport {
+        datasets: datasets.iter().map(|d| d.name().to_string()).collect(),
+        repeats,
+        block_bytes,
+        flat_bytes_per_edge: 8.0,
+        packed_smaller_than_flat,
+        packed_web_bytes_per_edge: packed_web_bpe,
+        streams_identical,
+        bit_identical: partition_checks.iter().all(|c| c.bit_identical),
+        runs,
+        partition_checks,
+        sharded,
+    };
+    save_json("BENCH_io", &report).ok();
+    assert!(
+        report.streams_identical,
+        "the three formats must replay the identical edge sequence"
+    );
+    assert!(
+        report.bit_identical,
+        "packed input must not change any partition"
+    );
+    assert!(
+        report.sharded.iter().all(|s| s.consistent),
+        "sharded reads must cover the pack exactly once"
+    );
+    assert!(
+        report.packed_smaller_than_flat,
+        "the pack must beat 8 B/edge"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_is_position_sensitive() {
+        let a = Edge::new(1, 2);
+        let b = Edge::new(3, 4);
+        let ab = fold(fold(0, a), b);
+        let ba = fold(fold(0, b), a);
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn drain_counts_and_checksums() {
+        let edges = vec![Edge::new(0, 1), Edge::new(1, 2)];
+        let mut s = InMemoryStream::from_edges(edges.clone());
+        let (count, h) = drain(&mut s);
+        assert_eq!(count, 2);
+        let mut s2 = InMemoryStream::from_edges(edges);
+        assert_eq!(drain(&mut s2), (2, h), "deterministic");
+    }
+}

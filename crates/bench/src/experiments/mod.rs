@@ -16,7 +16,9 @@
 //! | [`quality::fig11`] | Fig. 11 | imbalance factor τ and relative weight sweeps |
 //! | [`throughput::throughput`] | perf trajectory | per-edge vs chunked streaming throughput (`BENCH_throughput.json`) |
 //! | [`memory::memory`] | Fig. 6 claim + id-space layer | memory trajectory + sparse-web remap leg (`BENCH_memory.json`) |
+//! | [`io::io`] | Fig. 10(a) claim + storage layer | bytes/edge + decode throughput, text vs binary vs packed, sharded reads (`BENCH_io.json`) |
 
+pub mod io;
 pub mod memory;
 pub mod orders;
 pub mod quality;
@@ -71,4 +73,5 @@ pub fn run_all(ctx: &ExpContext) {
     scalability::parallel(ctx);
     throughput::throughput(ctx);
     memory::memory(ctx);
+    io::io(ctx);
 }

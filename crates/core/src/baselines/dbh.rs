@@ -12,7 +12,7 @@ use crate::partition::{PartitionRun, Partitioning, Timings};
 use crate::partitioner::{mix64, start_run, Partitioner};
 use crate::state::PartitionLoads;
 use crate::vertex_table::{VertexTable, DEFAULT_MAX_VERTICES};
-use clugp_graph::stream::{try_for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
+use clugp_graph::stream::{chunk_edges, try_for_each_chunk, RestreamableStream};
 
 /// The degree-based hashing partitioner.
 #[derive(Debug, Clone)]
@@ -53,7 +53,7 @@ impl Partitioner for Dbh {
         let mut degree: VertexTable<u32> = VertexTable::with_limit(n, 0, self.max_vertices)?;
         let mut assignments = Vec::with_capacity(m as usize);
         let mut loads = PartitionLoads::new(k);
-        try_for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| -> Result<()> {
+        try_for_each_chunk(stream, chunk_edges(), |chunk| -> Result<()> {
             for &e in chunk {
                 degree.ensure(e.src.max(e.dst))?;
                 degree[e.src] += 1;

@@ -16,7 +16,7 @@ use crate::partition::{PartitionRun, Partitioning, Timings};
 use crate::partitioner::{start_run, Partitioner};
 use crate::state::{PartitionLoads, ReplicaTable};
 use crate::vertex_table::DEFAULT_MAX_VERTICES;
-use clugp_graph::stream::{try_for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
+use clugp_graph::stream::{chunk_edges, try_for_each_chunk, RestreamableStream};
 
 /// The PowerGraph greedy (oblivious) partitioner.
 #[derive(Debug, Clone)]
@@ -58,7 +58,7 @@ impl Partitioner for Greedy {
         let mut loads = PartitionLoads::new(k);
         let mut assignments = Vec::with_capacity(m as usize);
 
-        try_for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| -> Result<()> {
+        try_for_each_chunk(stream, chunk_edges(), |chunk| -> Result<()> {
             for &e in chunk {
                 replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1)?;
                 let cu = replicas.count(e.src);

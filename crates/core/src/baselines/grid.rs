@@ -15,7 +15,7 @@ use crate::memory::MemoryReport;
 use crate::partition::{PartitionRun, Partitioning, Timings};
 use crate::partitioner::{mix64, start_run, Partitioner};
 use crate::state::PartitionLoads;
-use clugp_graph::stream::{for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
+use clugp_graph::stream::{chunk_edges, for_each_chunk, RestreamableStream};
 use clugp_graph::types::VertexId;
 
 /// The grid-hashing partitioner.
@@ -77,7 +77,7 @@ impl Partitioner for Grid {
         let mut loads = PartitionLoads::new(k);
         let mut cs_u = Vec::with_capacity(2 * r as usize);
         let mut cs_v = Vec::with_capacity(2 * r as usize);
-        for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+        for_each_chunk(stream, chunk_edges(), |chunk| {
             for &e in chunk {
                 constraint_set(e.src, self.seed, r, k, &mut cs_u);
                 constraint_set(e.dst, self.seed, r, k, &mut cs_v);

@@ -9,7 +9,7 @@ use crate::memory::MemoryReport;
 use crate::partition::{PartitionRun, Partitioning, Timings};
 use crate::partitioner::{mix64, start_run, Partitioner};
 use crate::state::PartitionLoads;
-use clugp_graph::stream::{for_each_chunk, RestreamableStream, DEFAULT_CHUNK_EDGES};
+use clugp_graph::stream::{chunk_edges, for_each_chunk, RestreamableStream};
 
 /// The random-hashing partitioner.
 #[derive(Debug, Clone)]
@@ -40,7 +40,7 @@ impl Partitioner for Hashing {
         let (n, m) = start_run(stream, k)?;
         let mut assignments = Vec::with_capacity(m as usize);
         let mut loads = PartitionLoads::new(k);
-        for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+        for_each_chunk(stream, chunk_edges(), |chunk| {
             for &e in chunk {
                 let key = (u64::from(e.src) << 32) | u64::from(e.dst);
                 let p = (mix64(key ^ self.seed) % u64::from(k)) as u32;

@@ -3,13 +3,17 @@
 //! ```text
 //! clugp-part <edges-file> --k <K> [options]
 //!
-//! <edges-file>      text edge list ("src dst" per line, # comments) or the
-//!                   binary format written by clugp-graph (*.bin)
+//! <edges-file>      text edge list ("src dst" per line, # comments), the
+//!                   flat binary format (CLUGPGR1), or a compressed pack
+//!                   (CLUGPZ01, written by clugp-pack) — detected by magic
+//!                   bytes, never by extension
 //! --k <K>           number of partitions (required)
 //! --algo <name>     clugp (default) | hdrf | greedy | hashing | dbh | mint | grid
 //! --order <name>    bfs (default) | dfs | random | asis
 //! --tau <float>     CLUGP imbalance factor (default 1.0)
 //! --threads <N>     CLUGP/Mint worker threads (default: all cores)
+//! --chunk-size <N>  edges per stream chunk pull (default 4096); a tuning
+//!                   knob only — partitions are chunking-invariant
 //! --sparse          treat the input as a text edge list with arbitrary
 //!                   (sparse) 64-bit vertex ids — hashed URLs, crawl ids —
 //!                   remapped onto the dense internal space during the
@@ -23,10 +27,11 @@ use clugp::clugp::{Clugp, ClugpConfig};
 use clugp::metrics::PartitionQuality;
 use clugp::partitioner::Partitioner;
 use clugp_graph::csr::CsrGraph;
-use clugp_graph::idmap::RemappedStream;
 use clugp_graph::io::binary::read_binary_graph;
-use clugp_graph::io::edge_list::{read_edge_list, RawTextEdgeStream};
+use clugp_graph::io::edge_list::read_edge_list;
+use clugp_graph::io::{open_sparse_edge_stream, sniff_format, GraphFileFormat};
 use clugp_graph::order::{ordered_edges, StreamOrder};
+use clugp_graph::pack::PackedEdgeStream;
 use clugp_graph::stream::{collect_stream, InMemoryStream, RestreamableStream};
 use std::io::Write;
 use std::path::Path;
@@ -40,6 +45,7 @@ struct Options {
     order: String,
     tau: f64,
     threads: usize,
+    chunk_size: Option<usize>,
     sparse: bool,
     output: Option<String>,
 }
@@ -52,6 +58,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         order: "bfs".into(),
         tau: 1.0,
         threads: 0,
+        chunk_size: None,
         sparse: false,
         output: None,
     };
@@ -76,6 +83,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.threads = value("--threads")?
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--chunk-size" => {
+                let n: usize = value("--chunk-size")?
+                    .parse()
+                    .map_err(|e| format!("--chunk-size: {e}"))?;
+                if n == 0 {
+                    return Err(
+                        "--chunk-size must be >= 1 (a zero chunk would read as exhaustion)".into(),
+                    );
+                }
+                opts.chunk_size = Some(n);
             }
             "--sparse" => opts.sparse = true,
             "--output" => opts.output = Some(value("--output")?),
@@ -137,8 +155,8 @@ fn parse_order(name: &str) -> Result<StreamOrder, String> {
 /// over internal ids, and the output TSV is translated back to the external
 /// ids through the map.
 fn run_sparse(opts: &Options) -> Result<(), String> {
-    let raw = RawTextEdgeStream::open(Path::new(&opts.input)).map_err(|e| e.to_string())?;
-    let mut stream = RemappedStream::remap(raw).map_err(|e| e.to_string())?;
+    let mut stream =
+        open_sparse_edge_stream(Path::new(&opts.input)).map_err(|e| format!("--sparse: {e}"))?;
     let distinct = stream.id_map().len();
     eprintln!(
         "loaded {} (sparse ids): |V|={distinct} distinct, id map {:.1} KiB \
@@ -185,15 +203,29 @@ fn run_sparse(opts: &Options) -> Result<(), String> {
 }
 
 fn run(opts: &Options) -> Result<(), String> {
+    if let Some(n) = opts.chunk_size {
+        // Process-wide override of the chunk granularity every consumer
+        // pulls with; partitions are chunking-invariant.
+        clugp_graph::stream::set_chunk_edges(n).map_err(|e| e.to_string())?;
+    }
     if opts.sparse {
         return run_sparse(opts);
     }
     let path = Path::new(&opts.input);
-    let (n, raw_edges) = if path.extension().is_some_and(|e| e == "bin") {
-        read_binary_graph(path).map_err(|e| e.to_string())?
-    } else {
-        let edges = read_edge_list(path).map_err(|e| e.to_string())?;
-        (clugp_graph::types::implied_num_vertices(&edges), edges)
+    // Format is sniffed from the magic bytes, never the extension.
+    let (n, raw_edges) = match sniff_format(path).map_err(|e| e.to_string())? {
+        GraphFileFormat::Binary => read_binary_graph(path).map_err(|e| e.to_string())?,
+        GraphFileFormat::Packed => {
+            let mut s = PackedEdgeStream::open(path).map_err(|e| e.to_string())?;
+            let n = s.header().num_vertices;
+            let edges = collect_stream(&mut s);
+            s.reset().map_err(|e| e.to_string())?; // surface parked decode errors
+            (n, edges)
+        }
+        GraphFileFormat::Text => {
+            let edges = read_edge_list(path).map_err(|e| e.to_string())?;
+            (clugp_graph::types::implied_num_vertices(&edges), edges)
+        }
     };
     let graph = CsrGraph::from_edges(n, &raw_edges).map_err(|e| e.to_string())?;
     let order = parse_order(&opts.order)?;
@@ -237,7 +269,8 @@ fn main() -> ExitCode {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: clugp-part <edges-file> --k <K> [--algo clugp|hdrf|greedy|hashing|dbh|mint|grid] \
-             [--order bfs|dfs|random|asis] [--tau F] [--threads N] [--sparse] [--output file]"
+             [--order bfs|dfs|random|asis] [--tau F] [--threads N] [--chunk-size N] [--sparse] \
+             [--output file]"
         );
         return ExitCode::from(2);
     }
@@ -319,6 +352,7 @@ mod tests {
                 order: "bfs".into(),
                 tau: 1.0,
                 threads: 0,
+                chunk_size: None,
                 sparse: false,
                 output: None,
             };
@@ -331,6 +365,7 @@ mod tests {
             order: "bfs".into(),
             tau: 1.0,
             threads: 0,
+            chunk_size: None,
             sparse: false,
             output: None,
         };
@@ -359,6 +394,7 @@ mod tests {
             order: "asis".into(),
             tau: 1.5,
             threads: 1,
+            chunk_size: None,
             sparse: false,
             output: Some(output.to_string_lossy().into_owned()),
         };
@@ -394,6 +430,7 @@ mod tests {
             order: "bfs".into(),
             tau: 1.0,
             threads: 1,
+            chunk_size: None,
             sparse: true,
             output: Some(output.to_string_lossy().into_owned()),
         };
@@ -421,5 +458,75 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("--order"), "{err}");
+    }
+
+    #[test]
+    fn chunk_size_flag_parses_and_rejects_zero() {
+        let o = parse_args(&strs(&["g.txt", "--k", "4", "--chunk-size", "512"])).unwrap();
+        assert_eq!(o.chunk_size, Some(512));
+        let err = parse_args(&strs(&["g.txt", "--k", "4", "--chunk-size", "0"])).unwrap_err();
+        assert!(err.contains("--chunk-size"), "{err}");
+        assert!(parse_args(&strs(&["g.txt", "--k", "4", "--chunk-size", "x"])).is_err());
+    }
+
+    #[test]
+    fn packed_input_is_detected_by_magic_and_partitions() {
+        use clugp_graph::pack::{write_pack, PackOptions};
+        use clugp_graph::types::Edge;
+        let dir = std::env::temp_dir().join("clugp_part_cli_packed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Deliberately misleading extension: detection is magic-based.
+        let input = dir.join("in.txt");
+        let output = dir.join("out.tsv");
+        let edges = vec![
+            Edge::new(0, 1),
+            Edge::new(0, 2),
+            Edge::new(1, 2),
+            Edge::new(2, 3),
+        ];
+        write_pack(&input, 4, &edges, &PackOptions::default()).unwrap();
+        let opts = Options {
+            input: input.to_string_lossy().into_owned(),
+            k: 2,
+            algo: "hdrf".into(),
+            order: "asis".into(),
+            tau: 1.0,
+            threads: 1,
+            chunk_size: Some(2), // exercise the override end to end
+            sparse: false,
+            output: Some(output.to_string_lossy().into_owned()),
+        };
+        run(&opts).unwrap();
+        // Restore the default so concurrently running tests keep the
+        // standard granularity.
+        clugp_graph::stream::set_chunk_edges(clugp_graph::stream::DEFAULT_CHUNK_EDGES).unwrap();
+        let written = std::fs::read_to_string(&output).unwrap();
+        assert_eq!(written.lines().count(), 4);
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn sparse_mode_rejects_packed_input() {
+        use clugp_graph::pack::{write_pack, PackOptions};
+        use clugp_graph::types::Edge;
+        let dir = std::env::temp_dir().join("clugp_part_cli_sparse_packed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.clugpz");
+        write_pack(&input, 2, &[Edge::new(0, 1)], &PackOptions::default()).unwrap();
+        let opts = Options {
+            input: input.to_string_lossy().into_owned(),
+            k: 2,
+            algo: "hdrf".into(),
+            order: "bfs".into(),
+            tau: 1.0,
+            threads: 1,
+            chunk_size: None,
+            sparse: true,
+            output: None,
+        };
+        let err = run(&opts).unwrap_err();
+        assert!(err.contains("--sparse"), "{err}");
+        std::fs::remove_file(&input).ok();
     }
 }

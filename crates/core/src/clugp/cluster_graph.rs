@@ -8,7 +8,7 @@
 //! so directions are merged at build time.
 
 use super::clustering::{ClusteringResult, NO_CLUSTER};
-use clugp_graph::stream::{for_each_chunk, EdgeStream, DEFAULT_CHUNK_EDGES};
+use clugp_graph::stream::{chunk_edges, for_each_chunk, EdgeStream};
 
 /// Weighted cluster adjacency plus per-cluster intra-edge counts.
 #[derive(Debug, Clone)]
@@ -59,7 +59,7 @@ impl ClusterGraph {
         let flush_base = (4 * m).max(1 << 16);
         let mut buf: Vec<u64> = Vec::with_capacity(flush_base);
         let mut agg: Vec<(u64, u32)> = Vec::new();
-        for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+        for_each_chunk(stream, chunk_edges(), |chunk| {
             for &e in chunk {
                 let cu = clustering.cluster_of[e.src];
                 let cv = clustering.cluster_of[e.dst];

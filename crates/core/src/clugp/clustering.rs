@@ -27,7 +27,7 @@
 use super::config::MigrationPolicy;
 use crate::error::Result;
 use crate::vertex_table::{VertexTable, DEFAULT_MAX_VERTICES};
-use clugp_graph::stream::{try_for_each_chunk, EdgeStream, DEFAULT_CHUNK_EDGES};
+use clugp_graph::stream::{chunk_edges, try_for_each_chunk, EdgeStream};
 use clugp_graph::types::VertexId;
 
 /// Sentinel for "no cluster assigned yet".
@@ -130,7 +130,7 @@ pub fn stream_clustering_capped(
     // Chunked drain: one virtual dispatch per block of edges, then a tight
     // loop — chunk boundaries carry no semantics, so the result is
     // bit-identical to the per-edge pull for any chunking.
-    try_for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| -> Result<()> {
+    try_for_each_chunk(stream, chunk_edges(), |chunk| -> Result<()> {
         for &e in chunk {
             let (u, v) = (e.src, e.dst);
             let hi = u.max(v);

@@ -18,7 +18,7 @@
 
 use super::clustering::{ClusteringResult, NO_CLUSTER};
 use crate::error::{PartitionError, Result};
-use clugp_graph::stream::{for_each_chunk, EdgeStream, DEFAULT_CHUNK_EDGES};
+use clugp_graph::stream::{chunk_edges, for_each_chunk, EdgeStream};
 
 /// Output of the transformation pass.
 #[derive(Debug, Clone)]
@@ -56,7 +56,7 @@ pub fn transform(
     // grow, so full partitions stay full and the scan is O(1) amortized.
     let mut cursor = 0u32;
 
-    for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+    for_each_chunk(stream, chunk_edges(), |chunk| {
         for &e in chunk {
             let (u, v) = (e.src, e.dst);
             let cu = clustering.cluster_of[u];

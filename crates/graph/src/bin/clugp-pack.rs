@@ -1,0 +1,387 @@
+//! `clugp-pack` — build, inspect, and verify `CLUGPZ` compressed graph
+//! packs (see `clugp_graph::pack` and DESIGN.md §6).
+//!
+//! ```text
+//! clugp-pack pack <in> <out.clugpz> [options]
+//!
+//! <in>              text edge list, flat binary (CLUGPGR1), or an existing
+//!                   pack — detected by magic, never by extension
+//! --block-bytes N   target payload bytes per block (default 65536)
+//! --spill-edges N   in-memory sort buffer before a run spills (default 4Mi)
+//! --sparse          input is a text edge list of arbitrary 64-bit ids;
+//!                   they are remapped onto the dense internal space in
+//!                   first-appearance order before packing (the pack stores
+//!                   the dense relabeling)
+//!
+//! clugp-pack info <file.clugpz>     header + block statistics, bytes/edge
+//! clugp-pack verify <file.clugpz>   full decode: checksums, canonical
+//!                                   order, counts, id ranges
+//! ```
+//!
+//! Exit codes: 0 success, 1 runtime error, 2 usage error.
+
+use clugp_graph::io::{open_edge_stream, open_sparse_edge_stream, sniff_format};
+use clugp_graph::pack::{pack_edge_stream, read_pack_summary, verify_pack, PackOptions, PackStats};
+use clugp_graph::stream::RestreamableStream;
+use std::path::Path;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct PackArgs {
+    input: String,
+    output: String,
+    block_bytes: usize,
+    spill_edges: usize,
+    sparse: bool,
+}
+
+fn parse_pack_args(args: &[String]) -> Result<PackArgs, String> {
+    let mut out = PackArgs {
+        input: String::new(),
+        output: String::new(),
+        block_bytes: clugp_graph::pack::DEFAULT_BLOCK_BYTES,
+        spill_edges: clugp_graph::pack::DEFAULT_SPILL_EDGES,
+        sparse: false,
+    };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--block-bytes" => {
+                out.block_bytes = value("--block-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--block-bytes: {e}"))?;
+                if out.block_bytes == 0 {
+                    return Err("--block-bytes must be >= 1".into());
+                }
+            }
+            "--spill-edges" => {
+                out.spill_edges = value("--spill-edges")?
+                    .parse()
+                    .map_err(|e| format!("--spill-edges: {e}"))?;
+                if out.spill_edges == 0 {
+                    return Err("--spill-edges must be >= 1".into());
+                }
+            }
+            "--sparse" => out.sparse = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            _ => positional.push(a.clone()),
+        }
+    }
+    match positional.as_slice() {
+        [input, output] => {
+            out.input = input.clone();
+            out.output = output.clone();
+        }
+        _ => return Err("pack expects exactly <in> and <out> paths".into()),
+    }
+    Ok(out)
+}
+
+fn report_stats(stats: &PackStats, sparse_distinct: Option<u64>) {
+    println!("vertices       = {}", stats.num_vertices);
+    if let Some(d) = sparse_distinct {
+        println!("distinct ids   = {d} (remapped, first-appearance order)");
+    }
+    println!("edges          = {}", stats.num_edges);
+    println!("blocks         = {}", stats.num_blocks);
+    println!("payload bytes  = {}", stats.payload_bytes);
+    println!("file bytes     = {}", stats.file_bytes);
+    println!(
+        "bytes per edge = {:.3} (flat binary: 8.000)",
+        stats.bytes_per_edge()
+    );
+    println!("spill runs     = {}", stats.spill_runs);
+}
+
+fn run_pack(args: &PackArgs) -> Result<(), String> {
+    let input = Path::new(&args.input);
+    let output = Path::new(&args.output);
+    let opts = PackOptions {
+        block_bytes: args.block_bytes,
+        spill_edges: args.spill_edges,
+    };
+    if args.sparse {
+        let mut stream = open_sparse_edge_stream(input).map_err(|e| format!("--sparse: {e}"))?;
+        let distinct = stream.id_map().len();
+        let stats = pack_edge_stream(&mut stream, output, &opts).map_err(|e| e.to_string())?;
+        surface_stream_errors(&mut stream, output)?;
+        report_stats(&stats, Some(distinct));
+    } else {
+        let fmt = sniff_format(input).map_err(|e| e.to_string())?;
+        eprintln!("input format: {}", fmt.name());
+        let mut stream = open_edge_stream(input).map_err(|e| e.to_string())?;
+        let stats = pack_edge_stream(stream.as_mut(), output, &opts).map_err(|e| e.to_string())?;
+        surface_stream_errors(stream.as_mut(), output)?;
+        report_stats(&stats, None);
+    }
+    Ok(())
+}
+
+/// File-backed sources end early with their error *parked* (the crate-wide
+/// stream contract, reported by the next `reset`) — without this check a
+/// damaged input would silently pack to a truncated but valid-looking
+/// output. On a parked error the partial output is removed.
+fn surface_stream_errors(stream: &mut dyn RestreamableStream, output: &Path) -> Result<(), String> {
+    stream.reset().map_err(|e| {
+        std::fs::remove_file(output).ok();
+        format!("input ended early, output discarded: {e}")
+    })
+}
+
+fn run_info(path: &str) -> Result<(), String> {
+    let sum = read_pack_summary(Path::new(path)).map_err(|e| e.to_string())?;
+    println!("format         = CLUGPZ v1");
+    println!("vertices       = {}", sum.header.num_vertices);
+    println!("edges          = {}", sum.header.num_edges);
+    println!("blocks         = {}", sum.num_blocks);
+    println!("block target   = {} bytes", sum.header.block_target);
+    println!(
+        "block bytes    = min {} / max {}",
+        sum.min_block_bytes, sum.max_block_bytes
+    );
+    println!("edges per blk  = {:.1} mean", sum.mean_block_edges);
+    println!("payload bytes  = {}", sum.payload_bytes);
+    println!("file bytes     = {}", sum.file_bytes);
+    println!(
+        "bytes per edge = {:.3} (flat binary: 8.000)",
+        sum.bytes_per_edge()
+    );
+    Ok(())
+}
+
+fn run_verify(path: &str) -> Result<(), String> {
+    let edges = verify_pack(Path::new(path)).map_err(|e| e.to_string())?;
+    println!("OK: {edges} edges, all checksums and invariants verified");
+    Ok(())
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: clugp-pack pack <in> <out.clugpz> [--block-bytes N] [--spill-edges N] [--sparse]\n\
+         \x20      clugp-pack info <file.clugpz>\n\
+         \x20      clugp-pack verify <file.clugpz>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+    let result = match args[0].as_str() {
+        "pack" => match parse_pack_args(&args[1..]) {
+            Ok(p) => run_pack(&p),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        "info" if args.len() == 2 => run_info(&args[1]),
+        "verify" if args.len() == 2 => run_verify(&args[1]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clugp_graph::pack::{write_pack, PackOptions};
+    use clugp_graph::stream::EdgeStream;
+    use clugp_graph::types::Edge;
+    use std::path::PathBuf;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("clugp_pack_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn parses_pack_args() {
+        let p = parse_pack_args(&strs(&[
+            "in.txt",
+            "out.clugpz",
+            "--block-bytes",
+            "1024",
+            "--spill-edges",
+            "100",
+            "--sparse",
+        ]))
+        .unwrap();
+        assert_eq!(p.input, "in.txt");
+        assert_eq!(p.output, "out.clugpz");
+        assert_eq!(p.block_bytes, 1024);
+        assert_eq!(p.spill_edges, 100);
+        assert!(p.sparse);
+    }
+
+    #[test]
+    fn rejects_bad_pack_args() {
+        assert!(parse_pack_args(&strs(&["only-one"])).is_err());
+        assert!(parse_pack_args(&strs(&["a", "b", "c"])).is_err());
+        assert!(parse_pack_args(&strs(&["a", "b", "--block-bytes", "0"])).is_err());
+        assert!(parse_pack_args(&strs(&["a", "b", "--spill-edges", "0"])).is_err());
+        assert!(parse_pack_args(&strs(&["a", "b", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn pack_info_verify_round_trip_from_text() {
+        let input = tmp("in.txt");
+        let output = tmp("out.clugpz");
+        std::fs::write(&input, "0 1\n1 2\n2 0\n0 2\n").unwrap();
+        let args = PackArgs {
+            input: input.to_string_lossy().into_owned(),
+            output: output.to_string_lossy().into_owned(),
+            block_bytes: 64,
+            spill_edges: 2, // force the spill path
+            sparse: false,
+        };
+        run_pack(&args).unwrap();
+        run_info(&output.to_string_lossy()).unwrap();
+        run_verify(&output.to_string_lossy()).unwrap();
+        let mut s = clugp_graph::pack::PackedEdgeStream::open(&output).unwrap();
+        let edges = clugp_graph::stream::collect_stream(&mut s);
+        assert_eq!(
+            edges,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 2),
+                Edge::new(1, 2),
+                Edge::new(2, 0)
+            ]
+        );
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn sparse_pack_remaps_dense() {
+        let input = tmp("sparse.txt");
+        let output = tmp("sparse.clugpz");
+        std::fs::write(
+            &input,
+            "18446744073709551615 9000000000\n9000000000 1099511627776\n",
+        )
+        .unwrap();
+        let args = PackArgs {
+            input: input.to_string_lossy().into_owned(),
+            output: output.to_string_lossy().into_owned(),
+            block_bytes: clugp_graph::pack::DEFAULT_BLOCK_BYTES,
+            spill_edges: clugp_graph::pack::DEFAULT_SPILL_EDGES,
+            sparse: true,
+        };
+        run_pack(&args).unwrap();
+        let mut s = clugp_graph::pack::PackedEdgeStream::open(&output).unwrap();
+        assert_eq!(s.num_vertices_hint(), Some(3), "3 distinct ids remapped");
+        let edges = clugp_graph::stream::collect_stream(&mut s);
+        // First-appearance relabeling (0→1, 1→2), canonically sorted.
+        assert_eq!(edges, vec![Edge::new(0, 1), Edge::new(1, 2)]);
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn sparse_rejects_non_text_input() {
+        let input = tmp("dense.clugpz");
+        write_pack(&input, 2, &[Edge::new(0, 1)], &PackOptions::default()).unwrap();
+        let args = PackArgs {
+            input: input.to_string_lossy().into_owned(),
+            output: tmp("never.clugpz").to_string_lossy().into_owned(),
+            block_bytes: 64,
+            spill_edges: 64,
+            sparse: true,
+        };
+        let err = run_pack(&args).unwrap_err();
+        assert!(err.contains("--sparse"), "{err}");
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn packing_a_damaged_input_fails_and_discards_the_output() {
+        // Regression: a source that ends early with a *parked* error (the
+        // crate-wide file-stream contract) must fail the pack run, not
+        // silently write a truncated but valid-looking output.
+        let edges: Vec<Edge> = (0..4_000u32).map(|i| Edge::new(i / 7, i % 97)).collect();
+        let input = tmp("damaged_in.clugpz");
+        write_pack(
+            &input,
+            0,
+            &edges,
+            &PackOptions {
+                block_bytes: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Flip a payload byte past the first block: header/index stay
+        // valid, so the stream opens fine and dies mid-drain.
+        let mut data = std::fs::read(&input).unwrap();
+        data[36 + 700] ^= 0xFF;
+        std::fs::write(&input, &data).unwrap();
+        let output = tmp("damaged_out.clugpz");
+        let err = run_pack(&PackArgs {
+            input: input.to_string_lossy().into_owned(),
+            output: output.to_string_lossy().into_owned(),
+            block_bytes: 512,
+            spill_edges: 64,
+            sparse: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("ended early"), "{err}");
+        assert!(!output.exists(), "partial output must be discarded");
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn repack_from_binary_and_existing_pack() {
+        let edges = vec![Edge::new(2, 1), Edge::new(0, 1), Edge::new(0, 0)];
+        let bin = tmp("re.bin");
+        clugp_graph::io::write_binary_graph(&bin, 3, &edges).unwrap();
+        let out1 = tmp("re1.clugpz");
+        run_pack(&PackArgs {
+            input: bin.to_string_lossy().into_owned(),
+            output: out1.to_string_lossy().into_owned(),
+            block_bytes: 64,
+            spill_edges: 64,
+            sparse: false,
+        })
+        .unwrap();
+        // Packing an existing pack is idempotent on content.
+        let out2 = tmp("re2.clugpz");
+        run_pack(&PackArgs {
+            input: out1.to_string_lossy().into_owned(),
+            output: out2.to_string_lossy().into_owned(),
+            block_bytes: 64,
+            spill_edges: 64,
+            sparse: false,
+        })
+        .unwrap();
+        let mut a = clugp_graph::pack::PackedEdgeStream::open(&out1).unwrap();
+        let mut b = clugp_graph::pack::PackedEdgeStream::open(&out2).unwrap();
+        assert_eq!(
+            clugp_graph::stream::collect_stream(&mut a),
+            clugp_graph::stream::collect_stream(&mut b)
+        );
+        for p in [bin, out1, out2] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

@@ -14,8 +14,19 @@ pub enum GraphError {
         /// Description of what went wrong.
         message: String,
     },
-    /// A binary graph file is malformed (bad magic, truncated payload, ...).
+    /// A binary graph file is malformed (bad magic, corrupt index, ...).
     Format(String),
+    /// A binary graph file's edge payload does not match what its header
+    /// promises: the file was truncated (or has trailing junk). Reported
+    /// with the exact byte accounting instead of a raw short-read I/O
+    /// error, and checked at open so the mismatch never surfaces
+    /// mid-stream.
+    TruncatedPayload {
+        /// Edge-payload bytes the header promises.
+        expected_bytes: u64,
+        /// Edge-payload bytes the file actually holds.
+        actual_bytes: u64,
+    },
     /// An operation received an edge or vertex outside the declared range.
     VertexOutOfRange {
         /// The offending vertex id.
@@ -45,6 +56,14 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error on line {line}: {message}")
             }
             GraphError::Format(m) => write!(f, "malformed graph file: {m}"),
+            GraphError::TruncatedPayload {
+                expected_bytes,
+                actual_bytes,
+            } => write!(
+                f,
+                "binary edge payload size mismatch: header promises \
+                 {expected_bytes} bytes, file holds {actual_bytes}"
+            ),
             GraphError::VertexOutOfRange {
                 vertex,
                 num_vertices,
@@ -97,6 +116,12 @@ mod tests {
         assert!(parse.to_string().contains("line 7"));
         let fmt = GraphError::Format("short file".into());
         assert!(fmt.to_string().contains("short file"));
+        let trunc = GraphError::TruncatedPayload {
+            expected_bytes: 32,
+            actual_bytes: 28,
+        };
+        assert!(trunc.to_string().contains("promises 32 bytes"));
+        assert!(trunc.to_string().contains("holds 28"));
         let range = GraphError::VertexOutOfRange {
             vertex: 10,
             num_vertices: 5,

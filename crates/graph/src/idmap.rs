@@ -32,7 +32,7 @@
 //! output translates back through [`IdMap::external_of`].
 
 use crate::error::{GraphError, Result};
-use crate::stream::{EdgeStream, RestreamableStream, DEFAULT_CHUNK_EDGES};
+use crate::stream::{chunk_edges, EdgeStream, RestreamableStream};
 use crate::types::{Edge, ExternalId, RawEdge, VertexId};
 use rustc_hash::FxHashMap;
 
@@ -331,9 +331,9 @@ impl<S: RawEdgeStream> RemappedStream<S> {
     pub fn remap_with_cap(mut inner: S, max_vertices: u64) -> Result<Self> {
         inner.reset()?;
         let mut map = IdMap::remap_with_cap(max_vertices);
-        let mut buf: Vec<RawEdge> = Vec::with_capacity(DEFAULT_CHUNK_EDGES);
+        let mut buf: Vec<RawEdge> = Vec::with_capacity(chunk_edges());
         loop {
-            let n = inner.next_raw_chunk(&mut buf, DEFAULT_CHUNK_EDGES);
+            let n = inner.next_raw_chunk(&mut buf, chunk_edges());
             if n == 0 {
                 break;
             }

@@ -19,8 +19,28 @@ use bytes::{Buf, BufMut};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 8] = b"CLUGPGR1";
+pub(crate) const MAGIC: &[u8; 8] = b"CLUGPGR1";
 const HEADER_LEN: u64 = 8 + 8 + 8;
+
+/// Validates that the file holds exactly the edge payload its header
+/// promises, returning the dedicated size-mismatch error otherwise — the
+/// fail-fast guard that keeps truncation from surfacing as a raw
+/// short-read I/O error mid-stream.
+fn check_payload_size(file: &std::fs::File, num_edges: u64) -> Result<()> {
+    // The header's edge count is untrusted file input: a corrupt value near
+    // u64::MAX must fail the check, not wrap it away.
+    let expected_bytes = num_edges
+        .checked_mul(8)
+        .ok_or_else(|| GraphError::Format(format!("header edge count {num_edges} overflows")))?;
+    let actual_bytes = file.metadata()?.len().saturating_sub(HEADER_LEN);
+    if actual_bytes != expected_bytes {
+        return Err(GraphError::TruncatedPayload {
+            expected_bytes,
+            actual_bytes,
+        });
+    }
+    Ok(())
+}
 
 /// Writes `(num_vertices, edges)` to `path` in the binary format.
 pub fn write_binary_graph(path: &Path, num_vertices: u64, edges: &[Edge]) -> Result<()> {
@@ -49,6 +69,7 @@ pub fn read_binary_graph(path: &Path) -> Result<(u64, Vec<Edge>)> {
     let file = std::fs::File::open(path)?;
     let mut r = BufReader::new(file);
     let (num_vertices, num_edges) = read_header(&mut r)?;
+    check_payload_size(r.get_ref(), num_edges)?;
     let mut raw = vec![0u8; (num_edges * 8) as usize];
     r.read_exact(&mut raw)
         .map_err(|_| GraphError::Format("edge payload truncated".into()))?;
@@ -84,10 +105,13 @@ fn read_header<R: Read>(r: &mut R) -> Result<(u64, u64)> {
 /// is the source used by the Figure 10(a) compute/I-O breakdown, where
 /// CLUGP's three passes really do read the file three times.
 ///
-/// A *truncated* file ends the stream early (callers comparing against
-/// [`EdgeStream::len_hint`] can detect the shortfall); a genuine I/O error
-/// also ends the stream but parks the error in [`FileEdgeStream::error`],
-/// and the next [`RestreamableStream::reset`] reports it — same contract as
+/// A truncated or size-mismatched file is rejected at [`FileEdgeStream::open`]
+/// with the dedicated [`GraphError::TruncatedPayload`] (exact expected-vs-
+/// actual byte accounting) instead of surfacing a raw short-read I/O error
+/// mid-stream. If the file shrinks *after* open, the stream ends early with
+/// the same dedicated error parked in [`FileEdgeStream::error`]; genuine
+/// I/O failures park their error too, and the next
+/// [`RestreamableStream::reset`] reports it — same contract as
 /// [`crate::io::edge_list::TextEdgeStream`], so a restreaming consumer
 /// cannot silently loop over a half-read stream.
 #[derive(Debug)]
@@ -103,11 +127,18 @@ pub struct FileEdgeStream {
 }
 
 impl FileEdgeStream {
-    /// Opens `path` and validates the header.
+    /// Opens `path`, validating the header and that the file holds exactly
+    /// the edge payload the header promises.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::TruncatedPayload`] on a truncated or size-mismatched
+    /// payload; [`GraphError::Format`] on a bad magic or short header.
     pub fn open(path: &Path) -> Result<Self> {
         let file = std::fs::File::open(path)?;
         let mut reader = BufReader::new(file);
         let (num_vertices, num_edges) = read_header(&mut reader)?;
+        check_payload_size(reader.get_ref(), num_edges)?;
         Ok(FileEdgeStream {
             reader,
             path: path.to_path_buf(),
@@ -124,12 +155,31 @@ impl FileEdgeStream {
         &self.path
     }
 
-    /// The I/O error that ended the stream early, if any. (Also reported by
-    /// the next [`RestreamableStream::reset`].) Truncation is not an error
-    /// here — compare yielded edges against [`EdgeStream::len_hint`] for
-    /// that.
+    /// The error that ended the stream early, if any — a
+    /// [`GraphError::TruncatedPayload`] if the file shrank after open, or
+    /// the underlying I/O failure. (Also reported by the next
+    /// [`RestreamableStream::reset`].)
     pub fn error(&self) -> Option<&GraphError> {
         self.error.as_ref()
+    }
+
+    /// Parks the dedicated truncation error for a file that shrank after
+    /// open; `decoded_now` (whole edges decoded from the current pull) is
+    /// the fallback byte accounting if the file cannot be stat'ed.
+    fn park_truncation(&mut self, decoded_now: u64) {
+        let actual_bytes = self
+            .reader
+            .get_ref()
+            .metadata()
+            .map(|m| m.len().saturating_sub(HEADER_LEN))
+            .unwrap_or((self.yielded + decoded_now).saturating_mul(8));
+        self.error = Some(GraphError::TruncatedPayload {
+            // Open validated num_edges * 8 against the real file size, so
+            // this cannot overflow for a stream that ever opened; saturate
+            // anyway rather than trust it.
+            expected_bytes: self.num_edges.saturating_mul(8),
+            actual_bytes,
+        });
     }
 }
 
@@ -147,8 +197,12 @@ impl EdgeStream for FileEdgeStream {
                 let dst = cursor.get_u32_le();
                 Some(Edge { src, dst })
             }
-            // Truncated file: end the stream (detectable via len_hint).
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => None,
+            // File shrank after open: end the stream with the dedicated
+            // truncation error parked (open validated the original size).
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                self.park_truncation(0);
+                None
+            }
             // Real I/O failure: end the stream and park the error for
             // error()/reset().
             Err(e) => {
@@ -173,7 +227,12 @@ impl EdgeStream for FileEdgeStream {
         let mut filled = 0usize;
         while filled < want_bytes {
             match self.reader.read(&mut self.raw[filled..want_bytes]) {
-                Ok(0) => break, // truncated file: decode what we have
+                Ok(0) => {
+                    // File shrank after open: park the dedicated truncation
+                    // error; the whole records already read still decode.
+                    self.park_truncation((filled / 8) as u64);
+                    break;
+                }
                 Ok(n) => filled += n,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => {
@@ -295,21 +354,115 @@ mod tests {
     fn detects_truncated_payload() {
         let path = tmp("trunc.bin");
         write_binary_graph(&path, 3, &sample()).unwrap();
-        // Chop off the last 4 bytes.
+        // Chop off the last 4 bytes: 4 edges promised (32 payload bytes),
+        // 28 on disk. Both open paths fail fast with the dedicated error
+        // carrying the exact byte accounting — no raw short-read I/O error
+        // can surface mid-stream.
         let data = std::fs::read(&path).unwrap();
         std::fs::write(&path, &data[..data.len() - 4]).unwrap();
+        for err in [
+            read_binary_graph(&path).unwrap_err(),
+            FileEdgeStream::open(&path).unwrap_err(),
+        ] {
+            match err {
+                GraphError::TruncatedPayload {
+                    expected_bytes,
+                    actual_bytes,
+                } => {
+                    assert_eq!(expected_bytes, 32);
+                    assert_eq!(actual_bytes, 28);
+                }
+                other => panic!("expected TruncatedPayload, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_overflowing_edge_count_header() {
+        // A corrupt header whose edge count overflows `m * 8` must be a
+        // clean error, not a wrap (release) or panic (debug).
+        let path = tmp("overflow.bin");
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&4u64.to_le_bytes()); // n
+        data.extend_from_slice(&((1u64 << 61) + 1).to_le_bytes()); // m * 8 wraps
+        data.extend_from_slice(&[0u8; 8]); // one fake record
+        std::fs::write(&path, &data).unwrap();
         assert!(matches!(
             read_binary_graph(&path).unwrap_err(),
             GraphError::Format(_)
         ));
-        // The streaming reader ends early instead of erroring; truncation
-        // parks no error (it's detectable via len_hint), so reset stays Ok.
+        assert!(matches!(
+            FileEdgeStream::open(&path).unwrap_err(),
+            GraphError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn detects_oversized_payload() {
+        // Trailing junk after the promised payload is a size mismatch too.
+        let path = tmp("oversize.bin");
+        write_binary_graph(&path, 3, &sample()).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data.extend_from_slice(&[0u8; 6]);
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            read_binary_graph(&path).unwrap_err(),
+            GraphError::TruncatedPayload {
+                expected_bytes: 32,
+                actual_bytes: 38,
+            }
+        ));
+        assert!(FileEdgeStream::open(&path).is_err());
+    }
+
+    #[test]
+    fn file_shrinking_after_open_parks_truncation_error() {
+        // Regression: truncation discovered *mid-stream* (the file shrank
+        // between open and the read) must park the dedicated error — the
+        // next reset reports it, so a restreaming consumer cannot silently
+        // loop over a half-read stream.
+        // Big enough that the payload tail is beyond the BufReader's
+        // buffer, so the shrink is actually observed by a read.
+        let edges: Vec<Edge> = (0..2_000u32).map(|i| Edge::new(i, i + 1)).collect();
+        let path = tmp("shrink.bin");
+        write_binary_graph(&path, 2_001, &edges).unwrap();
         let mut s = FileEdgeStream::open(&path).unwrap();
-        let edges = collect_stream(&mut s);
-        assert_eq!(edges.len(), 3);
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 4]).unwrap();
+        let seen = collect_stream(&mut s);
+        assert_eq!(seen.len(), 1_999, "whole records still decode");
+        assert!(
+            matches!(
+                s.error(),
+                Some(GraphError::TruncatedPayload {
+                    expected_bytes: 16_000,
+                    actual_bytes: 15_996,
+                })
+            ),
+            "got {:?}",
+            s.error()
+        );
+        let err = s.reset().unwrap_err();
+        assert!(matches!(err, GraphError::TruncatedPayload { .. }));
+        // The parked error is cleared by the reporting reset.
         assert!(s.error().is_none());
-        s.reset().unwrap();
-        assert_eq!(collect_stream(&mut s).len(), 3);
+
+        // Same contract on the per-edge pull path.
+        let path2 = tmp("shrink_per_edge.bin");
+        write_binary_graph(&path2, 2_001, &edges).unwrap();
+        let mut s = FileEdgeStream::open(&path2).unwrap();
+        let data = std::fs::read(&path2).unwrap();
+        std::fs::write(&path2, &data[..data.len() - 4]).unwrap();
+        let mut seen = 0;
+        while s.next_edge().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 1_999);
+        assert!(matches!(
+            s.error(),
+            Some(GraphError::TruncatedPayload { .. })
+        ));
     }
 
     #[test]
@@ -329,16 +482,25 @@ mod tests {
     }
 
     #[test]
-    fn chunked_read_of_truncated_payload_ends_early() {
+    fn chunked_read_of_shrunk_file_ends_early_with_parked_error() {
+        // Large enough that the tail lies beyond the BufReader's buffer.
+        let edges: Vec<Edge> = (0..2_000u32).map(|i| Edge::new(i, i + 1)).collect();
         let path = tmp("trunc_chunk.bin");
-        write_binary_graph(&path, 3, &sample()).unwrap();
+        write_binary_graph(&path, 2_001, &edges).unwrap();
+        let mut s = FileEdgeStream::open(&path).unwrap();
         let data = std::fs::read(&path).unwrap();
         std::fs::write(&path, &data[..data.len() - 4]).unwrap();
-        let mut s = FileEdgeStream::open(&path).unwrap();
         let mut buf = Vec::new();
-        assert_eq!(s.next_chunk(&mut buf, 4096), 3);
-        assert_eq!(buf, sample()[..3]);
-        assert_eq!(s.next_chunk(&mut buf, 4096), 0);
+        let mut seen = Vec::new();
+        while s.next_chunk(&mut buf, 4096) != 0 {
+            seen.extend_from_slice(&buf);
+        }
+        assert_eq!(seen.len(), 1_999, "whole records of this pull decode");
+        assert_eq!(seen, edges[..1_999]);
+        assert!(matches!(
+            s.error(),
+            Some(GraphError::TruncatedPayload { .. })
+        ));
     }
 
     #[test]

@@ -23,7 +23,15 @@
 //!   order), random order, and vertex relabeling.
 //! * [`gen`] — synthetic web/social graph generators substituting for the
 //!   WebGraph corpora of Table III (see DESIGN.md §4).
-//! * [`io`] — text edge-list and binary formats with file-backed streaming.
+//! * [`io`] — text edge-list and binary formats with file-backed streaming,
+//!   plus magic-based format detection ([`io::sniff_format`] /
+//!   [`io::open_edge_stream`]).
+//! * [`pack`] — `CLUGPZ`, the block-compressed on-disk graph storage layer:
+//!   varint + gap encoding in independently decodable checksummed blocks
+//!   with a trailing index, a bounded-memory external-sort writer, a
+//!   chunked [`pack::PackedEdgeStream`] reader, and
+//!   [`pack::ShardedPackReader`] for parallel shard streaming (see
+//!   DESIGN.md §6).
 //! * [`analysis`] — degree distributions, power-law exponent estimation,
 //!   connected components.
 //! * [`sampling`] — nested edge samples (Figure 5's sampled UK graphs).
@@ -54,6 +62,7 @@ pub mod gen;
 pub mod idmap;
 pub mod io;
 pub mod order;
+pub mod pack;
 pub mod sampling;
 pub mod stream;
 pub mod types;
@@ -61,5 +70,6 @@ pub mod types;
 pub use csr::CsrGraph;
 pub use error::{GraphError, Result};
 pub use idmap::{IdMap, RawEdgeStream, RawInMemoryStream, RemappedStream};
+pub use pack::{PackedEdgeStream, ShardedPackReader};
 pub use stream::{EdgeStream, InMemoryStream, RestreamableStream};
 pub use types::{Edge, ExternalId, RawEdge, VertexId};

@@ -1,0 +1,1566 @@
+//! `CLUGPZ` — block-compressed on-disk graph storage.
+//!
+//! The paper's Table III corpora ship WebGraph-compressed (~1–3 bits per
+//! link); the flat [`crate::io::binary`] format replays them at a fixed
+//! 8 B/edge, so on a real web graph the partitioner would be I/O-bound on a
+//! representation ~20–50× larger than what production systems store. This
+//! module is the missing storage layer: a compressed, block-indexed edge
+//! pack that any chunked consumer streams through the standard
+//! [`EdgeStream`] ABI — bit-identically to the flat formats — and that a
+//! thread pool can read in parallel shards through the block index.
+//!
+//! # File layout (all little-endian)
+//!
+//! ```text
+//! header   36 B   magic "CLUGPZ01", n u64, m u64, block_target u32,
+//!                 flags u32, crc32(header[..32]) u32
+//! blocks   ...    back-to-back varint payloads (~block_target bytes each),
+//!                 each independently decodable
+//! index    32 B × num_blocks
+//!                 first_src u32, edge_count u32, byte_len u32,
+//!                 crc32(payload) u32, edge_offset u64, byte_offset u64
+//! footer   32 B   index_offset u64, num_blocks u64, crc32(index) u32,
+//!                 crc32(footer[..24]) u32, magic "CLUGPZEN"
+//! ```
+//!
+//! # Edge encoding
+//!
+//! A pack stores the edge multiset in **canonical order**: sorted by
+//! `(src, dst)`, duplicates preserved. Grouping by source makes destination
+//! lists sorted, so both coordinates gap-encode:
+//!
+//! ```text
+//! record       := varint(src_gap) varint(dst_field)
+//! first in blk := src and dst absolute
+//! src_gap == 0 := same source run; dst_field = dst − prev_dst (≥ 0)
+//! src_gap  > 0 := new source src = prev_src + gap; dst_field = dst absolute
+//! ```
+//!
+//! On the site-structured web analogues this lands at ~2–3 B/edge (the
+//! committed `results/BENCH_io.json` has the measured numbers) versus the
+//! flat format's fixed 8. Every block starts with absolute coordinates, so
+//! blocks decode independently — the property the sharded reader and
+//! `reset` both lean on. A source's destination list may span blocks; the
+//! continuation block simply re-encodes the source absolutely.
+//!
+//! # Bounded-memory writer
+//!
+//! [`pack_edge_stream`] accepts edges in *any* order from any
+//! [`EdgeStream`]: it buffers up to [`PackOptions::spill_edges`] edges,
+//! sorts each buffer, spills it as a raw run file next to the output, and
+//! k-way merges the runs at write time — classic external sort, so packing
+//! never holds more than one spill buffer of edges in memory.
+//!
+//! # Readers
+//!
+//! [`PackedEdgeStream`] implements [`EdgeStream`] + [`RestreamableStream`]:
+//! one block is decoded per refill and lent to chunked consumers through
+//! the zero-copy `next_slice` fast path, so CLUGP's three passes and every
+//! baseline consume a pack unchanged (equivalence pinned by
+//! `tests/chunked_equivalence.rs`). [`ShardedPackReader`] splits the block
+//! range into per-thread shards balanced by edge count; each shard is its
+//! own `PackedEdgeStream` over a private file handle, which is what the
+//! `experiments io` sharded-read probe drives through the vendored rayon
+//! pool.
+//!
+//! Integrity: header, index, and footer are checksum-validated at open;
+//! block payloads are checksum-validated as they stream (CRC32/IEEE). A
+//! decode or I/O failure mid-stream parks the error and ends the stream,
+//! and the next [`RestreamableStream::reset`] reports it — the same
+//! failure contract as every other file-backed stream in this crate.
+
+use crate::error::{GraphError, Result};
+use crate::stream::{chunk_edges, EdgeStream, RestreamableStream};
+use crate::types::Edge;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Magic bytes opening a `CLUGPZ` file (version 1).
+pub const PACK_MAGIC: &[u8; 8] = b"CLUGPZ01";
+/// Magic bytes closing the footer.
+const FOOTER_MAGIC: &[u8; 8] = b"CLUGPZEN";
+
+const HEADER_LEN: u64 = 36;
+const FOOTER_LEN: u64 = 32;
+const INDEX_ENTRY_LEN: usize = 32;
+
+/// Default target payload bytes per block: large enough to amortize the
+/// per-block seek + checksum to noise, small enough that a block's decoded
+/// edges stay cache-resident and shard boundaries stay fine-grained.
+pub const DEFAULT_BLOCK_BYTES: usize = 64 * 1024;
+
+/// Default in-memory sort buffer of the external-sort writer, in edges
+/// (4 Mi edges = 32 MiB): the bound on packing memory.
+pub const DEFAULT_SPILL_EDGES: usize = 4 << 20;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE, reflected) — vendored-free integrity checksum.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes`, as used for every checksum in the format.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// LEB128 varints.
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+#[inline]
+fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes
+            .get(*pos)
+            .ok_or_else(|| GraphError::Format("varint overruns block payload".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(GraphError::Format("varint longer than 64 bits".into()));
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// On-disk structures.
+// ---------------------------------------------------------------------------
+
+/// Parsed, checksum-validated `CLUGPZ` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackHeader {
+    /// Number of vertices of the packed graph.
+    pub num_vertices: u64,
+    /// Number of edges (over all blocks).
+    pub num_edges: u64,
+    /// The encoder's target payload bytes per block.
+    pub block_target: u32,
+}
+
+impl PackHeader {
+    fn to_bytes(self) -> [u8; HEADER_LEN as usize] {
+        let mut b = [0u8; HEADER_LEN as usize];
+        b[..8].copy_from_slice(PACK_MAGIC);
+        b[8..16].copy_from_slice(&self.num_vertices.to_le_bytes());
+        b[16..24].copy_from_slice(&self.num_edges.to_le_bytes());
+        b[24..28].copy_from_slice(&self.block_target.to_le_bytes());
+        b[28..32].copy_from_slice(&0u32.to_le_bytes()); // flags (reserved)
+        let crc = crc32(&b[..32]);
+        b[32..36].copy_from_slice(&crc.to_le_bytes());
+        b
+    }
+
+    fn from_bytes(b: &[u8; HEADER_LEN as usize]) -> Result<Self> {
+        if &b[..8] != PACK_MAGIC {
+            return Err(GraphError::Format("not a CLUGPZ file (bad magic)".into()));
+        }
+        let stored = u32::from_le_bytes(b[32..36].try_into().expect("4-byte field"));
+        let computed = crc32(&b[..32]);
+        if stored != computed {
+            return Err(GraphError::Format(format!(
+                "header checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
+        }
+        Ok(PackHeader {
+            num_vertices: u64::from_le_bytes(b[8..16].try_into().expect("8-byte field")),
+            num_edges: u64::from_le_bytes(b[16..24].try_into().expect("8-byte field")),
+            block_target: u32::from_le_bytes(b[24..28].try_into().expect("4-byte field")),
+        })
+    }
+}
+
+/// One entry of the trailing block index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Source id of the block's first edge.
+    pub first_src: u32,
+    /// Edges encoded in this block.
+    pub edge_count: u32,
+    /// Payload bytes of this block.
+    pub byte_len: u32,
+    /// CRC32 of the payload.
+    pub crc: u32,
+    /// Index of the block's first edge in the whole pack.
+    pub edge_offset: u64,
+    /// File offset of the payload start.
+    pub byte_offset: u64,
+}
+
+impl BlockEntry {
+    fn write_to(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.first_src.to_le_bytes());
+        buf.extend_from_slice(&self.edge_count.to_le_bytes());
+        buf.extend_from_slice(&self.byte_len.to_le_bytes());
+        buf.extend_from_slice(&self.crc.to_le_bytes());
+        buf.extend_from_slice(&self.edge_offset.to_le_bytes());
+        buf.extend_from_slice(&self.byte_offset.to_le_bytes());
+    }
+
+    fn read_from(b: &[u8]) -> Self {
+        BlockEntry {
+            first_src: u32::from_le_bytes(b[0..4].try_into().expect("4-byte field")),
+            edge_count: u32::from_le_bytes(b[4..8].try_into().expect("4-byte field")),
+            byte_len: u32::from_le_bytes(b[8..12].try_into().expect("4-byte field")),
+            crc: u32::from_le_bytes(b[12..16].try_into().expect("4-byte field")),
+            edge_offset: u64::from_le_bytes(b[16..24].try_into().expect("8-byte field")),
+            byte_offset: u64::from_le_bytes(b[24..32].try_into().expect("8-byte field")),
+        }
+    }
+}
+
+/// The validated block index of an open pack (shared by sharded readers).
+#[derive(Debug, Clone, Default)]
+pub struct PackIndex {
+    entries: Vec<BlockEntry>,
+}
+
+impl PackIndex {
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The index entries, in file order.
+    pub fn entries(&self) -> &[BlockEntry] {
+        &self.entries
+    }
+
+    /// Edges covered by the block range (from the index's edge offsets).
+    pub fn edges_in(&self, blocks: Range<usize>) -> u64 {
+        self.entries[blocks]
+            .iter()
+            .map(|e| u64::from(e.edge_count))
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+/// Knobs of [`pack_edge_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct PackOptions {
+    /// Target payload bytes per block (clamped to ≥ 1; a tiny target gives
+    /// one edge per block, the degenerate case the proptests sweep).
+    pub block_bytes: usize,
+    /// In-memory sort buffer in edges before a run spills to disk
+    /// (clamped to ≥ 1): the packing memory bound.
+    pub spill_edges: usize,
+}
+
+impl Default for PackOptions {
+    fn default() -> Self {
+        PackOptions {
+            block_bytes: DEFAULT_BLOCK_BYTES,
+            spill_edges: DEFAULT_SPILL_EDGES,
+        }
+    }
+}
+
+/// What [`pack_edge_stream`] reports about the file it wrote.
+#[derive(Debug, Clone, Copy)]
+pub struct PackStats {
+    /// Vertices recorded in the header.
+    pub num_vertices: u64,
+    /// Edges packed.
+    pub num_edges: u64,
+    /// Blocks written.
+    pub num_blocks: u64,
+    /// Compressed payload bytes (blocks only, excluding header/index/footer).
+    pub payload_bytes: u64,
+    /// Total file bytes.
+    pub file_bytes: u64,
+    /// Spill runs the external sort used (0 = fit in one in-memory buffer).
+    pub spill_runs: usize,
+}
+
+impl PackStats {
+    /// Total file bytes per edge (∞-free: 0 edges reports 0).
+    pub fn bytes_per_edge(&self) -> f64 {
+        if self.num_edges == 0 {
+            0.0
+        } else {
+            self.file_bytes as f64 / self.num_edges as f64
+        }
+    }
+}
+
+/// Incremental block encoder: push canonically-ordered edges, blocks and
+/// index entries fall out.
+struct BlockEncoder<W: Write> {
+    out: W,
+    target: usize,
+    block: Vec<u8>,
+    prev: Option<Edge>,
+    first_src: u32,
+    edges_in_block: u32,
+    edge_offset: u64,
+    byte_offset: u64,
+    index: Vec<BlockEntry>,
+}
+
+impl<W: Write> BlockEncoder<W> {
+    fn new(out: W, target: usize, byte_offset: u64) -> Self {
+        BlockEncoder {
+            out,
+            target: target.max(1),
+            block: Vec::with_capacity(target.max(1) + 16),
+            prev: None,
+            first_src: 0,
+            edges_in_block: 0,
+            edge_offset: 0,
+            byte_offset,
+            index: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, e: Edge) -> Result<()> {
+        match self.prev {
+            None => {
+                // Block opens with absolute coordinates.
+                self.first_src = e.src;
+                put_varint(&mut self.block, u64::from(e.src));
+                put_varint(&mut self.block, u64::from(e.dst));
+            }
+            Some(p) => {
+                debug_assert!(
+                    (p.src, p.dst) <= (e.src, e.dst),
+                    "encoder fed unsorted edges"
+                );
+                let src_gap = e.src - p.src;
+                put_varint(&mut self.block, u64::from(src_gap));
+                if src_gap == 0 {
+                    put_varint(&mut self.block, u64::from(e.dst - p.dst));
+                } else {
+                    put_varint(&mut self.block, u64::from(e.dst));
+                }
+            }
+        }
+        self.prev = Some(e);
+        self.edges_in_block += 1;
+        if self.block.len() >= self.target {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<()> {
+        if self.edges_in_block == 0 {
+            return Ok(());
+        }
+        self.out.write_all(&self.block)?;
+        self.index.push(BlockEntry {
+            first_src: self.first_src,
+            edge_count: self.edges_in_block,
+            byte_len: self.block.len() as u32,
+            crc: crc32(&self.block),
+            edge_offset: self.edge_offset,
+            byte_offset: self.byte_offset,
+        });
+        self.edge_offset += u64::from(self.edges_in_block);
+        self.byte_offset += self.block.len() as u64;
+        self.block.clear();
+        self.prev = None;
+        self.edges_in_block = 0;
+        Ok(())
+    }
+
+    /// Flushes the trailing partial block and returns `(index, edges,
+    /// payload_end_offset, writer)`.
+    fn finish(mut self) -> Result<(Vec<BlockEntry>, u64, u64, W)> {
+        self.flush_block()?;
+        Ok((self.index, self.edge_offset, self.byte_offset, self.out))
+    }
+}
+
+/// A sorted spill run on disk: raw 8-byte edge records, read back through a
+/// buffered cursor during the merge.
+struct RunReader {
+    reader: BufReader<File>,
+    head: Option<Edge>,
+}
+
+impl RunReader {
+    fn open(path: &Path) -> Result<Self> {
+        let mut r = RunReader {
+            reader: BufReader::with_capacity(1 << 16, File::open(path)?),
+            head: None,
+        };
+        r.advance()?;
+        Ok(r)
+    }
+
+    fn advance(&mut self) -> Result<()> {
+        let mut rec = [0u8; 8];
+        self.head = match self.reader.read_exact(&mut rec) {
+            Ok(()) => Some(Edge {
+                src: u32::from_le_bytes(rec[..4].try_into().expect("4-byte field")),
+                dst: u32::from_le_bytes(rec[4..].try_into().expect("4-byte field")),
+            }),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => None,
+            Err(e) => return Err(GraphError::from(e)),
+        };
+        Ok(())
+    }
+}
+
+/// Spill-run files beside the output; removed when packing completes or is
+/// dropped on an error path.
+struct SpillRuns {
+    base: PathBuf,
+    paths: Vec<PathBuf>,
+}
+
+impl SpillRuns {
+    fn new(output: &Path) -> Self {
+        SpillRuns {
+            base: output.to_path_buf(),
+            paths: Vec::new(),
+        }
+    }
+
+    fn spill(&mut self, edges: &mut Vec<Edge>) -> Result<()> {
+        edges.sort_unstable_by_key(|e| (e.src, e.dst));
+        let path = self
+            .base
+            .with_extension(format!("run{}.tmp", self.paths.len()));
+        let mut w = BufWriter::with_capacity(1 << 16, File::create(&path)?);
+        self.paths.push(path);
+        let mut buf = Vec::with_capacity(8 * 1024);
+        for chunk in edges.chunks(1024) {
+            buf.clear();
+            for e in chunk {
+                buf.extend_from_slice(&e.src.to_le_bytes());
+                buf.extend_from_slice(&e.dst.to_le_bytes());
+            }
+            w.write_all(&buf)?;
+        }
+        w.flush()?;
+        edges.clear();
+        Ok(())
+    }
+}
+
+impl Drop for SpillRuns {
+    fn drop(&mut self) {
+        for p in &self.paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}
+
+/// Packs any edge stream into a `CLUGPZ` file at `path` in bounded memory.
+///
+/// The stream may yield edges in any order; the writer external-sorts them
+/// into canonical `(src, dst)` order (duplicates preserved) in spill runs of
+/// at most [`PackOptions::spill_edges`] edges, merged at write time. The
+/// header's vertex count is `max(num_vertices_hint, max id + 1)`.
+///
+/// # Errors
+///
+/// Fails on I/O errors writing the pack or its spill runs.
+pub fn pack_edge_stream(
+    stream: &mut dyn EdgeStream,
+    path: &Path,
+    opts: &PackOptions,
+) -> Result<PackStats> {
+    let spill_cap = opts.spill_edges.max(1);
+    let mut runs = SpillRuns::new(path);
+    let mut buffer: Vec<Edge> = Vec::with_capacity(spill_cap.min(DEFAULT_SPILL_EDGES));
+    let mut implied_n = 0u64;
+    crate::stream::try_for_each_chunk(stream, chunk_edges(), |chunk| -> Result<()> {
+        for &e in chunk {
+            implied_n = implied_n.max(u64::from(e.src.max(e.dst)) + 1);
+            buffer.push(e);
+            if buffer.len() >= spill_cap {
+                runs.spill(&mut buffer)?;
+            }
+        }
+        Ok(())
+    })?;
+    let num_vertices = stream.num_vertices_hint().unwrap_or(0).max(implied_n);
+
+    let file = File::create(path)?;
+    let mut w = BufWriter::with_capacity(1 << 16, file);
+    // Header is rewritten with real counts at the end (m is unknown for
+    // hint-less streams until the drain completes).
+    w.write_all(&[0u8; HEADER_LEN as usize])?;
+    let mut enc = BlockEncoder::new(w, opts.block_bytes, HEADER_LEN);
+
+    let spill_runs = runs.paths.len() + usize::from(!buffer.is_empty() && !runs.paths.is_empty());
+    if runs.paths.is_empty() {
+        // Everything fit in one buffer: sort and encode directly.
+        buffer.sort_unstable_by_key(|e| (e.src, e.dst));
+        for &e in &buffer {
+            enc.push(e)?;
+        }
+    } else {
+        // Spill the tail run too, then k-way merge. The run index breaks
+        // ties so the merge is stable (irrelevant for identical 8-byte
+        // records, but it keeps the loop's invariant obvious).
+        if !buffer.is_empty() {
+            runs.spill(&mut buffer)?;
+        }
+        let mut readers: Vec<RunReader> = runs
+            .paths
+            .iter()
+            .map(|p| RunReader::open(p))
+            .collect::<Result<_>>()?;
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32, usize)>> = readers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.head.map(|e| std::cmp::Reverse((e.src, e.dst, i))))
+            .collect();
+        while let Some(std::cmp::Reverse((src, dst, i))) = heap.pop() {
+            enc.push(Edge { src, dst })?;
+            readers[i].advance()?;
+            if let Some(e) = readers[i].head {
+                heap.push(std::cmp::Reverse((e.src, e.dst, i)));
+            }
+        }
+    }
+
+    let (index, num_edges, payload_end, mut w) = enc.finish()?;
+    // Trailing index + footer.
+    let mut index_bytes = Vec::with_capacity(index.len() * INDEX_ENTRY_LEN);
+    for entry in &index {
+        entry.write_to(&mut index_bytes);
+    }
+    w.write_all(&index_bytes)?;
+    let mut footer = [0u8; FOOTER_LEN as usize];
+    footer[..8].copy_from_slice(&payload_end.to_le_bytes());
+    footer[8..16].copy_from_slice(&(index.len() as u64).to_le_bytes());
+    footer[16..20].copy_from_slice(&crc32(&index_bytes).to_le_bytes());
+    let fcrc = crc32(&footer[..20]);
+    footer[20..24].copy_from_slice(&fcrc.to_le_bytes());
+    footer[24..32].copy_from_slice(FOOTER_MAGIC);
+    w.write_all(&footer)?;
+    w.flush()?;
+
+    // Rewrite the header with the real counts.
+    let mut file = w
+        .into_inner()
+        .map_err(|e| GraphError::from(e.into_error()))?;
+    let header = PackHeader {
+        num_vertices,
+        num_edges,
+        block_target: opts.block_bytes.max(1).min(u32::MAX as usize) as u32,
+    };
+    file.seek(SeekFrom::Start(0))?;
+    file.write_all(&header.to_bytes())?;
+    file.sync_data().ok();
+    let file_bytes = payload_end + index_bytes.len() as u64 + FOOTER_LEN;
+
+    Ok(PackStats {
+        num_vertices,
+        num_edges,
+        num_blocks: index.len() as u64,
+        payload_bytes: payload_end - HEADER_LEN,
+        file_bytes,
+        spill_runs,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Open/validate.
+// ---------------------------------------------------------------------------
+
+fn open_validated(path: &Path) -> Result<(File, PackHeader, PackIndex)> {
+    let mut file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    if file_len < HEADER_LEN + FOOTER_LEN {
+        return Err(GraphError::Format(format!(
+            "CLUGPZ file shorter than header + footer ({file_len} bytes)"
+        )));
+    }
+    let mut hbytes = [0u8; HEADER_LEN as usize];
+    file.read_exact(&mut hbytes)?;
+    let header = PackHeader::from_bytes(&hbytes)?;
+
+    let mut fbytes = [0u8; FOOTER_LEN as usize];
+    file.seek(SeekFrom::Start(file_len - FOOTER_LEN))?;
+    file.read_exact(&mut fbytes)?;
+    if &fbytes[24..32] != FOOTER_MAGIC {
+        return Err(GraphError::Format(
+            "CLUGPZ footer magic missing (truncated file?)".into(),
+        ));
+    }
+    let stored = u32::from_le_bytes(fbytes[20..24].try_into().expect("4-byte field"));
+    let computed = crc32(&fbytes[..20]);
+    if stored != computed {
+        return Err(GraphError::Format(format!(
+            "footer checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    let index_offset = u64::from_le_bytes(fbytes[..8].try_into().expect("8-byte field"));
+    let num_blocks = u64::from_le_bytes(fbytes[8..16].try_into().expect("8-byte field"));
+    let index_crc = u32::from_le_bytes(fbytes[16..20].try_into().expect("4-byte field"));
+
+    let index_len = num_blocks
+        .checked_mul(INDEX_ENTRY_LEN as u64)
+        .filter(|len| index_offset.checked_add(*len) == Some(file_len - FOOTER_LEN))
+        .ok_or_else(|| {
+            GraphError::Format("block index does not span header..footer (corrupt footer)".into())
+        })?;
+    let mut index_bytes = vec![0u8; index_len as usize];
+    file.seek(SeekFrom::Start(index_offset))?;
+    file.read_exact(&mut index_bytes)?;
+    let computed = crc32(&index_bytes);
+    if index_crc != computed {
+        return Err(GraphError::Format(format!(
+            "index checksum mismatch: stored {index_crc:#010x}, computed {computed:#010x}"
+        )));
+    }
+    let mut entries = Vec::with_capacity(num_blocks as usize);
+    let mut expect_edge = 0u64;
+    let mut expect_byte = HEADER_LEN;
+    for raw in index_bytes.chunks_exact(INDEX_ENTRY_LEN) {
+        let e = BlockEntry::read_from(raw);
+        if e.edge_offset != expect_edge || e.byte_offset != expect_byte || e.edge_count == 0 {
+            return Err(GraphError::Format(format!(
+                "block index entry {} is inconsistent (offsets must be \
+                 contiguous and blocks non-empty)",
+                entries.len()
+            )));
+        }
+        expect_edge += u64::from(e.edge_count);
+        expect_byte += u64::from(e.byte_len);
+        entries.push(e);
+    }
+    if expect_edge != header.num_edges || expect_byte != index_offset {
+        return Err(GraphError::Format(format!(
+            "block index covers {expect_edge} edges / {expect_byte} payload bytes, \
+             header promises {} / {}",
+            header.num_edges, index_offset
+        )));
+    }
+    Ok((file, header, PackIndex { entries }))
+}
+
+// ---------------------------------------------------------------------------
+// PackedEdgeStream.
+// ---------------------------------------------------------------------------
+
+/// A resettable edge stream over a `CLUGPZ` pack (or a block range of one).
+///
+/// One block is decoded per refill into an internal buffer that chunked
+/// consumers drain zero-copy through [`EdgeStream::next_slice`]; payload
+/// checksums are verified as blocks stream. Decode/IO failures park an
+/// error, end the stream, and surface on the next
+/// [`RestreamableStream::reset`] — so a restreaming consumer cannot
+/// silently loop over a damaged pack.
+#[derive(Debug)]
+pub struct PackedEdgeStream {
+    file: File,
+    path: PathBuf,
+    header: PackHeader,
+    index: Arc<PackIndex>,
+    blocks: Range<usize>,
+    next_block: usize,
+    shard_edges: u64,
+    decoded: Vec<Edge>,
+    pos: usize,
+    raw: Vec<u8>,
+    error: Option<GraphError>,
+}
+
+impl PackedEdgeStream {
+    /// Opens `path`, validating header, footer, and index checksums.
+    pub fn open(path: &Path) -> Result<Self> {
+        let (file, header, index) = open_validated(path)?;
+        let blocks = 0..index.num_blocks();
+        Ok(Self::over_range(
+            file,
+            path.to_path_buf(),
+            header,
+            Arc::new(index),
+            blocks,
+        ))
+    }
+
+    fn over_range(
+        file: File,
+        path: PathBuf,
+        header: PackHeader,
+        index: Arc<PackIndex>,
+        blocks: Range<usize>,
+    ) -> Self {
+        let shard_edges = index.edges_in(blocks.clone());
+        PackedEdgeStream {
+            file,
+            path,
+            header,
+            index,
+            next_block: blocks.start,
+            blocks,
+            shard_edges,
+            decoded: Vec::new(),
+            pos: 0,
+            raw: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// The file this stream reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> &PackHeader {
+        &self.header
+    }
+
+    /// The block index (shared across shards of the same pack).
+    pub fn index(&self) -> &PackIndex {
+        &self.index
+    }
+
+    /// The error that ended the stream early, if any (also reported by the
+    /// next [`RestreamableStream::reset`]).
+    pub fn error(&self) -> Option<&GraphError> {
+        self.error.as_ref()
+    }
+
+    /// Reads + decodes the next block of this stream's range into
+    /// `self.decoded`. Returns `false` at range end or on a parked error.
+    fn load_next_block(&mut self) -> bool {
+        if self.error.is_some() || self.next_block >= self.blocks.end {
+            return false;
+        }
+        let entry = self.index.entries()[self.next_block];
+        match self.read_block(entry) {
+            Ok(()) => {
+                self.next_block += 1;
+                true
+            }
+            Err(e) => {
+                self.error = Some(e);
+                false
+            }
+        }
+    }
+
+    fn read_block(&mut self, entry: BlockEntry) -> Result<()> {
+        self.raw.resize(entry.byte_len as usize, 0);
+        self.file.seek(SeekFrom::Start(entry.byte_offset))?;
+        self.file.read_exact(&mut self.raw)?;
+        let computed = crc32(&self.raw);
+        if computed != entry.crc {
+            return Err(GraphError::Format(format!(
+                "block at offset {} failed its checksum: stored {:#010x}, computed {computed:#010x}",
+                entry.byte_offset, entry.crc
+            )));
+        }
+        decode_block(&self.raw, entry, &mut self.decoded)?;
+        self.pos = 0;
+        Ok(())
+    }
+
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.decoded.len() - self.pos
+    }
+}
+
+/// Decodes one block payload, validating the edge count and id ranges
+/// against its index entry.
+fn decode_block(payload: &[u8], entry: BlockEntry, out: &mut Vec<Edge>) -> Result<()> {
+    out.clear();
+    out.reserve(entry.edge_count as usize);
+    let mut pos = 0usize;
+    let mut prev: Option<Edge> = None;
+    let bad_id = |v: u64| GraphError::Format(format!("decoded vertex id {v} exceeds u32 range"));
+    while out.len() < entry.edge_count as usize {
+        let e = match prev {
+            None => {
+                let src = get_varint(payload, &mut pos)?;
+                let dst = get_varint(payload, &mut pos)?;
+                if src > u64::from(u32::MAX) || dst > u64::from(u32::MAX) {
+                    return Err(bad_id(src.max(dst)));
+                }
+                Edge {
+                    src: src as u32,
+                    dst: dst as u32,
+                }
+            }
+            Some(p) => {
+                let src_gap = get_varint(payload, &mut pos)?;
+                let field = get_varint(payload, &mut pos)?;
+                if src_gap == 0 {
+                    let dst = u64::from(p.dst)
+                        .checked_add(field)
+                        .ok_or_else(|| bad_id(field))?;
+                    if dst > u64::from(u32::MAX) {
+                        return Err(bad_id(dst));
+                    }
+                    Edge {
+                        src: p.src,
+                        dst: dst as u32,
+                    }
+                } else {
+                    let src = u64::from(p.src)
+                        .checked_add(src_gap)
+                        .ok_or_else(|| bad_id(src_gap))?;
+                    if src > u64::from(u32::MAX) || field > u64::from(u32::MAX) {
+                        return Err(bad_id(src.max(field)));
+                    }
+                    Edge {
+                        src: src as u32,
+                        dst: field as u32,
+                    }
+                }
+            }
+        };
+        out.push(e);
+        prev = Some(e);
+    }
+    if pos != payload.len() {
+        return Err(GraphError::Format(format!(
+            "block at offset {} has {} trailing bytes after its {} edges",
+            entry.byte_offset,
+            payload.len() - pos,
+            entry.edge_count
+        )));
+    }
+    if out.first().map(|e| e.src) != Some(entry.first_src) {
+        return Err(GraphError::Format(format!(
+            "block at offset {} decodes first src {:?}, index says {}",
+            entry.byte_offset,
+            out.first().map(|e| e.src),
+            entry.first_src
+        )));
+    }
+    Ok(())
+}
+
+impl EdgeStream for PackedEdgeStream {
+    fn next_edge(&mut self) -> Option<Edge> {
+        if self.remaining() == 0 && !self.load_next_block() {
+            return None;
+        }
+        let e = self.decoded[self.pos];
+        self.pos += 1;
+        Some(e)
+    }
+
+    fn next_chunk(&mut self, buf: &mut Vec<Edge>, cap: usize) -> usize {
+        buf.clear();
+        if self.remaining() == 0 && !self.load_next_block() {
+            return 0;
+        }
+        let n = cap.max(1).min(self.remaining());
+        buf.extend_from_slice(&self.decoded[self.pos..self.pos + n]);
+        self.pos += n;
+        n
+    }
+
+    fn next_slice(&mut self, cap: usize) -> Option<&[Edge]> {
+        if self.remaining() == 0 && !self.load_next_block() {
+            return Some(&[]);
+        }
+        let n = cap.max(1).min(self.remaining());
+        let s = &self.decoded[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.shard_edges)
+    }
+
+    fn num_vertices_hint(&self) -> Option<u64> {
+        Some(self.header.num_vertices)
+    }
+}
+
+impl RestreamableStream for PackedEdgeStream {
+    /// Rewinds to the first block of this stream's range.
+    ///
+    /// # Errors
+    ///
+    /// Reports (and clears) the decode/IO error that ended the previous
+    /// pass early.
+    fn reset(&mut self) -> Result<()> {
+        let parked = self.error.take();
+        self.next_block = self.blocks.start;
+        self.decoded.clear();
+        self.pos = 0;
+        match parked {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedPackReader.
+// ---------------------------------------------------------------------------
+
+/// A contiguous block range of a pack, sized for one reader thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Block range of this shard.
+    pub blocks: Range<usize>,
+    /// Edges the range covers.
+    pub edges: u64,
+}
+
+/// Splits a pack into per-thread block ranges via the index, so a thread
+/// pool can stream shards in parallel — each shard is an independent
+/// [`PackedEdgeStream`] over its own file handle.
+#[derive(Debug)]
+pub struct ShardedPackReader {
+    path: PathBuf,
+    header: PackHeader,
+    index: Arc<PackIndex>,
+}
+
+impl ShardedPackReader {
+    /// Opens and validates `path` once; shards share the parsed index.
+    pub fn open(path: &Path) -> Result<Self> {
+        let (_, header, index) = open_validated(path)?;
+        Ok(ShardedPackReader {
+            path: path.to_path_buf(),
+            header,
+            index: Arc::new(index),
+        })
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> &PackHeader {
+        &self.header
+    }
+
+    /// The block index.
+    pub fn index(&self) -> &PackIndex {
+        &self.index
+    }
+
+    /// Cuts the block range into at most `want` contiguous shards balanced
+    /// by edge count (never returns an empty shard; fewer shards come back
+    /// when the pack has fewer blocks than `want`).
+    pub fn shards(&self, want: usize) -> Vec<ShardSpec> {
+        let want = want.max(1);
+        let total = self.header.num_edges;
+        let num_blocks = self.index.num_blocks();
+        let mut specs = Vec::new();
+        let mut start = 0usize;
+        let mut covered = 0u64;
+        for s in 0..want {
+            if start >= num_blocks {
+                break;
+            }
+            // Edge-count boundary this shard should reach (cumulative), so
+            // imbalance never exceeds one block.
+            let boundary = total * (s as u64 + 1) / want as u64;
+            let mut end = start;
+            let mut edges = 0u64;
+            while end < num_blocks && (covered + edges < boundary || end == start) {
+                edges += u64::from(self.index.entries()[end].edge_count);
+                end += 1;
+            }
+            // The last shard sweeps any remainder.
+            if s == want - 1 {
+                while end < num_blocks {
+                    edges += u64::from(self.index.entries()[end].edge_count);
+                    end += 1;
+                }
+            }
+            covered += edges;
+            specs.push(ShardSpec {
+                blocks: start..end,
+                edges,
+            });
+            start = end;
+        }
+        specs
+    }
+
+    /// Opens one shard as an independent stream (its own file handle, so
+    /// shards decode concurrently without contention).
+    pub fn open_shard(&self, spec: &ShardSpec) -> Result<PackedEdgeStream> {
+        let file = File::open(&self.path)?;
+        Ok(PackedEdgeStream::over_range(
+            file,
+            self.path.clone(),
+            self.header,
+            Arc::clone(&self.index),
+            spec.blocks.clone(),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Summaries + verification (the `clugp-pack info`/`verify` surfaces).
+// ---------------------------------------------------------------------------
+
+/// Size/shape summary of a pack (the `clugp-pack info` payload).
+#[derive(Debug, Clone)]
+pub struct PackSummary {
+    /// The validated header.
+    pub header: PackHeader,
+    /// Total file bytes.
+    pub file_bytes: u64,
+    /// Compressed payload bytes (blocks only).
+    pub payload_bytes: u64,
+    /// Blocks in the file.
+    pub num_blocks: u64,
+    /// Smallest block payload, bytes.
+    pub min_block_bytes: u32,
+    /// Largest block payload, bytes.
+    pub max_block_bytes: u32,
+    /// Mean edges per block.
+    pub mean_block_edges: f64,
+}
+
+impl PackSummary {
+    /// Total file bytes per edge (0 for an empty pack).
+    pub fn bytes_per_edge(&self) -> f64 {
+        if self.header.num_edges == 0 {
+            0.0
+        } else {
+            self.file_bytes as f64 / self.header.num_edges as f64
+        }
+    }
+}
+
+/// Reads and summarizes a pack without decoding its blocks.
+pub fn read_pack_summary(path: &Path) -> Result<PackSummary> {
+    let (file, header, index) = open_validated(path)?;
+    let file_bytes = file.metadata()?.len();
+    let payload_bytes: u64 = index.entries().iter().map(|e| u64::from(e.byte_len)).sum();
+    let (mut min_b, mut max_b) = (u32::MAX, 0u32);
+    for e in index.entries() {
+        min_b = min_b.min(e.byte_len);
+        max_b = max_b.max(e.byte_len);
+    }
+    let num_blocks = index.num_blocks() as u64;
+    Ok(PackSummary {
+        header,
+        file_bytes,
+        payload_bytes,
+        num_blocks,
+        min_block_bytes: if num_blocks == 0 { 0 } else { min_b },
+        max_block_bytes: max_b,
+        mean_block_edges: if num_blocks == 0 {
+            0.0
+        } else {
+            header.num_edges as f64 / num_blocks as f64
+        },
+    })
+}
+
+/// Fully decodes a pack, verifying every checksum, the canonical edge
+/// order, and that every id is below the header's vertex count. Returns the
+/// edge count on success.
+pub fn verify_pack(path: &Path) -> Result<u64> {
+    let mut s = PackedEdgeStream::open(path)?;
+    let n = s.header().num_vertices;
+    let mut count = 0u64;
+    let mut prev: Option<Edge> = None;
+    let mut order_ok = true;
+    let mut max_id = 0u64;
+    crate::stream::for_each_chunk(&mut s, chunk_edges(), |chunk| {
+        for &e in chunk {
+            if let Some(p) = prev {
+                order_ok &= (p.src, p.dst) <= (e.src, e.dst);
+            }
+            max_id = max_id.max(u64::from(e.src.max(e.dst)));
+            prev = Some(e);
+        }
+        count += chunk.len() as u64;
+    });
+    // A parked decode error means the drain ended early; surface it.
+    s.reset()?;
+    if !order_ok {
+        return Err(GraphError::Format(
+            "pack violates canonical (src, dst) order".into(),
+        ));
+    }
+    if count != s.header().num_edges {
+        return Err(GraphError::Format(format!(
+            "pack decodes {count} edges, header promises {}",
+            s.header().num_edges
+        )));
+    }
+    if count > 0 && max_id >= n {
+        return Err(GraphError::VertexOutOfRange {
+            vertex: max_id,
+            num_vertices: n,
+        });
+    }
+    Ok(count)
+}
+
+/// Convenience: packs an in-memory edge list (used by tests, fixtures, and
+/// the experiment harness).
+pub fn write_pack(
+    path: &Path,
+    num_vertices: u64,
+    edges: &[Edge],
+    opts: &PackOptions,
+) -> Result<PackStats> {
+    let mut s = crate::stream::InMemoryStream::new(num_vertices, edges.to_vec());
+    pack_edge_stream(&mut s, path, opts)
+}
+
+/// The canonical `(src, dst)` order a pack stores — the edge sequence
+/// [`PackedEdgeStream`] yields for any input order. Exposed so callers can
+/// build the equivalent flat representation for apples-to-apples
+/// comparisons.
+pub fn canonical_order(edges: &[Edge]) -> Vec<Edge> {
+    let mut sorted = edges.to_vec();
+    sorted.sort_unstable_by_key(|e| (e.src, e.dst));
+    sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{collect_stream, InMemoryStream};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("clugp_pack_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn web_like(m: u32) -> Vec<Edge> {
+        // Clustered dsts with duplicates and self-loops sprinkled in.
+        (0..m)
+            .map(|i| {
+                let src = i / 7;
+                let dst = (src + (i * 31) % 17) % (m / 7 + 1);
+                Edge::new(src, dst)
+            })
+            .collect()
+    }
+
+    fn pack_roundtrip(edges: &[Edge], n: u64, opts: &PackOptions, name: &str) -> Vec<Edge> {
+        let path = tmp(name);
+        let stats = write_pack(&path, n, edges, opts).unwrap();
+        assert_eq!(stats.num_edges, edges.len() as u64);
+        let mut s = PackedEdgeStream::open(&path).unwrap();
+        assert_eq!(s.len_hint(), Some(edges.len() as u64));
+        let out = collect_stream(&mut s);
+        s.reset().unwrap();
+        assert_eq!(collect_stream(&mut s), out, "second pass differs");
+        std::fs::remove_file(&path).ok();
+        out
+    }
+
+    #[test]
+    fn round_trip_is_canonical_order() {
+        let edges = web_like(5_000);
+        let out = pack_roundtrip(&edges, 0, &PackOptions::default(), "rt.clugpz");
+        assert_eq!(out, canonical_order(&edges));
+    }
+
+    #[test]
+    fn round_trip_across_block_sizes() {
+        let edges = web_like(2_000);
+        let want = canonical_order(&edges);
+        for block_bytes in [1usize, 13, 256, DEFAULT_BLOCK_BYTES] {
+            let opts = PackOptions {
+                block_bytes,
+                ..Default::default()
+            };
+            let out = pack_roundtrip(&edges, 0, &opts, &format!("bs{block_bytes}.clugpz"));
+            assert_eq!(out, want, "block_bytes={block_bytes}");
+        }
+    }
+
+    #[test]
+    fn one_edge_per_block_degenerate() {
+        let edges = web_like(50);
+        let path = tmp("single.clugpz");
+        let stats = write_pack(
+            &path,
+            0,
+            &edges,
+            &PackOptions {
+                block_bytes: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            stats.num_blocks,
+            edges.len() as u64,
+            "1-byte target = 1 edge/block"
+        );
+        let mut s = PackedEdgeStream::open(&path).unwrap();
+        assert_eq!(collect_stream(&mut s), canonical_order(&edges));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn external_sort_spill_path_matches_in_memory_path() {
+        let edges = web_like(10_000);
+        let want = pack_roundtrip(&edges, 0, &PackOptions::default(), "nospill.clugpz");
+        let path = tmp("spill.clugpz");
+        let opts = PackOptions {
+            spill_edges: 777, // force many runs
+            ..Default::default()
+        };
+        let stats = write_pack(&path, 0, &edges, &opts).unwrap();
+        assert!(
+            stats.spill_runs >= 2,
+            "expected spill runs, got {}",
+            stats.spill_runs
+        );
+        let mut s = PackedEdgeStream::open(&path).unwrap();
+        assert_eq!(collect_stream(&mut s), want);
+        // Spill runs are cleaned up.
+        let dir = path.parent().unwrap();
+        assert!(std::fs::read_dir(dir).unwrap().all(|f| !f
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .contains(".run")));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let out = pack_roundtrip(&[], 0, &PackOptions::default(), "empty.clugpz");
+        assert!(out.is_empty());
+        let path = tmp("empty2.clugpz");
+        let stats = write_pack(&path, 5, &[], &PackOptions::default()).unwrap();
+        assert_eq!(stats.num_blocks, 0);
+        assert_eq!(stats.num_vertices, 5, "explicit n preserved");
+        let s = PackedEdgeStream::open(&path).unwrap();
+        assert_eq!(s.num_vertices_hint(), Some(5));
+        assert_eq!(verify_pack(&path).unwrap(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn self_loops_duplicates_and_extreme_ids() {
+        let edges = vec![
+            Edge::new(u32::MAX, u32::MAX),
+            Edge::new(0, 0),
+            Edge::new(u32::MAX - 1, u32::MAX),
+            Edge::new(0, 0),
+            Edge::new(u32::MAX, 0),
+            Edge::new(7, u32::MAX),
+        ];
+        for block_bytes in [1usize, 4, DEFAULT_BLOCK_BYTES] {
+            let opts = PackOptions {
+                block_bytes,
+                ..Default::default()
+            };
+            let out = pack_roundtrip(&edges, 0, &opts, &format!("extreme{block_bytes}.clugpz"));
+            assert_eq!(out, canonical_order(&edges), "block_bytes={block_bytes}");
+        }
+    }
+
+    #[test]
+    fn vertex_count_is_max_of_hint_and_implied() {
+        let path = tmp("n.clugpz");
+        // Hint larger than implied: preserved.
+        let stats = write_pack(&path, 100, &[Edge::new(0, 3)], &PackOptions::default()).unwrap();
+        assert_eq!(stats.num_vertices, 100);
+        // Implied larger than hint: corrected upward.
+        let mut s = InMemoryStream::new(2, vec![Edge::new(0, 9)]);
+        let stats = pack_edge_stream(&mut s, &path, &PackOptions::default()).unwrap();
+        assert_eq!(stats.num_vertices, 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compresses_web_like_streams_below_flat() {
+        let edges = web_like(100_000);
+        let path = tmp("ratio.clugpz");
+        let stats = write_pack(&path, 0, &edges, &PackOptions::default()).unwrap();
+        assert!(
+            stats.bytes_per_edge() < 4.0,
+            "expected < 4 B/edge, got {:.2}",
+            stats.bytes_per_edge()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_pulls_respect_cap_and_cover_stream() {
+        let edges = web_like(3_000);
+        let path = tmp("chunks.clugpz");
+        write_pack(
+            &path,
+            0,
+            &edges,
+            &PackOptions {
+                block_bytes: 128,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for cap in [1usize, 7, 256, 4096] {
+            let mut s = PackedEdgeStream::open(&path).unwrap();
+            let mut buf = Vec::new();
+            let mut seen = Vec::new();
+            loop {
+                let n = s.next_chunk(&mut buf, cap);
+                if n == 0 {
+                    break;
+                }
+                assert!(n <= cap.max(1));
+                seen.extend_from_slice(&buf);
+            }
+            assert_eq!(seen, canonical_order(&edges), "cap={cap}");
+        }
+        // Mixed pull styles keep the cursor coherent.
+        let mut s = PackedEdgeStream::open(&path).unwrap();
+        let want = canonical_order(&edges);
+        assert_eq!(s.next_edge(), Some(want[0]));
+        let slice = s.next_slice(3).unwrap().to_vec();
+        assert_eq!(slice, want[1..4].to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_reader_covers_the_pack_exactly_once() {
+        let edges = web_like(5_000);
+        let path = tmp("shards.clugpz");
+        write_pack(
+            &path,
+            0,
+            &edges,
+            &PackOptions {
+                block_bytes: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reader = ShardedPackReader::open(&path).unwrap();
+        let want = canonical_order(&edges);
+        for want_shards in [1usize, 2, 3, 8, 1000] {
+            let specs = reader.shards(want_shards);
+            assert!(!specs.is_empty());
+            assert!(specs.len() <= want_shards);
+            assert!(
+                specs.iter().all(|s| !s.blocks.is_empty()),
+                "no empty shards"
+            );
+            // Contiguous cover.
+            assert_eq!(specs[0].blocks.start, 0);
+            assert_eq!(
+                specs.last().unwrap().blocks.end,
+                reader.index().num_blocks()
+            );
+            for w in specs.windows(2) {
+                assert_eq!(w[0].blocks.end, w[1].blocks.start);
+            }
+            let mut all = Vec::new();
+            for spec in &specs {
+                let mut s = reader.open_shard(spec).unwrap();
+                assert_eq!(s.len_hint(), Some(spec.edges));
+                let part = collect_stream(&mut s);
+                assert_eq!(part.len() as u64, spec.edges);
+                all.extend(part);
+            }
+            assert_eq!(all, want, "want_shards={want_shards}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shards_are_balanced_by_edges() {
+        let edges = web_like(20_000);
+        let path = tmp("balance.clugpz");
+        write_pack(
+            &path,
+            0,
+            &edges,
+            &PackOptions {
+                block_bytes: 256,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reader = ShardedPackReader::open(&path).unwrap();
+        let specs = reader.shards(4);
+        assert_eq!(specs.len(), 4);
+        let total: u64 = specs.iter().map(|s| s.edges).sum();
+        assert_eq!(total, edges.len() as u64);
+        let target = total as f64 / 4.0;
+        for s in &specs {
+            // Imbalance bounded by one block (≤ ~128 edges at 256 B).
+            assert!(
+                (s.edges as f64 - target).abs() <= 300.0,
+                "shard {s:?} vs target {target}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summary_and_verify() {
+        let edges = web_like(5_000);
+        let path = tmp("info.clugpz");
+        let stats = write_pack(
+            &path,
+            0,
+            &edges,
+            &PackOptions {
+                block_bytes: 1024,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let sum = read_pack_summary(&path).unwrap();
+        assert_eq!(sum.header.num_edges, edges.len() as u64);
+        assert_eq!(sum.num_blocks, stats.num_blocks);
+        // Every block but the trailing partial one reaches the target.
+        let reader = ShardedPackReader::open(&path).unwrap();
+        let entries = reader.index().entries();
+        assert!(entries[..entries.len() - 1]
+            .iter()
+            .all(|e| e.byte_len >= 1024));
+        assert!(sum.min_block_bytes >= 1);
+        assert!(sum.bytes_per_edge() > 0.0);
+        assert_eq!(verify_pack(&path).unwrap(), edges.len() as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_block_is_detected_and_parks_error() {
+        let edges = web_like(4_000);
+        let path = tmp("corrupt.clugpz");
+        write_pack(
+            &path,
+            0,
+            &edges,
+            &PackOptions {
+                block_bytes: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Flip a byte in the middle of the payload region.
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = HEADER_LEN as usize + 700;
+        data[mid] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        // Open succeeds (header/index/footer intact)…
+        let mut s = PackedEdgeStream::open(&path).unwrap();
+        // …but the drain ends early with a parked checksum error.
+        let got = collect_stream(&mut s);
+        assert!(got.len() < edges.len());
+        assert!(s.error().is_some());
+        let err = s.reset().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // After reset the error is cleared; the stream re-reads up to the
+        // damaged block again.
+        assert!(s.error().is_none());
+        assert!(verify_pack(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_header_footer_and_index_are_rejected_at_open() {
+        let edges = web_like(1_000);
+        let path = tmp("corrupt_meta.clugpz");
+        write_pack(&path, 0, &edges, &PackOptions::default()).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Header corruption.
+        let mut data = pristine.clone();
+        data[10] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(PackedEdgeStream::open(&path).is_err());
+
+        // Footer corruption.
+        let mut data = pristine.clone();
+        let len = data.len();
+        data[len - 12] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(PackedEdgeStream::open(&path).is_err());
+
+        // Index corruption.
+        let mut data = pristine.clone();
+        let len = data.len();
+        data[len - FOOTER_LEN as usize - 4] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(PackedEdgeStream::open(&path).is_err());
+
+        // Truncation (footer gone).
+        std::fs::write(&path, &pristine[..pristine.len() - 10]).unwrap();
+        assert!(PackedEdgeStream::open(&path).is_err());
+
+        // Bad magic (long enough to pass the length check).
+        let mut junk = b"NOTPACKD".to_vec();
+        junk.resize(96, b'_');
+        std::fs::write(&path, &junk).unwrap();
+        let err = PackedEdgeStream::open(&path).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+        // Overrun is an error, not a panic.
+        assert!(get_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // The standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -41,7 +41,39 @@ use crate::types::Edge;
 /// virtual dispatch and buffer bookkeeping to noise, small enough to stay
 /// L1/L2-resident while the consumer's tables are hot. The throughput
 /// experiment (`experiments throughput`) sweeps sizes around this value.
+///
+/// Consumers read the effective size through [`chunk_edges`], which starts
+/// at this constant and can be overridden process-wide (the `clugp-part
+/// --chunk-size` flag).
 pub const DEFAULT_CHUNK_EDGES: usize = 4096;
+
+static CHUNK_EDGES: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(DEFAULT_CHUNK_EDGES);
+
+/// The effective edges-per-chunk every in-tree consumer passes to
+/// [`for_each_chunk`]/[`try_for_each_chunk`]: [`DEFAULT_CHUNK_EDGES`]
+/// unless overridden by [`set_chunk_edges`].
+#[inline]
+pub fn chunk_edges() -> usize {
+    CHUNK_EDGES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Overrides the process-wide chunk size ([`chunk_edges`]). A CLI-level
+/// tuning knob: chunk granularity never changes any partition (pinned by
+/// `tests/chunked_equivalence.rs`), only the dispatch/buffering amortization.
+///
+/// # Errors
+///
+/// Rejects `0` — a zero cap would read as an exhaustion signal.
+pub fn set_chunk_edges(edges: usize) -> Result<()> {
+    if edges == 0 {
+        return Err(crate::error::GraphError::InvalidConfig(
+            "chunk size must be >= 1 edge".into(),
+        ));
+    }
+    CHUNK_EDGES.store(edges, std::sync::atomic::Ordering::Relaxed);
+    Ok(())
+}
 
 /// A single-pass stream of directed edges.
 ///
@@ -286,7 +318,7 @@ pub fn collect_stream(stream: &mut dyn EdgeStream) -> Vec<Edge> {
         Some(n) => Vec::with_capacity(n as usize),
         None => Vec::new(),
     };
-    for_each_chunk(stream, DEFAULT_CHUNK_EDGES, |chunk| {
+    for_each_chunk(stream, chunk_edges(), |chunk| {
         out.extend_from_slice(chunk);
     });
     out
@@ -701,6 +733,20 @@ mod tests {
         assert_eq!(timed.next_chunk(&mut buf, 2), 2);
         assert_eq!(timed.next_slice(10), Some(&sample_edges()[2..]));
         let _ = timed.io_time();
+    }
+
+    #[test]
+    fn chunk_edges_override_rejects_zero_and_round_trips() {
+        assert!(set_chunk_edges(0).is_err());
+        // The default is live until someone overrides it.
+        assert!(chunk_edges() >= 1);
+        // Override and restore: results are chunking-invariant everywhere
+        // (the equivalence suite), so a transient override is safe even
+        // with concurrently running tests.
+        set_chunk_edges(777).unwrap();
+        assert_eq!(chunk_edges(), 777);
+        set_chunk_edges(DEFAULT_CHUNK_EDGES).unwrap();
+        assert_eq!(chunk_edges(), DEFAULT_CHUNK_EDGES);
     }
 
     #[test]

@@ -143,6 +143,68 @@ fn mint_batch_boundaries_survive_any_chunking() {
 }
 
 #[test]
+fn packed_input_partitions_bit_identical_to_flat_binary() {
+    // The storage contract of the CLUGPZ pack: for the same logical edge
+    // sequence (a pack stores the canonical (src, dst) order), every
+    // partitioner — CLUGP with ablations and all six baselines — must
+    // produce byte-identical partitions whether it streams the flat binary
+    // file or decodes the compressed pack, at any source chunk granularity.
+    use clugp_graph::io::binary::{write_binary_graph, FileEdgeStream};
+    use clugp_graph::pack::{canonical_order, write_pack, PackOptions, PackedEdgeStream};
+    let (n, edges) = test_web_graph(1_500, 36);
+    let canonical = canonical_order(&edges);
+    let dir = std::env::temp_dir().join("clugp_packed_equiv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let flat_path = dir.join("equiv.bin");
+    let pack_path = dir.join("equiv.clugpz");
+    write_binary_graph(&flat_path, n, &canonical).unwrap();
+    // Pack from the *original* order: the writer's external sort must land
+    // on the same canonical sequence. A small block size keeps many block
+    // boundaries in play.
+    write_pack(
+        &pack_path,
+        n,
+        &edges,
+        &PackOptions {
+            block_bytes: 2048,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    for (name, mut p) in roster() {
+        let mut flat = FileEdgeStream::open(&flat_path).unwrap();
+        let reference = run(p.as_mut(), &mut flat, 8);
+        assert_eq!(reference.0.len(), edges.len(), "{name}: wrong edge count");
+
+        let mut packed = PackedEdgeStream::open(&pack_path).unwrap();
+        assert_eq!(
+            run(p.as_mut(), &mut packed, 8),
+            reference,
+            "{name}: packed stream diverged from flat binary"
+        );
+
+        let mut per_edge = PerEdgeStream::new(PackedEdgeStream::open(&pack_path).unwrap());
+        assert_eq!(
+            run(p.as_mut(), &mut per_edge, 8),
+            reference,
+            "{name}: per-edge pull over the pack diverged"
+        );
+
+        for limit in [1usize, 7, 4096] {
+            let mut limited = ChunkLimited::new(PackedEdgeStream::open(&pack_path).unwrap(), limit);
+            assert_eq!(
+                run(p.as_mut(), &mut limited, 8),
+                reference,
+                "{name}: chunk limit {limit} over the pack diverged"
+            );
+        }
+    }
+    std::fs::remove_file(&flat_path).ok();
+    std::fs::remove_file(&pack_path).ok();
+}
+
+#[test]
 fn file_backed_stream_matches_in_memory_chunked() {
     use clugp_graph::io::binary::{write_binary_graph, FileEdgeStream};
     let (n, edges) = test_web_graph(1_200, 33);

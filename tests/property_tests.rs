@@ -36,6 +36,20 @@ fn arb_raw_edges() -> impl Strategy<Value = Vec<RawEdge>> {
     })
 }
 
+/// Edge lists whose ids hug `u32::MAX` (mixed with small ids), including
+/// empty lists: the extreme-gap regime of the pack format's varint coding.
+fn arb_extreme_edges() -> impl Strategy<Value = Vec<Edge>> {
+    // Draw from 0..16 and fold the top half onto u32::MAX-adjacent ids, so
+    // every list mixes tiny ids with ids at the very top of the range.
+    let fold = |v: u32| if v < 8 { v } else { u32::MAX - (v - 8) };
+    prop::collection::vec((0u32..16, 0u32..16), 0..60).prop_map(move |pairs| {
+        pairs
+            .into_iter()
+            .map(|(a, b)| Edge::new(fold(a), fold(b)))
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -213,6 +227,82 @@ proptest! {
         // All vertices touched: no isolated vertex can exist after compact.
         let degrees = g.total_degrees();
         prop_assert!(degrees.iter().all(|&d| d > 0));
+    }
+
+    /// Pack round trip: for arbitrary edge multisets (self-loops and
+    /// duplicates included) and every block-size regime — ~1 edge per
+    /// block, a few edges per block, and the default — `pack →
+    /// PackedEdgeStream → edges` yields exactly the canonical (src, dst)
+    /// ordering of the input, restreams identically, and verifies.
+    #[test]
+    fn pack_round_trip_across_block_sizes(edges in arb_edges()) {
+        use clugp_graph::pack::{
+            canonical_order, verify_pack, write_pack, PackOptions, PackedEdgeStream,
+            DEFAULT_BLOCK_BYTES,
+        };
+        use clugp_graph::stream::collect_stream;
+        let want = canonical_order(&edges);
+        let dir = std::env::temp_dir().join("clugp_prop_pack");
+        std::fs::create_dir_all(&dir).unwrap();
+        for block_bytes in [1usize, 24, DEFAULT_BLOCK_BYTES] {
+            let path = dir.join(format!("g{}_{block_bytes}.clugpz", edges.len()));
+            let stats = write_pack(&path, 64, &edges, &PackOptions {
+                block_bytes,
+                ..Default::default()
+            }).unwrap();
+            prop_assert_eq!(stats.num_edges, edges.len() as u64);
+            let mut s = PackedEdgeStream::open(&path).unwrap();
+            prop_assert_eq!(s.len_hint(), Some(edges.len() as u64));
+            prop_assert_eq!(s.num_vertices_hint(), Some(64));
+            let first = collect_stream(&mut s);
+            prop_assert_eq!(&first, &want);
+            s.reset().unwrap();
+            prop_assert_eq!(&collect_stream(&mut s), &want);
+            prop_assert_eq!(verify_pack(&path).unwrap(), edges.len() as u64);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    /// Pack round trip at the hostile end of the id space: ids adjacent to
+    /// `u32::MAX` (the varint wide-gap regime) survive every block size.
+    #[test]
+    fn pack_round_trip_near_u32_max(edges in arb_extreme_edges()) {
+        use clugp_graph::pack::{canonical_order, write_pack, PackOptions, PackedEdgeStream};
+        use clugp_graph::stream::collect_stream;
+        let want = canonical_order(&edges);
+        let dir = std::env::temp_dir().join("clugp_prop_pack_extreme");
+        std::fs::create_dir_all(&dir).unwrap();
+        for block_bytes in [1usize, 64] {
+            let path = dir.join(format!("x{}_{block_bytes}.clugpz", edges.len()));
+            write_pack(&path, 0, &edges, &PackOptions {
+                block_bytes,
+                ..Default::default()
+            }).unwrap();
+            let mut s = PackedEdgeStream::open(&path).unwrap();
+            prop_assert_eq!(&collect_stream(&mut s), &want);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    /// The external-sort spill path produces byte-identical packs to the
+    /// in-memory path for any input order.
+    #[test]
+    fn pack_spill_path_equals_in_memory_path(edges in arb_edges()) {
+        use clugp_graph::pack::{write_pack, PackOptions};
+        let dir = std::env::temp_dir().join("clugp_prop_pack_spill");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join(format!("mem{}.clugpz", edges.len()));
+        let b = dir.join(format!("spill{}.clugpz", edges.len()));
+        write_pack(&a, 64, &edges, &PackOptions::default()).unwrap();
+        write_pack(&b, 64, &edges, &PackOptions {
+            spill_edges: 3,
+            ..Default::default()
+        }).unwrap();
+        let fa = std::fs::read(&a).unwrap();
+        let fb = std::fs::read(&b).unwrap();
+        prop_assert_eq!(fa, fb);
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
     }
 
     /// Binary I/O round-trips arbitrary graphs.
