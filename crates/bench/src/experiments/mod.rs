@@ -17,7 +17,9 @@
 //! | [`throughput::throughput`] | perf trajectory | per-edge vs chunked streaming throughput (`BENCH_throughput.json`) |
 //! | [`memory::memory`] | Fig. 6 claim + id-space layer | memory trajectory + sparse-web remap leg (`BENCH_memory.json`) |
 //! | [`io::io`] | Fig. 10(a) claim + storage layer | bytes/edge + decode throughput, text vs binary vs packed, sharded reads (`BENCH_io.json`) |
+//! | [`ampc::ampc`] | §V deployment claim | coordinator/worker engine: wall-clock + bytes-exchanged vs worker count, both transports (`BENCH_ampc.json`) |
 
+pub mod ampc;
 pub mod io;
 pub mod memory;
 pub mod orders;
@@ -74,4 +76,5 @@ pub fn run_all(ctx: &ExpContext) {
     throughput::throughput(ctx);
     memory::memory(ctx);
     io::io(ctx);
+    ampc::ampc(ctx);
 }

@@ -1,0 +1,576 @@
+//! The coordinator half of the coordinator/worker engine.
+//!
+//! The coordinator owns no edge data. It splits the input into
+//! contiguous per-worker ranges, declares the state-table layouts,
+//! sequences the passes as barriers (the streaming token travels worker
+//! 0‥N−1 inside each pass), relays cross-worker state traffic (the
+//! transports form a star, so a worker reaches a remote shard via a
+//! coordinator-forwarded [`Msg::Route`]), and runs the pass-2 work the
+//! monolith does between streams: cluster compaction, the cluster graph,
+//! and the game/greedy cluster assignment.
+
+use super::proto::{
+    AlgoSpec, InputSpec, Msg, PairsPayload, Stage, StateOp, TableDef, Token, WorkerSetup,
+};
+use super::table::{Layout, MergeOp, DEFAULT_STRIPE};
+use super::transport::{NetStats, Transport};
+use super::worker::{migration_tag, unexpected, T_CPART, T_MAIN};
+use super::{pack_input_specs, split_ranges, DistInput};
+use crate::baselines::{dbh, grid, hashing, HdrfConfig, MintConfig};
+use crate::clugp::cluster_graph::{merge_weighted, ClusterGraph};
+use crate::clugp::clustering::{compact_clusters, NO_CLUSTER};
+use crate::clugp::transform::load_cap;
+use crate::clugp::{greedy_assign, solve_game, ClugpConfig, ClusterAssignMode};
+use crate::error::{PartitionError, Result};
+use crate::partition::Partitioning;
+use crate::vertex_table::{cap_error, VertexTable, DEFAULT_MAX_VERTICES};
+use clugp_graph::pack::ShardedPackReader;
+
+/// Which partitioner a distributed run executes.
+///
+/// Every variant is driven through the same per-edge kernel as its
+/// monolithic counterpart, so a single-worker run is bit-identical to
+/// the corresponding `Partitioner` implementation.
+#[derive(Debug, Clone)]
+pub enum DistAlgo {
+    /// PowerGraph random vertex-cut.
+    Hashing {
+        /// Hash seed (monolith default when built via [`DistAlgo::hashing`]).
+        seed: u64,
+    },
+    /// 2D constrained hashing.
+    Grid {
+        /// Hash seed.
+        seed: u64,
+    },
+    /// Degree-based hashing.
+    Dbh {
+        /// Hash seed.
+        seed: u64,
+        /// Vertex-id cap (see [`DEFAULT_MAX_VERTICES`]).
+        max_vertices: u64,
+    },
+    /// PowerGraph oblivious greedy.
+    Greedy {
+        /// Vertex-id cap.
+        max_vertices: u64,
+    },
+    /// High-Degree Replicated First.
+    Hdrf(HdrfConfig),
+    /// Quasi-streaming game partitioning.
+    Mint(MintConfig),
+    /// The paper's three-pass pipeline.
+    Clugp(ClugpConfig),
+}
+
+impl DistAlgo {
+    /// Hashing with the monolith's default seed.
+    pub fn hashing() -> Self {
+        DistAlgo::Hashing {
+            seed: hashing::DEFAULT_SEED,
+        }
+    }
+
+    /// Grid with the monolith's default seed.
+    pub fn grid() -> Self {
+        DistAlgo::Grid {
+            seed: grid::DEFAULT_SEED,
+        }
+    }
+
+    /// DBH with the monolith's defaults.
+    pub fn dbh() -> Self {
+        DistAlgo::Dbh {
+            seed: dbh::DEFAULT_SEED,
+            max_vertices: DEFAULT_MAX_VERTICES,
+        }
+    }
+
+    /// Greedy with the monolith's defaults.
+    pub fn greedy() -> Self {
+        DistAlgo::Greedy {
+            max_vertices: DEFAULT_MAX_VERTICES,
+        }
+    }
+
+    /// HDRF with the monolith's defaults.
+    pub fn hdrf() -> Self {
+        DistAlgo::Hdrf(HdrfConfig::default())
+    }
+
+    /// Mint with the monolith's defaults.
+    pub fn mint() -> Self {
+        DistAlgo::Mint(MintConfig::default())
+    }
+
+    /// CLUGP with the monolith's defaults.
+    pub fn clugp() -> Self {
+        DistAlgo::Clugp(ClugpConfig::default())
+    }
+
+    /// The display name, matching the monolithic `Partitioner::name`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistAlgo::Hashing { .. } => "Hashing",
+            DistAlgo::Grid { .. } => "Grid",
+            DistAlgo::Dbh { .. } => "DBH",
+            DistAlgo::Greedy { .. } => "Greedy",
+            DistAlgo::Hdrf(_) => "HDRF",
+            DistAlgo::Mint(_) => "Mint",
+            DistAlgo::Clugp(cfg) => match (cfg.splitting, cfg.assign_mode) {
+                (true, ClusterAssignMode::Game) => "CLUGP",
+                (false, ClusterAssignMode::Game) => "CLUGP-S",
+                (true, ClusterAssignMode::Greedy) => "CLUGP-G",
+                (false, ClusterAssignMode::Greedy) => "CLUGP-SG",
+            },
+        }
+    }
+}
+
+/// The result of a distributed run.
+#[derive(Debug)]
+pub struct DistOutcome {
+    /// The final partitioning — bit-identical to the monolith's for the
+    /// same stream.
+    pub partitioning: Partitioning,
+    /// Bytes/frames exchanged over all coordinator↔worker links.
+    pub net: NetStats,
+    /// Worker count the run used.
+    pub workers: u32,
+}
+
+struct Coord {
+    conns: Vec<Box<dyn Transport>>,
+}
+
+impl Coord {
+    fn send(&mut self, to: usize, msg: &Msg) -> Result<()> {
+        self.conns[to].send(&msg.encode())
+    }
+
+    fn recv(&mut self, from: usize) -> Result<Msg> {
+        match Msg::decode(&self.conns[from].recv()?)? {
+            Msg::Err { msg } => Err(PartitionError::InvalidParam(msg)),
+            msg => Ok(msg),
+        }
+    }
+
+    fn state_req(&mut self, to: usize, table: u8, op: StateOp) -> Result<Vec<u64>> {
+        self.send(to, &Msg::StateReq { table, op })?;
+        match self.recv(to)? {
+            Msg::StateResp { rows } => Ok(rows),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn scan(&mut self, to: usize, table: u8) -> Result<(Vec<u64>, Vec<u64>)> {
+        self.send(to, &Msg::Scan { table })?;
+        match self.recv(to)? {
+            Msg::ScanResp { keys, rows } => Ok((keys, rows)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs one stage as a barrier: the token travels worker 0‥N−1, and
+    /// while worker `w` streams, the coordinator relays its `Route`
+    /// requests to the owning shards.
+    fn run_stage(
+        &mut self,
+        stage: Stage,
+        mut token: Token,
+        assignments: &mut Vec<u32>,
+        mut pairs_out: Option<&mut Vec<PairsPayload>>,
+    ) -> Result<Token> {
+        for w in 0..self.conns.len() {
+            let msg = Msg::RunStage { stage, token };
+            self.send(w, &msg)?;
+            token = loop {
+                match self.recv(w)? {
+                    Msg::Route { to, table, op } => {
+                        let to = to as usize;
+                        if to >= self.conns.len() {
+                            return Err(PartitionError::InvalidParam(format!(
+                                "route target {to} out of range"
+                            )));
+                        }
+                        let rows = self.state_req(to, table, op)?;
+                        self.send(w, &Msg::StateResp { rows })?;
+                    }
+                    Msg::StageDone {
+                        token,
+                        assignments: part,
+                        pairs,
+                    } => {
+                        assignments.extend(part);
+                        if let (Some(out), Some(p)) = (pairs_out.as_deref_mut(), pairs) {
+                            out.push(p);
+                        }
+                        break token;
+                    }
+                    other => return Err(unexpected(&other)),
+                }
+            };
+        }
+        Ok(token)
+    }
+}
+
+/// Runs the coordinator over `conns` (one transport per worker) and
+/// returns the merged outcome. Workers are always sent `Shutdown`, even
+/// when the run fails, so hosting threads can join.
+pub fn run_coordinator(
+    conns: Vec<Box<dyn Transport>>,
+    algo: &DistAlgo,
+    input: DistInput<'_>,
+    k: u32,
+    chunk_edges: usize,
+) -> Result<DistOutcome> {
+    let workers = conns.len() as u32;
+    let mut coord = Coord { conns };
+    let result = drive(&mut coord, algo, input, k, chunk_edges);
+    for w in 0..coord.conns.len() {
+        let _ = coord.send(w, &Msg::Shutdown);
+    }
+    let mut net = NetStats::default();
+    for conn in &coord.conns {
+        net.merge(conn.stats());
+    }
+    Ok(DistOutcome {
+        partitioning: result?,
+        net,
+        workers,
+    })
+}
+
+/// Monolith-parity check for the vertex-id cap: the monolith fails when
+/// its table hint exceeds the (clamped) cap, before streaming an edge.
+fn check_cap(n_hint: u64, limit: u64, what: &str) -> Result<()> {
+    let cap = limit.min(DEFAULT_MAX_VERTICES);
+    if n_hint > cap {
+        return Err(cap_error(what, n_hint, cap));
+    }
+    Ok(())
+}
+
+fn drive(
+    coord: &mut Coord,
+    algo: &DistAlgo,
+    input: DistInput<'_>,
+    k: u32,
+    chunk_edges: usize,
+) -> Result<Partitioning> {
+    let workers = coord.conns.len() as u32;
+    // Same validation order as the monolith: config first, then k, then
+    // algorithm-specific parameter checks, then the table-cap check.
+    if let DistAlgo::Clugp(cfg) = algo {
+        cfg.validate()?;
+    }
+    if k == 0 {
+        return Err(PartitionError::InvalidParam("k must be at least 1".into()));
+    }
+    if let DistAlgo::Mint(cfg) = algo {
+        if cfg.batch_size == 0 {
+            return Err(PartitionError::InvalidParam(
+                "batch_size must be positive".into(),
+            ));
+        }
+    }
+
+    let (n_hint, m_hint, inputs) = match input {
+        DistInput::Edges {
+            num_vertices,
+            edges,
+        } => {
+            let specs: Vec<InputSpec> = split_ranges(edges.len() as u64, workers)
+                .into_iter()
+                .map(|(s, e)| InputSpec::Inline {
+                    edges: edges[s as usize..e as usize].to_vec(),
+                })
+                .collect();
+            (num_vertices, edges.len() as u64, specs)
+        }
+        DistInput::Pack(path) => {
+            let (n, m) = {
+                let reader = ShardedPackReader::open(path)?;
+                (reader.header().num_vertices, reader.header().num_edges)
+            };
+            (n, m, pack_input_specs(path, workers)?)
+        }
+    };
+
+    match algo {
+        DistAlgo::Dbh { max_vertices, .. } => {
+            check_cap(n_hint, *max_vertices, "num_vertices hint")?
+        }
+        DistAlgo::Greedy { max_vertices } => check_cap(n_hint, *max_vertices, "num_vertices")?,
+        DistAlgo::Hdrf(cfg) => check_cap(n_hint, cfg.max_vertices, "num_vertices hint")?,
+        DistAlgo::Clugp(cfg) => check_cap(n_hint, cfg.max_vertices, "num_vertices hint")?,
+        _ => {}
+    }
+
+    let vrange = Layout::range_for(n_hint, workers);
+    let striped = Layout::Striped {
+        stripe: DEFAULT_STRIPE,
+    };
+    let replica_width = ((k as usize).div_ceil(64).max(1)) as u32;
+    let tables: Vec<TableDef> = match algo {
+        DistAlgo::Hashing { .. } | DistAlgo::Grid { .. } | DistAlgo::Mint(_) => Vec::new(),
+        DistAlgo::Dbh { .. } => vec![TableDef {
+            layout: vrange,
+            width: 1,
+        }],
+        DistAlgo::Greedy { .. } => vec![TableDef {
+            layout: vrange,
+            width: replica_width,
+        }],
+        DistAlgo::Hdrf(_) => vec![
+            TableDef {
+                layout: vrange,
+                width: replica_width,
+            },
+            TableDef {
+                layout: vrange,
+                width: 1,
+            },
+        ],
+        DistAlgo::Clugp(_) => vec![
+            TableDef {
+                layout: vrange,
+                width: 3,
+            },
+            TableDef {
+                layout: striped,
+                width: 1,
+            },
+            TableDef {
+                layout: striped,
+                width: 1,
+            },
+        ],
+    };
+
+    let algo_spec = match algo {
+        DistAlgo::Hashing { seed } => AlgoSpec::Hashing { seed: *seed },
+        DistAlgo::Grid { seed } => AlgoSpec::Grid { seed: *seed },
+        DistAlgo::Dbh { seed, max_vertices } => AlgoSpec::Dbh {
+            seed: *seed,
+            max_vertices: *max_vertices,
+        },
+        DistAlgo::Greedy { max_vertices } => AlgoSpec::Greedy {
+            max_vertices: *max_vertices,
+        },
+        DistAlgo::Hdrf(cfg) => AlgoSpec::Hdrf {
+            lambda: cfg.lambda,
+            epsilon: cfg.epsilon,
+            max_vertices: cfg.max_vertices,
+        },
+        DistAlgo::Mint(cfg) => AlgoSpec::Mint {
+            batch: cfg.batch_size as u64,
+            wave: cfg.wave_width as u64,
+            threads: cfg.threads as u64,
+            rounds: cfg.max_rounds as u64,
+            alpha: cfg.balance_weight,
+            seed: cfg.seed,
+        },
+        DistAlgo::Clugp(cfg) => AlgoSpec::Clugp {
+            splitting: cfg.splitting,
+            migration: migration_tag(cfg.migration),
+            max_vertices: cfg.max_vertices,
+        },
+    };
+
+    for (w, input) in inputs.into_iter().enumerate() {
+        let setup = WorkerSetup {
+            worker: w as u32,
+            workers,
+            k,
+            chunk: chunk_edges.min(u32::MAX as usize) as u32,
+            algo: algo_spec.clone(),
+            input,
+            tables: tables.clone(),
+        };
+        coord.send(w, &Msg::Configure(Box::new(setup)))?;
+    }
+    for w in 0..workers as usize {
+        match coord.recv(w)? {
+            Msg::ConfigureOk => {}
+            other => return Err(unexpected(&other)),
+        }
+    }
+
+    if let DistAlgo::Clugp(cfg) = algo {
+        return clugp_flow(coord, cfg, &tables, n_hint, m_hint, k, workers);
+    }
+
+    let token0 = Token {
+        loads: vec![0; k as usize],
+        ..Default::default()
+    };
+    let mut assignments = Vec::new();
+    let token = coord.run_stage(Stage::Baseline, token0, &mut assignments, None)?;
+    let num_vertices = match algo {
+        DistAlgo::Dbh { .. } | DistAlgo::Greedy { .. } | DistAlgo::Hdrf(_) => {
+            n_hint.max(token.table_len)
+        }
+        _ => n_hint,
+    };
+    Ok(Partitioning {
+        k,
+        num_vertices,
+        assignments,
+        loads: token.loads,
+    })
+}
+
+/// The CLUGP three-pass flow: pass 1 streams clustering through the
+/// sharded vertex/volume tables; the coordinator then compacts clusters
+/// (recomputing dense volumes from degrees), republishes dense rows,
+/// collects the sharded cluster-graph partials, solves the game, pushes
+/// the cluster→partition map, and runs the transformation pass.
+fn clugp_flow(
+    coord: &mut Coord,
+    cfg: &ClugpConfig,
+    tables: &[TableDef],
+    n_hint: u64,
+    m_hint: u64,
+    k: u32,
+    workers: u32,
+) -> Result<Partitioning> {
+    // Pass 1 (same hint rule as the monolith: no length hint disables
+    // splitting by an effectively infinite vmax).
+    let vmax = if m_hint > 0 {
+        cfg.vmax(m_hint, k)
+    } else {
+        u64::MAX
+    };
+    let mut no_assign = Vec::new();
+    let token = coord.run_stage(
+        Stage::ClugpPass1 { vmax },
+        Token::default(),
+        &mut no_assign,
+        None,
+    )?;
+
+    // Assemble the authoritative vertex state from every shard.
+    let mut cluster_of: VertexTable<u32> =
+        VertexTable::with_limit(n_hint, NO_CLUSTER, cfg.max_vertices)?;
+    let mut degree: VertexTable<u32> = VertexTable::with_limit(n_hint, 0, cfg.max_vertices)?;
+    let mut divided: VertexTable<bool> = VertexTable::with_limit(n_hint, false, cfg.max_vertices)?;
+    for w in 0..workers as usize {
+        let (keys, rows) = coord.scan(w, T_MAIN)?;
+        for (i, &key) in keys.iter().enumerate() {
+            let v = key as u32;
+            cluster_of.ensure(v)?;
+            degree.ensure(v)?;
+            divided.ensure(v)?;
+            let w0 = rows[3 * i];
+            cluster_of[v] = if w0 == 0 { NO_CLUSTER } else { (w0 - 1) as u32 };
+            degree[v] = rows[3 * i + 1] as u32;
+            divided[v] = rows[3 * i + 2] != 0;
+        }
+    }
+    // Exact edge count, independent of the hint (each edge added 2).
+    let m_real: u64 = degree.iter().map(|&d| u64::from(d)).sum::<u64>() / 2;
+
+    // Pass 2a prelude: dense cluster ids (volumes recomputed from degrees,
+    // so the raw volume table is no longer needed).
+    let (num_clusters, _volumes) =
+        compact_clusters(&mut cluster_of, &degree, token.next_raw as usize);
+
+    // Republish dense width-3 rows for every vertex so passes 2b/3 see
+    // dense ids wherever they fetch from.
+    let vlayout = tables[0].layout;
+    let mut by_owner: Vec<(Vec<u64>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); workers as usize];
+    for v in 0..cluster_of.len() {
+        let owner = vlayout.owner(v, workers) as usize;
+        let vid = v as u32;
+        let c = cluster_of[vid];
+        by_owner[owner].0.push(v);
+        by_owner[owner]
+            .1
+            .push(if c == NO_CLUSTER { 0 } else { u64::from(c) + 1 });
+        by_owner[owner].1.push(u64::from(degree[vid]));
+        by_owner[owner].1.push(u64::from(divided[vid]));
+    }
+    for (owner, (keys, rows)) in by_owner.into_iter().enumerate() {
+        if keys.is_empty() {
+            continue;
+        }
+        coord.state_req(
+            owner,
+            T_MAIN,
+            StateOp::Upsert {
+                merge: MergeOp::Put,
+                keys,
+                rows,
+            },
+        )?;
+    }
+
+    // Pass 2a: the cluster graph, from per-worker partials merged in
+    // worker (= stream) order.
+    let mut pairs: Vec<PairsPayload> = Vec::new();
+    coord.run_stage(
+        Stage::ClugpPairs {
+            num_clusters: u64::from(num_clusters),
+        },
+        Token::default(),
+        &mut no_assign,
+        Some(&mut pairs),
+    )?;
+    let mut intra = vec![0u64; num_clusters as usize];
+    let mut agg: Vec<(u64, u32)> = Vec::new();
+    for part in &pairs {
+        for &(c, w) in &part.intra {
+            intra[c as usize] += w;
+        }
+        agg = merge_weighted(&agg, &part.agg);
+    }
+    let cg = ClusterGraph::from_parts(num_clusters, intra, &agg);
+
+    // Pass 2b: cluster → partition.
+    let cluster_partition = match cfg.assign_mode {
+        ClusterAssignMode::Game => solve_game(&cg, k, cfg)?.partition_of,
+        ClusterAssignMode::Greedy => greedy_assign::greedy_assign(&cg, k),
+    };
+    let claylout = tables[T_CPART as usize].layout;
+    let mut by_owner: Vec<(Vec<u64>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); workers as usize];
+    for (c, &p) in cluster_partition.iter().enumerate() {
+        let owner = claylout.owner(c as u64, workers) as usize;
+        by_owner[owner].0.push(c as u64);
+        by_owner[owner].1.push(u64::from(p));
+    }
+    for (owner, (keys, rows)) in by_owner.into_iter().enumerate() {
+        if keys.is_empty() {
+            continue;
+        }
+        coord.state_req(
+            owner,
+            T_CPART,
+            StateOp::Upsert {
+                merge: MergeOp::Put,
+                keys,
+                rows,
+            },
+        )?;
+    }
+
+    // Pass 3: partition transformation under the balance cap.
+    let lmax = load_cap(cfg.tau, m_real, k);
+    let mut assignments = Vec::new();
+    let token = coord.run_stage(
+        Stage::ClugpTransform { lmax },
+        Token {
+            loads: vec![0; k as usize],
+            ..Default::default()
+        },
+        &mut assignments,
+        None,
+    )?;
+    Ok(Partitioning {
+        k,
+        num_vertices: n_hint.max(cluster_of.len()),
+        assignments,
+        loads: token.loads,
+    })
+}

@@ -1,0 +1,214 @@
+//! Coordinator/worker distributed partitioning (AMPC-style).
+//!
+//! This module shards the streaming placement pipeline across workers
+//! behind a transport-agnostic state service (ROADMAP item 5):
+//!
+//! * [`table`] — the keyspace-sharded state tables ([`table::StateShard`]
+//!   over [`crate::vertex_table::VertexTable`], routed by
+//!   [`table::Layout`]) exposing get / upsert-batch / scan.
+//! * [`worker`] — owns a contiguous range of the edge stream and drives
+//!   the *same per-edge kernels as the monolith* against local shards,
+//!   fetching remote rows in per-chunk batches.
+//! * [`coordinator`] — splits the stream, sequences passes as barriers,
+//!   relays cross-worker state traffic (star topology), runs the
+//!   coordinator-side CLUGP stages (compaction, cluster graph, game), and
+//!   assembles the final [`crate::partition::Partitioning`].
+//! * [`transport`] / [`proto`] / [`wire`] — the exchange: in-process
+//!   bounded channels or length-prefixed Unix sockets carrying the same
+//!   hand-rolled little-endian frames.
+//!
+//! Execution model: within each pass the workers run **sequenced** — a
+//! streaming token travels worker 0‥N−1, so exactly one worker streams
+//! edges at a time while the others answer state requests. That is what
+//! makes every configuration (any worker count, any chunk size, either
+//! transport) bit-identical to the monolithic partitioner, which is the
+//! correctness anchor `tests/distributed_equivalence.rs` pins. See
+//! DESIGN.md §7 for the contract and for when multi-process mode pays.
+
+pub mod coordinator;
+pub mod proto;
+pub mod table;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{run_coordinator, DistOutcome};
+pub use table::{Layout, MergeOp, StateShard};
+pub use transport::{channel_pair, NetStats, Transport, UnixTransport};
+pub use worker::run_worker;
+
+use crate::error::{PartitionError, Result};
+use clugp_graph::pack::ShardedPackReader;
+use clugp_graph::types::Edge;
+use std::path::Path;
+
+/// Which transport a distributed run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process bounded channels (default).
+    Channel,
+    /// Unix stream sockets (exercises the multi-process framing; workers
+    /// still run as threads here — `clugp-part --workers N` spawns real
+    /// processes).
+    Unix,
+}
+
+/// Distributed run parameters.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Worker count (≥ 1).
+    pub workers: u32,
+    /// Exchange flavor.
+    pub transport: TransportKind,
+    /// Streaming chunk size in edges (0 = the stream default).
+    pub chunk_edges: usize,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            workers: 1,
+            transport: TransportKind::Channel,
+            chunk_edges: 0,
+        }
+    }
+}
+
+/// The edge stream for a distributed run.
+#[derive(Debug, Clone, Copy)]
+pub enum DistInput<'a> {
+    /// An in-memory edge list in stream order.
+    Edges {
+        /// Vertex-count hint.
+        num_vertices: u64,
+        /// The edges.
+        edges: &'a [Edge],
+    },
+    /// An on-disk CLUGPZ pack; workers open their own block ranges. Note
+    /// pack streams replay in canonical (pack) order, so compare against a
+    /// monolith run over the same pack stream.
+    Pack(&'a Path),
+}
+
+/// Runs `algo` over `input` with `cfg.workers` workers.
+///
+/// Channel transport hosts workers on plain threads with bounded-channel
+/// pipes; Unix transport uses socketpairs with the same length-prefixed
+/// framing as multi-process mode. Either way the coordinator runs on the
+/// calling thread.
+pub fn run_distributed(
+    algo: &coordinator::DistAlgo,
+    input: DistInput<'_>,
+    k: u32,
+    cfg: &DistConfig,
+) -> Result<DistOutcome> {
+    if cfg.workers == 0 {
+        return Err(PartitionError::InvalidParam(
+            "worker count must be at least 1".into(),
+        ));
+    }
+    let workers = cfg.workers as usize;
+    match cfg.transport {
+        TransportKind::Channel => {
+            let mut coord_ends: Vec<Box<dyn Transport>> = Vec::with_capacity(workers);
+            let mut worker_ends = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (c, w) = channel_pair(64);
+                coord_ends.push(Box::new(c));
+                worker_ends.push(w);
+            }
+            host_in_process(coord_ends, worker_ends, algo, input, k, cfg)
+        }
+        TransportKind::Unix => {
+            let mut coord_ends: Vec<Box<dyn Transport>> = Vec::with_capacity(workers);
+            let mut worker_ends = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (c, w) = UnixTransport::pair()?;
+                coord_ends.push(Box::new(c));
+                worker_ends.push(w);
+            }
+            host_in_process(coord_ends, worker_ends, algo, input, k, cfg)
+        }
+    }
+}
+
+fn host_in_process(
+    coord_ends: Vec<Box<dyn Transport>>,
+    worker_ends: Vec<impl Transport + 'static>,
+    algo: &coordinator::DistAlgo,
+    input: DistInput<'_>,
+    k: u32,
+    cfg: &DistConfig,
+) -> Result<DistOutcome> {
+    // Plain threads, not a rayon scope: worker serve loops block on recv,
+    // which would starve the shared pool the solvers run waves on.
+    std::thread::scope(|scope| {
+        for (i, conn) in worker_ends.into_iter().enumerate() {
+            scope.spawn(move || {
+                if let Err(e) = run_worker(Box::new(conn)) {
+                    // The coordinator sees the matching hangup/Err and
+                    // surfaces its own error; this is just a trace aid.
+                    eprintln!("ampc worker {i} failed: {e}");
+                }
+            });
+        }
+        run_coordinator(coord_ends, algo, input, k, cfg.chunk_edges)
+    })
+}
+
+/// Splits `total` edges into `workers` contiguous ranges (first `total %
+/// workers` ranges get one extra edge). Returns half-open `(start, end)`
+/// pairs covering `0..total` in order.
+pub fn split_ranges(total: u64, workers: u32) -> Vec<(u64, u64)> {
+    let w = u64::from(workers.max(1));
+    let base = total / w;
+    let extra = total % w;
+    let mut out = Vec::with_capacity(workers.max(1) as usize);
+    let mut start = 0;
+    for i in 0..w {
+        let len = base + u64::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Builds per-worker [`proto::InputSpec`]s for a pack file, handing each
+/// worker a contiguous block range (padding with empty ranges when the
+/// pack has fewer blocks than workers).
+pub fn pack_input_specs(path: &Path, workers: u32) -> Result<Vec<proto::InputSpec>> {
+    let reader = ShardedPackReader::open(path)?;
+    let shards = reader.shards(workers.max(1) as usize);
+    let path_str = path.to_string_lossy().into_owned();
+    let mut specs: Vec<proto::InputSpec> = shards
+        .iter()
+        .map(|s| proto::InputSpec::Pack {
+            path: path_str.clone(),
+            block_start: s.blocks.start as u64,
+            block_end: s.blocks.end as u64,
+            edges: s.edges,
+        })
+        .collect();
+    let blocks = reader.index().num_blocks() as u64;
+    while specs.len() < workers as usize {
+        specs.push(proto::InputSpec::Pack {
+            path: path_str.clone(),
+            block_start: blocks,
+            block_end: blocks,
+            edges: 0,
+        });
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_and_balance() {
+        assert_eq!(split_ranges(10, 4), vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+        assert_eq!(split_ranges(2, 4), vec![(0, 1), (1, 2), (2, 2), (2, 2)]);
+        assert_eq!(split_ranges(0, 2), vec![(0, 0), (0, 0)]);
+    }
+}

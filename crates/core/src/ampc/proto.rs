@@ -1,0 +1,832 @@
+//! Coordinator ↔ worker message set.
+//!
+//! Every exchange is a [`Msg`] encoded with the [`super::wire`] codec and
+//! shipped as one transport frame. The conversation is strictly
+//! request/reply from the coordinator's point of view:
+//!
+//! ```text
+//! coordinator → worker:  Configure, RunStage, StateReq, Scan, Shutdown
+//! worker → coordinator:  Hello, ConfigureOk, StageDone, StateResp,
+//!                        ScanResp, Route (only while running a stage), Err
+//! ```
+//!
+//! `Route` is the star-topology relay: the active worker asks the
+//! coordinator to forward a [`StateOp`] to the worker owning a remote key
+//! range; the coordinator issues the matching `StateReq` and forwards the
+//! `StateResp` back. Upserts are acked (empty `StateResp`) so a stage
+//! cannot finish with state writes still in flight.
+
+use super::table::{Layout, MergeOp};
+use super::wire::{Rd, Wr};
+use crate::error::{PartitionError, Result};
+use clugp_graph::types::Edge;
+
+fn bad(what: &str) -> PartitionError {
+    PartitionError::InvalidParam(format!("malformed protocol frame: {what}"))
+}
+
+/// A read or merge request against one table's shard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateOp {
+    /// Fetch rows for `keys`; the reply is `keys.len() * width` words
+    /// (absent rows read as zeros).
+    Get {
+        /// Keys to fetch.
+        keys: Vec<u64>,
+    },
+    /// Merge a batch of rows (`keys.len() * width` words, flattened).
+    Upsert {
+        /// Word-wise combine rule.
+        merge: MergeOp,
+        /// Row keys.
+        keys: Vec<u64>,
+        /// Flattened row payload.
+        rows: Vec<u64>,
+    },
+}
+
+/// One barrier-delimited pass over a worker's edge range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stage {
+    /// Single-pass baselines (hashing/grid/dbh/greedy/hdrf/mint).
+    Baseline,
+    /// CLUGP streaming clustering (pass 1).
+    ClugpPass1 {
+        /// Maximum cluster volume.
+        vmax: u64,
+    },
+    /// CLUGP cluster-graph pair aggregation (between passes 1 and 2).
+    ClugpPairs {
+        /// Compacted cluster count, fixed by the coordinator.
+        num_clusters: u64,
+    },
+    /// CLUGP partition transformation (pass 3).
+    ClugpTransform {
+        /// Per-partition load cap `Lmax`.
+        lmax: u64,
+    },
+}
+
+/// Streaming state threaded through the sequenced workers within one
+/// stage. Exactly the scalars the monolithic loops carry between chunks;
+/// a worker receives the token, runs its edge range, and returns the
+/// updated token with `StageDone`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Token {
+    /// Per-partition edge loads.
+    pub loads: Vec<u64>,
+    /// Monotone rebalance cursor (CLUGP transform).
+    pub cursor: u32,
+    /// Raw cluster ids allocated so far (CLUGP pass 1).
+    pub next_raw: u64,
+    /// Split count (CLUGP pass 1).
+    pub splits: u64,
+    /// Migration count (CLUGP pass 1).
+    pub migrations: u64,
+    /// Balance reroute count (CLUGP transform).
+    pub reroutes: u64,
+    /// Vertex-table watermark: `max(seen id)+1` across sequenced workers.
+    pub table_len: u64,
+    /// Edges carried into the next worker's range (Mint partial waves).
+    pub carry: Vec<Edge>,
+}
+
+/// Sharding descriptor for one named table slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableDef {
+    /// Key → worker mapping.
+    pub layout: Layout,
+    /// Words per row.
+    pub width: u32,
+}
+
+/// Where a worker's edge range comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputSpec {
+    /// Edges shipped inline with the setup (channel transport, tests).
+    Inline {
+        /// Edges of this worker's contiguous range.
+        edges: Vec<Edge>,
+    },
+    /// A contiguous block range of an on-disk CLUGPZ pack the worker
+    /// opens itself (multi-process mode).
+    Pack {
+        /// Pack file path.
+        path: String,
+        /// First block (inclusive).
+        block_start: u64,
+        /// Last block (exclusive).
+        block_end: u64,
+        /// Edge count of the range.
+        edges: u64,
+    },
+}
+
+/// Which per-edge kernel the worker runs, plus the config it needs.
+/// Coordinator-only parameters (the CLUGP game, tau) stay out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgoSpec {
+    /// Stateless edge hashing.
+    Hashing {
+        /// Hash seed.
+        seed: u64,
+    },
+    /// Grid / constrained hashing.
+    Grid {
+        /// Hash seed.
+        seed: u64,
+    },
+    /// Degree-based hashing.
+    Dbh {
+        /// Hash seed.
+        seed: u64,
+        /// Vertex-id cap.
+        max_vertices: u64,
+    },
+    /// PowerGraph greedy.
+    Greedy {
+        /// Vertex-id cap.
+        max_vertices: u64,
+    },
+    /// HDRF.
+    Hdrf {
+        /// Replication-score weight λ.
+        lambda: f64,
+        /// Load-imbalance guard ε.
+        epsilon: f64,
+        /// Vertex-id cap.
+        max_vertices: u64,
+    },
+    /// Mint game-theoretic batches.
+    Mint {
+        /// Edges per batch.
+        batch: u64,
+        /// Batches solved concurrently per wave.
+        wave: u64,
+        /// Rayon threads (0 = global pool).
+        threads: u64,
+        /// Best-response round cap.
+        rounds: u64,
+        /// Balance weight.
+        alpha: f64,
+        /// Initial-placement seed.
+        seed: u64,
+    },
+    /// CLUGP passes 1 and 3 (pass 2 runs at the coordinator).
+    Clugp {
+        /// Splitting enabled.
+        splitting: bool,
+        /// `MigrationPolicy` as a wire tag (0 Anchored, 1 Headroom, 2 Paper).
+        migration: u8,
+        /// Vertex-id cap.
+        max_vertices: u64,
+    },
+}
+
+/// Everything a worker needs before the first stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSetup {
+    /// This worker's index.
+    pub worker: u32,
+    /// Total workers.
+    pub workers: u32,
+    /// Partition count.
+    pub k: u32,
+    /// Streaming chunk size in edges.
+    pub chunk: u32,
+    /// Kernel selection.
+    pub algo: AlgoSpec,
+    /// Edge range source.
+    pub input: InputSpec,
+    /// Table slots, referenced by index in [`StateOp`] messages.
+    pub tables: Vec<TableDef>,
+}
+
+/// A worker's partial cluster-graph aggregation (CLUGP pairs stage).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PairsPayload {
+    /// Sparse intra-cluster edge counts `(cluster, count)`.
+    pub intra: Vec<(u64, u64)>,
+    /// Sorted, deduplicated packed pair keys `(lo<<32|hi, weight)`.
+    pub agg: Vec<(u64, u32)>,
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker greeting (multi-process mode identifies the socket).
+    Hello {
+        /// Worker index.
+        worker: u32,
+    },
+    /// Coordinator → worker setup.
+    Configure(Box<WorkerSetup>),
+    /// Worker ack for `Configure`.
+    ConfigureOk,
+    /// Run one stage over the worker's edge range.
+    RunStage {
+        /// Stage selector.
+        stage: Stage,
+        /// Streaming state from the previous worker.
+        token: Token,
+    },
+    /// Stage finished.
+    StageDone {
+        /// Updated streaming state.
+        token: Token,
+        /// Assignments produced for this worker's edges, in stream order.
+        assignments: Vec<u32>,
+        /// Cluster-graph partials (CLUGP pairs stage only).
+        pairs: Option<PairsPayload>,
+    },
+    /// State service request against the receiver's shard of `table`.
+    StateReq {
+        /// Table slot index.
+        table: u8,
+        /// Operation.
+        op: StateOp,
+    },
+    /// State service reply: flattened rows for `Get`, empty ack for
+    /// `Upsert`.
+    StateResp {
+        /// Flattened row words.
+        rows: Vec<u64>,
+    },
+    /// Active worker → coordinator: forward `op` to worker `to`.
+    Route {
+        /// Target worker.
+        to: u32,
+        /// Table slot index.
+        table: u8,
+        /// Operation.
+        op: StateOp,
+    },
+    /// Dump the receiver's shard of `table`.
+    Scan {
+        /// Table slot index.
+        table: u8,
+    },
+    /// Scan reply.
+    ScanResp {
+        /// Row keys, ascending.
+        keys: Vec<u64>,
+        /// Flattened row words.
+        rows: Vec<u64>,
+    },
+    /// Tear down the worker.
+    Shutdown,
+    /// Fatal worker-side error.
+    Err {
+        /// Description.
+        msg: String,
+    },
+}
+
+fn put_edges(w: &mut Wr, edges: &[Edge]) {
+    w.u64(edges.len() as u64);
+    for e in edges {
+        w.u32(e.src);
+        w.u32(e.dst);
+    }
+}
+
+fn get_edges(r: &mut Rd<'_>) -> Result<Vec<Edge>> {
+    let n = r.len(8)?;
+    let mut edges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let src = r.u32()?;
+        let dst = r.u32()?;
+        edges.push(Edge::new(src, dst));
+    }
+    Ok(edges)
+}
+
+fn put_op(w: &mut Wr, op: &StateOp) {
+    match op {
+        StateOp::Get { keys } => {
+            w.u8(0);
+            w.u64s(keys);
+        }
+        StateOp::Upsert { merge, keys, rows } => {
+            w.u8(1);
+            w.u8(merge.tag());
+            w.u64s(keys);
+            w.u64s(rows);
+        }
+    }
+}
+
+fn get_op(r: &mut Rd<'_>) -> Result<StateOp> {
+    Ok(match r.u8()? {
+        0 => StateOp::Get { keys: r.u64s()? },
+        1 => {
+            let merge = MergeOp::from_tag(r.u8()?).ok_or_else(|| bad("merge op"))?;
+            StateOp::Upsert {
+                merge,
+                keys: r.u64s()?,
+                rows: r.u64s()?,
+            }
+        }
+        _ => return Err(bad("state op tag")),
+    })
+}
+
+fn put_token(w: &mut Wr, t: &Token) {
+    w.u64s(&t.loads);
+    w.u32(t.cursor);
+    w.u64(t.next_raw);
+    w.u64(t.splits);
+    w.u64(t.migrations);
+    w.u64(t.reroutes);
+    w.u64(t.table_len);
+    put_edges(w, &t.carry);
+}
+
+fn get_token(r: &mut Rd<'_>) -> Result<Token> {
+    Ok(Token {
+        loads: r.u64s()?,
+        cursor: r.u32()?,
+        next_raw: r.u64()?,
+        splits: r.u64()?,
+        migrations: r.u64()?,
+        reroutes: r.u64()?,
+        table_len: r.u64()?,
+        carry: get_edges(r)?,
+    })
+}
+
+fn put_layout(w: &mut Wr, l: Layout) {
+    match l {
+        Layout::Range { span } => {
+            w.u8(0);
+            w.u64(span);
+        }
+        Layout::Striped { stripe } => {
+            w.u8(1);
+            w.u64(stripe);
+        }
+    }
+}
+
+fn get_layout(r: &mut Rd<'_>) -> Result<Layout> {
+    Ok(match r.u8()? {
+        0 => Layout::Range { span: r.u64()? },
+        1 => Layout::Striped { stripe: r.u64()? },
+        _ => return Err(bad("layout tag")),
+    })
+}
+
+fn put_setup(w: &mut Wr, s: &WorkerSetup) {
+    w.u32(s.worker);
+    w.u32(s.workers);
+    w.u32(s.k);
+    w.u32(s.chunk);
+    match &s.algo {
+        AlgoSpec::Hashing { seed } => {
+            w.u8(0);
+            w.u64(*seed);
+        }
+        AlgoSpec::Grid { seed } => {
+            w.u8(1);
+            w.u64(*seed);
+        }
+        AlgoSpec::Dbh { seed, max_vertices } => {
+            w.u8(2);
+            w.u64(*seed);
+            w.u64(*max_vertices);
+        }
+        AlgoSpec::Greedy { max_vertices } => {
+            w.u8(3);
+            w.u64(*max_vertices);
+        }
+        AlgoSpec::Hdrf {
+            lambda,
+            epsilon,
+            max_vertices,
+        } => {
+            w.u8(4);
+            w.f64(*lambda);
+            w.f64(*epsilon);
+            w.u64(*max_vertices);
+        }
+        AlgoSpec::Mint {
+            batch,
+            wave,
+            threads,
+            rounds,
+            alpha,
+            seed,
+        } => {
+            w.u8(5);
+            w.u64(*batch);
+            w.u64(*wave);
+            w.u64(*threads);
+            w.u64(*rounds);
+            w.f64(*alpha);
+            w.u64(*seed);
+        }
+        AlgoSpec::Clugp {
+            splitting,
+            migration,
+            max_vertices,
+        } => {
+            w.u8(6);
+            w.bool(*splitting);
+            w.u8(*migration);
+            w.u64(*max_vertices);
+        }
+    }
+    match &s.input {
+        InputSpec::Inline { edges } => {
+            w.u8(0);
+            put_edges(w, edges);
+        }
+        InputSpec::Pack {
+            path,
+            block_start,
+            block_end,
+            edges,
+        } => {
+            w.u8(1);
+            w.str(path);
+            w.u64(*block_start);
+            w.u64(*block_end);
+            w.u64(*edges);
+        }
+    }
+    w.u64(s.tables.len() as u64);
+    for t in &s.tables {
+        put_layout(w, t.layout);
+        w.u32(t.width);
+    }
+}
+
+fn get_setup(r: &mut Rd<'_>) -> Result<WorkerSetup> {
+    let worker = r.u32()?;
+    let workers = r.u32()?;
+    let k = r.u32()?;
+    let chunk = r.u32()?;
+    let algo = match r.u8()? {
+        0 => AlgoSpec::Hashing { seed: r.u64()? },
+        1 => AlgoSpec::Grid { seed: r.u64()? },
+        2 => AlgoSpec::Dbh {
+            seed: r.u64()?,
+            max_vertices: r.u64()?,
+        },
+        3 => AlgoSpec::Greedy {
+            max_vertices: r.u64()?,
+        },
+        4 => AlgoSpec::Hdrf {
+            lambda: r.f64()?,
+            epsilon: r.f64()?,
+            max_vertices: r.u64()?,
+        },
+        5 => AlgoSpec::Mint {
+            batch: r.u64()?,
+            wave: r.u64()?,
+            threads: r.u64()?,
+            rounds: r.u64()?,
+            alpha: r.f64()?,
+            seed: r.u64()?,
+        },
+        6 => AlgoSpec::Clugp {
+            splitting: r.bool()?,
+            migration: r.u8()?,
+            max_vertices: r.u64()?,
+        },
+        _ => return Err(bad("algo tag")),
+    };
+    let input = match r.u8()? {
+        0 => InputSpec::Inline {
+            edges: get_edges(r)?,
+        },
+        1 => InputSpec::Pack {
+            path: r.str()?,
+            block_start: r.u64()?,
+            block_end: r.u64()?,
+            edges: r.u64()?,
+        },
+        _ => return Err(bad("input tag")),
+    };
+    let n_tables = r.len(9)?;
+    let mut tables = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        let layout = get_layout(r)?;
+        tables.push(TableDef {
+            layout,
+            width: r.u32()?,
+        });
+    }
+    Ok(WorkerSetup {
+        worker,
+        workers,
+        k,
+        chunk,
+        algo,
+        input,
+        tables,
+    })
+}
+
+fn put_pairs(w: &mut Wr, p: &PairsPayload) {
+    w.u64(p.intra.len() as u64);
+    for &(c, n) in &p.intra {
+        w.u64(c);
+        w.u64(n);
+    }
+    w.u64(p.agg.len() as u64);
+    for &(key, weight) in &p.agg {
+        w.u64(key);
+        w.u32(weight);
+    }
+}
+
+fn get_pairs(r: &mut Rd<'_>) -> Result<PairsPayload> {
+    let n = r.len(16)?;
+    let mut intra = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = r.u64()?;
+        let cnt = r.u64()?;
+        intra.push((c, cnt));
+    }
+    let n = r.len(12)?;
+    let mut agg = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = r.u64()?;
+        let weight = r.u32()?;
+        agg.push((key, weight));
+    }
+    Ok(PairsPayload { intra, agg })
+}
+
+impl Msg {
+    /// The message's wire name, for protocol-error reporting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Hello { .. } => "Hello",
+            Msg::Configure(_) => "Configure",
+            Msg::ConfigureOk => "ConfigureOk",
+            Msg::RunStage { .. } => "RunStage",
+            Msg::StageDone { .. } => "StageDone",
+            Msg::StateReq { .. } => "StateReq",
+            Msg::StateResp { .. } => "StateResp",
+            Msg::Route { .. } => "Route",
+            Msg::Scan { .. } => "Scan",
+            Msg::ScanResp { .. } => "ScanResp",
+            Msg::Shutdown => "Shutdown",
+            Msg::Err { .. } => "Err",
+        }
+    }
+
+    /// Encodes the message as one transport frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Wr::new();
+        match self {
+            Msg::Hello { worker } => {
+                w.u8(0);
+                w.u32(*worker);
+            }
+            Msg::Configure(setup) => {
+                w.u8(1);
+                put_setup(&mut w, setup);
+            }
+            Msg::ConfigureOk => w.u8(2),
+            Msg::RunStage { stage, token } => {
+                w.u8(3);
+                match stage {
+                    Stage::Baseline => w.u8(0),
+                    Stage::ClugpPass1 { vmax } => {
+                        w.u8(1);
+                        w.u64(*vmax);
+                    }
+                    Stage::ClugpPairs { num_clusters } => {
+                        w.u8(2);
+                        w.u64(*num_clusters);
+                    }
+                    Stage::ClugpTransform { lmax } => {
+                        w.u8(3);
+                        w.u64(*lmax);
+                    }
+                }
+                put_token(&mut w, token);
+            }
+            Msg::StageDone {
+                token,
+                assignments,
+                pairs,
+            } => {
+                w.u8(4);
+                put_token(&mut w, token);
+                w.u32s(assignments);
+                match pairs {
+                    Some(p) => {
+                        w.bool(true);
+                        put_pairs(&mut w, p);
+                    }
+                    None => w.bool(false),
+                }
+            }
+            Msg::StateReq { table, op } => {
+                w.u8(5);
+                w.u8(*table);
+                put_op(&mut w, op);
+            }
+            Msg::StateResp { rows } => {
+                w.u8(6);
+                w.u64s(rows);
+            }
+            Msg::Route { to, table, op } => {
+                w.u8(7);
+                w.u32(*to);
+                w.u8(*table);
+                put_op(&mut w, op);
+            }
+            Msg::Scan { table } => {
+                w.u8(8);
+                w.u8(*table);
+            }
+            Msg::ScanResp { keys, rows } => {
+                w.u8(9);
+                w.u64s(keys);
+                w.u64s(rows);
+            }
+            Msg::Shutdown => w.u8(10),
+            Msg::Err { msg } => {
+                w.u8(11);
+                w.str(msg);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one frame.
+    pub fn decode(buf: &[u8]) -> Result<Msg> {
+        let mut r = Rd::new(buf);
+        let msg = match r.u8()? {
+            0 => Msg::Hello { worker: r.u32()? },
+            1 => Msg::Configure(Box::new(get_setup(&mut r)?)),
+            2 => Msg::ConfigureOk,
+            3 => {
+                let stage = match r.u8()? {
+                    0 => Stage::Baseline,
+                    1 => Stage::ClugpPass1 { vmax: r.u64()? },
+                    2 => Stage::ClugpPairs {
+                        num_clusters: r.u64()?,
+                    },
+                    3 => Stage::ClugpTransform { lmax: r.u64()? },
+                    _ => return Err(bad("stage tag")),
+                };
+                Msg::RunStage {
+                    stage,
+                    token: get_token(&mut r)?,
+                }
+            }
+            4 => {
+                let token = get_token(&mut r)?;
+                let assignments = r.u32s()?;
+                let pairs = if r.bool()? {
+                    Some(get_pairs(&mut r)?)
+                } else {
+                    None
+                };
+                Msg::StageDone {
+                    token,
+                    assignments,
+                    pairs,
+                }
+            }
+            5 => Msg::StateReq {
+                table: r.u8()?,
+                op: get_op(&mut r)?,
+            },
+            6 => Msg::StateResp { rows: r.u64s()? },
+            7 => Msg::Route {
+                to: r.u32()?,
+                table: r.u8()?,
+                op: get_op(&mut r)?,
+            },
+            8 => Msg::Scan { table: r.u8()? },
+            9 => Msg::ScanResp {
+                keys: r.u64s()?,
+                rows: r.u64s()?,
+            },
+            10 => Msg::Shutdown,
+            11 => Msg::Err { msg: r.str()? },
+            _ => return Err(bad("message tag")),
+        };
+        if !r.done() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Msg) {
+        let bytes = msg.encode();
+        assert_eq!(Msg::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        round_trip(Msg::Hello { worker: 3 });
+        round_trip(Msg::Configure(Box::new(WorkerSetup {
+            worker: 1,
+            workers: 4,
+            k: 8,
+            chunk: 4096,
+            algo: AlgoSpec::Hdrf {
+                lambda: 1.0,
+                epsilon: 1.5,
+                max_vertices: 1 << 20,
+            },
+            input: InputSpec::Inline {
+                edges: vec![Edge::new(0, 1), Edge::new(2, 2)],
+            },
+            tables: vec![
+                TableDef {
+                    layout: Layout::Range { span: 100 },
+                    width: 2,
+                },
+                TableDef {
+                    layout: Layout::Striped { stripe: 512 },
+                    width: 1,
+                },
+            ],
+        })));
+        round_trip(Msg::ConfigureOk);
+        round_trip(Msg::RunStage {
+            stage: Stage::ClugpPass1 { vmax: 77 },
+            token: Token {
+                loads: vec![1, 2, 3],
+                cursor: 1,
+                next_raw: 9,
+                splits: 2,
+                migrations: 5,
+                reroutes: 0,
+                table_len: 44,
+                carry: vec![Edge::new(7, 9)],
+            },
+        });
+        round_trip(Msg::StageDone {
+            token: Token::default(),
+            assignments: vec![0, 1, 0, 2],
+            pairs: Some(PairsPayload {
+                intra: vec![(0, 3), (5, 1)],
+                agg: vec![(1 << 32 | 2, 4)],
+            }),
+        });
+        round_trip(Msg::StateReq {
+            table: 0,
+            op: StateOp::Get { keys: vec![5, 6] },
+        });
+        round_trip(Msg::StateResp { rows: vec![1, 0] });
+        round_trip(Msg::Route {
+            to: 2,
+            table: 1,
+            op: StateOp::Upsert {
+                merge: MergeOp::Add,
+                keys: vec![8],
+                rows: vec![3],
+            },
+        });
+        round_trip(Msg::Scan { table: 2 });
+        round_trip(Msg::ScanResp {
+            keys: vec![0, 4],
+            rows: vec![7, 8],
+        });
+        round_trip(Msg::Shutdown);
+        round_trip(Msg::Err { msg: "boom".into() });
+    }
+
+    #[test]
+    fn pack_input_round_trips() {
+        round_trip(Msg::Configure(Box::new(WorkerSetup {
+            worker: 0,
+            workers: 2,
+            k: 4,
+            chunk: 1024,
+            algo: AlgoSpec::Clugp {
+                splitting: true,
+                migration: 0,
+                max_vertices: 1 << 30,
+            },
+            input: InputSpec::Pack {
+                path: "/tmp/g.clugpz".into(),
+                block_start: 3,
+                block_end: 9,
+                edges: 5000,
+            },
+            tables: Vec::new(),
+        })));
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        assert!(Msg::decode(&[250]).is_err());
+        assert!(Msg::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Transport abstraction for coordinator/worker exchange.
+//!
+//! A [`Transport`] is one duplex, ordered, reliable frame pipe. Two
+//! implementations:
+//!
+//! * [`channel_pair`] — in-process bounded channels (the default). Frames
+//!   are `Vec<u8>` handed over `std::sync::mpsc::sync_channel`, so
+//!   backpressure comes for free and the path composes with the rayon
+//!   pools the solvers already use.
+//! * [`UnixTransport`] — a Unix stream socket with a 4-byte little-endian
+//!   length prefix per frame, for multi-process `clugp-part --workers N`.
+//!
+//! Both count frames and payload bytes; the bench's bytes-exchanged
+//! numbers come straight from these counters.
+
+use crate::error::{PartitionError, Result};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::mpsc::{Receiver, SyncSender};
+
+/// Traffic counters for one transport endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Payload bytes sent (excluding framing).
+    pub bytes_sent: u64,
+    /// Payload bytes received (excluding framing).
+    pub bytes_received: u64,
+    /// Frames sent.
+    pub frames_sent: u64,
+    /// Frames received.
+    pub frames_received: u64,
+}
+
+impl NetStats {
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: NetStats) {
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+    }
+}
+
+/// One end of a duplex, ordered, reliable frame pipe.
+pub trait Transport: Send {
+    /// Sends one frame.
+    fn send(&mut self, frame: &[u8]) -> Result<()>;
+    /// Receives the next frame, blocking until one arrives.
+    fn recv(&mut self) -> Result<Vec<u8>>;
+    /// Traffic counters for this endpoint.
+    fn stats(&self) -> NetStats;
+}
+
+fn io_err(what: &str, e: impl std::fmt::Display) -> PartitionError {
+    PartitionError::InvalidParam(format!("transport {what}: {e}"))
+}
+
+/// In-process endpoint over a pair of bounded channels.
+pub struct ChannelTransport {
+    tx: SyncSender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    stats: NetStats,
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        self.stats.bytes_sent += frame.len() as u64;
+        self.stats.frames_sent += 1;
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| io_err("send", "peer hung up"))
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>> {
+        let frame = self.rx.recv().map_err(|_| io_err("recv", "peer hung up"))?;
+        self.stats.bytes_received += frame.len() as u64;
+        self.stats.frames_received += 1;
+        Ok(frame)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+}
+
+/// Builds a connected pair of in-process endpoints with `capacity` frames
+/// of buffering per direction.
+pub fn channel_pair(capacity: usize) -> (ChannelTransport, ChannelTransport) {
+    let (a_tx, b_rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+    let (b_tx, a_rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+    (
+        ChannelTransport {
+            tx: a_tx,
+            rx: a_rx,
+            stats: NetStats::default(),
+        },
+        ChannelTransport {
+            tx: b_tx,
+            rx: b_rx,
+            stats: NetStats::default(),
+        },
+    )
+}
+
+/// Unix-socket endpoint: each frame is a 4-byte little-endian payload
+/// length followed by the payload.
+pub struct UnixTransport {
+    stream: UnixStream,
+    stats: NetStats,
+}
+
+impl UnixTransport {
+    /// Wraps a connected stream.
+    pub fn new(stream: UnixStream) -> UnixTransport {
+        UnixTransport {
+            stream,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Builds a connected in-process socketpair (for tests exercising the
+    /// socket framing without a filesystem path).
+    pub fn pair() -> Result<(UnixTransport, UnixTransport)> {
+        let (a, b) = UnixStream::pair().map_err(|e| io_err("socketpair", e))?;
+        Ok((UnixTransport::new(a), UnixTransport::new(b)))
+    }
+}
+
+impl Transport for UnixTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        let len = u32::try_from(frame.len()).map_err(|_| io_err("send", "frame over 4 GiB"))?;
+        // One buffer, one write_all: avoids interleaving hazards and halves
+        // syscalls for the small control frames that dominate.
+        let mut buf = Vec::with_capacity(4 + frame.len());
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(frame);
+        self.stream.write_all(&buf).map_err(|e| io_err("send", e))?;
+        self.stats.bytes_sent += frame.len() as u64;
+        self.stats.frames_sent += 1;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>> {
+        let mut len = [0u8; 4];
+        self.stream
+            .read_exact(&mut len)
+            .map_err(|e| io_err("recv", e))?;
+        let len = u32::from_le_bytes(len) as usize;
+        let mut frame = vec![0u8; len];
+        self.stream
+            .read_exact(&mut frame)
+            .map_err(|e| io_err("recv", e))?;
+        self.stats.bytes_received += frame.len() as u64;
+        self.stats.frames_received += 1;
+        Ok(frame)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(mut a: impl Transport, mut b: impl Transport) {
+        a.send(b"hello").unwrap();
+        a.send(&[]).unwrap();
+        assert_eq!(b.recv().unwrap(), b"hello");
+        assert_eq!(b.recv().unwrap(), Vec::<u8>::new());
+        b.send(&[9u8; 100_000]).unwrap();
+        assert_eq!(a.recv().unwrap().len(), 100_000);
+        assert_eq!(a.stats().frames_sent, 2);
+        assert_eq!(a.stats().bytes_sent, 5);
+        assert_eq!(a.stats().bytes_received, 100_000);
+        assert_eq!(b.stats().frames_received, 2);
+    }
+
+    #[test]
+    fn channel_frames_round_trip() {
+        let (a, b) = channel_pair(4);
+        exercise(a, b);
+    }
+
+    #[test]
+    fn unix_frames_round_trip() {
+        let (a, b) = UnixTransport::pair().unwrap();
+        exercise(a, b);
+    }
+
+    #[test]
+    fn channel_disconnect_is_an_error() {
+        let (mut a, b) = channel_pair(1);
+        drop(b);
+        assert!(a.send(b"x").is_err());
+    }
+}

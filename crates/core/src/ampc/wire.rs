@@ -1,0 +1,219 @@
+//! Little-endian binary wire codec for the coordinator/worker protocol.
+//!
+//! The vendored serde stand-in is serialize-only (no `Deserialize`
+//! machinery), so frames are encoded by hand in the same style as the
+//! repo's other on-disk formats (`CLUGPPA1`, `CLUGPZ`): fixed-width
+//! little-endian scalars, length-prefixed sequences. DESIGN.md §7 records
+//! this as the offline stand-in divergence from the issue's "serde-framed"
+//! wording.
+
+use crate::error::{PartitionError, Result};
+
+/// Append-only frame writer.
+#[derive(Debug, Default)]
+pub struct Wr {
+    buf: Vec<u8>,
+}
+
+impl Wr {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Wr { buf: Vec::new() }
+    }
+
+    /// Consumes the writer, returning the encoded frame.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a tag/enum discriminant byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a `u32` (LE).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` (LE).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` (LE bit pattern).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `u32` sequence.
+    pub fn u32s(&mut self, v: &[u32]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u32(x);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` sequence.
+    pub fn u64s(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+}
+
+/// Cursor-based frame reader; every accessor fails cleanly on truncation.
+#[derive(Debug)]
+pub struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn short() -> PartitionError {
+    PartitionError::InvalidParam("truncated protocol frame".into())
+}
+
+impl<'a> Rd<'a> {
+    /// Wraps a frame for reading.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Rd { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(short)?;
+        if end > self.buf.len() {
+            return Err(short());
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a tag byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool byte.
+    pub fn bool(&mut self) -> Result<bool> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64`.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length as usize, bounded by the remaining frame so a corrupt
+    /// prefix cannot trigger a huge allocation.
+    pub fn len(&mut self, elem_bytes: usize) -> Result<usize> {
+        let n = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if elem_bytes > 0 && n > remaining / (elem_bytes as u64).max(1) + 1 {
+            return Err(short());
+        }
+        usize::try_from(n).map_err(|_| short())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PartitionError::InvalidParam("non-UTF-8 string in frame".into()))
+    }
+
+    /// Reads a length-prefixed `u32` sequence.
+    pub fn u32s(&mut self) -> Result<Vec<u32>> {
+        let n = self.len(4)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u32()?);
+        }
+        Ok(v)
+    }
+
+    /// Reads a length-prefixed `u64` sequence.
+    pub fn u64s(&mut self) -> Result<Vec<u64>> {
+        let n = self.len(8)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u64()?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = Wr::new();
+        w.u8(7);
+        w.bool(true);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.f64(2.5);
+        w.str("shard");
+        w.u32s(&[1, 2, 3]);
+        w.u64s(&[]);
+        let bytes = w.into_bytes();
+        let mut r = Rd::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64().unwrap(), 2.5);
+        assert_eq!(r.str().unwrap(), "shard");
+        assert_eq!(r.u32s().unwrap(), vec![1, 2, 3]);
+        assert!(r.u64s().unwrap().is_empty());
+        assert!(r.done());
+    }
+
+    #[test]
+    fn truncation_is_a_clean_error() {
+        let mut w = Wr::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = Rd::new(&bytes[..5]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn corrupt_length_prefix_does_not_allocate() {
+        let mut w = Wr::new();
+        w.u64(u64::MAX); // claims ~2^64 elements
+        let bytes = w.into_bytes();
+        let mut r = Rd::new(&bytes);
+        assert!(r.u32s().is_err());
+    }
+}

@@ -1,0 +1,852 @@
+//! The worker half of the coordinator/worker engine.
+//!
+//! A worker owns one contiguous range of the edge stream and a
+//! [`StateShard`] per table. After `Configure` it sits in a serve loop:
+//! it answers `StateReq`/`Scan` against its local shards, and on
+//! `RunStage` it streams its edge range through *the same per-edge
+//! kernels the monolithic partitioners use*, which is what keeps every
+//! distributed configuration bit-identical to the monolith.
+//!
+//! Remote state is handled per chunk: the worker collects the distinct
+//! keys a chunk touches, fetches the authoritative rows from the owning
+//! shards (batched `Get`s, relayed through the coordinator as `Route`),
+//! overwrites its dense scratch tables, runs the kernel over the chunk,
+//! and writes the touched rows back (batched `Put`s). Scratch entries
+//! outside the fetched set are never read, so the scratch tables can stay
+//! full-size and dense — same types, same indexing as the monolith.
+
+use super::proto::{AlgoSpec, InputSpec, Msg, PairsPayload, Stage, StateOp, Token, WorkerSetup};
+use super::table::{Layout, MergeOp, StateShard};
+use super::transport::Transport;
+use crate::baselines::mint::{self, MintConfig, DEFAULT_WAVE_WIDTH};
+use crate::baselines::{dbh, greedy, grid, hashing, hdrf};
+use crate::clugp::cluster_graph::PairSink;
+use crate::clugp::clustering::{pass1_edge, NO_CLUSTER};
+use crate::clugp::config::MigrationPolicy;
+use crate::clugp::transform::transform_edge;
+use crate::error::{PartitionError, Result};
+use crate::state::{PartitionLoads, ReplicaTable};
+use crate::vertex_table::VertexTable;
+use clugp_graph::pack::ShardedPackReader;
+use clugp_graph::stream::{chunk_edges, EdgeStream};
+use clugp_graph::types::Edge;
+use std::path::Path;
+
+/// Table slot 0: the algorithm's main per-vertex table (degree for DBH,
+/// replica rows for Greedy/HDRF, the packed vertex state for CLUGP).
+pub(crate) const T_MAIN: u8 = 0;
+/// Table slot 1 for HDRF: partial degrees.
+pub(crate) const T_DEGREE: u8 = 1;
+/// Table slot 1 for CLUGP: raw-cluster volumes (pass 1 only).
+pub(crate) const T_VOL: u8 = 1;
+/// Table slot 2 for CLUGP: dense cluster → partition.
+pub(crate) const T_CPART: u8 = 2;
+
+pub(crate) fn unexpected(m: &Msg) -> PartitionError {
+    PartitionError::InvalidParam(format!("unexpected protocol message: {}", m.kind()))
+}
+
+pub(crate) fn migration_from_tag(tag: u8) -> Result<MigrationPolicy> {
+    Ok(match tag {
+        0 => MigrationPolicy::Anchored,
+        1 => MigrationPolicy::Headroom,
+        2 => MigrationPolicy::Paper,
+        other => {
+            return Err(PartitionError::InvalidParam(format!(
+                "unknown migration policy tag {other}"
+            )))
+        }
+    })
+}
+
+pub(crate) fn migration_tag(policy: MigrationPolicy) -> u8 {
+    match policy {
+        MigrationPolicy::Anchored => 0,
+        MigrationPolicy::Headroom => 1,
+        MigrationPolicy::Paper => 2,
+    }
+}
+
+fn send(conn: &mut dyn Transport, msg: &Msg) -> Result<()> {
+    conn.send(&msg.encode())
+}
+
+fn recv(conn: &mut dyn Transport) -> Result<Msg> {
+    Msg::decode(&conn.recv()?)
+}
+
+/// Runs a worker over `conn` until `Shutdown`.
+///
+/// The worker expects `Configure` first, acks it, then serves state
+/// requests and stages on demand. A fatal stage error is reported to the
+/// coordinator as [`Msg::Err`] before the function returns it.
+pub fn run_worker(mut conn: Box<dyn Transport>) -> Result<()> {
+    let setup = match recv(conn.as_mut())? {
+        Msg::Configure(setup) => *setup,
+        Msg::Shutdown => return Ok(()),
+        other => return Err(unexpected(&other)),
+    };
+    let shards = setup
+        .tables
+        .iter()
+        .map(|t| match t.layout {
+            Layout::Range { .. } => {
+                StateShard::range(t.layout.base(setup.worker), t.width as usize)
+            }
+            Layout::Striped { .. } => StateShard::striped(t.width as usize),
+        })
+        .collect();
+    let mut wk = Wk {
+        conn,
+        setup,
+        shards,
+    };
+    send(wk.conn.as_mut(), &Msg::ConfigureOk)?;
+    loop {
+        match recv(wk.conn.as_mut())? {
+            Msg::StateReq { table, op } => {
+                let rows = wk.apply_local(table, &op)?;
+                send(wk.conn.as_mut(), &Msg::StateResp { rows })?;
+            }
+            Msg::Scan { table } => {
+                let (keys, rows) = wk.scan_local(table)?;
+                send(wk.conn.as_mut(), &Msg::ScanResp { keys, rows })?;
+            }
+            Msg::RunStage { stage, token } => match wk.run_stage(stage, token) {
+                Ok((token, assignments, pairs)) => send(
+                    wk.conn.as_mut(),
+                    &Msg::StageDone {
+                        token,
+                        assignments,
+                        pairs,
+                    },
+                )?,
+                Err(e) => {
+                    let _ = send(wk.conn.as_mut(), &Msg::Err { msg: e.to_string() });
+                    return Err(e);
+                }
+            },
+            Msg::Shutdown => return Ok(()),
+            other => return Err(unexpected(&other)),
+        }
+    }
+}
+
+/// Output of one stage run: updated token, assignments in stream order,
+/// and the CLUGP pairs partial (pairs stage only).
+type StageOut = (Token, Vec<u32>, Option<PairsPayload>);
+
+/// The worker's edge range, reopened for every stage.
+enum Source {
+    Inline { edges: Vec<Edge>, pos: usize },
+    Pack(clugp_graph::pack::PackedEdgeStream),
+}
+
+impl Source {
+    fn next_chunk(&mut self, buf: &mut Vec<Edge>, cap: usize) -> usize {
+        match self {
+            Source::Inline { edges, pos } => {
+                buf.clear();
+                let take = cap.max(1).min(edges.len() - *pos);
+                buf.extend_from_slice(&edges[*pos..*pos + take]);
+                *pos += take;
+                take
+            }
+            Source::Pack(stream) => stream.next_chunk(buf, cap),
+        }
+    }
+}
+
+struct Wk {
+    conn: Box<dyn Transport>,
+    setup: WorkerSetup,
+    shards: Vec<StateShard>,
+}
+
+impl Wk {
+    fn slot(&self, table: u8) -> Result<usize> {
+        let i = table as usize;
+        if i >= self.shards.len() {
+            return Err(PartitionError::InvalidParam(format!(
+                "unknown table slot {table}"
+            )));
+        }
+        Ok(i)
+    }
+
+    /// Executes a state op against the local shard of `table`.
+    fn apply_local(&mut self, table: u8, op: &StateOp) -> Result<Vec<u64>> {
+        let i = self.slot(table)?;
+        let shard = &mut self.shards[i];
+        match op {
+            StateOp::Get { keys } => {
+                let mut out = Vec::with_capacity(keys.len() * shard.width());
+                for &key in keys {
+                    shard.get_into(key, &mut out);
+                }
+                Ok(out)
+            }
+            StateOp::Upsert { merge, keys, rows } => {
+                if rows.len() != keys.len() * shard.width() {
+                    return Err(PartitionError::InvalidParam(
+                        "upsert row payload does not match key count".into(),
+                    ));
+                }
+                shard.upsert_batch(*merge, keys, rows);
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    fn scan_local(&mut self, table: u8) -> Result<(Vec<u64>, Vec<u64>)> {
+        let i = self.slot(table)?;
+        let mut keys = Vec::new();
+        let mut rows = Vec::new();
+        self.shards[i].scan(|key, row| {
+            keys.push(key);
+            rows.extend_from_slice(row);
+        });
+        Ok((keys, rows))
+    }
+
+    /// Executes `op` against the worker owning it: locally when that is
+    /// this worker, else via a coordinator-relayed `Route` (strict
+    /// request/reply — one in flight at a time).
+    fn routed(&mut self, table: u8, to: u32, op: StateOp) -> Result<Vec<u64>> {
+        if to == self.setup.worker {
+            return self.apply_local(table, &op);
+        }
+        send(self.conn.as_mut(), &Msg::Route { to, table, op })?;
+        match recv(self.conn.as_mut())? {
+            Msg::StateResp { rows } => Ok(rows),
+            Msg::Err { msg } => Err(PartitionError::InvalidParam(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches `keys` from `table`, returning rows flattened in key order.
+    fn fetch(&mut self, table: u8, keys: &[u64]) -> Result<Vec<u64>> {
+        let def = self.setup.tables[self.slot(table)?];
+        let width = def.width as usize;
+        let workers = self.setup.workers;
+        let mut out = vec![0u64; keys.len() * width];
+        let mut by_owner: Vec<(Vec<u64>, Vec<usize>)> =
+            vec![(Vec::new(), Vec::new()); workers as usize];
+        for (i, &key) in keys.iter().enumerate() {
+            let owner = def.layout.owner(key, workers) as usize;
+            by_owner[owner].0.push(key);
+            by_owner[owner].1.push(i);
+        }
+        for (owner, (okeys, opos)) in by_owner.into_iter().enumerate() {
+            if okeys.is_empty() {
+                continue;
+            }
+            let rows = self.routed(table, owner as u32, StateOp::Get { keys: okeys })?;
+            for (j, &pos) in opos.iter().enumerate() {
+                out[pos * width..(pos + 1) * width]
+                    .copy_from_slice(&rows[j * width..(j + 1) * width]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes `keys.len()` flattened rows back to `table` under `merge`.
+    fn publish(&mut self, table: u8, merge: MergeOp, keys: &[u64], rows: &[u64]) -> Result<()> {
+        let def = self.setup.tables[self.slot(table)?];
+        let width = def.width as usize;
+        let workers = self.setup.workers;
+        let mut by_owner: Vec<(Vec<u64>, Vec<u64>)> =
+            vec![(Vec::new(), Vec::new()); workers as usize];
+        for (i, &key) in keys.iter().enumerate() {
+            let owner = def.layout.owner(key, workers) as usize;
+            by_owner[owner].0.push(key);
+            by_owner[owner]
+                .1
+                .extend_from_slice(&rows[i * width..(i + 1) * width]);
+        }
+        for (owner, (okeys, orows)) in by_owner.into_iter().enumerate() {
+            if okeys.is_empty() {
+                continue;
+            }
+            self.routed(
+                table,
+                owner as u32,
+                StateOp::Upsert {
+                    merge,
+                    keys: okeys,
+                    rows: orows,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    fn chunk_cap(&self) -> usize {
+        if self.setup.chunk == 0 {
+            chunk_edges()
+        } else {
+            self.setup.chunk as usize
+        }
+    }
+
+    fn open_source(&mut self) -> Result<Source> {
+        let input = std::mem::replace(
+            &mut self.setup.input,
+            InputSpec::Inline { edges: Vec::new() },
+        );
+        match input {
+            InputSpec::Inline { edges } => Ok(Source::Inline { edges, pos: 0 }),
+            InputSpec::Pack {
+                path,
+                block_start,
+                block_end,
+                edges,
+            } => {
+                let reader = ShardedPackReader::open(Path::new(&path))?;
+                let stream = reader.open_block_range(block_start as usize..block_end as usize)?;
+                self.setup.input = InputSpec::Pack {
+                    path,
+                    block_start,
+                    block_end,
+                    edges,
+                };
+                Ok(Source::Pack(stream))
+            }
+        }
+    }
+
+    fn restore_source(&mut self, source: Source) {
+        if let Source::Inline { edges, .. } = source {
+            self.setup.input = InputSpec::Inline { edges };
+        }
+    }
+
+    fn run_stage(&mut self, stage: Stage, token: Token) -> Result<StageOut> {
+        let mut source = self.open_source()?;
+        let mut out = match stage {
+            Stage::Baseline => self.stage_baseline(token, &mut source),
+            Stage::ClugpPass1 { vmax } => self.stage_clugp_pass1(vmax, token, &mut source),
+            Stage::ClugpPairs { num_clusters } => {
+                self.stage_clugp_pairs(num_clusters, token, &mut source)
+            }
+            Stage::ClugpTransform { lmax } => self.stage_clugp_transform(lmax, token, &mut source),
+        };
+        if out.is_ok() {
+            if let Source::Pack(stream) = &source {
+                if let Some(e) = stream.error() {
+                    out = Err(PartitionError::InvalidParam(format!("pack stream: {e}")));
+                }
+            }
+        }
+        self.restore_source(source);
+        out
+    }
+
+    fn stage_baseline(&mut self, token: Token, source: &mut Source) -> Result<StageOut> {
+        let algo = self.setup.algo.clone();
+        let (token, assignments) = match algo {
+            AlgoSpec::Hashing { seed } => self.run_hashing(seed, token, source)?,
+            AlgoSpec::Grid { seed } => self.run_grid(seed, token, source)?,
+            AlgoSpec::Dbh { seed, max_vertices } => {
+                self.run_dbh(seed, max_vertices, token, source)?
+            }
+            AlgoSpec::Greedy { max_vertices } => self.run_greedy(max_vertices, token, source)?,
+            AlgoSpec::Hdrf {
+                lambda,
+                epsilon,
+                max_vertices,
+            } => self.run_hdrf(lambda, epsilon, max_vertices, token, source)?,
+            AlgoSpec::Mint {
+                batch,
+                wave,
+                threads,
+                rounds,
+                alpha,
+                seed,
+            } => {
+                let cfg = MintConfig {
+                    batch_size: batch as usize,
+                    wave_width: wave as usize,
+                    threads: threads as usize,
+                    max_rounds: rounds as usize,
+                    balance_weight: alpha,
+                    seed,
+                };
+                self.run_mint(&cfg, token, source)?
+            }
+            AlgoSpec::Clugp { .. } => {
+                return Err(PartitionError::InvalidParam(
+                    "CLUGP algo cannot run the baseline stage".into(),
+                ))
+            }
+        };
+        Ok((token, assignments, None))
+    }
+
+    fn run_hashing(
+        &mut self,
+        seed: u64,
+        mut token: Token,
+        source: &mut Source,
+    ) -> Result<(Token, Vec<u32>)> {
+        let k = self.setup.k;
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut assignments = Vec::new();
+        while source.next_chunk(&mut buf, cap) != 0 {
+            for &e in &buf {
+                let p = hashing::hashing_assign(e, seed, k);
+                token.loads[p as usize] += 1;
+                assignments.push(p);
+            }
+        }
+        Ok((token, assignments))
+    }
+
+    fn run_grid(
+        &mut self,
+        seed: u64,
+        mut token: Token,
+        source: &mut Source,
+    ) -> Result<(Token, Vec<u32>)> {
+        let k = self.setup.k;
+        let r = grid::grid_dim(k);
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut assignments = Vec::new();
+        let mut loads = PartitionLoads::from_vec(std::mem::take(&mut token.loads));
+        let mut cs_u = Vec::with_capacity(2 * r as usize);
+        let mut cs_v = Vec::with_capacity(2 * r as usize);
+        while source.next_chunk(&mut buf, cap) != 0 {
+            for &e in &buf {
+                let p = grid::grid_edge(e, seed, r, k, &loads, &mut cs_u, &mut cs_v);
+                assignments.push(p);
+                loads.add(p);
+            }
+        }
+        token.loads = loads.into_vec();
+        Ok((token, assignments))
+    }
+
+    fn run_dbh(
+        &mut self,
+        seed: u64,
+        max_vertices: u64,
+        mut token: Token,
+        source: &mut Source,
+    ) -> Result<(Token, Vec<u32>)> {
+        let k = self.setup.k;
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut assignments = Vec::new();
+        let mut degree: VertexTable<u32> = VertexTable::with_limit(0, 0, max_vertices)?;
+        let mut keys: Vec<u64> = Vec::new();
+        while source.next_chunk(&mut buf, cap) != 0 {
+            distinct_endpoints(&buf, &mut keys);
+            let rows = self.fetch(T_MAIN, &keys)?;
+            for (i, &key) in keys.iter().enumerate() {
+                let v = key as u32;
+                degree.ensure(v)?;
+                degree[v] = rows[i] as u32;
+            }
+            for &e in &buf {
+                let p = dbh::dbh_edge(e, seed, k, &mut degree)?;
+                token.loads[p as usize] += 1;
+                assignments.push(p);
+            }
+            let back: Vec<u64> = keys
+                .iter()
+                .map(|&key| u64::from(degree[key as u32]))
+                .collect();
+            self.publish(T_MAIN, MergeOp::Put, &keys, &back)?;
+        }
+        token.table_len = token.table_len.max(degree.len());
+        Ok((token, assignments))
+    }
+
+    fn run_greedy(
+        &mut self,
+        max_vertices: u64,
+        mut token: Token,
+        source: &mut Source,
+    ) -> Result<(Token, Vec<u32>)> {
+        let k = self.setup.k;
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut assignments = Vec::new();
+        let mut replicas = ReplicaTable::with_limit(0, k, max_vertices)?;
+        let wr = replicas.words_per_row();
+        let mut loads = PartitionLoads::from_vec(std::mem::take(&mut token.loads));
+        let mut keys: Vec<u64> = Vec::new();
+        while source.next_chunk(&mut buf, cap) != 0 {
+            distinct_endpoints(&buf, &mut keys);
+            let rows = self.fetch(T_MAIN, &keys)?;
+            for (i, &key) in keys.iter().enumerate() {
+                replicas.ensure_vertices(key + 1)?;
+                replicas.import_row(key as u32, &rows[i * wr..(i + 1) * wr]);
+            }
+            for &e in &buf {
+                let p = greedy::greedy_edge(e, &mut replicas, &mut loads)?;
+                assignments.push(p);
+            }
+            let mut back = vec![0u64; keys.len() * wr];
+            for (i, &key) in keys.iter().enumerate() {
+                replicas.export_row(key as u32, &mut back[i * wr..(i + 1) * wr]);
+            }
+            self.publish(T_MAIN, MergeOp::Put, &keys, &back)?;
+        }
+        token.loads = loads.into_vec();
+        token.table_len = token.table_len.max(replicas.num_vertices());
+        Ok((token, assignments))
+    }
+
+    fn run_hdrf(
+        &mut self,
+        lambda: f64,
+        epsilon: f64,
+        max_vertices: u64,
+        mut token: Token,
+        source: &mut Source,
+    ) -> Result<(Token, Vec<u32>)> {
+        let k = self.setup.k;
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut assignments = Vec::new();
+        let mut degree: VertexTable<u32> = VertexTable::with_limit(0, 0, max_vertices)?;
+        let mut replicas = ReplicaTable::with_limit(0, k, max_vertices)?;
+        let wr = replicas.words_per_row();
+        let mut loads = PartitionLoads::from_vec(std::mem::take(&mut token.loads));
+        let mut keys: Vec<u64> = Vec::new();
+        while source.next_chunk(&mut buf, cap) != 0 {
+            distinct_endpoints(&buf, &mut keys);
+            let rrows = self.fetch(T_MAIN, &keys)?;
+            let drows = self.fetch(T_DEGREE, &keys)?;
+            for (i, &key) in keys.iter().enumerate() {
+                let v = key as u32;
+                replicas.ensure_vertices(key + 1)?;
+                replicas.import_row(v, &rrows[i * wr..(i + 1) * wr]);
+                degree.ensure(v)?;
+                degree[v] = drows[i] as u32;
+            }
+            for &e in &buf {
+                let p = hdrf::hdrf_edge(
+                    e,
+                    lambda,
+                    epsilon,
+                    k,
+                    &mut degree,
+                    &mut replicas,
+                    &mut loads,
+                )?;
+                assignments.push(p);
+            }
+            let mut back = vec![0u64; keys.len() * wr];
+            for (i, &key) in keys.iter().enumerate() {
+                replicas.export_row(key as u32, &mut back[i * wr..(i + 1) * wr]);
+            }
+            self.publish(T_MAIN, MergeOp::Put, &keys, &back)?;
+            let dback: Vec<u64> = keys
+                .iter()
+                .map(|&key| u64::from(degree[key as u32]))
+                .collect();
+            self.publish(T_DEGREE, MergeOp::Put, &keys, &dback)?;
+        }
+        token.loads = loads.into_vec();
+        token.table_len = token.table_len.max(replicas.num_vertices());
+        Ok((token, assignments))
+    }
+
+    /// Mint: waves are global — `wave_width × batch_size` edges each — so
+    /// every worker solves the full waves its range completes and carries
+    /// the remainder to the next worker in the token. The last worker
+    /// drains the tail (partial wave / partial batch), exactly where the
+    /// monolith's end-of-stream wave lands.
+    fn run_mint(
+        &mut self,
+        cfg: &MintConfig,
+        mut token: Token,
+        source: &mut Source,
+    ) -> Result<(Token, Vec<u32>)> {
+        let k = self.setup.k;
+        let wave_width = if cfg.wave_width == 0 {
+            DEFAULT_WAVE_WIDTH
+        } else {
+            cfg.wave_width
+        };
+        if cfg.batch_size == 0 {
+            return Err(PartitionError::InvalidParam(
+                "batch_size must be positive".into(),
+            ));
+        }
+        let wave_edges = wave_width * cfg.batch_size;
+        let pool = mint::build_pool(cfg.threads)?;
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut assignments = Vec::new();
+        let mut loads = PartitionLoads::from_vec(std::mem::take(&mut token.loads));
+        let mut pending = std::mem::take(&mut token.carry);
+        let commit =
+            |pending_wave: &[Edge], loads: &mut PartitionLoads, assignments: &mut Vec<u32>| {
+                let wave: Vec<Vec<Edge>> = pending_wave
+                    .chunks(cfg.batch_size)
+                    .map(<[Edge]>::to_vec)
+                    .collect();
+                let snapshot: Vec<u64> = loads.as_slice().to_vec();
+                let outcomes = mint::solve_wave(&wave, k, &snapshot, cfg, pool.as_ref());
+                for outcome in outcomes {
+                    for &p in &outcome.assignments {
+                        loads.add(p);
+                    }
+                    assignments.extend(outcome.assignments);
+                }
+            };
+        while source.next_chunk(&mut buf, cap) != 0 {
+            pending.extend_from_slice(&buf);
+            while pending.len() >= wave_edges {
+                let rest = pending.split_off(wave_edges);
+                commit(&pending, &mut loads, &mut assignments);
+                pending = rest;
+            }
+        }
+        let last = self.setup.worker + 1 == self.setup.workers;
+        if last {
+            if !pending.is_empty() {
+                commit(&pending, &mut loads, &mut assignments);
+            }
+            pending = Vec::new();
+        }
+        token.carry = pending;
+        token.loads = loads.into_vec();
+        Ok((token, assignments))
+    }
+
+    /// CLUGP pass 1. The raw-volume scratch is kept at the full global
+    /// length (the token's raw-id watermark) so `vol.push` allocates the
+    /// same raw ids as the monolith. Per chunk, the touched-cluster set is
+    /// closed under the kernel's operations: every volume it reads or
+    /// writes belongs to a fetched chunk vertex's cluster or to a cluster
+    /// created in the chunk.
+    fn stage_clugp_pass1(
+        &mut self,
+        vmax: u64,
+        mut token: Token,
+        source: &mut Source,
+    ) -> Result<StageOut> {
+        let AlgoSpec::Clugp {
+            splitting,
+            migration,
+            max_vertices,
+        } = self.setup.algo
+        else {
+            return Err(PartitionError::InvalidParam(
+                "pass-1 stage requires the CLUGP algo".into(),
+            ));
+        };
+        let migration = migration_from_tag(migration)?;
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut cluster_of: VertexTable<u32> =
+            VertexTable::with_limit(0, NO_CLUSTER, max_vertices)?;
+        let mut degree: VertexTable<u32> = VertexTable::with_limit(0, 0, max_vertices)?;
+        let mut divided: VertexTable<bool> = VertexTable::with_limit(0, false, max_vertices)?;
+        let mut vol: Vec<u64> = vec![0; token.next_raw as usize];
+        let mut splits = token.splits;
+        let mut migrations = token.migrations;
+        let mut vkeys: Vec<u64> = Vec::new();
+        while source.next_chunk(&mut buf, cap) != 0 {
+            distinct_endpoints(&buf, &mut vkeys);
+            let rows = self.fetch(T_MAIN, &vkeys)?;
+            for (i, &key) in vkeys.iter().enumerate() {
+                let v = key as u32;
+                cluster_of.ensure(v)?;
+                degree.ensure(v)?;
+                divided.ensure(v)?;
+                let w0 = rows[3 * i];
+                cluster_of[v] = if w0 == 0 { NO_CLUSTER } else { (w0 - 1) as u32 };
+                degree[v] = rows[3 * i + 1] as u32;
+                divided[v] = rows[3 * i + 2] != 0;
+            }
+            let mut ckeys: Vec<u64> = vkeys
+                .iter()
+                .filter_map(|&key| {
+                    let c = cluster_of[key as u32];
+                    (c != NO_CLUSTER).then_some(u64::from(c))
+                })
+                .collect();
+            ckeys.sort_unstable();
+            ckeys.dedup();
+            let crows = self.fetch(T_VOL, &ckeys)?;
+            for (i, &ck) in ckeys.iter().enumerate() {
+                vol[ck as usize] = crows[i];
+            }
+            let created_from = vol.len();
+            for &e in &buf {
+                pass1_edge(
+                    e,
+                    vmax,
+                    splitting,
+                    migration,
+                    &mut cluster_of,
+                    &mut degree,
+                    &mut divided,
+                    &mut vol,
+                    &mut splits,
+                    &mut migrations,
+                )?;
+            }
+            let mut vrows = Vec::with_capacity(vkeys.len() * 3);
+            for &key in &vkeys {
+                let v = key as u32;
+                let c = cluster_of[v];
+                vrows.push(if c == NO_CLUSTER { 0 } else { u64::from(c) + 1 });
+                vrows.push(u64::from(degree[v]));
+                vrows.push(u64::from(divided[v]));
+            }
+            self.publish(T_MAIN, MergeOp::Put, &vkeys, &vrows)?;
+            let mut wkeys = ckeys;
+            wkeys.extend((created_from..vol.len()).map(|c| c as u64));
+            let wrows: Vec<u64> = wkeys.iter().map(|&c| vol[c as usize]).collect();
+            self.publish(T_VOL, MergeOp::Put, &wkeys, &wrows)?;
+        }
+        token.next_raw = vol.len() as u64;
+        token.splits = splits;
+        token.migrations = migrations;
+        token.table_len = token.table_len.max(cluster_of.len());
+        Ok((token, Vec::new(), None))
+    }
+
+    /// CLUGP pairs: stream the range once against the (now dense) cluster
+    /// ids and aggregate the worker's partial cluster graph.
+    fn stage_clugp_pairs(
+        &mut self,
+        num_clusters: u64,
+        token: Token,
+        source: &mut Source,
+    ) -> Result<StageOut> {
+        let AlgoSpec::Clugp { max_vertices, .. } = self.setup.algo else {
+            return Err(PartitionError::InvalidParam(
+                "pairs stage requires the CLUGP algo".into(),
+            ));
+        };
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut cluster_of: VertexTable<u32> =
+            VertexTable::with_limit(0, NO_CLUSTER, max_vertices)?;
+        let mut sink = PairSink::new(num_clusters as usize);
+        let mut vkeys: Vec<u64> = Vec::new();
+        while source.next_chunk(&mut buf, cap) != 0 {
+            distinct_endpoints(&buf, &mut vkeys);
+            let rows = self.fetch(T_MAIN, &vkeys)?;
+            for (i, &key) in vkeys.iter().enumerate() {
+                let v = key as u32;
+                cluster_of.ensure(v)?;
+                let w0 = rows[3 * i];
+                cluster_of[v] = if w0 == 0 { NO_CLUSTER } else { (w0 - 1) as u32 };
+            }
+            for &e in &buf {
+                sink.push(cluster_of[e.src], cluster_of[e.dst]);
+            }
+        }
+        let (intra, agg) = sink.finish();
+        let pairs = PairsPayload {
+            intra: intra
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| (i as u64, c))
+                .collect(),
+            agg,
+        };
+        Ok((token, Vec::new(), Some(pairs)))
+    }
+
+    /// CLUGP pass 3: per chunk, fetch the dense vertex rows plus the
+    /// cluster→partition entries those vertices reference, then run the
+    /// transformation kernel. No writebacks — the pass only consumes state.
+    fn stage_clugp_transform(
+        &mut self,
+        lmax: u64,
+        mut token: Token,
+        source: &mut Source,
+    ) -> Result<StageOut> {
+        let AlgoSpec::Clugp { max_vertices, .. } = self.setup.algo else {
+            return Err(PartitionError::InvalidParam(
+                "transform stage requires the CLUGP algo".into(),
+            ));
+        };
+        let k = self.setup.k;
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut assignments = Vec::new();
+        let mut cluster_of: VertexTable<u32> =
+            VertexTable::with_limit(0, NO_CLUSTER, max_vertices)?;
+        let mut degree: VertexTable<u32> = VertexTable::with_limit(0, 0, max_vertices)?;
+        let mut divided: VertexTable<bool> = VertexTable::with_limit(0, false, max_vertices)?;
+        let mut cpart: Vec<u32> = Vec::new();
+        let mut loads = std::mem::take(&mut token.loads);
+        let mut cursor = token.cursor;
+        let mut reroutes = token.reroutes;
+        let mut vkeys: Vec<u64> = Vec::new();
+        while source.next_chunk(&mut buf, cap) != 0 {
+            distinct_endpoints(&buf, &mut vkeys);
+            let rows = self.fetch(T_MAIN, &vkeys)?;
+            for (i, &key) in vkeys.iter().enumerate() {
+                let v = key as u32;
+                cluster_of.ensure(v)?;
+                degree.ensure(v)?;
+                divided.ensure(v)?;
+                let w0 = rows[3 * i];
+                cluster_of[v] = if w0 == 0 { NO_CLUSTER } else { (w0 - 1) as u32 };
+                degree[v] = rows[3 * i + 1] as u32;
+                divided[v] = rows[3 * i + 2] != 0;
+            }
+            let mut ckeys: Vec<u64> = vkeys
+                .iter()
+                .filter_map(|&key| {
+                    let c = cluster_of[key as u32];
+                    (c != NO_CLUSTER).then_some(u64::from(c))
+                })
+                .collect();
+            ckeys.sort_unstable();
+            ckeys.dedup();
+            let crows = self.fetch(T_CPART, &ckeys)?;
+            for (i, &ck) in ckeys.iter().enumerate() {
+                if ck as usize >= cpart.len() {
+                    cpart.resize(ck as usize + 1, 0);
+                }
+                cpart[ck as usize] = crows[i] as u32;
+            }
+            for &e in &buf {
+                let p = transform_edge(
+                    e,
+                    &cluster_of,
+                    &degree,
+                    &divided,
+                    &cpart,
+                    lmax,
+                    k,
+                    &mut loads,
+                    &mut cursor,
+                    &mut reroutes,
+                );
+                assignments.push(p);
+            }
+        }
+        token.loads = loads;
+        token.cursor = cursor;
+        token.reroutes = reroutes;
+        token.table_len = token.table_len.max(cluster_of.len());
+        Ok((token, assignments, None))
+    }
+}
+
+/// Collects the distinct endpoint ids of a chunk, sorted ascending.
+fn distinct_endpoints(buf: &[Edge], keys: &mut Vec<u64>) {
+    keys.clear();
+    for e in buf {
+        keys.push(u64::from(e.src));
+        keys.push(u64::from(e.dst));
+    }
+    keys.sort_unstable();
+    keys.dedup();
+}

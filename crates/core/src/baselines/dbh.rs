@@ -13,6 +13,28 @@ use crate::partitioner::{mix64, start_run, Partitioner};
 use crate::state::PartitionLoads;
 use crate::vertex_table::{VertexTable, DEFAULT_MAX_VERTICES};
 use clugp_graph::stream::{chunk_edges, try_for_each_chunk, RestreamableStream};
+use clugp_graph::types::Edge;
+
+/// Per-edge DBH kernel: bumps partial degrees and picks the partition by
+/// hashing the lower-degree endpoint. Shared by the monolithic loop and
+/// the distributed worker so both paths stay bit-identical.
+#[inline]
+pub(crate) fn dbh_edge(e: Edge, seed: u64, k: u32, degree: &mut VertexTable<u32>) -> Result<u32> {
+    degree.ensure(e.src.max(e.dst))?;
+    degree[e.src] += 1;
+    degree[e.dst] += 1;
+    // Hash the lower-degree endpoint (cut the higher-degree one).
+    let key = if degree[e.src] <= degree[e.dst] {
+        e.src
+    } else {
+        e.dst
+    };
+    Ok((mix64(u64::from(key) ^ seed) % u64::from(k)) as u32)
+}
+
+/// Default hash seed (shared with the distributed engine so
+/// `DistAlgo::dbh()` matches `Dbh::default()`).
+pub(crate) const DEFAULT_SEED: u64 = 0xDB4;
 
 /// The degree-based hashing partitioner.
 #[derive(Debug, Clone)]
@@ -38,7 +60,7 @@ impl Dbh {
 
 impl Default for Dbh {
     fn default() -> Self {
-        Dbh::new(0xDB4)
+        Dbh::new(DEFAULT_SEED)
     }
 }
 
@@ -55,16 +77,7 @@ impl Partitioner for Dbh {
         let mut loads = PartitionLoads::new(k);
         try_for_each_chunk(stream, chunk_edges(), |chunk| -> Result<()> {
             for &e in chunk {
-                degree.ensure(e.src.max(e.dst))?;
-                degree[e.src] += 1;
-                degree[e.dst] += 1;
-                // Hash the lower-degree endpoint (cut the higher-degree one).
-                let key = if degree[e.src] <= degree[e.dst] {
-                    e.src
-                } else {
-                    e.dst
-                };
-                let p = (mix64(u64::from(key) ^ self.seed) % u64::from(k)) as u32;
+                let p = dbh_edge(e, self.seed, k, &mut degree)?;
                 assignments.push(p);
                 loads.add(p);
             }

@@ -17,6 +17,56 @@ use crate::partitioner::{start_run, Partitioner};
 use crate::state::{PartitionLoads, ReplicaTable};
 use crate::vertex_table::DEFAULT_MAX_VERTICES;
 use clugp_graph::stream::{chunk_edges, try_for_each_chunk, RestreamableStream};
+use clugp_graph::types::Edge;
+
+/// Per-edge greedy kernel: the four-case PowerGraph rule over the replica
+/// table and loads, inserting both endpoints and returning the partition.
+/// Shared by the monolithic loop and the distributed worker so both paths
+/// stay bit-identical.
+#[inline]
+pub(crate) fn greedy_edge(
+    e: Edge,
+    replicas: &mut ReplicaTable,
+    loads: &mut PartitionLoads,
+) -> Result<u32> {
+    replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1)?;
+    let cu = replicas.count(e.src);
+    let cv = replicas.count(e.dst);
+    let p = if cu > 0 && cv > 0 {
+        let both = loads.argmin_among(
+            replicas
+                .partitions_of(e.src)
+                .filter(|&p| replicas.contains(e.dst, p)),
+        );
+        match both {
+            Some(p) => p, // case 1: intersection
+            None => {
+                // case 2: union of the two replica sets
+                loads
+                    .argmin_among(
+                        replicas
+                            .partitions_of(e.src)
+                            .chain(replicas.partitions_of(e.dst)),
+                    )
+                    .expect("both sets nonempty")
+            }
+        }
+    } else if cu > 0 {
+        loads
+            .argmin_among(replicas.partitions_of(e.src))
+            .expect("A(u) nonempty")
+    } else if cv > 0 {
+        loads
+            .argmin_among(replicas.partitions_of(e.dst))
+            .expect("A(v) nonempty")
+    } else {
+        loads.argmin() // case 4: fresh edge
+    };
+    replicas.insert(e.src, p);
+    replicas.insert(e.dst, p);
+    loads.add(p);
+    Ok(p)
+}
 
 /// The PowerGraph greedy (oblivious) partitioner.
 #[derive(Debug, Clone)]
@@ -60,42 +110,7 @@ impl Partitioner for Greedy {
 
         try_for_each_chunk(stream, chunk_edges(), |chunk| -> Result<()> {
             for &e in chunk {
-                replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1)?;
-                let cu = replicas.count(e.src);
-                let cv = replicas.count(e.dst);
-                let p = if cu > 0 && cv > 0 {
-                    let both = loads.argmin_among(
-                        replicas
-                            .partitions_of(e.src)
-                            .filter(|&p| replicas.contains(e.dst, p)),
-                    );
-                    match both {
-                        Some(p) => p, // case 1: intersection
-                        None => {
-                            // case 2: union of the two replica sets
-                            loads
-                                .argmin_among(
-                                    replicas
-                                        .partitions_of(e.src)
-                                        .chain(replicas.partitions_of(e.dst)),
-                                )
-                                .expect("both sets nonempty")
-                        }
-                    }
-                } else if cu > 0 {
-                    loads
-                        .argmin_among(replicas.partitions_of(e.src))
-                        .expect("A(u) nonempty")
-                } else if cv > 0 {
-                    loads
-                        .argmin_among(replicas.partitions_of(e.dst))
-                        .expect("A(v) nonempty")
-                } else {
-                    loads.argmin() // case 4: fresh edge
-                };
-                replicas.insert(e.src, p);
-                replicas.insert(e.dst, p);
-                loads.add(p);
+                let p = greedy_edge(e, &mut replicas, &mut loads)?;
                 assignments.push(p);
             }
             Ok(())

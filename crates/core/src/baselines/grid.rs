@@ -18,6 +18,10 @@ use crate::state::PartitionLoads;
 use clugp_graph::stream::{chunk_edges, for_each_chunk, RestreamableStream};
 use clugp_graph::types::VertexId;
 
+/// Default hash seed (shared with the distributed engine so
+/// `DistAlgo::grid()` matches `Grid::default()`).
+pub(crate) const DEFAULT_SEED: u64 = 0x62D;
+
 /// The grid-hashing partitioner.
 #[derive(Debug, Clone)]
 pub struct Grid {
@@ -33,8 +37,37 @@ impl Grid {
 
 impl Default for Grid {
     fn default() -> Self {
-        Grid::new(0x62D)
+        Grid::new(DEFAULT_SEED)
     }
+}
+
+/// Per-edge grid kernel: least-loaded partition in the intersection of the
+/// endpoints' constraint sets, union as fallback. Shared by the monolithic
+/// loop and the distributed worker so both paths stay bit-identical.
+#[inline]
+pub(crate) fn grid_edge(
+    e: clugp_graph::types::Edge,
+    seed: u64,
+    r: u64,
+    k: u32,
+    loads: &PartitionLoads,
+    cs_u: &mut Vec<u32>,
+    cs_v: &mut Vec<u32>,
+) -> u32 {
+    constraint_set(e.src, seed, r, k, cs_u);
+    constraint_set(e.dst, seed, r, k, cs_v);
+    loads
+        .argmin_among(cs_u.iter().copied().filter(|p| cs_v.contains(p)))
+        // Overhung grids may have disjoint sets; fall back to the
+        // union (still bounded replication).
+        .or_else(|| loads.argmin_among(cs_u.iter().chain(cs_v.iter()).copied()))
+        .expect("constraint sets are never empty")
+}
+
+/// Grid dimension for `k` partitions.
+#[inline]
+pub(crate) fn grid_dim(k: u32) -> u64 {
+    (f64::from(k)).sqrt().ceil() as u64
 }
 
 /// Constraint set of `v`: all partitions in the same grid row or column as
@@ -72,21 +105,14 @@ impl Partitioner for Grid {
     fn partition(&mut self, stream: &mut dyn RestreamableStream, k: u32) -> Result<PartitionRun> {
         let start = std::time::Instant::now();
         let (n, m) = start_run(stream, k)?;
-        let r = (f64::from(k)).sqrt().ceil() as u64;
+        let r = grid_dim(k);
         let mut assignments = Vec::with_capacity(m as usize);
         let mut loads = PartitionLoads::new(k);
         let mut cs_u = Vec::with_capacity(2 * r as usize);
         let mut cs_v = Vec::with_capacity(2 * r as usize);
         for_each_chunk(stream, chunk_edges(), |chunk| {
             for &e in chunk {
-                constraint_set(e.src, self.seed, r, k, &mut cs_u);
-                constraint_set(e.dst, self.seed, r, k, &mut cs_v);
-                let p = loads
-                    .argmin_among(cs_u.iter().copied().filter(|p| cs_v.contains(p)))
-                    // Overhung grids may have disjoint sets; fall back to the
-                    // union (still bounded replication).
-                    .or_else(|| loads.argmin_among(cs_u.iter().chain(cs_v.iter()).copied()))
-                    .expect("constraint sets are never empty");
+                let p = grid_edge(e, self.seed, r, k, &loads, &mut cs_u, &mut cs_v);
                 assignments.push(p);
                 loads.add(p);
             }

@@ -10,6 +10,19 @@ use crate::partition::{PartitionRun, Partitioning, Timings};
 use crate::partitioner::{mix64, start_run, Partitioner};
 use crate::state::PartitionLoads;
 use clugp_graph::stream::{chunk_edges, for_each_chunk, RestreamableStream};
+use clugp_graph::types::Edge;
+
+/// Per-edge hashing kernel (stateless). Shared by the monolithic loop and
+/// the distributed worker so both paths stay bit-identical.
+#[inline]
+pub(crate) fn hashing_assign(e: Edge, seed: u64, k: u32) -> u32 {
+    let key = (u64::from(e.src) << 32) | u64::from(e.dst);
+    (mix64(key ^ seed) % u64::from(k)) as u32
+}
+
+/// Default hash seed (shared with the distributed engine so
+/// `DistAlgo::hashing()` matches `Hashing::default()`).
+pub(crate) const DEFAULT_SEED: u64 = 0x4A5;
 
 /// The random-hashing partitioner.
 #[derive(Debug, Clone)]
@@ -26,7 +39,7 @@ impl Hashing {
 
 impl Default for Hashing {
     fn default() -> Self {
-        Hashing::new(0x4A5)
+        Hashing::new(DEFAULT_SEED)
     }
 }
 
@@ -42,8 +55,7 @@ impl Partitioner for Hashing {
         let mut loads = PartitionLoads::new(k);
         for_each_chunk(stream, chunk_edges(), |chunk| {
             for &e in chunk {
-                let key = (u64::from(e.src) << 32) | u64::from(e.dst);
-                let p = (mix64(key ^ self.seed) % u64::from(k)) as u32;
+                let p = hashing_assign(e, self.seed, k);
                 assignments.push(p);
                 loads.add(p);
             }

@@ -20,6 +20,53 @@ use crate::partitioner::{start_run, Partitioner};
 use crate::state::{PartitionLoads, ReplicaTable};
 use crate::vertex_table::{VertexTable, DEFAULT_MAX_VERTICES};
 use clugp_graph::stream::{chunk_edges, try_for_each_chunk, RestreamableStream};
+use clugp_graph::types::Edge;
+
+/// Per-edge HDRF kernel: scores every partition and inserts both
+/// endpoints. Shared by the monolithic loop and the distributed worker so
+/// both paths stay bit-identical.
+#[inline]
+pub(crate) fn hdrf_edge(
+    e: Edge,
+    lambda: f64,
+    epsilon: f64,
+    k: u32,
+    degree: &mut VertexTable<u32>,
+    replicas: &mut ReplicaTable,
+    loads: &mut PartitionLoads,
+) -> Result<u32> {
+    degree.ensure(e.src.max(e.dst))?;
+    replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1)?;
+    degree[e.src] += 1;
+    degree[e.dst] += 1;
+    let du = f64::from(degree[e.src]);
+    let dv = f64::from(degree[e.dst]);
+    let theta_u = du / (du + dv);
+    let theta_v = 1.0 - theta_u;
+    let (maxload, minload) = (loads.max() as f64, loads.min() as f64);
+    let denom = epsilon + maxload - minload;
+
+    let mut best_p = 0u32;
+    let mut best_score = f64::NEG_INFINITY;
+    for p in 0..k {
+        let mut score = 0.0;
+        if replicas.contains(e.src, p) {
+            score += 1.0 + (1.0 - theta_u);
+        }
+        if replicas.contains(e.dst, p) {
+            score += 1.0 + (1.0 - theta_v);
+        }
+        score += lambda * (maxload - loads.get(p) as f64) / denom;
+        if score > best_score {
+            best_score = score;
+            best_p = p;
+        }
+    }
+    replicas.insert(e.src, best_p);
+    replicas.insert(e.dst, best_p);
+    loads.add(best_p);
+    Ok(best_p)
+}
 
 /// Tunables of HDRF.
 #[derive(Debug, Clone)]
@@ -72,37 +119,16 @@ impl Partitioner for Hdrf {
 
         try_for_each_chunk(stream, chunk_edges(), |chunk| -> Result<()> {
             for &e in chunk {
-                degree.ensure(e.src.max(e.dst))?;
-                replicas.ensure_vertices(u64::from(e.src.max(e.dst)) + 1)?;
-                degree[e.src] += 1;
-                degree[e.dst] += 1;
-                let du = f64::from(degree[e.src]);
-                let dv = f64::from(degree[e.dst]);
-                let theta_u = du / (du + dv);
-                let theta_v = 1.0 - theta_u;
-                let (maxload, minload) = (loads.max() as f64, loads.min() as f64);
-                let denom = self.config.epsilon + maxload - minload;
-
-                let mut best_p = 0u32;
-                let mut best_score = f64::NEG_INFINITY;
-                for p in 0..k {
-                    let mut score = 0.0;
-                    if replicas.contains(e.src, p) {
-                        score += 1.0 + (1.0 - theta_u);
-                    }
-                    if replicas.contains(e.dst, p) {
-                        score += 1.0 + (1.0 - theta_v);
-                    }
-                    score += self.config.lambda * (maxload - loads.get(p) as f64) / denom;
-                    if score > best_score {
-                        best_score = score;
-                        best_p = p;
-                    }
-                }
-                replicas.insert(e.src, best_p);
-                replicas.insert(e.dst, best_p);
-                loads.add(best_p);
-                assignments.push(best_p);
+                let p = hdrf_edge(
+                    e,
+                    self.config.lambda,
+                    self.config.epsilon,
+                    k,
+                    &mut degree,
+                    &mut replicas,
+                    &mut loads,
+                )?;
+                assignments.push(p);
             }
             Ok(())
         })?;

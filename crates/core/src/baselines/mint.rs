@@ -95,18 +95,7 @@ impl Partitioner for Mint {
         } else {
             self.config.wave_width
         };
-        let pool = if self.config.threads == 0 {
-            None
-        } else {
-            Some(
-                rayon::ThreadPoolBuilder::new()
-                    .num_threads(self.config.threads)
-                    .build()
-                    .map_err(|e| {
-                        crate::error::PartitionError::InvalidParam(format!("thread pool: {e}"))
-                    })?,
-            )
-        };
+        let pool = build_pool(self.config.threads)?;
 
         let mut peak_wave_state = 0usize;
         let mut scratch: Vec<Edge> = Vec::new();
@@ -136,17 +125,7 @@ impl Partitioner for Mint {
             // results are merged in batch order, so the outcome is
             // deterministic regardless of thread scheduling.
             let snapshot: Vec<u64> = loads.as_slice().to_vec();
-            let cfg = &self.config;
-            let solve = || -> Vec<BatchOutcome> {
-                use rayon::prelude::*;
-                wave.par_iter()
-                    .map(|batch| solve_batch(batch, k, &snapshot, cfg))
-                    .collect()
-            };
-            let results = match &pool {
-                Some(pool) => pool.install(solve),
-                None => solve(),
-            };
+            let results = solve_wave(&wave, k, &snapshot, &self.config, pool.as_ref());
             // At most `concurrency` batch games are live at once (each
             // worker solves its batches one after another), so the state
             // charged to this wave is the sum of its `concurrency` largest
@@ -191,9 +170,45 @@ impl Partitioner for Mint {
     }
 }
 
-struct BatchOutcome {
-    assignments: Vec<u32>,
-    state_bytes: usize,
+pub(crate) struct BatchOutcome {
+    pub(crate) assignments: Vec<u32>,
+    pub(crate) state_bytes: usize,
+}
+
+/// Builds the dedicated wave-solving pool (`None` = use the global pool).
+pub(crate) fn build_pool(threads: usize) -> Result<Option<rayon::ThreadPool>> {
+    if threads == 0 {
+        return Ok(None);
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map(Some)
+        .map_err(|e| crate::error::PartitionError::InvalidParam(format!("thread pool: {e}")))
+}
+
+/// Solves one wave: every batch plays against the same committed-load
+/// `snapshot`, in parallel under `pool` (or the global pool). Outcomes are
+/// returned in batch order, so the commit is deterministic regardless of
+/// thread scheduling. Shared by the monolithic loop and the distributed
+/// worker so both paths stay bit-identical.
+pub(crate) fn solve_wave(
+    wave: &[Vec<Edge>],
+    k: u32,
+    snapshot: &[u64],
+    cfg: &MintConfig,
+    pool: Option<&rayon::ThreadPool>,
+) -> Vec<BatchOutcome> {
+    let solve = || -> Vec<BatchOutcome> {
+        use rayon::prelude::*;
+        wave.par_iter()
+            .map(|batch| solve_batch(batch, k, snapshot, cfg))
+            .collect()
+    };
+    match pool {
+        Some(pool) => pool.install(solve),
+        None => solve(),
+    }
 }
 
 /// Fills `batch` with exactly `target` edges (or fewer at end-of-stream)

@@ -10,12 +10,12 @@
 //! | [`Greedy`] | PowerGraph oblivious greedy (Gonzalez et al., OSDI'12) | High | High |
 //! | [`Hdrf`] | High-Degree Replicated First (Petroni et al., CIKM'15) | High | High |
 
-mod dbh;
-mod greedy;
-mod grid;
-mod hashing;
-mod hdrf;
-mod mint;
+pub(crate) mod dbh;
+pub(crate) mod greedy;
+pub(crate) mod grid;
+pub(crate) mod hashing;
+pub(crate) mod hdrf;
+pub(crate) mod mint;
 
 pub use dbh::Dbh;
 pub use greedy::Greedy;

@@ -20,12 +20,31 @@
 //!                   first pass; output is translated back to the external
 //!                   ids. Streams in file order.
 //! --output <file>   write per-edge assignment as "src dst partition" TSV
+//! --workers <N>     shard the run across N workers through the
+//!                   coordinator/worker engine (default 1; results are
+//!                   bit-identical at any worker count)
+//! --transport <t>   channel (default: in-process worker threads) | unix
+//!                   (spawn N worker *processes* talking length-prefixed
+//!                   frames over Unix sockets)
+//! --socket-dir <d>  where unix-transport sockets live (default: a fresh
+//!                   temp directory)
+//! --emit-placement <dir>
+//!                   write a placement directory (assignment snapshot +
+//!                   replica table) consumable by the engine crate
 //! ```
 
+use clugp::ampc::coordinator::DistAlgo;
+use clugp::ampc::proto::Msg;
+use clugp::ampc::{
+    run_coordinator, run_distributed, run_worker, DistConfig, DistInput, Transport, TransportKind,
+    UnixTransport,
+};
 use clugp::baselines::{Dbh, Greedy, Grid, Hashing, Hdrf, Mint, MintConfig};
 use clugp::clugp::{Clugp, ClugpConfig};
 use clugp::metrics::PartitionQuality;
+use clugp::partition::Partitioning;
 use clugp::partitioner::Partitioner;
+use clugp::state::ReplicaTable;
 use clugp_graph::csr::CsrGraph;
 use clugp_graph::io::binary::read_binary_graph;
 use clugp_graph::io::edge_list::read_edge_list;
@@ -33,8 +52,9 @@ use clugp_graph::io::{open_sparse_edge_stream, sniff_format, GraphFileFormat};
 use clugp_graph::order::{ordered_edges, StreamOrder};
 use clugp_graph::pack::PackedEdgeStream;
 use clugp_graph::stream::{collect_stream, InMemoryStream, RestreamableStream};
+use clugp_graph::types::Edge;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 #[derive(Debug, Clone)]
@@ -48,6 +68,10 @@ struct Options {
     chunk_size: Option<usize>,
     sparse: bool,
     output: Option<String>,
+    workers: u32,
+    transport: String,
+    socket_dir: Option<String>,
+    emit_placement: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -61,6 +85,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         chunk_size: None,
         sparse: false,
         output: None,
+        workers: 1,
+        transport: "channel".into(),
+        socket_dir: None,
+        emit_placement: None,
     };
     let mut it = args.iter().peekable();
     let mut positional = Vec::new();
@@ -97,6 +125,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--sparse" => opts.sparse = true,
             "--output" => opts.output = Some(value("--output")?),
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if opts.workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--transport" => {
+                opts.transport = value("--transport")?.to_lowercase();
+                if opts.transport != "channel" && opts.transport != "unix" {
+                    return Err(format!(
+                        "--transport must be channel or unix, got {:?}",
+                        opts.transport
+                    ));
+                }
+            }
+            "--socket-dir" => opts.socket_dir = Some(value("--socket-dir")?),
+            "--emit-placement" => opts.emit_placement = Some(value("--emit-placement")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => positional.push(a.clone()),
         }
@@ -116,7 +163,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 .into(),
         );
     }
+    if opts.sparse && distributed(&opts) {
+        return Err("--sparse is not supported with --workers/--transport".into());
+    }
     Ok(opts)
+}
+
+/// Whether the run goes through the coordinator/worker engine.
+fn distributed(opts: &Options) -> bool {
+    opts.workers > 1 || opts.transport == "unix"
 }
 
 fn build_partitioner(opts: &Options) -> Result<Box<dyn Partitioner>, String> {
@@ -135,6 +190,28 @@ fn build_partitioner(opts: &Options) -> Result<Box<dyn Partitioner>, String> {
             threads: opts.threads,
             ..Default::default()
         })),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+/// The distributed mirror of [`build_partitioner`]: same defaults, same
+/// knobs, so either path produces the same partitions.
+fn build_dist_algo(opts: &Options) -> Result<DistAlgo, String> {
+    Ok(match opts.algo.as_str() {
+        "clugp" => DistAlgo::Clugp(ClugpConfig {
+            tau: opts.tau,
+            threads: opts.threads,
+            ..Default::default()
+        }),
+        "hdrf" => DistAlgo::hdrf(),
+        "greedy" => DistAlgo::greedy(),
+        "hashing" => DistAlgo::hashing(),
+        "dbh" => DistAlgo::dbh(),
+        "grid" => DistAlgo::grid(),
+        "mint" => DistAlgo::Mint(MintConfig {
+            threads: opts.threads,
+            ..Default::default()
+        }),
         other => return Err(format!("unknown algorithm {other:?}")),
     })
 }
@@ -237,25 +314,67 @@ fn run(opts: &Options) -> Result<(), String> {
         opts.order
     );
 
-    let mut stream = InMemoryStream::new(n, edges.clone());
-    let mut partitioner = build_partitioner(opts)?;
-    let run = partitioner
-        .partition(&mut stream, opts.k)
-        .map_err(|e| e.to_string())?;
-    let quality = PartitionQuality::compute(&edges, &run.partitioning);
+    let partitioning = if distributed(opts) {
+        let algo = build_dist_algo(opts)?;
+        let input = DistInput::Edges {
+            num_vertices: n,
+            edges: &edges,
+        };
+        let chunk = opts.chunk_size.unwrap_or(0);
+        let start = std::time::Instant::now();
+        let out = if opts.transport == "unix" {
+            run_multiprocess(&algo, input, opts)?
+        } else {
+            run_distributed(
+                &algo,
+                input,
+                opts.k,
+                &DistConfig {
+                    workers: opts.workers,
+                    transport: TransportKind::Channel,
+                    chunk_edges: chunk,
+                },
+            )
+            .map_err(|e| e.to_string())?
+        };
+        let quality = PartitionQuality::compute(&edges, &out.partitioning);
+        println!("algorithm          = {}", algo.name());
+        println!("k                  = {}", opts.k);
+        println!("replication factor = {:.4}", quality.replication_factor);
+        println!("relative balance   = {:.4}", quality.relative_balance);
+        println!("mirrors            = {}", quality.mirrors);
+        println!("partition time     = {:?}", start.elapsed());
+        println!("workers            = {} ({})", out.workers, opts.transport);
+        println!(
+            "bytes exchanged    = {} ({} frames)",
+            out.net.bytes_sent, out.net.frames_sent
+        );
+        out.partitioning
+    } else {
+        let mut stream = InMemoryStream::new(n, edges.clone());
+        let mut partitioner = build_partitioner(opts)?;
+        let run = partitioner
+            .partition(&mut stream, opts.k)
+            .map_err(|e| e.to_string())?;
+        let quality = PartitionQuality::compute(&edges, &run.partitioning);
+        println!("algorithm          = {}", partitioner.name());
+        println!("k                  = {}", opts.k);
+        println!("replication factor = {:.4}", quality.replication_factor);
+        println!("relative balance   = {:.4}", quality.relative_balance);
+        println!("mirrors            = {}", quality.mirrors);
+        println!("partition time     = {:?}", run.timings.total);
+        println!("working memory     = {}", run.memory);
+        run.partitioning
+    };
 
-    println!("algorithm          = {}", partitioner.name());
-    println!("k                  = {}", opts.k);
-    println!("replication factor = {:.4}", quality.replication_factor);
-    println!("relative balance   = {:.4}", quality.relative_balance);
-    println!("mirrors            = {}", quality.mirrors);
-    println!("partition time     = {:?}", run.timings.total);
-    println!("working memory     = {}", run.memory);
-
+    if let Some(dir) = &opts.emit_placement {
+        emit_placement(Path::new(dir), &edges, &partitioning)?;
+        eprintln!("placement written to {dir}");
+    }
     if let Some(out) = &opts.output {
         let mut w =
             std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?);
-        for (e, p) in edges.iter().zip(&run.partitioning.assignments) {
+        for (e, p) in edges.iter().zip(&partitioning.assignments) {
             writeln!(w, "{}\t{}\t{}", e.src, e.dst, p).map_err(|e| e.to_string())?;
         }
         w.flush().map_err(|e| e.to_string())?;
@@ -264,13 +383,133 @@ fn run(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Derives the replica table from the assignment and writes the placement
+/// directory (`partition_io::write_placement_dir`).
+fn emit_placement(dir: &Path, edges: &[Edge], partitioning: &Partitioning) -> Result<(), String> {
+    let mut replicas =
+        ReplicaTable::new(partitioning.num_vertices, partitioning.k).map_err(|e| e.to_string())?;
+    for (e, &p) in edges.iter().zip(&partitioning.assignments) {
+        replicas
+            .ensure_vertices(u64::from(e.src.max(e.dst)) + 1)
+            .map_err(|e| e.to_string())?;
+        replicas.insert(e.src, p);
+        replicas.insert(e.dst, p);
+    }
+    clugp::partition_io::write_placement_dir(dir, partitioning, &replicas)
+        .map_err(|e| e.to_string())
+}
+
+/// Multi-process mode: spawns `--workers` copies of this binary as worker
+/// processes, each connected over a Unix socket with the same
+/// length-prefixed framing the in-process unix transport uses.
+fn run_multiprocess(
+    algo: &DistAlgo,
+    input: DistInput<'_>,
+    opts: &Options,
+) -> Result<clugp::ampc::DistOutcome, String> {
+    use std::os::unix::net::UnixListener;
+    let own_dir = opts.socket_dir.is_none();
+    let dir: PathBuf = match &opts.socket_dir {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("clugp-ampc-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let sock = dir.join("coordinator.sock");
+    std::fs::remove_file(&sock).ok();
+    let listener = UnixListener::bind(&sock).map_err(|e| format!("{}: {e}", sock.display()))?;
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut children = Vec::new();
+    for i in 0..opts.workers {
+        children.push(
+            std::process::Command::new(&exe)
+                .arg("--ampc-worker")
+                .arg(&sock)
+                .arg("--ampc-index")
+                .arg(i.to_string())
+                .spawn()
+                .map_err(|e| format!("spawning worker {i}: {e}"))?,
+        );
+    }
+    // Workers identify themselves with Hello{index}; accept order is
+    // arbitrary, the index is what assigns the slot.
+    let mut conns: Vec<Option<Box<dyn Transport>>> = (0..opts.workers).map(|_| None).collect();
+    for _ in 0..opts.workers {
+        let (stream, _) = listener.accept().map_err(|e| e.to_string())?;
+        let mut t = UnixTransport::new(stream);
+        let hello = t
+            .recv()
+            .and_then(|f| Msg::decode(&f))
+            .map_err(|e| e.to_string())?;
+        match hello {
+            Msg::Hello { worker } if (worker as usize) < conns.len() => {
+                if conns[worker as usize].is_some() {
+                    return Err(format!("worker {worker} connected twice"));
+                }
+                conns[worker as usize] = Some(Box::new(t));
+            }
+            other => return Err(format!("expected Hello, got {}", other.kind())),
+        }
+    }
+    let conns: Vec<Box<dyn Transport>> = conns.into_iter().map(|c| c.unwrap()).collect();
+    let result = run_coordinator(conns, algo, input, opts.k, opts.chunk_size.unwrap_or(0))
+        .map_err(|e| e.to_string());
+    for (i, mut child) in children.into_iter().enumerate() {
+        match child.wait() {
+            Ok(status) if !status.success() && result.is_ok() => {
+                eprintln!("warning: worker {i} exited with {status}");
+            }
+            Err(e) => eprintln!("warning: waiting for worker {i}: {e}"),
+            _ => {}
+        }
+    }
+    std::fs::remove_file(&sock).ok();
+    if own_dir {
+        std::fs::remove_dir(&dir).ok();
+    }
+    result
+}
+
+/// Hidden child mode: connect to the coordinator socket, introduce
+/// ourselves, and serve stages until `Shutdown`.
+fn run_ampc_worker(socket: &str, index: u32) -> Result<(), String> {
+    let stream =
+        std::os::unix::net::UnixStream::connect(socket).map_err(|e| format!("{socket}: {e}"))?;
+    let mut t = UnixTransport::new(stream);
+    t.send(&Msg::Hello { worker: index }.encode())
+        .map_err(|e| e.to_string())?;
+    run_worker(Box::new(t)).map_err(|e| e.to_string())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden worker-process mode (spawned by --transport unix).
+    if let Some(at) = args.iter().position(|a| a == "--ampc-worker") {
+        let socket = args.get(at + 1).cloned();
+        let index = args
+            .iter()
+            .position(|a| a == "--ampc-index")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u32>().ok());
+        return match (socket, index) {
+            (Some(socket), Some(index)) => match run_ampc_worker(&socket, index) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("worker {index}: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            _ => {
+                eprintln!("error: --ampc-worker needs a socket path and --ampc-index <i>");
+                ExitCode::from(2)
+            }
+        };
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: clugp-part <edges-file> --k <K> [--algo clugp|hdrf|greedy|hashing|dbh|mint|grid] \
              [--order bfs|dfs|random|asis] [--tau F] [--threads N] [--chunk-size N] [--sparse] \
-             [--output file]"
+             [--output file] [--workers N] [--transport channel|unix] [--socket-dir dir] \
+             [--emit-placement dir]"
         );
         return ExitCode::from(2);
     }
@@ -355,6 +594,10 @@ mod tests {
                 chunk_size: None,
                 sparse: false,
                 output: None,
+                workers: 1,
+                transport: "channel".into(),
+                socket_dir: None,
+                emit_placement: None,
             };
             assert!(build_partitioner(&opts).is_ok(), "{algo}");
         }
@@ -368,6 +611,10 @@ mod tests {
             chunk_size: None,
             sparse: false,
             output: None,
+            workers: 1,
+            transport: "channel".into(),
+            socket_dir: None,
+            emit_placement: None,
         };
         assert!(build_partitioner(&bad).is_err());
     }
@@ -397,6 +644,10 @@ mod tests {
             chunk_size: None,
             sparse: false,
             output: Some(output.to_string_lossy().into_owned()),
+            workers: 1,
+            transport: "channel".into(),
+            socket_dir: None,
+            emit_placement: None,
         };
         run(&opts).unwrap();
         let written = std::fs::read_to_string(&output).unwrap();
@@ -433,6 +684,10 @@ mod tests {
             chunk_size: None,
             sparse: true,
             output: Some(output.to_string_lossy().into_owned()),
+            workers: 1,
+            transport: "channel".into(),
+            socket_dir: None,
+            emit_placement: None,
         };
         run(&opts).unwrap();
         let written = std::fs::read_to_string(&output).unwrap();
@@ -495,6 +750,10 @@ mod tests {
             chunk_size: Some(2), // exercise the override end to end
             sparse: false,
             output: Some(output.to_string_lossy().into_owned()),
+            workers: 1,
+            transport: "channel".into(),
+            socket_dir: None,
+            emit_placement: None,
         };
         run(&opts).unwrap();
         // Restore the default so concurrently running tests keep the
@@ -524,9 +783,102 @@ mod tests {
             chunk_size: None,
             sparse: true,
             output: None,
+            workers: 1,
+            transport: "channel".into(),
+            socket_dir: None,
+            emit_placement: None,
         };
         let err = run(&opts).unwrap_err();
         assert!(err.contains("--sparse"), "{err}");
         std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn distributed_flags_parse_and_validate() {
+        let o = parse_args(&strs(&["g.txt", "--k", "4", "--workers", "3"])).unwrap();
+        assert_eq!(o.workers, 3);
+        assert!(distributed(&o));
+        let o = parse_args(&strs(&["g.txt", "--k", "4", "--transport", "unix"])).unwrap();
+        assert_eq!(o.transport, "unix");
+        assert!(distributed(&o)); // unix always goes multi-process
+        let o = parse_args(&strs(&["g.txt", "--k", "4"])).unwrap();
+        assert!(!distributed(&o));
+
+        let err = parse_args(&strs(&["g.txt", "--k", "4", "--workers", "0"])).unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+        let err = parse_args(&strs(&["g.txt", "--k", "4", "--transport", "tcp"])).unwrap_err();
+        assert!(err.contains("--transport"), "{err}");
+        let err =
+            parse_args(&strs(&["g.txt", "--k", "4", "--sparse", "--workers", "2"])).unwrap_err();
+        assert!(err.contains("--sparse"), "{err}");
+    }
+
+    #[test]
+    fn emit_placement_flag_parses() {
+        let o = parse_args(&strs(&[
+            "g.txt",
+            "--k",
+            "4",
+            "--emit-placement",
+            "place_dir",
+        ]))
+        .unwrap();
+        assert_eq!(o.emit_placement.as_deref(), Some("place_dir"));
+    }
+
+    #[test]
+    fn distributed_channel_run_matches_monolith_and_emits_placement() {
+        let dir = std::env::temp_dir().join("clugp_part_cli_dist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt");
+        std::fs::write(&input, "0 1\n1 2\n2 0\n2 3\n3 4\n4 0\n1 3\n").unwrap();
+        let mono_out = dir.join("mono.tsv");
+        let dist_out = dir.join("dist.tsv");
+        let placement = dir.join("placement");
+        let base = Options {
+            input: input.to_string_lossy().into_owned(),
+            k: 2,
+            algo: "hdrf".into(),
+            order: "asis".into(),
+            tau: 1.0,
+            threads: 1,
+            chunk_size: None,
+            sparse: false,
+            output: Some(mono_out.to_string_lossy().into_owned()),
+            workers: 1,
+            transport: "channel".into(),
+            socket_dir: None,
+            emit_placement: None,
+        };
+        run(&base).unwrap();
+        let dist = Options {
+            workers: 3,
+            output: Some(dist_out.to_string_lossy().into_owned()),
+            emit_placement: Some(placement.to_string_lossy().into_owned()),
+            ..base
+        };
+        run(&dist).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&mono_out).unwrap(),
+            std::fs::read_to_string(&dist_out).unwrap(),
+            "3-worker channel run must be bit-identical to the monolith"
+        );
+        let (p, replicas) = clugp::partition_io::read_placement_dir(&placement).unwrap();
+        assert_eq!(p.k, 2);
+        assert_eq!(p.assignments.len(), 7);
+        // Every edge endpoint must be replicated on its edge's partition.
+        let text = std::fs::read_to_string(&input).unwrap();
+        for (line, &part) in text.lines().zip(&p.assignments) {
+            let mut it = line.split_whitespace();
+            let s: u32 = it.next().unwrap().parse().unwrap();
+            let d: u32 = it.next().unwrap().parse().unwrap();
+            for v in [s, d] {
+                assert!(
+                    replicas.partitions_of(v).any(|q| q == part),
+                    "vertex {v} missing replica on partition {part}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -38,53 +38,34 @@ impl ClusterGraph {
     /// Builds the cluster graph from one pass of `stream` using pass 1's
     /// vertex→cluster table.
     pub fn build(stream: &mut dyn EdgeStream, clustering: &ClusteringResult) -> Self {
-        let m = clustering.num_clusters as usize;
-        let mut intra = vec![0u64; m];
-        // Sort-based symmetric aggregation keyed by the packed (min, max)
-        // cluster pair: raw pairs accumulate in a bounded buffer; when it
-        // fills, the buffer is sorted and run-length-merged into the sorted
-        // `(pair, weight)` aggregate. Profiled against the previous
-        // `FxHashMap` accumulation (pre-sized from `m`) on the bench
-        // generator mix (uk-s web crawl and twitter-s BA analogues, BFS
-        // order, k=32): the sorted merge is ~25% faster on the web mix and
-        // ~5% faster on the social mix — BFS locality makes fresh pairs
-        // arrive nearly sorted, so the sorts are cheap, while the hash path
-        // pays a probe per edge. The flush threshold grows with the
-        // aggregate (merge only once the buffer is at least as large as the
-        // aggregate) so each merge at least doubles the merged volume and
-        // total merge cost stays near-linear even when the distinct-pair
-        // count dwarfs the base threshold; transient memory is bounded by
-        // `max(4m, 64Ki)` keys or the aggregate's own size, whichever is
-        // larger — never the raw |E_inter| pair list.
-        let flush_base = (4 * m).max(1 << 16);
-        let mut buf: Vec<u64> = Vec::with_capacity(flush_base);
-        let mut agg: Vec<(u64, u32)> = Vec::new();
+        let mut sink = PairSink::new(clustering.num_clusters as usize);
         for_each_chunk(stream, chunk_edges(), |chunk| {
             for &e in chunk {
                 let cu = clustering.cluster_of[e.src];
                 let cv = clustering.cluster_of[e.dst];
                 debug_assert_ne!(cu, NO_CLUSTER);
                 debug_assert_ne!(cv, NO_CLUSTER);
-                if cu == cv {
-                    intra[cu as usize] += 1;
-                } else {
-                    let (lo, hi) = if cu < cv { (cu, cv) } else { (cv, cu) };
-                    buf.push((u64::from(lo) << 32) | u64::from(hi));
-                    if buf.len() >= flush_base.max(agg.len()) {
-                        flush_pairs(&mut buf, &mut agg);
-                    }
-                }
+                sink.push(cu, cv);
             }
         });
-        flush_pairs(&mut buf, &mut agg);
+        let (intra, agg) = sink.finish();
+        ClusterGraph::from_parts(clustering.num_clusters, intra, &agg)
+    }
 
+    /// Assembles the CSR structure from a per-cluster intra count and a
+    /// sorted, deduplicated `(packed pair, weight)` aggregate — the halves
+    /// [`PairSink`] produces, or (in the distributed path) the merge of
+    /// several workers' partial aggregates.
+    pub(crate) fn from_parts(num_clusters: u32, intra: Vec<u64>, agg: &[(u64, u32)]) -> Self {
+        let m = num_clusters as usize;
+        debug_assert_eq!(intra.len(), m);
         // CSR over the symmetric adjacency, via the exclusive-prefix-shift
         // trick: count degrees in `offsets`, prefix-sum them into bucket
         // *starts*, let the fill phase bump each start to its bucket's end,
         // then shift the array right by one slot to restore canonical CSR
         // offsets — no cloned cursor vector.
         let mut offsets = vec![0u64; m + 1];
-        for &(key, _) in &agg {
+        for &(key, _) in agg {
             offsets[(key >> 32) as usize] += 1;
             offsets[(key & 0xFFFF_FFFF) as usize] += 1;
         }
@@ -96,7 +77,7 @@ impl ClusterGraph {
         }
         let mut neighbors = vec![(0u32, 0u32); acc as usize];
         let mut total_external = vec![0u64; m];
-        for &(key, w) in &agg {
+        for &(key, w) in agg {
             let lo = (key >> 32) as u32;
             let hi = (key & 0xFFFF_FFFF) as u32;
             neighbors[offsets[lo as usize] as usize] = (hi, w);
@@ -116,7 +97,7 @@ impl ClusterGraph {
             .map(|(&i, &e)| 2 * i + e)
             .collect();
         ClusterGraph {
-            num_clusters: clustering.num_clusters,
+            num_clusters,
             intra,
             offsets,
             neighbors,
@@ -173,6 +154,89 @@ impl ClusterGraph {
             + self.neighbors.capacity() * 8
             + self.total_external.capacity() * 8
     }
+}
+
+/// Streaming accumulator for the cluster graph's two halves: dense
+/// per-cluster intra counts and the sorted symmetric inter-pair aggregate.
+///
+/// Sort-based symmetric aggregation keyed by the packed (min, max)
+/// cluster pair: raw pairs accumulate in a bounded buffer; when it
+/// fills, the buffer is sorted and run-length-merged into the sorted
+/// `(pair, weight)` aggregate. Profiled against the previous
+/// `FxHashMap` accumulation (pre-sized from `m`) on the bench
+/// generator mix (uk-s web crawl and twitter-s BA analogues, BFS
+/// order, k=32): the sorted merge is ~25% faster on the web mix and
+/// ~5% faster on the social mix — BFS locality makes fresh pairs
+/// arrive nearly sorted, so the sorts are cheap, while the hash path
+/// pays a probe per edge. The flush threshold grows with the
+/// aggregate (merge only once the buffer is at least as large as the
+/// aggregate) so each merge at least doubles the merged volume and
+/// total merge cost stays near-linear even when the distinct-pair
+/// count dwarfs the base threshold; transient memory is bounded by
+/// `max(4m, 64Ki)` keys or the aggregate's own size, whichever is
+/// larger — never the raw |E_inter| pair list.
+pub(crate) struct PairSink {
+    flush_base: usize,
+    buf: Vec<u64>,
+    intra: Vec<u64>,
+    agg: Vec<(u64, u32)>,
+}
+
+impl PairSink {
+    /// Accumulator for `m` clusters.
+    pub(crate) fn new(m: usize) -> PairSink {
+        let flush_base = (4 * m).max(1 << 16);
+        PairSink {
+            flush_base,
+            buf: Vec::with_capacity(flush_base),
+            intra: vec![0u64; m],
+            agg: Vec::new(),
+        }
+    }
+
+    /// Records one edge whose endpoints sit in clusters `cu` and `cv`.
+    #[inline]
+    pub(crate) fn push(&mut self, cu: u32, cv: u32) {
+        if cu == cv {
+            self.intra[cu as usize] += 1;
+        } else {
+            let (lo, hi) = if cu < cv { (cu, cv) } else { (cv, cu) };
+            self.buf.push((u64::from(lo) << 32) | u64::from(hi));
+            if self.buf.len() >= self.flush_base.max(self.agg.len()) {
+                flush_pairs(&mut self.buf, &mut self.agg);
+            }
+        }
+    }
+
+    /// Final flush; returns `(intra, sorted aggregate)`.
+    pub(crate) fn finish(mut self) -> (Vec<u64>, Vec<(u64, u32)>) {
+        flush_pairs(&mut self.buf, &mut self.agg);
+        (self.intra, self.agg)
+    }
+}
+
+/// Merges two sorted, deduplicated `(pair, weight)` aggregates, adding
+/// weights on key collisions — how the coordinator combines workers'
+/// partial cluster graphs. Weight-preserving by the same multiset
+/// invariant `flush_boundaries_do_not_change_aggregate` pins for
+/// [`flush_pairs`].
+pub(crate) fn merge_weighted(a: &[(u64, u32)], b: &[(u64, u32)]) -> Vec<(u64, u32)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ai, mut bi) = (0usize, 0usize);
+    while ai < a.len() || bi < b.len() {
+        if bi >= b.len() || (ai < a.len() && a[ai].0 < b[bi].0) {
+            out.push(a[ai]);
+            ai += 1;
+        } else if ai >= a.len() || b[bi].0 < a[ai].0 {
+            out.push(b[bi]);
+            bi += 1;
+        } else {
+            out.push((a[ai].0, a[ai].1 + b[bi].1));
+            ai += 1;
+            bi += 1;
+        }
+    }
+    out
 }
 
 /// Sorts the raw pair buffer and merges its run-length-encoded runs into the
@@ -363,6 +427,26 @@ mod tests {
             let mut sorted = ids.clone();
             sorted.sort_unstable();
             assert_eq!(ids, sorted, "cluster {c} neighbors unsorted");
+        }
+    }
+
+    #[test]
+    fn merge_weighted_equals_single_flush() {
+        // Splitting a key sequence across two aggregates and merging must
+        // equal flushing the whole sequence at once.
+        let keys: Vec<u64> = (0..400u64).map(|i| (i * 29) % 31).collect();
+        let reference = {
+            let mut buf = keys.clone();
+            let mut agg = Vec::new();
+            super::flush_pairs(&mut buf, &mut agg);
+            agg
+        };
+        for split in [0usize, 1, 57, 399, 400] {
+            let (mut left, mut right) = (keys[..split].to_vec(), keys[split..].to_vec());
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            super::flush_pairs(&mut left, &mut a);
+            super::flush_pairs(&mut right, &mut b);
+            assert_eq!(super::merge_weighted(&a, &b), reference, "split={split}");
         }
     }
 

@@ -122,94 +122,148 @@ pub fn stream_clustering_capped(
     let mut splits = 0u64;
     let mut migrations = 0u64;
 
-    let new_cluster = |vol: &mut Vec<u64>| -> u32 {
-        vol.push(0);
-        (vol.len() - 1) as u32
-    };
-
     // Chunked drain: one virtual dispatch per block of edges, then a tight
     // loop — chunk boundaries carry no semantics, so the result is
     // bit-identical to the per-edge pull for any chunking.
     try_for_each_chunk(stream, chunk_edges(), |chunk| -> Result<()> {
         for &e in chunk {
-            let (u, v) = (e.src, e.dst);
-            let hi = u.max(v);
-            cluster_of.ensure(hi)?;
-            degree.ensure(hi)?;
-            divided.ensure(hi)?;
-
-            // Allocation.
-            if cluster_of[u] == NO_CLUSTER {
-                cluster_of[u] = new_cluster(&mut vol);
-            }
-            if cluster_of[v] == NO_CLUSTER {
-                cluster_of[v] = new_cluster(&mut vol);
-            }
-            degree[u] += 1;
-            degree[v] += 1;
-            vol[cluster_of[u] as usize] += 1;
-            vol[cluster_of[v] as usize] += 1;
-
-            // Splitting: evict the endpoint whose cluster just overflowed into
-            // a fresh cluster, carrying its degree with it.
-            if splitting {
-                if vol[cluster_of[u] as usize] >= vmax {
-                    split_vertex(u, &mut cluster_of, &degree, &mut vol, &mut divided, || {
-                        splits += 1;
-                    });
-                }
-                if v != u && vol[cluster_of[v] as usize] >= vmax {
-                    split_vertex(v, &mut cluster_of, &degree, &mut vol, &mut divided, || {
-                        splits += 1;
-                    });
-                }
-            }
-
-            // Migration: pull an endpoint of the smaller cluster into the
-            // bigger one, provided neither cluster is full. The policy decides
-            // which vertices may move:
-            //  * Paper    — Algorithm 2 verbatim, no further conditions; lets
-            //    migrations overfill clusters, which parks them at Vmax and
-            //    turns every subsequent member edge into a spurious split.
-            //  * Headroom — Hollocou's original guard (destination stays ≤ Vmax).
-            //  * Anchored — Headroom plus: only vertices alone in their cluster
-            //    (anchor 0) move, so a single cross edge cannot yank an
-            //    established vertex out of its community (churn guard).
-            let cu = cluster_of[u];
-            let cv = cluster_of[v];
-            if cu != cv && vol[cu as usize] < vmax && vol[cv as usize] < vmax {
-                let du = u64::from(degree[u]);
-                let dv = u64::from(degree[v]);
-                let (mover, mover_deg, dest) = if vol[cu as usize] <= vol[cv as usize] {
-                    (u, du, cv)
-                } else {
-                    (v, dv, cu)
-                };
-                let anchor = vol[cluster_of[mover] as usize] - mover_deg;
-                let headroom_ok = vol[dest as usize] + mover_deg <= vmax;
-                let allowed = match migration {
-                    MigrationPolicy::Paper => true,
-                    MigrationPolicy::Headroom => headroom_ok,
-                    MigrationPolicy::Anchored => anchor == 0 && headroom_ok,
-                };
-                if allowed {
-                    migrate(mover, dest, &mut cluster_of, &degree, &mut vol);
-                    migrations += 1;
-                }
-            }
+            pass1_edge(
+                e,
+                vmax,
+                splitting,
+                migration,
+                &mut cluster_of,
+                &mut degree,
+                &mut divided,
+                &mut vol,
+                &mut splits,
+                &mut migrations,
+            )?;
         }
         Ok(())
     })?;
 
-    // Compact raw cluster ids (dropping emptied ones) in creation order, so
-    // dense ids keep the stream-locality property §V-D relies on.
-    let mut used = vec![false; vol.len()];
+    let (next_dense, volumes) = compact_clusters(&mut cluster_of, &degree, vol.len());
+
+    Ok(ClusteringResult {
+        cluster_of,
+        degree,
+        divided,
+        num_clusters: next_dense,
+        volumes,
+        splits,
+        migrations,
+    })
+}
+
+/// Per-edge allocation–splitting–migration kernel (Algorithm 2's loop
+/// body). `vol` is indexed by *raw* cluster id; fresh clusters are
+/// allocated by pushing onto it, so its length is the raw id watermark.
+/// Shared by the monolithic loop and the distributed worker so both paths
+/// stay bit-identical.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the pass state one-to-one
+pub(crate) fn pass1_edge(
+    e: clugp_graph::types::Edge,
+    vmax: u64,
+    splitting: bool,
+    migration: MigrationPolicy,
+    cluster_of: &mut VertexTable<u32>,
+    degree: &mut VertexTable<u32>,
+    divided: &mut VertexTable<bool>,
+    vol: &mut Vec<u64>,
+    splits: &mut u64,
+    migrations: &mut u64,
+) -> Result<()> {
+    let new_cluster = |vol: &mut Vec<u64>| -> u32 {
+        vol.push(0);
+        (vol.len() - 1) as u32
+    };
+    let (u, v) = (e.src, e.dst);
+    let hi = u.max(v);
+    cluster_of.ensure(hi)?;
+    degree.ensure(hi)?;
+    divided.ensure(hi)?;
+
+    // Allocation.
+    if cluster_of[u] == NO_CLUSTER {
+        cluster_of[u] = new_cluster(vol);
+    }
+    if cluster_of[v] == NO_CLUSTER {
+        cluster_of[v] = new_cluster(vol);
+    }
+    degree[u] += 1;
+    degree[v] += 1;
+    vol[cluster_of[u] as usize] += 1;
+    vol[cluster_of[v] as usize] += 1;
+
+    // Splitting: evict the endpoint whose cluster just overflowed into
+    // a fresh cluster, carrying its degree with it.
+    if splitting {
+        if vol[cluster_of[u] as usize] >= vmax {
+            split_vertex(u, cluster_of, degree, vol, divided, || {
+                *splits += 1;
+            });
+        }
+        if v != u && vol[cluster_of[v] as usize] >= vmax {
+            split_vertex(v, cluster_of, degree, vol, divided, || {
+                *splits += 1;
+            });
+        }
+    }
+
+    // Migration: pull an endpoint of the smaller cluster into the
+    // bigger one, provided neither cluster is full. The policy decides
+    // which vertices may move:
+    //  * Paper    — Algorithm 2 verbatim, no further conditions; lets
+    //    migrations overfill clusters, which parks them at Vmax and
+    //    turns every subsequent member edge into a spurious split.
+    //  * Headroom — Hollocou's original guard (destination stays ≤ Vmax).
+    //  * Anchored — Headroom plus: only vertices alone in their cluster
+    //    (anchor 0) move, so a single cross edge cannot yank an
+    //    established vertex out of its community (churn guard).
+    let cu = cluster_of[u];
+    let cv = cluster_of[v];
+    if cu != cv && vol[cu as usize] < vmax && vol[cv as usize] < vmax {
+        let du = u64::from(degree[u]);
+        let dv = u64::from(degree[v]);
+        let (mover, mover_deg, dest) = if vol[cu as usize] <= vol[cv as usize] {
+            (u, du, cv)
+        } else {
+            (v, dv, cu)
+        };
+        let anchor = vol[cluster_of[mover] as usize] - mover_deg;
+        let headroom_ok = vol[dest as usize] + mover_deg <= vmax;
+        let allowed = match migration {
+            MigrationPolicy::Paper => true,
+            MigrationPolicy::Headroom => headroom_ok,
+            MigrationPolicy::Anchored => anchor == 0 && headroom_ok,
+        };
+        if allowed {
+            migrate(mover, dest, cluster_of, degree, vol);
+            *migrations += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Compacts raw cluster ids (dropping emptied ones) in creation order, so
+/// dense ids keep the stream-locality property §V-D relies on. Rewrites
+/// `cluster_of` in place; returns the dense cluster count and the dense
+/// per-cluster volumes (sum of member degrees). `raw_len` is the raw id
+/// watermark (the length of the pass's `vol` vec).
+pub(crate) fn compact_clusters(
+    cluster_of: &mut VertexTable<u32>,
+    degree: &VertexTable<u32>,
+    raw_len: usize,
+) -> (u32, Vec<u64>) {
+    let mut used = vec![false; raw_len];
     for &c in cluster_of.iter() {
         if c != NO_CLUSTER {
             used[c as usize] = true;
         }
     }
-    let mut raw_to_dense: Vec<u32> = vec![NO_CLUSTER; vol.len()];
+    let mut raw_to_dense: Vec<u32> = vec![NO_CLUSTER; raw_len];
     let mut next_dense = 0u32;
     for (raw, &in_use) in used.iter().enumerate() {
         if in_use {
@@ -227,16 +281,7 @@ pub fn stream_clustering_capped(
             volumes[dense as usize] += u64::from(degrees[vtx]);
         }
     }
-
-    Ok(ClusteringResult {
-        cluster_of,
-        degree,
-        divided,
-        num_clusters: next_dense,
-        volumes,
-        splits,
-        migrations,
-    })
+    (next_dense, volumes)
 }
 
 fn split_vertex(

@@ -18,7 +18,89 @@
 
 use super::clustering::{ClusteringResult, NO_CLUSTER};
 use crate::error::{PartitionError, Result};
+use crate::vertex_table::VertexTable;
 use clugp_graph::stream::{chunk_edges, for_each_chunk, EdgeStream};
+use clugp_graph::types::Edge;
+
+/// Per-edge transformation kernel (Algorithm 1's loop body) over the
+/// pass-1 tables and the cluster→partition map. Shared by the monolithic
+/// loop and the distributed worker so both paths stay bit-identical.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the pass state one-to-one
+pub(crate) fn transform_edge(
+    e: Edge,
+    cluster_of: &VertexTable<u32>,
+    degree: &VertexTable<u32>,
+    divided: &VertexTable<bool>,
+    cluster_partition: &[u32],
+    lmax: u64,
+    k: u32,
+    loads: &mut [u64],
+    cursor: &mut u32,
+    balance_reroutes: &mut u64,
+) -> u32 {
+    let _ = k; // used by the debug assertion below only
+    let (u, v) = (e.src, e.dst);
+    let cu = cluster_of[u];
+    let cv = cluster_of[v];
+    debug_assert_ne!(cu, NO_CLUSTER, "pass 3 saw a vertex pass 1 did not");
+    debug_assert_ne!(cv, NO_CLUSTER, "pass 3 saw a vertex pass 1 did not");
+    let pu = cluster_partition[cu as usize];
+    let pv = cluster_partition[cv as usize];
+
+    let p = if loads[pu as usize] >= lmax || loads[pv as usize] >= lmax {
+        *balance_reroutes += 1;
+        if loads[pu as usize] < lmax {
+            pu
+        } else if loads[pv as usize] < lmax {
+            pv
+        } else {
+            while loads[*cursor as usize] >= lmax {
+                *cursor += 1;
+                debug_assert!(*cursor < k, "no partition under Lmax: infeasible cap");
+            }
+            *cursor
+        }
+    } else if pu == pv {
+        pu
+    } else {
+        let du = degree[u];
+        let dv = degree[v];
+        match (divided[u], divided[v]) {
+            // Both already replicated: cut the higher-degree one, i.e.
+            // follow the lower-degree endpoint (§IV note on divided
+            // vertices).
+            (true, true) => {
+                if du <= dv {
+                    pu
+                } else {
+                    pv
+                }
+            }
+            (true, false) => pv, // u has mirrors: cutting it again is cheap
+            (false, true) => pu,
+            (false, false) => {
+                if dv > du {
+                    pu // cut v, the higher-degree endpoint
+                } else if du > dv {
+                    pv
+                } else if loads[pu as usize] <= loads[pv as usize] {
+                    pu
+                } else {
+                    pv
+                }
+            }
+        }
+    };
+    loads[p as usize] += 1;
+    p
+}
+
+/// `Lmax = ceil(τ|E|/k)` — ceil so `k·Lmax ≥ |E|` always holds and the
+/// balance scan cannot fail.
+pub(crate) fn load_cap(tau: f64, num_edges: u64, k: u32) -> u64 {
+    ((tau * num_edges as f64) / f64::from(k)).ceil() as u64
+}
 
 /// Output of the transformation pass.
 #[derive(Debug, Clone)]
@@ -47,8 +129,7 @@ pub fn transform(
             "tau must be >= 1, got {tau}"
         )));
     }
-    // ceil so k·Lmax ≥ |E| always holds and the balance scan cannot fail.
-    let lmax = ((tau * num_edges as f64) / f64::from(k)).ceil() as u64;
+    let lmax = load_cap(tau, num_edges, k);
     let mut loads = vec![0u64; k as usize];
     let mut assignments = Vec::with_capacity(num_edges as usize);
     let mut balance_reroutes = 0u64;
@@ -58,59 +139,18 @@ pub fn transform(
 
     for_each_chunk(stream, chunk_edges(), |chunk| {
         for &e in chunk {
-            let (u, v) = (e.src, e.dst);
-            let cu = clustering.cluster_of[u];
-            let cv = clustering.cluster_of[v];
-            debug_assert_ne!(cu, NO_CLUSTER, "pass 3 saw a vertex pass 1 did not");
-            debug_assert_ne!(cv, NO_CLUSTER, "pass 3 saw a vertex pass 1 did not");
-            let pu = cluster_partition[cu as usize];
-            let pv = cluster_partition[cv as usize];
-
-            let p = if loads[pu as usize] >= lmax || loads[pv as usize] >= lmax {
-                balance_reroutes += 1;
-                if loads[pu as usize] < lmax {
-                    pu
-                } else if loads[pv as usize] < lmax {
-                    pv
-                } else {
-                    while loads[cursor as usize] >= lmax {
-                        cursor += 1;
-                        debug_assert!(cursor < k, "no partition under Lmax: infeasible cap");
-                    }
-                    cursor
-                }
-            } else if pu == pv {
-                pu
-            } else {
-                let du = clustering.degree[u];
-                let dv = clustering.degree[v];
-                match (clustering.divided[u], clustering.divided[v]) {
-                    // Both already replicated: cut the higher-degree one, i.e.
-                    // follow the lower-degree endpoint (§IV note on divided
-                    // vertices).
-                    (true, true) => {
-                        if du <= dv {
-                            pu
-                        } else {
-                            pv
-                        }
-                    }
-                    (true, false) => pv, // u has mirrors: cutting it again is cheap
-                    (false, true) => pu,
-                    (false, false) => {
-                        if dv > du {
-                            pu // cut v, the higher-degree endpoint
-                        } else if du > dv {
-                            pv
-                        } else if loads[pu as usize] <= loads[pv as usize] {
-                            pu
-                        } else {
-                            pv
-                        }
-                    }
-                }
-            };
-            loads[p as usize] += 1;
+            let p = transform_edge(
+                e,
+                &clustering.cluster_of,
+                &clustering.degree,
+                &clustering.divided,
+                cluster_partition,
+                lmax,
+                k,
+                &mut loads,
+                &mut cursor,
+                &mut balance_reroutes,
+            );
             assignments.push(p);
         }
     });

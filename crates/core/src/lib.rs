@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ampc;
 pub mod baselines;
 pub mod clugp;
 pub mod edgecut;

@@ -12,14 +12,26 @@
 //! m       u64     number of edges
 //! a       m × u32 per-edge partition ids (stream order)
 //! ```
+//!
+//! A *placement directory* ([`write_placement_dir`]) pairs that snapshot
+//! with the vertex replica table the distributed engine derives from it
+//! (`CLUGPRT1`: k, n, then n bitset rows of `ceil(k/64)` u64 words), so
+//! consumers can load a placement without re-streaming the graph.
 
 use crate::error::{PartitionError, Result};
 use crate::partition::Partitioning;
+use crate::state::ReplicaTable;
 use clugp_graph::GraphError;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"CLUGPPA1";
+const RT_MAGIC: &[u8; 8] = b"CLUGPRT1";
+
+/// File name of the assignment snapshot inside a placement directory.
+pub const PLACEMENT_ASSIGNMENTS: &str = "assignments.clugppa";
+/// File name of the replica-table snapshot inside a placement directory.
+pub const PLACEMENT_REPLICAS: &str = "replicas.clugprt";
 
 /// Writes `partitioning` to `path`.
 pub fn write_partitioning(path: &Path, partitioning: &Partitioning) -> Result<()> {
@@ -76,6 +88,82 @@ pub fn read_partitioning(path: &Path) -> Result<Partitioning> {
         assignments,
         loads,
     })
+}
+
+/// Writes a replica-table snapshot (`CLUGPRT1`) to `path`.
+pub fn write_replica_table(path: &Path, replicas: &ReplicaTable) -> Result<()> {
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(RT_MAGIC).map_err(io_err)?;
+    w.write_all(&replicas.k().to_le_bytes()).map_err(io_err)?;
+    w.write_all(&replicas.num_vertices().to_le_bytes())
+        .map_err(io_err)?;
+    let mut row = vec![0u64; replicas.words_per_row()];
+    for v in 0..replicas.num_vertices() {
+        replicas.export_row(v as u32, &mut row);
+        for word in &row {
+            w.write_all(&word.to_le_bytes()).map_err(io_err)?;
+        }
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Reads a replica-table snapshot written by [`write_replica_table`].
+pub fn read_replica_table(path: &Path) -> Result<ReplicaTable> {
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(truncated)?;
+    if &magic != RT_MAGIC {
+        return Err(format_err("bad replica-table magic bytes"));
+    }
+    let mut b4 = [0u8; 4];
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b4).map_err(truncated)?;
+    let k = u32::from_le_bytes(b4);
+    if k == 0 {
+        return Err(format_err("k must be positive"));
+    }
+    r.read_exact(&mut b8).map_err(truncated)?;
+    let n = u64::from_le_bytes(b8);
+    let mut replicas = ReplicaTable::new(n, k)?;
+    let words = replicas.words_per_row();
+    let mut row = vec![0u64; words];
+    for v in 0..n {
+        for word in row.iter_mut() {
+            r.read_exact(&mut b8).map_err(truncated)?;
+            *word = u64::from_le_bytes(b8);
+        }
+        replicas.import_row(v as u32, &row);
+    }
+    Ok(replicas)
+}
+
+/// Writes a placement directory: the assignment snapshot plus the replica
+/// table, under fixed file names (created if `dir` does not exist).
+pub fn write_placement_dir(
+    dir: &Path,
+    partitioning: &Partitioning,
+    replicas: &ReplicaTable,
+) -> Result<()> {
+    std::fs::create_dir_all(dir).map_err(io_err)?;
+    write_partitioning(&dir.join(PLACEMENT_ASSIGNMENTS), partitioning)?;
+    write_replica_table(&dir.join(PLACEMENT_REPLICAS), replicas)
+}
+
+/// Reads a placement directory written by [`write_placement_dir`],
+/// checking that the two snapshots agree on `k`.
+pub fn read_placement_dir(dir: &Path) -> Result<(Partitioning, ReplicaTable)> {
+    let partitioning = read_partitioning(&dir.join(PLACEMENT_ASSIGNMENTS))?;
+    let replicas = read_replica_table(&dir.join(PLACEMENT_REPLICAS))?;
+    if replicas.k() != partitioning.k {
+        return Err(format_err(&format!(
+            "placement dir mismatch: assignments have k={}, replicas have k={}",
+            partitioning.k,
+            replicas.k()
+        )));
+    }
+    Ok((partitioning, replicas))
 }
 
 fn io_err(e: std::io::Error) -> PartitionError {
@@ -149,6 +237,38 @@ mod tests {
         write_partitioning(&path, &bad).unwrap();
         assert!(read_partitioning(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn placement_dir_round_trips() {
+        let dir = tmp("placement_dir");
+        let p = sample();
+        let mut replicas = ReplicaTable::new(p.num_vertices, p.k).unwrap();
+        replicas.insert(0, 0);
+        replicas.insert(0, 2);
+        replicas.insert(7, 1);
+        write_placement_dir(&dir, &p, &replicas).unwrap();
+        let (p2, r2) = read_placement_dir(&dir).unwrap();
+        assert_eq!(p2.assignments, p.assignments);
+        assert_eq!(r2.num_vertices(), replicas.num_vertices());
+        for v in 0..replicas.num_vertices() as u32 {
+            assert_eq!(
+                r2.partitions_of(v).collect::<Vec<_>>(),
+                replicas.partitions_of(v).collect::<Vec<_>>()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn placement_dir_rejects_k_mismatch() {
+        let dir = tmp("placement_dir_bad");
+        let p = sample();
+        let replicas = ReplicaTable::new(p.num_vertices, p.k + 1).unwrap();
+        write_placement_dir(&dir, &p, &replicas).unwrap();
+        let err = read_placement_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -65,6 +65,15 @@ impl Counts {
         }
     }
 
+    #[inline]
+    fn set(&mut self, v: usize, c: u32) {
+        match self {
+            // Safe: counts are bounded by k ≤ u16::MAX in this arm.
+            Counts::Narrow(vec) => vec[v] = c as u16,
+            Counts::Wide(vec) => vec[v] = c,
+        }
+    }
+
     fn memory_bytes(&self) -> usize {
         match self {
             Counts::Narrow(v) => v.capacity() * 2,
@@ -244,6 +253,49 @@ impl ReplicaTable {
             .filter(move |&p| p < k)
     }
 
+    /// Bitset words per row (`ceil(k/64)`).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Copies `v`'s bitset row into `out` (`words_per_row()` words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is beyond the table or `out` is too short.
+    pub fn export_row(&self, v: VertexId, out: &mut [u64]) {
+        let row = v as usize * self.words_per_row;
+        out[..self.words_per_row].copy_from_slice(&self.bits[row..row + self.words_per_row]);
+    }
+
+    /// Overwrites `v`'s bitset row with `words`, fixing the per-vertex count
+    /// and the global replica/touched tallies. This is the bulk ingress used
+    /// by the sharded state service and the placement snapshot loader; bits
+    /// at positions `>= k` must be clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is beyond the table or `words` is too short.
+    pub fn import_row(&mut self, v: VertexId, words: &[u64]) {
+        let row = v as usize * self.words_per_row;
+        let old: u32 = self.bits[row..row + self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum();
+        let new: u32 = words[..self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum();
+        self.bits[row..row + self.words_per_row].copy_from_slice(&words[..self.words_per_row]);
+        self.counts.set(v as usize, new);
+        self.total_replicas = self.total_replicas - u64::from(old) + u64::from(new);
+        match (old, new) {
+            (0, n) if n > 0 => self.touched_vertices += 1,
+            (o, 0) if o > 0 => self.touched_vertices -= 1,
+            _ => {}
+        }
+    }
+
     /// Bytes of heap memory held by the table.
     pub fn memory_bytes(&self) -> usize {
         self.bits.capacity() * 8 + self.counts.memory_bytes()
@@ -291,6 +343,13 @@ impl PartitionLoads {
             loads: vec![0; k as usize],
             total: 0,
         }
+    }
+
+    /// Rebuilds the tracker from a load vector (one entry per partition),
+    /// e.g. when a distributed worker resumes from a token's loads.
+    pub(crate) fn from_vec(loads: Vec<u64>) -> Self {
+        let total = loads.iter().sum();
+        PartitionLoads { loads, total }
     }
 
     /// Number of partitions.

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ampc;
 pub mod apps;
 pub mod cost;
 pub mod placement;

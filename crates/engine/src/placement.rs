@@ -1,7 +1,9 @@
 //! Master/mirror placement: turning a vertex-cut partitioning into
 //! per-machine subgraphs (PowerGraph §3: "vertex-cut" representation).
 
+use crate::ampc::ReplicaScatter;
 use clugp::Partitioning;
+use clugp_graph::stream::{chunk_edges, EdgeStream};
 use clugp_graph::types::{Edge, VertexId};
 
 /// Sentinel for "vertex not present on this machine".
@@ -58,24 +60,63 @@ impl DistributedGraph {
     /// for a `Partitioning` produced by an in-tree partitioner, whose own
     /// `max_vertices` caps are checked first — see `clugp::vertex_table`).
     pub fn place(edges: &[Edge], partitioning: &Partitioning) -> Self {
-        assert_eq!(
-            edges.len(),
-            partitioning.assignments.len(),
-            "edges and assignments must align"
-        );
+        let mut stream = SliceStream { edges, pos: 0 };
+        Self::place_stream(&mut stream, partitioning)
+    }
+
+    /// Places a streamed edge sequence according to `partitioning` —
+    /// bounded-memory: the input is drained in chunks (never materialized
+    /// whole), replica presence is scattered to keyspace-sharded state
+    /// shards in parallel (see [`crate::ampc`]), and only the per-machine
+    /// output subgraphs are held. Produces exactly the same placement as
+    /// [`DistributedGraph::place`] over the equivalent edge slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`DistributedGraph::place`].
+    pub fn place_stream(stream: &mut dyn EdgeStream, partitioning: &Partitioning) -> Self {
         let k = partitioning.k;
         let n = partitioning.num_vertices as usize;
 
-        // Per-machine presence bitmaps via replica table.
-        let mut replicas = clugp::state::ReplicaTable::new(n as u64, k)
-            .expect("partitioning dimensions exceed the internal id space");
-        for (e, &p) in edges.iter().zip(&partitioning.assignments) {
-            replicas
-                .ensure_vertices(u64::from(e.src.max(e.dst)) + 1)
-                .expect("edge id exceeds the internal id space");
-            replicas.insert(e.src, p);
-            replicas.insert(e.dst, p);
+        // Single pass: scatter replica bits to the shard threads and stage
+        // each edge's endpoints on its machine (still as global ids — local
+        // indices exist only after master selection below).
+        let mut scatter = ReplicaScatter::new(n as u64, k, placement_shards());
+        let mut machines: Vec<MachineSubgraph> = (0..k)
+            .map(|_| MachineSubgraph {
+                vertices: Vec::new(),
+                edges: Vec::new(),
+                is_master: Vec::new(),
+            })
+            .collect();
+        let cap = chunk_edges();
+        let mut buf = Vec::with_capacity(cap);
+        let mut seen = 0usize;
+        while stream.next_chunk(&mut buf, cap) != 0 {
+            assert!(
+                seen + buf.len() <= partitioning.assignments.len(),
+                "edges and assignments must align"
+            );
+            for (e, &p) in buf.iter().zip(&partitioning.assignments[seen..]) {
+                scatter.insert(u64::from(e.src), p);
+                scatter.insert(u64::from(e.dst), p);
+                machines[p as usize].edges.push((e.src, e.dst));
+            }
+            seen += buf.len();
         }
+        assert_eq!(
+            seen,
+            partitioning.assignments.len(),
+            "edges and assignments must align"
+        );
+        let mut replicas = scatter
+            .finish()
+            .expect("partitioning dimensions exceed the internal id space");
+        // The scatter only covers touched vertices; pad to the declared
+        // vertex count so isolated vertices read as replica-free.
+        replicas
+            .ensure_vertices(n as u64)
+            .expect("partitioning dimensions exceed the internal id space");
         let n = n.max(replicas.num_vertices() as usize);
 
         // Master selection: least master-loaded machine among replicas.
@@ -96,14 +137,8 @@ impl DistributedGraph {
             }
         }
 
-        // Build per-machine vertex lists and local indices.
-        let mut machines: Vec<MachineSubgraph> = (0..k)
-            .map(|_| MachineSubgraph {
-                vertices: Vec::new(),
-                edges: Vec::new(),
-                is_master: Vec::new(),
-            })
-            .collect();
+        // Build per-machine vertex lists and local indices, then rewrite the
+        // staged global edge pairs into local indices in place.
         let mut local_index = vec![vec![NOT_LOCAL; n]; k as usize];
         for v in 0..n as u32 {
             for p in replicas.partitions_of(v) {
@@ -113,12 +148,14 @@ impl DistributedGraph {
                 m.is_master.push(master_of[v as usize] == p);
             }
         }
-        for (e, &p) in edges.iter().zip(&partitioning.assignments) {
-            let sl = local_index[p as usize][e.src as usize];
-            let dl = local_index[p as usize][e.dst as usize];
-            debug_assert_ne!(sl, NOT_LOCAL);
-            debug_assert_ne!(dl, NOT_LOCAL);
-            machines[p as usize].edges.push((sl, dl));
+        for (p, m) in machines.iter_mut().enumerate() {
+            for e in &mut m.edges {
+                let sl = local_index[p][e.0 as usize];
+                let dl = local_index[p][e.1 as usize];
+                debug_assert_ne!(sl, NOT_LOCAL);
+                debug_assert_ne!(dl, NOT_LOCAL);
+                *e = (sl, dl);
+            }
         }
 
         DistributedGraph {
@@ -148,6 +185,48 @@ impl DistributedGraph {
     /// Total edges across machines (must equal the input edge count).
     pub fn total_edges(&self) -> u64 {
         self.machines.iter().map(|m| m.edges.len() as u64).sum()
+    }
+}
+
+/// Shard-thread count for the replica scatter. The result is identical at
+/// any count (BitOr merges are commutative); this only tunes parallelism.
+fn placement_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Borrowed-slice adapter so the legacy `place(&edges, ..)` signature rides
+/// the streamed path without copying the input.
+struct SliceStream<'a> {
+    edges: &'a [Edge],
+    pos: usize,
+}
+
+impl EdgeStream for SliceStream<'_> {
+    fn next_edge(&mut self) -> Option<Edge> {
+        let e = self.edges.get(self.pos).copied();
+        if e.is_some() {
+            self.pos += 1;
+        }
+        e
+    }
+
+    fn next_chunk(&mut self, buf: &mut Vec<Edge>, cap: usize) -> usize {
+        buf.clear();
+        let take = cap.max(1).min(self.edges.len() - self.pos);
+        buf.extend_from_slice(&self.edges[self.pos..self.pos + take]);
+        self.pos += take;
+        take
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.edges.len() as u64)
+    }
+
+    fn num_vertices_hint(&self) -> Option<u64> {
+        None
     }
 }
 

@@ -1032,6 +1032,31 @@ impl ShardedPackReader {
             spec.blocks.clone(),
         ))
     }
+
+    /// Builds the [`ShardSpec`] for an explicit block range — the handle a
+    /// distributed worker is assigned by its coordinator (as opposed to
+    /// [`ShardedPackReader::shards`], which picks ranges itself). The range
+    /// is clamped to the pack's block count; the edge count comes from the
+    /// index.
+    pub fn block_range(&self, blocks: Range<usize>) -> ShardSpec {
+        let num_blocks = self.index.num_blocks();
+        let start = blocks.start.min(num_blocks);
+        let end = blocks.end.min(num_blocks).max(start);
+        let edges = self.index.entries()[start..end]
+            .iter()
+            .map(|b| u64::from(b.edge_count))
+            .sum();
+        ShardSpec {
+            blocks: start..end,
+            edges,
+        }
+    }
+
+    /// Opens an explicit block range directly (see
+    /// [`ShardedPackReader::block_range`]).
+    pub fn open_block_range(&self, blocks: Range<usize>) -> Result<PackedEdgeStream> {
+        self.open_shard(&self.block_range(blocks))
+    }
 }
 
 // ---------------------------------------------------------------------------
