@@ -138,8 +138,16 @@ type StageOut = (Token, Vec<u32>, Option<PairsPayload>);
 
 /// The worker's edge range, reopened for every stage.
 enum Source {
-    Inline { edges: Vec<Edge>, pos: usize },
+    Inline {
+        edges: Vec<Edge>,
+        pos: usize,
+    },
     Pack(clugp_graph::pack::PackedEdgeStream),
+    /// Same block range as `Pack`, decoded ahead of the stage on pipeline
+    /// workers (selected by the process-wide
+    /// [`clugp_graph::pack::decode_options`]). Chunk-for-chunk identical
+    /// to the serial variant, so stages cannot tell them apart.
+    PipelinedPack(clugp_graph::pack::PipelinedPackStream),
 }
 
 impl Source {
@@ -153,6 +161,17 @@ impl Source {
                 take
             }
             Source::Pack(stream) => stream.next_chunk(buf, cap),
+            Source::PipelinedPack(stream) => stream.next_chunk(buf, cap),
+        }
+    }
+
+    /// A decode/IO error parked by a pack-backed stream, if any. Inline
+    /// sources cannot fail.
+    fn pack_error(&self) -> Option<&clugp_graph::error::GraphError> {
+        match self {
+            Source::Inline { .. } => None,
+            Source::Pack(stream) => stream.error(),
+            Source::PipelinedPack(stream) => stream.error(),
         }
     }
 }
@@ -302,15 +321,21 @@ impl Wk {
                 block_end,
                 edges,
             } => {
-                let reader = ShardedPackReader::open(Path::new(&path))?;
-                let stream = reader.open_block_range(block_start as usize..block_end as usize)?;
+                let opts = clugp_graph::pack::decode_options();
+                let reader = ShardedPackReader::open_with(Path::new(&path), opts.checksums)?;
+                let range = block_start as usize..block_end as usize;
+                let source = if opts.threads > 0 {
+                    Source::PipelinedPack(reader.open_pipelined_block_range(range, opts)?)
+                } else {
+                    Source::Pack(reader.open_block_range(range)?)
+                };
                 self.setup.input = InputSpec::Pack {
                     path,
                     block_start,
                     block_end,
                     edges,
                 };
-                Ok(Source::Pack(stream))
+                Ok(source)
             }
         }
     }
@@ -332,10 +357,8 @@ impl Wk {
             Stage::ClugpTransform { lmax } => self.stage_clugp_transform(lmax, token, &mut source),
         };
         if out.is_ok() {
-            if let Source::Pack(stream) = &source {
-                if let Some(e) = stream.error() {
-                    out = Err(PartitionError::InvalidParam(format!("pack stream: {e}")));
-                }
+            if let Some(e) = source.pack_error() {
+                out = Err(PartitionError::InvalidParam(format!("pack stream: {e}")));
             }
         }
         self.restore_source(source);

@@ -14,6 +14,15 @@
 //! --threads <N>     CLUGP/Mint worker threads (default: all cores)
 //! --chunk-size <N>  edges per stream chunk pull (default 4096); a tuning
 //!                   knob only — partitions are chunking-invariant
+//! --decode-threads <N>
+//!                   decode packed (CLUGPZ) input on N pipeline worker
+//!                   threads running ahead of the consumer (default:
+//!                   serial in-consumer decode; results are bit-identical
+//!                   either way)
+//! --prefetch <D>    blocks the decode pipeline may run ahead (default 4;
+//!                   bounds pipeline memory at O(D × block))
+//! --checksums <p>   full (default) | header | off — how much CRC
+//!                   verification pack reads perform
 //! --sparse          treat the input as a text edge list with arbitrary
 //!                   (sparse) 64-bit vertex ids — hashed URLs, crawl ids —
 //!                   remapped onto the dense internal space during the
@@ -48,9 +57,9 @@ use clugp::state::ReplicaTable;
 use clugp_graph::csr::CsrGraph;
 use clugp_graph::io::binary::read_binary_graph;
 use clugp_graph::io::edge_list::read_edge_list;
-use clugp_graph::io::{open_sparse_edge_stream, sniff_format, GraphFileFormat};
+use clugp_graph::io::{open_edge_stream, open_sparse_edge_stream, sniff_format, GraphFileFormat};
 use clugp_graph::order::{ordered_edges, StreamOrder};
-use clugp_graph::pack::PackedEdgeStream;
+use clugp_graph::pack::{ChecksumPolicy, DecodeOptions, DEFAULT_PREFETCH_BLOCKS};
 use clugp_graph::stream::{collect_stream, InMemoryStream, RestreamableStream};
 use clugp_graph::types::Edge;
 use std::io::Write;
@@ -66,6 +75,9 @@ struct Options {
     tau: f64,
     threads: usize,
     chunk_size: Option<usize>,
+    decode_threads: usize,
+    prefetch: usize,
+    checksums: ChecksumPolicy,
     sparse: bool,
     output: Option<String>,
     workers: u32,
@@ -83,6 +95,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         tau: 1.0,
         threads: 0,
         chunk_size: None,
+        decode_threads: 0,
+        prefetch: DEFAULT_PREFETCH_BLOCKS,
+        checksums: ChecksumPolicy::Full,
         sparse: false,
         output: None,
         workers: 1,
@@ -122,6 +137,32 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     );
                 }
                 opts.chunk_size = Some(n);
+            }
+            "--decode-threads" => {
+                opts.decode_threads = value("--decode-threads")?
+                    .parse()
+                    .map_err(|e| format!("--decode-threads: {e}"))?;
+                if opts.decode_threads == 0 {
+                    return Err(
+                        "--decode-threads must be >= 1 (omit the flag for serial decode)".into(),
+                    );
+                }
+            }
+            "--prefetch" => {
+                opts.prefetch = value("--prefetch")?
+                    .parse()
+                    .map_err(|e| format!("--prefetch: {e}"))?;
+                if opts.prefetch == 0 {
+                    return Err(
+                        "--prefetch must be >= 1 (the pipeline needs at least one block in flight)"
+                            .into(),
+                    );
+                }
+            }
+            "--checksums" => {
+                opts.checksums = value("--checksums")?
+                    .parse()
+                    .map_err(|e| format!("--checksums: {e}"))?;
             }
             "--sparse" => opts.sparse = true,
             "--output" => opts.output = Some(value("--output")?),
@@ -285,6 +326,13 @@ fn run(opts: &Options) -> Result<(), String> {
         // pulls with; partitions are chunking-invariant.
         clugp_graph::stream::set_chunk_edges(n).map_err(|e| e.to_string())?;
     }
+    // Process-wide decode knobs: `open_edge_stream` (here and inside AMPC
+    // workers) picks serial vs pipelined pack decode from these.
+    clugp_graph::pack::set_decode_options(DecodeOptions {
+        threads: opts.decode_threads,
+        prefetch: opts.prefetch,
+        checksums: opts.checksums,
+    });
     if opts.sparse {
         return run_sparse(opts);
     }
@@ -293,9 +341,13 @@ fn run(opts: &Options) -> Result<(), String> {
     let (n, raw_edges) = match sniff_format(path).map_err(|e| e.to_string())? {
         GraphFileFormat::Binary => read_binary_graph(path).map_err(|e| e.to_string())?,
         GraphFileFormat::Packed => {
-            let mut s = PackedEdgeStream::open(path).map_err(|e| e.to_string())?;
-            let n = s.header().num_vertices;
-            let edges = collect_stream(&mut s);
+            // Serial or pipelined per --decode-threads; both deliver the
+            // same chunk sequence, so the partitions cannot differ.
+            let mut s = open_edge_stream(path).map_err(|e| e.to_string())?;
+            let n = s
+                .num_vertices_hint()
+                .ok_or_else(|| "pack header is missing its vertex count".to_string())?;
+            let edges = collect_stream(s.as_mut());
             s.reset().map_err(|e| e.to_string())?; // surface parked decode errors
             (n, edges)
         }
@@ -426,6 +478,14 @@ fn run_multiprocess(
                 .arg(&sock)
                 .arg("--ampc-index")
                 .arg(i.to_string())
+                // Worker processes don't see our process-wide decode
+                // options, so the knobs ride along explicitly.
+                .arg("--ampc-decode-threads")
+                .arg(opts.decode_threads.to_string())
+                .arg("--ampc-prefetch")
+                .arg(opts.prefetch.to_string())
+                .arg("--ampc-checksums")
+                .arg(opts.checksums.name())
                 .spawn()
                 .map_err(|e| format!("spawning worker {i}: {e}"))?,
         );
@@ -485,11 +545,25 @@ fn main() -> ExitCode {
     // Hidden worker-process mode (spawned by --transport unix).
     if let Some(at) = args.iter().position(|a| a == "--ampc-worker") {
         let socket = args.get(at + 1).cloned();
-        let index = args
-            .iter()
-            .position(|a| a == "--ampc-index")
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse::<u32>().ok());
+        let lookup = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+        };
+        let index = lookup("--ampc-index").and_then(|v| v.parse::<u32>().ok());
+        // Decode knobs forwarded by the parent (absent when spawned by an
+        // older parent: defaults apply).
+        let mut decode = DecodeOptions::default();
+        if let Some(t) = lookup("--ampc-decode-threads").and_then(|v| v.parse::<usize>().ok()) {
+            decode.threads = t;
+        }
+        if let Some(d) = lookup("--ampc-prefetch").and_then(|v| v.parse::<usize>().ok()) {
+            decode.prefetch = d.max(1);
+        }
+        if let Some(p) = lookup("--ampc-checksums").and_then(|v| v.parse().ok()) {
+            decode.checksums = p;
+        }
+        clugp_graph::pack::set_decode_options(decode);
         return match (socket, index) {
             (Some(socket), Some(index)) => match run_ampc_worker(&socket, index) {
                 Ok(()) => ExitCode::SUCCESS,
@@ -507,7 +581,8 @@ fn main() -> ExitCode {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: clugp-part <edges-file> --k <K> [--algo clugp|hdrf|greedy|hashing|dbh|mint|grid] \
-             [--order bfs|dfs|random|asis] [--tau F] [--threads N] [--chunk-size N] [--sparse] \
+             [--order bfs|dfs|random|asis] [--tau F] [--threads N] [--chunk-size N] \
+             [--decode-threads N] [--prefetch D] [--checksums full|header|off] [--sparse] \
              [--output file] [--workers N] [--transport channel|unix] [--socket-dir dir] \
              [--emit-placement dir]"
         );
@@ -592,6 +667,9 @@ mod tests {
                 tau: 1.0,
                 threads: 0,
                 chunk_size: None,
+                decode_threads: 0,
+                prefetch: DEFAULT_PREFETCH_BLOCKS,
+                checksums: ChecksumPolicy::Full,
                 sparse: false,
                 output: None,
                 workers: 1,
@@ -609,6 +687,9 @@ mod tests {
             tau: 1.0,
             threads: 0,
             chunk_size: None,
+            decode_threads: 0,
+            prefetch: DEFAULT_PREFETCH_BLOCKS,
+            checksums: ChecksumPolicy::Full,
             sparse: false,
             output: None,
             workers: 1,
@@ -642,6 +723,9 @@ mod tests {
             tau: 1.5,
             threads: 1,
             chunk_size: None,
+            decode_threads: 0,
+            prefetch: DEFAULT_PREFETCH_BLOCKS,
+            checksums: ChecksumPolicy::Full,
             sparse: false,
             output: Some(output.to_string_lossy().into_owned()),
             workers: 1,
@@ -682,6 +766,9 @@ mod tests {
             tau: 1.0,
             threads: 1,
             chunk_size: None,
+            decode_threads: 0,
+            prefetch: DEFAULT_PREFETCH_BLOCKS,
+            checksums: ChecksumPolicy::Full,
             sparse: true,
             output: Some(output.to_string_lossy().into_owned()),
             workers: 1,
@@ -725,6 +812,38 @@ mod tests {
     }
 
     #[test]
+    fn decode_pipeline_flags_parse_and_reject_zero() {
+        let o = parse_args(&strs(&[
+            "g.txt",
+            "--k",
+            "4",
+            "--decode-threads",
+            "3",
+            "--prefetch",
+            "8",
+            "--checksums",
+            "header",
+        ]))
+        .unwrap();
+        assert_eq!(o.decode_threads, 3);
+        assert_eq!(o.prefetch, 8);
+        assert_eq!(o.checksums, ChecksumPolicy::HeaderAndIndex);
+
+        // Defaults: serial decode, standard prefetch, full verification.
+        let o = parse_args(&strs(&["g.txt", "--k", "4"])).unwrap();
+        assert_eq!(o.decode_threads, 0);
+        assert_eq!(o.prefetch, DEFAULT_PREFETCH_BLOCKS);
+        assert_eq!(o.checksums, ChecksumPolicy::Full);
+
+        let err = parse_args(&strs(&["g.txt", "--k", "4", "--decode-threads", "0"])).unwrap_err();
+        assert!(err.contains("--decode-threads"), "{err}");
+        let err = parse_args(&strs(&["g.txt", "--k", "4", "--prefetch", "0"])).unwrap_err();
+        assert!(err.contains("--prefetch"), "{err}");
+        let err = parse_args(&strs(&["g.txt", "--k", "4", "--checksums", "some"])).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
     fn packed_input_is_detected_by_magic_and_partitions() {
         use clugp_graph::pack::{write_pack, PackOptions};
         use clugp_graph::types::Edge;
@@ -748,6 +867,9 @@ mod tests {
             tau: 1.0,
             threads: 1,
             chunk_size: Some(2), // exercise the override end to end
+            decode_threads: 2,   // and the staged decode pipeline
+            prefetch: 2,
+            checksums: ChecksumPolicy::Full,
             sparse: false,
             output: Some(output.to_string_lossy().into_owned()),
             workers: 1,
@@ -756,9 +878,10 @@ mod tests {
             emit_placement: None,
         };
         run(&opts).unwrap();
-        // Restore the default so concurrently running tests keep the
-        // standard granularity.
+        // Restore the defaults so concurrently running tests keep the
+        // standard granularity and serial decode.
         clugp_graph::stream::set_chunk_edges(clugp_graph::stream::DEFAULT_CHUNK_EDGES).unwrap();
+        clugp_graph::pack::set_decode_options(DecodeOptions::default());
         let written = std::fs::read_to_string(&output).unwrap();
         assert_eq!(written.lines().count(), 4);
         std::fs::remove_file(&input).ok();
@@ -781,6 +904,9 @@ mod tests {
             tau: 1.0,
             threads: 1,
             chunk_size: None,
+            decode_threads: 0,
+            prefetch: DEFAULT_PREFETCH_BLOCKS,
+            checksums: ChecksumPolicy::Full,
             sparse: true,
             output: None,
             workers: 1,
@@ -843,6 +969,9 @@ mod tests {
             tau: 1.0,
             threads: 1,
             chunk_size: None,
+            decode_threads: 0,
+            prefetch: DEFAULT_PREFETCH_BLOCKS,
+            checksums: ChecksumPolicy::Full,
             sparse: false,
             output: Some(mono_out.to_string_lossy().into_owned()),
             workers: 1,

@@ -12,16 +12,28 @@
 //!                   they are remapped onto the dense internal space in
 //!                   first-appearance order before packing (the pack stores
 //!                   the dense relabeling)
+//! --checksums <p>   full (default) | header | off — CRC verification when
+//!                   the *input* is itself a pack
 //!
-//! clugp-pack info <file.clugpz>     header + block statistics, bytes/edge
-//! clugp-pack verify <file.clugpz>   full decode: checksums, canonical
-//!                                   order, counts, id ranges
+//! clugp-pack info <file.clugpz> [--checksums p]
+//!                   header + block statistics, bytes/edge; echoes the
+//!                   read policy (off lets a pack with damaged metadata
+//!                   CRCs still be inspected)
+//! clugp-pack verify <file.clugpz>
+//!                   full decode of every block: checksums, canonical
+//!                   order, counts, id ranges — reports *every* failing
+//!                   block with its index and byte offset, not just the
+//!                   first
 //! ```
 //!
-//! Exit codes: 0 success, 1 runtime error, 2 usage error.
+//! Exit codes: 0 success, 1 runtime error (including verify failures),
+//! 2 usage error.
 
 use clugp_graph::io::{open_edge_stream, open_sparse_edge_stream, sniff_format};
-use clugp_graph::pack::{pack_edge_stream, read_pack_summary, verify_pack, PackOptions, PackStats};
+use clugp_graph::pack::{
+    pack_edge_stream, read_pack_summary_with, set_decode_options, verify_pack_report,
+    ChecksumPolicy, DecodeOptions, PackOptions, PackStats,
+};
 use clugp_graph::stream::RestreamableStream;
 use std::path::Path;
 use std::process::ExitCode;
@@ -33,6 +45,7 @@ struct PackArgs {
     block_bytes: usize,
     spill_edges: usize,
     sparse: bool,
+    checksums: ChecksumPolicy,
 }
 
 fn parse_pack_args(args: &[String]) -> Result<PackArgs, String> {
@@ -42,6 +55,7 @@ fn parse_pack_args(args: &[String]) -> Result<PackArgs, String> {
         block_bytes: clugp_graph::pack::DEFAULT_BLOCK_BYTES,
         spill_edges: clugp_graph::pack::DEFAULT_SPILL_EDGES,
         sparse: false,
+        checksums: ChecksumPolicy::Full,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -69,6 +83,11 @@ fn parse_pack_args(args: &[String]) -> Result<PackArgs, String> {
                 }
             }
             "--sparse" => out.sparse = true,
+            "--checksums" => {
+                out.checksums = value("--checksums")?
+                    .parse()
+                    .map_err(|e| format!("--checksums: {e}"))?;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => positional.push(a.clone()),
         }
@@ -115,6 +134,12 @@ fn run_pack(args: &PackArgs) -> Result<(), String> {
     } else {
         let fmt = sniff_format(input).map_err(|e| e.to_string())?;
         eprintln!("input format: {}", fmt.name());
+        // Applies when the input is itself a pack: how much CRC checking
+        // its decode performs (the *output* is always fully checksummed).
+        set_decode_options(DecodeOptions {
+            checksums: args.checksums,
+            ..DecodeOptions::default()
+        });
         let mut stream = open_edge_stream(input).map_err(|e| e.to_string())?;
         let stats = pack_edge_stream(stream.as_mut(), output, &opts).map_err(|e| e.to_string())?;
         surface_stream_errors(stream.as_mut(), output)?;
@@ -134,9 +159,20 @@ fn surface_stream_errors(stream: &mut dyn RestreamableStream, output: &Path) -> 
     })
 }
 
-fn run_info(path: &str) -> Result<(), String> {
-    let sum = read_pack_summary(Path::new(path)).map_err(|e| e.to_string())?;
+fn run_info(path: &str, policy: ChecksumPolicy) -> Result<(), String> {
+    let sum = read_pack_summary_with(Path::new(path), policy).map_err(|e| e.to_string())?;
     println!("format         = CLUGPZ v1");
+    println!(
+        "checksums      = {} ({})",
+        policy.name(),
+        match policy {
+            ChecksumPolicy::Full => "metadata CRCs verified at open, payload CRCs on decode",
+            ChecksumPolicy::HeaderAndIndex => {
+                "metadata CRCs verified at open, payload CRCs skipped"
+            }
+            ChecksumPolicy::Off => "CRCs not compared; structure only",
+        }
+    );
     println!("vertices       = {}", sum.header.num_vertices);
     println!("edges          = {}", sum.header.num_edges);
     println!("blocks         = {}", sum.num_blocks);
@@ -156,15 +192,41 @@ fn run_info(path: &str) -> Result<(), String> {
 }
 
 fn run_verify(path: &str) -> Result<(), String> {
-    let edges = verify_pack(Path::new(path)).map_err(|e| e.to_string())?;
-    println!("OK: {edges} edges, all checksums and invariants verified");
-    Ok(())
+    let report = verify_pack_report(Path::new(path)).map_err(|e| e.to_string())?;
+    if report.is_ok() {
+        println!(
+            "OK: {} edges in {} blocks, all checksums and invariants verified",
+            report.decoded_edges, report.num_blocks
+        );
+        return Ok(());
+    }
+    // Every damaged block, not just the first: index + byte offset locate
+    // each one for surgical re-packing or forensics.
+    for f in &report.failures {
+        println!(
+            "FAIL block {} at byte offset {}: {}",
+            f.block, f.byte_offset, f.error
+        );
+    }
+    for g in &report.global_errors {
+        println!("FAIL pack-wide: {g}");
+    }
+    Err(format!(
+        "{} of {} blocks failed verification ({} pack-wide violations); \
+         {} of {} edges decoded from the blocks that passed",
+        report.failures.len(),
+        report.num_blocks,
+        report.global_errors.len(),
+        report.decoded_edges,
+        report.num_edges
+    ))
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: clugp-pack pack <in> <out.clugpz> [--block-bytes N] [--spill-edges N] [--sparse]\n\
-         \x20      clugp-pack info <file.clugpz>\n\
+        "usage: clugp-pack pack <in> <out.clugpz> [--block-bytes N] [--spill-edges N] [--sparse] \
+         [--checksums full|header|off]\n\
+         \x20      clugp-pack info <file.clugpz> [--checksums full|header|off]\n\
          \x20      clugp-pack verify <file.clugpz>"
     );
     ExitCode::from(2)
@@ -183,7 +245,14 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         },
-        "info" if args.len() == 2 => run_info(&args[1]),
+        "info" if args.len() == 2 => run_info(&args[1], ChecksumPolicy::Full),
+        "info" if args.len() == 4 && args[2] == "--checksums" => match args[3].parse() {
+            Ok(policy) => run_info(&args[1], policy),
+            Err(e) => {
+                eprintln!("error: --checksums: {e}");
+                return ExitCode::from(2);
+            }
+        },
         "verify" if args.len() == 2 => run_verify(&args[1]),
         _ => return usage(),
     };
@@ -234,6 +303,67 @@ mod tests {
     }
 
     #[test]
+    fn pack_args_parse_checksums_policy() {
+        let p = parse_pack_args(&strs(&["a", "b"])).unwrap();
+        assert_eq!(p.checksums, ChecksumPolicy::Full);
+        let p = parse_pack_args(&strs(&["a", "b", "--checksums", "off"])).unwrap();
+        assert_eq!(p.checksums, ChecksumPolicy::Off);
+        let p = parse_pack_args(&strs(&["a", "b", "--checksums", "HEADER"])).unwrap();
+        assert_eq!(p.checksums, ChecksumPolicy::HeaderAndIndex);
+        assert!(parse_pack_args(&strs(&["a", "b", "--checksums", "some"])).is_err());
+    }
+
+    #[test]
+    fn verify_names_every_damaged_block() {
+        let edges: Vec<Edge> = (0..4_000u32).map(|i| Edge::new(i / 7, i % 97)).collect();
+        let path = tmp("verify_multi_damage.clugpz");
+        write_pack(
+            &path,
+            0,
+            &edges,
+            &PackOptions {
+                block_bytes: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let sum = clugp_graph::pack::read_pack_summary(&path).unwrap();
+        assert!(sum.num_blocks >= 3, "need a multi-block pack");
+        // Flip one payload byte in the first block and one in the last.
+        let mut data = std::fs::read(&path).unwrap();
+        data[36 + 10] ^= 0xFF;
+        data[36 + sum.payload_bytes as usize - 10] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let err = run_verify(&path.to_string_lossy()).unwrap_err();
+        assert!(
+            err.starts_with(&format!("2 of {} blocks failed", sum.num_blocks)),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn info_off_policy_reads_a_pack_with_damaged_header_crc() {
+        let path = tmp("info_damaged_header.clugpz");
+        write_pack(
+            &path,
+            3,
+            &[Edge::new(0, 1), Edge::new(1, 2)],
+            &PackOptions::default(),
+        )
+        .unwrap();
+        // Flip a byte of the stored header CRC (bytes 32..36): the full
+        // policy refuses the file, the off policy still inspects it.
+        let mut data = std::fs::read(&path).unwrap();
+        data[33] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let err = run_info(&path.to_string_lossy(), ChecksumPolicy::Full).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        run_info(&path.to_string_lossy(), ChecksumPolicy::Off).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn rejects_bad_pack_args() {
         assert!(parse_pack_args(&strs(&["only-one"])).is_err());
         assert!(parse_pack_args(&strs(&["a", "b", "c"])).is_err());
@@ -253,9 +383,16 @@ mod tests {
             block_bytes: 64,
             spill_edges: 2, // force the spill path
             sparse: false,
+            checksums: ChecksumPolicy::Full,
         };
         run_pack(&args).unwrap();
-        run_info(&output.to_string_lossy()).unwrap();
+        for policy in [
+            ChecksumPolicy::Full,
+            ChecksumPolicy::HeaderAndIndex,
+            ChecksumPolicy::Off,
+        ] {
+            run_info(&output.to_string_lossy(), policy).unwrap();
+        }
         run_verify(&output.to_string_lossy()).unwrap();
         let mut s = clugp_graph::pack::PackedEdgeStream::open(&output).unwrap();
         let edges = clugp_graph::stream::collect_stream(&mut s);
@@ -287,6 +424,7 @@ mod tests {
             block_bytes: clugp_graph::pack::DEFAULT_BLOCK_BYTES,
             spill_edges: clugp_graph::pack::DEFAULT_SPILL_EDGES,
             sparse: true,
+            checksums: ChecksumPolicy::Full,
         };
         run_pack(&args).unwrap();
         let mut s = clugp_graph::pack::PackedEdgeStream::open(&output).unwrap();
@@ -308,6 +446,7 @@ mod tests {
             block_bytes: 64,
             spill_edges: 64,
             sparse: true,
+            checksums: ChecksumPolicy::Full,
         };
         let err = run_pack(&args).unwrap_err();
         assert!(err.contains("--sparse"), "{err}");
@@ -343,6 +482,7 @@ mod tests {
             block_bytes: 512,
             spill_edges: 64,
             sparse: false,
+            checksums: ChecksumPolicy::Full,
         })
         .unwrap_err();
         assert!(err.contains("ended early"), "{err}");
@@ -362,6 +502,7 @@ mod tests {
             block_bytes: 64,
             spill_edges: 64,
             sparse: false,
+            checksums: ChecksumPolicy::Full,
         })
         .unwrap();
         // Packing an existing pack is idempotent on content.
@@ -372,6 +513,7 @@ mod tests {
             block_bytes: 64,
             spill_edges: 64,
             sparse: false,
+            checksums: ChecksumPolicy::Full,
         })
         .unwrap();
         let mut a = clugp_graph::pack::PackedEdgeStream::open(&out1).unwrap();

@@ -69,13 +69,26 @@ pub fn sniff_format(path: &Path) -> Result<GraphFileFormat> {
 
 /// Opens any on-disk edge file as a resettable stream, sniffing the format
 /// by magic: flat binary → [`FileEdgeStream`], pack →
-/// [`crate::pack::PackedEdgeStream`], everything else → [`TextEdgeStream`]
-/// (validated eagerly). This is the auto-detecting entry point of
-/// `clugp-part` and the bench dataset layer.
+/// [`crate::pack::PackedEdgeStream`] or [`crate::pack::PipelinedPackStream`]
+/// per the process-wide [`crate::pack::decode_options`] (serial decode with
+/// 0 threads, staged pipeline otherwise — so every `for_each_chunk` consumer
+/// inherits pipelined decode without changing), everything else →
+/// [`TextEdgeStream`] (validated eagerly). This is the auto-detecting entry
+/// point of `clugp-part` and the bench dataset layer.
 pub fn open_edge_stream(path: &Path) -> Result<Box<dyn RestreamableStream>> {
     Ok(match sniff_format(path)? {
         GraphFileFormat::Binary => Box::new(FileEdgeStream::open(path)?),
-        GraphFileFormat::Packed => Box::new(crate::pack::PackedEdgeStream::open(path)?),
+        GraphFileFormat::Packed => {
+            let opts = crate::pack::decode_options();
+            if opts.threads > 0 {
+                Box::new(crate::pack::PipelinedPackStream::open(path, opts)?)
+            } else {
+                Box::new(crate::pack::PackedEdgeStream::open_with(
+                    path,
+                    opts.checksums,
+                )?)
+            }
+        }
         GraphFileFormat::Text => Box::new(TextEdgeStream::open(path)?),
     })
 }
@@ -160,6 +173,24 @@ mod tests {
         for p in [bin, packed, text] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn open_edge_stream_honors_pipelined_decode_options() {
+        use crate::pack::{set_decode_options, ChecksumPolicy, DecodeOptions};
+        let edges = sample();
+        let packed = tmp("auto_pipelined.clugpz");
+        crate::pack::write_pack(&packed, 3, &edges, &crate::pack::PackOptions::default()).unwrap();
+        set_decode_options(DecodeOptions {
+            threads: 2,
+            prefetch: 2,
+            checksums: ChecksumPolicy::Full,
+        });
+        let mut s = open_edge_stream(&packed).unwrap();
+        assert_eq!(collect_stream(s.as_mut()), edges);
+        s.reset().unwrap();
+        set_decode_options(DecodeOptions::default());
+        std::fs::remove_file(packed).ok();
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Integrity checksums of the `CLUGPZ` format: the vendored-free CRC32
+//! (IEEE, reflected) every on-disk structure is stamped with, and the
+//! [`ChecksumPolicy`] that decides how much of it a *reader* verifies.
+//!
+//! Writers always emit every checksum — the policy is purely a read-side
+//! trade between integrity coverage and decode throughput. `BENCH_io`
+//! measures the gap: payload CRC is a per-byte table walk over every block,
+//! so on a CPU-bound replay it is a double-digit share of decode cost.
+
+use std::str::FromStr;
+
+/// How much checksum verification a pack reader performs.
+///
+/// The on-disk metadata consistency checks (magic bytes, contiguous block
+/// offsets, header/index edge accounting) run under every policy — the
+/// policy only gates CRC *comparisons*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChecksumPolicy {
+    /// Verify header, index, footer, and every block payload (the
+    /// historical always-on behavior, and the default).
+    #[default]
+    Full,
+    /// Verify header, index, and footer at open; skip the per-block payload
+    /// CRC on the decode hot path. Catches metadata corruption (which would
+    /// misdirect seeks) but trusts payload bytes.
+    HeaderAndIndex,
+    /// Skip all CRC comparisons. Structural validation still applies, so a
+    /// truncated or mis-indexed file is rejected; flipped payload bits are
+    /// not. For rereads of packs verified once via `clugp-pack verify`.
+    Off,
+}
+
+impl ChecksumPolicy {
+    /// Whether open-time metadata (header/index/footer) CRCs are compared.
+    #[inline]
+    pub fn verify_metadata(self) -> bool {
+        !matches!(self, ChecksumPolicy::Off)
+    }
+
+    /// Whether per-block payload CRCs are compared while streaming.
+    #[inline]
+    pub fn verify_payload(self) -> bool {
+        matches!(self, ChecksumPolicy::Full)
+    }
+
+    /// Short name for logs, CLI echo, and bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChecksumPolicy::Full => "full",
+            ChecksumPolicy::HeaderAndIndex => "header",
+            ChecksumPolicy::Off => "off",
+        }
+    }
+}
+
+impl FromStr for ChecksumPolicy {
+    type Err = String;
+
+    /// Parses the CLI spelling: `full` | `header` | `off`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "full" => Ok(ChecksumPolicy::Full),
+            "header" => Ok(ChecksumPolicy::HeaderAndIndex),
+            "off" => Ok(ChecksumPolicy::Off),
+            other => Err(format!(
+                "unknown checksum policy {other:?} (expected full, header, or off)"
+            )),
+        }
+    }
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes`, as used for every checksum in the format.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_answer() {
+        // The standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn policy_parse_and_gates() {
+        assert_eq!("full".parse::<ChecksumPolicy>(), Ok(ChecksumPolicy::Full));
+        assert_eq!(
+            "HEADER".parse::<ChecksumPolicy>(),
+            Ok(ChecksumPolicy::HeaderAndIndex)
+        );
+        assert_eq!("off".parse::<ChecksumPolicy>(), Ok(ChecksumPolicy::Off));
+        assert!("crc".parse::<ChecksumPolicy>().is_err());
+
+        assert!(ChecksumPolicy::Full.verify_metadata());
+        assert!(ChecksumPolicy::Full.verify_payload());
+        assert!(ChecksumPolicy::HeaderAndIndex.verify_metadata());
+        assert!(!ChecksumPolicy::HeaderAndIndex.verify_payload());
+        assert!(!ChecksumPolicy::Off.verify_metadata());
+        assert!(!ChecksumPolicy::Off.verify_payload());
+        assert_eq!(ChecksumPolicy::default(), ChecksumPolicy::Full);
+        for p in [
+            ChecksumPolicy::Full,
+            ChecksumPolicy::HeaderAndIndex,
+            ChecksumPolicy::Off,
+        ] {
+            assert_eq!(p.name().parse::<ChecksumPolicy>(), Ok(p), "{p:?}");
+        }
+    }
+}

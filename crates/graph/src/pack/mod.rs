@@ -9,6 +9,14 @@
 //! [`EdgeStream`] ABI — bit-identically to the flat formats — and that a
 //! thread pool can read in parallel shards through the block index.
 //!
+//! The module is layered:
+//!
+//! - [`checksum`] — CRC32 and the read-side [`ChecksumPolicy`]
+//! - [`codec`] — varints and the per-block [`BlockDecoder`]
+//! - [`pipeline`] — [`PipelinedPackStream`], decode running ahead of the
+//!   consumer on worker threads (see `DESIGN.md` §9)
+//! - this file — on-disk format, writer, serial readers, verification
+//!
 //! # File layout (all little-endian)
 //!
 //! ```text
@@ -39,9 +47,10 @@
 //! On the site-structured web analogues this lands at ~2–3 B/edge (the
 //! committed `results/BENCH_io.json` has the measured numbers) versus the
 //! flat format's fixed 8. Every block starts with absolute coordinates, so
-//! blocks decode independently — the property the sharded reader and
-//! `reset` both lean on. A source's destination list may span blocks; the
-//! continuation block simply re-encodes the source absolutely.
+//! blocks decode independently — the property the sharded reader, the
+//! decode pipeline, and `reset` all lean on. A source's destination list
+//! may span blocks; the continuation block simply re-encodes the source
+//! absolutely.
 //!
 //! # Bounded-memory writer
 //!
@@ -57,21 +66,34 @@
 //! one block is decoded per refill and lent to chunked consumers through
 //! the zero-copy `next_slice` fast path, so CLUGP's three passes and every
 //! baseline consume a pack unchanged (equivalence pinned by
-//! `tests/chunked_equivalence.rs`). [`ShardedPackReader`] splits the block
-//! range into per-thread shards balanced by edge count; each shard is its
-//! own `PackedEdgeStream` over a private file handle, which is what the
-//! `experiments io` sharded-read probe drives through the vendored rayon
-//! pool.
+//! `tests/chunked_equivalence.rs`). [`PipelinedPackStream`] is its
+//! staged-pipeline twin: same chunk sequence, decode on worker threads.
+//! [`ShardedPackReader`] splits the block range into per-thread shards
+//! balanced by edge count; each shard is its own stream (serial or
+//! pipelined) over a private file handle.
 //!
-//! Integrity: header, index, and footer are checksum-validated at open;
-//! block payloads are checksum-validated as they stream (CRC32/IEEE). A
-//! decode or I/O failure mid-stream parks the error and ends the stream,
-//! and the next [`RestreamableStream::reset`] reports it — the same
-//! failure contract as every other file-backed stream in this crate.
+//! Integrity: under the default [`ChecksumPolicy::Full`], header, index,
+//! and footer are checksum-validated at open and block payloads as they
+//! stream (CRC32/IEEE); relaxed policies trade coverage for decode
+//! throughput (see [`checksum`]). A decode or I/O failure mid-stream parks
+//! the error and ends the stream, and the next
+//! [`RestreamableStream::reset`] reports it — the same failure contract as
+//! every other file-backed stream in this crate.
+
+pub mod checksum;
+pub mod codec;
+pub mod pipeline;
+
+pub use checksum::{crc32, ChecksumPolicy};
+pub use codec::BlockDecoder;
+pub use pipeline::{
+    decode_options, set_decode_options, DecodeOptions, PipelinedPackStream, DEFAULT_PREFETCH_BLOCKS,
+};
 
 use crate::error::{GraphError, Result};
 use crate::stream::{chunk_edges, EdgeStream, RestreamableStream};
 use crate::types::Edge;
+use codec::put_varint;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::ops::Range;
@@ -95,74 +117,6 @@ pub const DEFAULT_BLOCK_BYTES: usize = 64 * 1024;
 /// Default in-memory sort buffer of the external-sort writer, in edges
 /// (4 Mi edges = 32 MiB): the bound on packing memory.
 pub const DEFAULT_SPILL_EDGES: usize = 4 << 20;
-
-// ---------------------------------------------------------------------------
-// CRC32 (IEEE, reflected) — vendored-free integrity checksum.
-// ---------------------------------------------------------------------------
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            bit += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static CRC32_TABLE: [u32; 256] = crc32_table();
-
-/// CRC32 (IEEE) of `bytes`, as used for every checksum in the format.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
-
-// ---------------------------------------------------------------------------
-// LEB128 varints.
-// ---------------------------------------------------------------------------
-
-#[inline]
-fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
-    while v >= 0x80 {
-        buf.push((v as u8) | 0x80);
-        v >>= 7;
-    }
-    buf.push(v as u8);
-}
-
-#[inline]
-fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let &b = bytes
-            .get(*pos)
-            .ok_or_else(|| GraphError::Format("varint overruns block payload".into()))?;
-        *pos += 1;
-        if shift >= 64 {
-            return Err(GraphError::Format("varint longer than 64 bits".into()));
-        }
-        v |= u64::from(b & 0x7F) << shift;
-        if b & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-    }
-}
 
 // ---------------------------------------------------------------------------
 // On-disk structures.
@@ -192,16 +146,18 @@ impl PackHeader {
         b
     }
 
-    fn from_bytes(b: &[u8; HEADER_LEN as usize]) -> Result<Self> {
+    fn from_bytes(b: &[u8; HEADER_LEN as usize], verify_crc: bool) -> Result<Self> {
         if &b[..8] != PACK_MAGIC {
             return Err(GraphError::Format("not a CLUGPZ file (bad magic)".into()));
         }
-        let stored = u32::from_le_bytes(b[32..36].try_into().expect("4-byte field"));
-        let computed = crc32(&b[..32]);
-        if stored != computed {
-            return Err(GraphError::Format(format!(
-                "header checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
-            )));
+        if verify_crc {
+            let stored = u32::from_le_bytes(b[32..36].try_into().expect("4-byte field"));
+            let computed = crc32(&b[..32]);
+            if stored != computed {
+                return Err(GraphError::Format(format!(
+                    "header checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )));
+            }
         }
         Ok(PackHeader {
             num_vertices: u64::from_le_bytes(b[8..16].try_into().expect("8-byte field")),
@@ -608,7 +564,15 @@ pub fn pack_edge_stream(
 // Open/validate.
 // ---------------------------------------------------------------------------
 
-fn open_validated(path: &Path) -> Result<(File, PackHeader, PackIndex)> {
+/// Opens `path` and validates its metadata under `policy`: magic bytes and
+/// structural consistency (contiguous block offsets, non-empty blocks,
+/// totals matching the header) always; header/index/footer CRC comparisons
+/// only when [`ChecksumPolicy::verify_metadata`] holds.
+pub(crate) fn open_validated(
+    path: &Path,
+    policy: ChecksumPolicy,
+) -> Result<(File, PackHeader, PackIndex)> {
+    let verify = policy.verify_metadata();
     let mut file = File::open(path)?;
     let file_len = file.metadata()?.len();
     if file_len < HEADER_LEN + FOOTER_LEN {
@@ -618,7 +582,7 @@ fn open_validated(path: &Path) -> Result<(File, PackHeader, PackIndex)> {
     }
     let mut hbytes = [0u8; HEADER_LEN as usize];
     file.read_exact(&mut hbytes)?;
-    let header = PackHeader::from_bytes(&hbytes)?;
+    let header = PackHeader::from_bytes(&hbytes, verify)?;
 
     let mut fbytes = [0u8; FOOTER_LEN as usize];
     file.seek(SeekFrom::Start(file_len - FOOTER_LEN))?;
@@ -628,12 +592,14 @@ fn open_validated(path: &Path) -> Result<(File, PackHeader, PackIndex)> {
             "CLUGPZ footer magic missing (truncated file?)".into(),
         ));
     }
-    let stored = u32::from_le_bytes(fbytes[20..24].try_into().expect("4-byte field"));
-    let computed = crc32(&fbytes[..20]);
-    if stored != computed {
-        return Err(GraphError::Format(format!(
-            "footer checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
-        )));
+    if verify {
+        let stored = u32::from_le_bytes(fbytes[20..24].try_into().expect("4-byte field"));
+        let computed = crc32(&fbytes[..20]);
+        if stored != computed {
+            return Err(GraphError::Format(format!(
+                "footer checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
+        }
     }
     let index_offset = u64::from_le_bytes(fbytes[..8].try_into().expect("8-byte field"));
     let num_blocks = u64::from_le_bytes(fbytes[8..16].try_into().expect("8-byte field"));
@@ -648,11 +614,13 @@ fn open_validated(path: &Path) -> Result<(File, PackHeader, PackIndex)> {
     let mut index_bytes = vec![0u8; index_len as usize];
     file.seek(SeekFrom::Start(index_offset))?;
     file.read_exact(&mut index_bytes)?;
-    let computed = crc32(&index_bytes);
-    if index_crc != computed {
-        return Err(GraphError::Format(format!(
-            "index checksum mismatch: stored {index_crc:#010x}, computed {computed:#010x}"
-        )));
+    if verify {
+        let computed = crc32(&index_bytes);
+        if index_crc != computed {
+            return Err(GraphError::Format(format!(
+                "index checksum mismatch: stored {index_crc:#010x}, computed {computed:#010x}"
+            )));
+        }
     }
     let mut entries = Vec::with_capacity(num_blocks as usize);
     let mut expect_edge = 0u64;
@@ -688,9 +656,9 @@ fn open_validated(path: &Path) -> Result<(File, PackHeader, PackIndex)> {
 ///
 /// One block is decoded per refill into an internal buffer that chunked
 /// consumers drain zero-copy through [`EdgeStream::next_slice`]; payload
-/// checksums are verified as blocks stream. Decode/IO failures park an
-/// error, end the stream, and surface on the next
-/// [`RestreamableStream::reset`] — so a restreaming consumer cannot
+/// checksums are verified as blocks stream (under [`ChecksumPolicy::Full`]).
+/// Decode/IO failures park an error, end the stream, and surface on the
+/// next [`RestreamableStream::reset`] — so a restreaming consumer cannot
 /// silently loop over a damaged pack.
 #[derive(Debug)]
 pub struct PackedEdgeStream {
@@ -698,6 +666,7 @@ pub struct PackedEdgeStream {
     path: PathBuf,
     header: PackHeader,
     index: Arc<PackIndex>,
+    policy: ChecksumPolicy,
     blocks: Range<usize>,
     next_block: usize,
     shard_edges: u64,
@@ -708,9 +677,15 @@ pub struct PackedEdgeStream {
 }
 
 impl PackedEdgeStream {
-    /// Opens `path`, validating header, footer, and index checksums.
+    /// Opens `path`, validating header, footer, and index checksums
+    /// ([`ChecksumPolicy::Full`]).
     pub fn open(path: &Path) -> Result<Self> {
-        let (file, header, index) = open_validated(path)?;
+        Self::open_with(path, ChecksumPolicy::Full)
+    }
+
+    /// Opens `path` under an explicit checksum policy.
+    pub fn open_with(path: &Path, policy: ChecksumPolicy) -> Result<Self> {
+        let (file, header, index) = open_validated(path, policy)?;
         let blocks = 0..index.num_blocks();
         Ok(Self::over_range(
             file,
@@ -718,6 +693,7 @@ impl PackedEdgeStream {
             header,
             Arc::new(index),
             blocks,
+            policy,
         ))
     }
 
@@ -727,6 +703,7 @@ impl PackedEdgeStream {
         header: PackHeader,
         index: Arc<PackIndex>,
         blocks: Range<usize>,
+        policy: ChecksumPolicy,
     ) -> Self {
         let shard_edges = index.edges_in(blocks.clone());
         PackedEdgeStream {
@@ -734,6 +711,7 @@ impl PackedEdgeStream {
             path,
             header,
             index,
+            policy,
             next_block: blocks.start,
             blocks,
             shard_edges,
@@ -788,14 +766,16 @@ impl PackedEdgeStream {
         self.raw.resize(entry.byte_len as usize, 0);
         self.file.seek(SeekFrom::Start(entry.byte_offset))?;
         self.file.read_exact(&mut self.raw)?;
-        let computed = crc32(&self.raw);
-        if computed != entry.crc {
-            return Err(GraphError::Format(format!(
-                "block at offset {} failed its checksum: stored {:#010x}, computed {computed:#010x}",
-                entry.byte_offset, entry.crc
-            )));
+        if self.policy.verify_payload() {
+            let computed = crc32(&self.raw);
+            if computed != entry.crc {
+                return Err(GraphError::Format(format!(
+                    "block at offset {} failed its checksum: stored {:#010x}, computed {computed:#010x}",
+                    entry.byte_offset, entry.crc
+                )));
+            }
         }
-        decode_block(&self.raw, entry, &mut self.decoded)?;
+        BlockDecoder.decode(&self.raw, &entry, &mut self.decoded)?;
         self.pos = 0;
         Ok(())
     }
@@ -804,77 +784,6 @@ impl PackedEdgeStream {
     fn remaining(&self) -> usize {
         self.decoded.len() - self.pos
     }
-}
-
-/// Decodes one block payload, validating the edge count and id ranges
-/// against its index entry.
-fn decode_block(payload: &[u8], entry: BlockEntry, out: &mut Vec<Edge>) -> Result<()> {
-    out.clear();
-    out.reserve(entry.edge_count as usize);
-    let mut pos = 0usize;
-    let mut prev: Option<Edge> = None;
-    let bad_id = |v: u64| GraphError::Format(format!("decoded vertex id {v} exceeds u32 range"));
-    while out.len() < entry.edge_count as usize {
-        let e = match prev {
-            None => {
-                let src = get_varint(payload, &mut pos)?;
-                let dst = get_varint(payload, &mut pos)?;
-                if src > u64::from(u32::MAX) || dst > u64::from(u32::MAX) {
-                    return Err(bad_id(src.max(dst)));
-                }
-                Edge {
-                    src: src as u32,
-                    dst: dst as u32,
-                }
-            }
-            Some(p) => {
-                let src_gap = get_varint(payload, &mut pos)?;
-                let field = get_varint(payload, &mut pos)?;
-                if src_gap == 0 {
-                    let dst = u64::from(p.dst)
-                        .checked_add(field)
-                        .ok_or_else(|| bad_id(field))?;
-                    if dst > u64::from(u32::MAX) {
-                        return Err(bad_id(dst));
-                    }
-                    Edge {
-                        src: p.src,
-                        dst: dst as u32,
-                    }
-                } else {
-                    let src = u64::from(p.src)
-                        .checked_add(src_gap)
-                        .ok_or_else(|| bad_id(src_gap))?;
-                    if src > u64::from(u32::MAX) || field > u64::from(u32::MAX) {
-                        return Err(bad_id(src.max(field)));
-                    }
-                    Edge {
-                        src: src as u32,
-                        dst: field as u32,
-                    }
-                }
-            }
-        };
-        out.push(e);
-        prev = Some(e);
-    }
-    if pos != payload.len() {
-        return Err(GraphError::Format(format!(
-            "block at offset {} has {} trailing bytes after its {} edges",
-            entry.byte_offset,
-            payload.len() - pos,
-            entry.edge_count
-        )));
-    }
-    if out.first().map(|e| e.src) != Some(entry.first_src) {
-        return Err(GraphError::Format(format!(
-            "block at offset {} decodes first src {:?}, index says {}",
-            entry.byte_offset,
-            out.first().map(|e| e.src),
-            entry.first_src
-        )));
-    }
-    Ok(())
 }
 
 impl EdgeStream for PackedEdgeStream {
@@ -951,22 +860,31 @@ pub struct ShardSpec {
 
 /// Splits a pack into per-thread block ranges via the index, so a thread
 /// pool can stream shards in parallel — each shard is an independent
-/// [`PackedEdgeStream`] over its own file handle.
+/// [`PackedEdgeStream`] (or [`PipelinedPackStream`]) over its own file
+/// handle.
 #[derive(Debug)]
 pub struct ShardedPackReader {
     path: PathBuf,
     header: PackHeader,
     index: Arc<PackIndex>,
+    policy: ChecksumPolicy,
 }
 
 impl ShardedPackReader {
     /// Opens and validates `path` once; shards share the parsed index.
     pub fn open(path: &Path) -> Result<Self> {
-        let (_, header, index) = open_validated(path)?;
+        Self::open_with(path, ChecksumPolicy::Full)
+    }
+
+    /// Opens `path` under an explicit checksum policy, inherited by every
+    /// shard stream this reader hands out.
+    pub fn open_with(path: &Path, policy: ChecksumPolicy) -> Result<Self> {
+        let (_, header, index) = open_validated(path, policy)?;
         Ok(ShardedPackReader {
             path: path.to_path_buf(),
             header,
             index: Arc::new(index),
+            policy,
         })
     }
 
@@ -1030,6 +948,28 @@ impl ShardedPackReader {
             self.header,
             Arc::clone(&self.index),
             spec.blocks.clone(),
+            self.policy,
+        ))
+    }
+
+    /// Opens one shard as a [`PipelinedPackStream`]: the shard's blocks
+    /// decode on `opts.threads` dedicated workers ahead of the consumer.
+    /// The reader's checksum policy wins over `opts.checksums` (the shard
+    /// cannot be stricter than the metadata validation already performed).
+    pub fn open_pipelined_shard(
+        &self,
+        spec: &ShardSpec,
+        opts: DecodeOptions,
+    ) -> Result<PipelinedPackStream> {
+        Ok(PipelinedPackStream::over_range(
+            self.path.clone(),
+            self.header,
+            Arc::clone(&self.index),
+            spec.blocks.clone(),
+            DecodeOptions {
+                checksums: self.policy,
+                ..opts
+            },
         ))
     }
 
@@ -1056,6 +996,16 @@ impl ShardedPackReader {
     /// [`ShardedPackReader::block_range`]).
     pub fn open_block_range(&self, blocks: Range<usize>) -> Result<PackedEdgeStream> {
         self.open_shard(&self.block_range(blocks))
+    }
+
+    /// Opens an explicit block range as a [`PipelinedPackStream`] (see
+    /// [`ShardedPackReader::open_pipelined_shard`]).
+    pub fn open_pipelined_block_range(
+        &self,
+        blocks: Range<usize>,
+        opts: DecodeOptions,
+    ) -> Result<PipelinedPackStream> {
+        self.open_pipelined_shard(&self.block_range(blocks), opts)
     }
 }
 
@@ -1095,7 +1045,15 @@ impl PackSummary {
 
 /// Reads and summarizes a pack without decoding its blocks.
 pub fn read_pack_summary(path: &Path) -> Result<PackSummary> {
-    let (file, header, index) = open_validated(path)?;
+    read_pack_summary_with(path, ChecksumPolicy::Full)
+}
+
+/// [`read_pack_summary`] under an explicit [`ChecksumPolicy`]: `Off` skips
+/// the header/index CRC comparisons (magic and structural validation always
+/// run), letting `clugp-pack info` inspect a pack whose metadata checksums
+/// are damaged.
+pub fn read_pack_summary_with(path: &Path, policy: ChecksumPolicy) -> Result<PackSummary> {
+    let (file, header, index) = open_validated(path, policy)?;
     let file_bytes = file.metadata()?.len();
     let payload_bytes: u64 = index.entries().iter().map(|e| u64::from(e.byte_len)).sum();
     let (mut min_b, mut max_b) = (u32::MAX, 0u32);
@@ -1121,7 +1079,9 @@ pub fn read_pack_summary(path: &Path) -> Result<PackSummary> {
 
 /// Fully decodes a pack, verifying every checksum, the canonical edge
 /// order, and that every id is below the header's vertex count. Returns the
-/// edge count on success.
+/// edge count on success, or the *first* failure — the streaming
+/// equivalent; [`verify_pack_report`] walks every block and reports all of
+/// them.
 pub fn verify_pack(path: &Path) -> Result<u64> {
     let mut s = PackedEdgeStream::open(path)?;
     let n = s.header().num_vertices;
@@ -1159,6 +1119,118 @@ pub fn verify_pack(path: &Path) -> Result<u64> {
         });
     }
     Ok(count)
+}
+
+/// One damaged block found by [`verify_pack_report`].
+#[derive(Debug)]
+pub struct BlockFailure {
+    /// Block index within the pack.
+    pub block: usize,
+    /// File offset of the block's payload.
+    pub byte_offset: u64,
+    /// What went wrong reading or decoding it.
+    pub error: GraphError,
+}
+
+/// Exhaustive verification result: every failing block, not just the first.
+#[derive(Debug, Default)]
+pub struct VerifyReport {
+    /// Blocks in the pack.
+    pub num_blocks: u64,
+    /// Edges the header promises.
+    pub num_edges: u64,
+    /// Edges decoded from the blocks that passed.
+    pub decoded_edges: u64,
+    /// Every block that failed its checksum, read, or decode.
+    pub failures: Vec<BlockFailure>,
+    /// Pack-wide violations (canonical order, id range) found in the blocks
+    /// that did decode.
+    pub global_errors: Vec<String>,
+}
+
+impl VerifyReport {
+    /// `true` when the pack verified clean.
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty() && self.global_errors.is_empty()
+    }
+}
+
+/// Verifies every block of a pack, continuing past failures so the report
+/// names *all* damaged blocks with their index and byte offset — the
+/// `clugp-pack verify` surface.
+///
+/// # Errors
+///
+/// Fails only when the metadata (header/index/footer) is too damaged to
+/// enumerate blocks at all; block-level damage lands in the report.
+pub fn verify_pack_report(path: &Path) -> Result<VerifyReport> {
+    let (mut file, header, index) = open_validated(path, ChecksumPolicy::Full)?;
+    let decoder = BlockDecoder;
+    let mut raw: Vec<u8> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut report = VerifyReport {
+        num_blocks: index.num_blocks() as u64,
+        num_edges: header.num_edges,
+        ..Default::default()
+    };
+    // Last edge of the previous *good* block; cleared after a failure so
+    // order is only judged across contiguous decoded data.
+    let mut prev: Option<Edge> = None;
+    let mut order_ok = true;
+    let mut max_id = 0u64;
+    for (i, entry) in index.entries().iter().enumerate() {
+        let outcome = (|| -> Result<()> {
+            raw.resize(entry.byte_len as usize, 0);
+            file.seek(SeekFrom::Start(entry.byte_offset))?;
+            file.read_exact(&mut raw)?;
+            let computed = crc32(&raw);
+            if computed != entry.crc {
+                return Err(GraphError::Format(format!(
+                    "payload checksum mismatch: stored {:#010x}, computed {computed:#010x}",
+                    entry.crc
+                )));
+            }
+            decoder.decode(&raw, entry, &mut edges)
+        })();
+        match outcome {
+            Ok(()) => {
+                for &e in &edges {
+                    if let Some(p) = prev {
+                        order_ok &= (p.src, p.dst) <= (e.src, e.dst);
+                    }
+                    max_id = max_id.max(u64::from(e.src.max(e.dst)));
+                    prev = Some(e);
+                }
+                report.decoded_edges += edges.len() as u64;
+            }
+            Err(error) => {
+                report.failures.push(BlockFailure {
+                    block: i,
+                    byte_offset: entry.byte_offset,
+                    error,
+                });
+                prev = None;
+            }
+        }
+    }
+    if !order_ok {
+        report
+            .global_errors
+            .push("pack violates canonical (src, dst) order".into());
+    }
+    if report.decoded_edges > 0 && max_id >= header.num_vertices {
+        report.global_errors.push(format!(
+            "vertex id {max_id} out of range (header promises {} vertices)",
+            header.num_vertices
+        ));
+    }
+    if report.failures.is_empty() && report.decoded_edges != header.num_edges {
+        report.global_errors.push(format!(
+            "pack decodes {} edges, header promises {}",
+            report.decoded_edges, header.num_edges
+        ));
+    }
+    Ok(report)
 }
 
 /// Convenience: packs an in-memory edge list (used by tests, fixtures, and
@@ -1301,6 +1373,9 @@ mod tests {
         let s = PackedEdgeStream::open(&path).unwrap();
         assert_eq!(s.num_vertices_hint(), Some(5));
         assert_eq!(verify_pack(&path).unwrap(), 0);
+        // Pipelined open over an empty pack streams empty too.
+        let mut p = PipelinedPackStream::open(&path, DecodeOptions::default()).unwrap();
+        assert!(collect_stream(&mut p).is_empty());
         std::fs::remove_file(&path).ok();
     }
 
@@ -1489,6 +1564,9 @@ mod tests {
         assert!(sum.min_block_bytes >= 1);
         assert!(sum.bytes_per_edge() > 0.0);
         assert_eq!(verify_pack(&path).unwrap(), edges.len() as u64);
+        let report = verify_pack_report(&path).unwrap();
+        assert!(report.is_ok());
+        assert_eq!(report.decoded_edges, edges.len() as u64);
         std::fs::remove_file(&path).ok();
     }
 
@@ -1527,6 +1605,232 @@ mod tests {
     }
 
     #[test]
+    fn verify_report_lists_every_failing_block() {
+        let edges = web_like(6_000);
+        let path = tmp("multi_corrupt.clugpz");
+        write_pack(
+            &path,
+            0,
+            &edges,
+            &PackOptions {
+                block_bytes: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reader = ShardedPackReader::open(&path).unwrap();
+        let entries: Vec<BlockEntry> = reader.index().entries().to_vec();
+        assert!(entries.len() >= 5, "need several blocks for this test");
+        drop(reader);
+        // Corrupt two non-adjacent blocks.
+        let victims = [1usize, 3];
+        let mut data = std::fs::read(&path).unwrap();
+        for &v in &victims {
+            data[entries[v].byte_offset as usize] ^= 0xFF;
+        }
+        std::fs::write(&path, &data).unwrap();
+        let report = verify_pack_report(&path).unwrap();
+        assert!(!report.is_ok());
+        assert_eq!(report.failures.len(), 2, "{:?}", report.failures);
+        for (f, &v) in report.failures.iter().zip(&victims) {
+            assert_eq!(f.block, v);
+            assert_eq!(f.byte_offset, entries[v].byte_offset);
+            assert!(f.error.to_string().contains("checksum"), "{}", f.error);
+        }
+        // Good blocks still decoded.
+        let bad_edges: u64 = victims
+            .iter()
+            .map(|&v| u64::from(entries[v].edge_count))
+            .sum();
+        assert_eq!(report.decoded_edges, edges.len() as u64 - bad_edges);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checksum_policy_gates_payload_and_metadata_verification() {
+        let edges = web_like(3_000);
+        let path = tmp("policy.clugpz");
+        write_pack(
+            &path,
+            0,
+            &edges,
+            &PackOptions {
+                block_bytes: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let want = canonical_order(&edges);
+        // Pristine file: all policies stream identically.
+        for policy in [
+            ChecksumPolicy::Full,
+            ChecksumPolicy::HeaderAndIndex,
+            ChecksumPolicy::Off,
+        ] {
+            let mut s = PackedEdgeStream::open_with(&path, policy).unwrap();
+            assert_eq!(collect_stream(&mut s), want, "{policy:?}");
+        }
+        // Tamper with a stored *block CRC* in the index, recomputing the
+        // index + footer checksums so the metadata stays self-consistent:
+        // Full must reject the payload, HeaderAndIndex/Off must stream it.
+        let pristine = std::fs::read(&path).unwrap();
+        let reader = ShardedPackReader::open(&path).unwrap();
+        let num_blocks = reader.index().num_blocks();
+        drop(reader);
+        let mut data = pristine.clone();
+        let index_start = data.len() - FOOTER_LEN as usize - num_blocks * INDEX_ENTRY_LEN;
+        data[index_start + 12] ^= 0xFF; // entry 0's crc field
+        let index_end = data.len() - FOOTER_LEN as usize;
+        let new_index_crc = crc32(&data[index_start..index_end]);
+        let footer_start = index_end;
+        data[footer_start + 16..footer_start + 20].copy_from_slice(&new_index_crc.to_le_bytes());
+        let new_footer_crc = crc32(&data[footer_start..footer_start + 20]);
+        data[footer_start + 20..footer_start + 24].copy_from_slice(&new_footer_crc.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+
+        let mut s = PackedEdgeStream::open_with(&path, ChecksumPolicy::Full).unwrap();
+        collect_stream(&mut s);
+        assert!(s.error().is_some(), "Full policy must catch the bad CRC");
+        for policy in [ChecksumPolicy::HeaderAndIndex, ChecksumPolicy::Off] {
+            let mut s = PackedEdgeStream::open_with(&path, policy).unwrap();
+            assert_eq!(collect_stream(&mut s), want, "{policy:?}");
+            assert!(s.error().is_none(), "{policy:?}");
+        }
+
+        // Tamper with the *header CRC*: Full/HeaderAndIndex reject at open,
+        // Off still opens (magic + structure intact).
+        let mut data = pristine.clone();
+        data[33] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(PackedEdgeStream::open_with(&path, ChecksumPolicy::Full).is_err());
+        assert!(PackedEdgeStream::open_with(&path, ChecksumPolicy::HeaderAndIndex).is_err());
+        let mut s = PackedEdgeStream::open_with(&path, ChecksumPolicy::Off).unwrap();
+        assert_eq!(collect_stream(&mut s), want);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipelined_stream_matches_serial_and_resets() {
+        let edges = web_like(8_000);
+        let path = tmp("pipelined.clugpz");
+        write_pack(
+            &path,
+            0,
+            &edges,
+            &PackOptions {
+                block_bytes: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let want = canonical_order(&edges);
+        for threads in [1usize, 2, 4] {
+            for prefetch in [1usize, 4] {
+                let opts = DecodeOptions {
+                    threads,
+                    prefetch,
+                    checksums: ChecksumPolicy::Full,
+                };
+                let mut s = PipelinedPackStream::open(&path, opts).unwrap();
+                assert_eq!(s.len_hint(), Some(edges.len() as u64));
+                assert_eq!(
+                    collect_stream(&mut s),
+                    want,
+                    "threads={threads} prefetch={prefetch}"
+                );
+                // Restream: reset reports clean and the second pass agrees.
+                s.reset().unwrap();
+                assert_eq!(collect_stream(&mut s), want, "second pass");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipelined_corruption_parks_error_from_worker_thread() {
+        let edges = web_like(6_000);
+        let path = tmp("pipelined_corrupt.clugpz");
+        write_pack(
+            &path,
+            0,
+            &edges,
+            &PackOptions {
+                block_bytes: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reader = ShardedPackReader::open(&path).unwrap();
+        let entries: Vec<BlockEntry> = reader.index().entries().to_vec();
+        drop(reader);
+        let victim = entries.len() / 2;
+        let mut data = std::fs::read(&path).unwrap();
+        data[entries[victim].byte_offset as usize] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+
+        let good_prefix: u64 = entries[..victim]
+            .iter()
+            .map(|e| u64::from(e.edge_count))
+            .sum();
+        let opts = DecodeOptions {
+            threads: 2,
+            prefetch: 4,
+            checksums: ChecksumPolicy::Full,
+        };
+        let mut s = PipelinedPackStream::open(&path, opts).unwrap();
+        let got = collect_stream(&mut s);
+        // Ordered delivery: everything before the damaged block streamed.
+        assert_eq!(got.len() as u64, good_prefix);
+        assert!(s.error().is_some());
+        let err = s.reset().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        assert!(s.error().is_none());
+        // The stream restreams cleanly up to the damaged block again.
+        let again = collect_stream(&mut s);
+        assert_eq!(again, got);
+        assert!(s.error().is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipelined_sharded_ranges_cover_the_pack() {
+        let edges = web_like(5_000);
+        let path = tmp("pipelined_shards.clugpz");
+        write_pack(
+            &path,
+            0,
+            &edges,
+            &PackOptions {
+                block_bytes: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reader = ShardedPackReader::open(&path).unwrap();
+        let want = canonical_order(&edges);
+        let opts = DecodeOptions {
+            threads: 2,
+            prefetch: 2,
+            checksums: ChecksumPolicy::Full,
+        };
+        let mut all = Vec::new();
+        for spec in reader.shards(3) {
+            let mut s = reader.open_pipelined_shard(&spec, opts).unwrap();
+            assert_eq!(s.len_hint(), Some(spec.edges));
+            all.extend(collect_stream(&mut s));
+        }
+        assert_eq!(all, want);
+        // Explicit block-range opener agrees with the serial one.
+        let mid = reader.index().num_blocks() / 2;
+        let mut serial = reader.open_block_range(mid..usize::MAX).unwrap();
+        let mut piped = reader
+            .open_pipelined_block_range(mid..usize::MAX, opts)
+            .unwrap();
+        assert_eq!(collect_stream(&mut piped), collect_stream(&mut serial));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn corrupted_header_footer_and_index_are_rejected_at_open() {
         let edges = web_like(1_000);
         let path = tmp("corrupt_meta.clugpz");
@@ -1557,35 +1861,14 @@ mod tests {
         std::fs::write(&path, &pristine[..pristine.len() - 10]).unwrap();
         assert!(PackedEdgeStream::open(&path).is_err());
 
-        // Bad magic (long enough to pass the length check).
+        // Bad magic (long enough to pass the length check) — rejected under
+        // every policy, Off included.
         let mut junk = b"NOTPACKD".to_vec();
         junk.resize(96, b'_');
         std::fs::write(&path, &junk).unwrap();
         let err = PackedEdgeStream::open(&path).unwrap_err();
         assert!(err.to_string().contains("magic"), "{err}");
+        assert!(PackedEdgeStream::open_with(&path, ChecksumPolicy::Off).is_err());
         std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn varint_round_trip() {
-        let mut buf = Vec::new();
-        let values = [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX];
-        for &v in &values {
-            put_varint(&mut buf, v);
-        }
-        let mut pos = 0;
-        for &v in &values {
-            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
-        }
-        assert_eq!(pos, buf.len());
-        // Overrun is an error, not a panic.
-        assert!(get_varint(&buf, &mut pos).is_err());
-    }
-
-    #[test]
-    fn crc32_known_answer() {
-        // The standard IEEE check value.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
     }
 }

@@ -31,6 +31,13 @@
 //! wrap any stream to force the legacy per-edge pull path or an arbitrary
 //! chunk granularity — the A/B levers of the throughput benchmark and the
 //! equivalence suite.
+//!
+//! Because only the *empty* chunk is semantic, a source is free to produce
+//! its chunks on other threads, as `crate::pack::PipelinedPackStream` does:
+//! pack blocks decode on workers ahead of the consumer while deliveries stay
+//! in block order, so the chunk sequence — and therefore every consumer's
+//! result — is bit-identical to the serial reader at any thread count
+//! (`tests/pipelined_equivalence.rs`).
 
 use crate::error::Result;
 use crate::types::Edge;

@@ -197,6 +197,55 @@ fn pack_input_matches_monolith_on_the_same_pack_stream() {
 }
 
 #[test]
+fn pack_input_with_pipelined_decode_matches_serial_decode() {
+    // The AMPC worker's pack source honors the process-wide decode
+    // options: with pipeline workers enabled, every worker decodes its
+    // block range ahead of its stages — and the partitions must stay
+    // bit-identical to the serial-decode run.
+    use clugp_graph::pack::{
+        set_decode_options, write_pack, ChecksumPolicy, DecodeOptions, PackOptions,
+    };
+    let (n, edges) = test_web_graph(1_000, 47);
+    let dir = std::env::temp_dir().join("clugp_dist_equiv_pipelined");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("piped.clugpz");
+    write_pack(
+        &path,
+        n,
+        &edges,
+        &PackOptions {
+            block_bytes: 1024,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    for (name, _, algo) in roster() {
+        let config = DistConfig {
+            workers: 3,
+            ..Default::default()
+        };
+        set_decode_options(DecodeOptions::default()); // serial reference
+        let serial = run_distributed(&algo, DistInput::Pack(&path), 8, &config)
+            .unwrap_or_else(|e| panic!("{name}: serial decode: {e}"));
+        set_decode_options(DecodeOptions {
+            threads: 2,
+            prefetch: 2,
+            checksums: ChecksumPolicy::Full,
+        });
+        let piped = run_distributed(&algo, DistInput::Pack(&path), 8, &config)
+            .unwrap_or_else(|e| panic!("{name}: pipelined decode: {e}"));
+        set_decode_options(DecodeOptions::default());
+        assert_eq!(
+            (piped.partitioning.assignments, piped.partitioning.loads),
+            (serial.partitioning.assignments, serial.partitioning.loads),
+            "{name}: pipelined worker decode diverged from serial"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn invalid_parameters_fail_like_the_monolith() {
     let (n, edges) = test_web_graph(200, 44);
     let input = DistInput::Edges {

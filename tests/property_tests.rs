@@ -50,6 +50,40 @@ fn arb_extreme_edges() -> impl Strategy<Value = Vec<Edge>> {
     })
 }
 
+/// Packs `edges` under a 1-edge-per-block and a multi-edge-block regime,
+/// then decodes every raw block twice — batched production decoder vs the
+/// scalar reference — and asserts record-for-record equality.
+fn assert_decoders_agree(edges: &[Edge], tag: &str) {
+    use clugp_graph::pack::{write_pack, BlockDecoder, PackOptions, ShardedPackReader};
+    let dir = std::env::temp_dir().join("clugp_prop_decoder");
+    std::fs::create_dir_all(&dir).unwrap();
+    let decoder = BlockDecoder;
+    for block_bytes in [1usize, 48] {
+        let path = dir.join(format!("{tag}{}_{block_bytes}.clugpz", edges.len()));
+        write_pack(
+            &path,
+            0,
+            edges,
+            &PackOptions {
+                block_bytes,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reader = ShardedPackReader::open(&path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        let (mut fast, mut slow) = (Vec::new(), Vec::new());
+        for entry in reader.index().entries() {
+            let start = entry.byte_offset as usize;
+            let payload = &data[start..start + entry.byte_len as usize];
+            decoder.decode(payload, entry, &mut fast).unwrap();
+            decoder.decode_scalar(payload, entry, &mut slow).unwrap();
+            assert_eq!(fast, slow, "decoders diverged (block_bytes={block_bytes})");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -282,6 +316,21 @@ proptest! {
             prop_assert_eq!(&collect_stream(&mut s), &want);
             std::fs::remove_file(&path).ok();
         }
+    }
+
+    /// The batched production block decoder is record-for-record identical
+    /// to the scalar reference decoder on every block a real pack produces,
+    /// across the 1-edge-per-block and multi-edge-block regimes.
+    #[test]
+    fn batched_block_decoder_matches_scalar(edges in arb_edges()) {
+        assert_decoders_agree(&edges, "a");
+    }
+
+    /// Same equivalence at the hostile end of the id space: ids adjacent
+    /// to `u32::MAX` exercise the widest varint gaps in both decoders.
+    #[test]
+    fn batched_block_decoder_matches_scalar_near_u32_max(edges in arb_extreme_edges()) {
+        assert_decoders_agree(&edges, "x");
     }
 
     /// The external-sort spill path produces byte-identical packs to the
