@@ -21,7 +21,9 @@ use crate::datasets::Dataset;
 use crate::report::{results_dir, save_json, Table};
 use crate::runner::PreparedDataset;
 use clugp::ampc::coordinator::DistAlgo;
-use clugp::ampc::{run_distributed, DistConfig, DistInput, TransportKind};
+use clugp::ampc::{
+    run_distributed, DistConfig, DistInput, FaultPlan, SuperviseConfig, TransportKind,
+};
 use clugp::baselines::Hdrf;
 use clugp::clugp::Clugp;
 use clugp::partitioner::Partitioner;
@@ -61,6 +63,27 @@ pub struct AmpcRun {
     pub bit_identical: bool,
 }
 
+/// One seeded fault-injection probe of the supervised engine (the
+/// `fault_probes` rows of `BENCH_ampc.json` / `BENCH_ampc_faults.csv`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FaultProbe {
+    /// Seed of [`FaultPlan::seeded`] — fully determines the injected fault.
+    pub seed: u64,
+    /// `clean` (fault was absorbed without a replay, e.g. a delay),
+    /// `recovered` (one or more pass replays), or `typed-error` (a
+    /// deterministic error the engine correctly refuses to retry).
+    pub outcome: String,
+    /// Pass replays the supervisor performed.
+    pub recoveries: u32,
+    /// Wall clock of the faulted run, seconds.
+    pub secs: f64,
+    /// For completed runs: assignments identical to the monolith. Always
+    /// true in a passing bench (asserted); errors report false.
+    pub bit_identical: bool,
+    /// The typed error for `typed-error` outcomes, empty otherwise.
+    pub error: String,
+}
+
 /// The `results/BENCH_ampc.json` payload.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct AmpcReport {
@@ -81,6 +104,17 @@ pub struct AmpcReport {
     pub bit_identical: bool,
     /// One row per `(dataset, algorithm, workers, transport)`.
     pub runs: Vec<AmpcRun>,
+    /// Wall clock of the undisturbed supervision-off reference run the
+    /// checkpoint overhead is measured against, seconds.
+    pub plain_secs: f64,
+    /// Wall clock of the same run with supervision + barrier checkpoints
+    /// enabled (and no faults), seconds.
+    pub supervised_secs: f64,
+    /// `supervised_secs / plain_secs` — the cost of taking barrier
+    /// checkpoints when nothing goes wrong.
+    pub checkpoint_overhead: f64,
+    /// Seeded fault-injection probes of the supervised engine.
+    pub fault_probes: Vec<FaultProbe>,
 }
 
 /// Monolith/distributed pairs the sweep measures: the streaming baseline
@@ -148,6 +182,7 @@ pub fn ampc(ctx: &ExpContext) {
                         workers,
                         transport,
                         chunk_edges: 0,
+                        ..Default::default()
                     };
                     let mut secs = f64::INFINITY;
                     let mut out = None;
@@ -206,6 +241,8 @@ pub fn ampc(ctx: &ExpContext) {
     }
     table.print();
     table.save_csv(&results_dir().join("BENCH_ampc.csv")).ok();
+
+    let (plain_secs, supervised_secs, fault_probes) = fault_leg(ctx, k);
     let report = AmpcReport {
         datasets: datasets.iter().map(|d| d.name().to_string()).collect(),
         k,
@@ -227,10 +264,127 @@ pub fn ampc(ctx: &ExpContext) {
             .to_string(),
         bit_identical: runs.iter().all(|r| r.bit_identical),
         runs,
+        plain_secs,
+        supervised_secs,
+        checkpoint_overhead: supervised_secs / plain_secs.max(f64::EPSILON),
+        fault_probes,
     };
     save_json("BENCH_ampc", &report).ok();
     assert!(
         report.bit_identical,
         "sharded placement must not change any partition"
     );
+}
+
+/// The fault leg: checkpoint overhead of an undisturbed supervised run,
+/// then seeded single-fault injections (drop / delay / corrupt /
+/// disconnect, either direction) against a 4-worker CLUGP run on uk-s.
+/// Every completed run is asserted bit-identical to the monolith; every
+/// failed run must have failed with a typed error, not a hang (the
+/// supervision deadline bounds the probe).
+fn fault_leg(ctx: &ExpContext, k: u32) -> (f64, f64, Vec<FaultProbe>) {
+    let workers = 4u32;
+    let seeds = 1..=6u64;
+    let prep = PreparedDataset::load(Dataset::UkS, ctx.scale);
+    let n = prep.graph.num_vertices();
+    let edges = prep.edges_for(Algorithm::Clugp);
+    let mut s = InMemoryStream::new(n, edges.to_vec());
+    let reference = Clugp::default()
+        .partition(&mut s, k)
+        .expect("monolith")
+        .partitioning
+        .assignments;
+    let input = DistInput::Edges {
+        num_vertices: n,
+        edges,
+    };
+    let supervise = SuperviseConfig {
+        worker_timeout: Some(std::time::Duration::from_secs(2)),
+        max_retries: 3,
+        backoff: std::time::Duration::from_millis(50),
+    };
+
+    // Checkpoint overhead: same undisturbed run with supervision off/on.
+    let timed = |cfg: &DistConfig| {
+        let t = std::time::Instant::now();
+        let out = run_distributed(&DistAlgo::clugp(), input, k, cfg).expect("undisturbed run");
+        (t.elapsed().as_secs_f64(), out)
+    };
+    let (plain_secs, _) = timed(&DistConfig {
+        workers,
+        ..Default::default()
+    });
+    let (supervised_secs, out) = timed(&DistConfig {
+        workers,
+        supervise: supervise.clone(),
+        ..Default::default()
+    });
+    assert_eq!(out.recoveries, 0, "undisturbed run must not recover");
+    assert_eq!(
+        out.partitioning.assignments, reference,
+        "supervision/checkpointing changed a partition"
+    );
+
+    let mut table = Table::new(
+        "BENCH_ampc faults — seeded fault injection, supervised CLUGP (uk-s, 4 workers)",
+        &["Seed", "Outcome", "Recoveries", "Time", "Identical"],
+    );
+    let mut probes = Vec::new();
+    for seed in seeds {
+        let cfg = DistConfig {
+            workers,
+            supervise: supervise.clone(),
+            faults: FaultPlan::seeded(seed, workers),
+            ..Default::default()
+        };
+        let t = std::time::Instant::now();
+        let probe = match run_distributed(&DistAlgo::clugp(), input, k, &cfg) {
+            Ok(out) => {
+                let bit_identical = out.partitioning.assignments == reference;
+                assert!(
+                    bit_identical,
+                    "seed {seed}: recovered run diverged from the monolith"
+                );
+                FaultProbe {
+                    seed,
+                    outcome: if out.recoveries > 0 {
+                        "recovered".into()
+                    } else {
+                        "clean".into()
+                    },
+                    recoveries: out.recoveries,
+                    secs: t.elapsed().as_secs_f64(),
+                    bit_identical,
+                    error: String::new(),
+                }
+            }
+            Err(e) => FaultProbe {
+                seed,
+                outcome: "typed-error".into(),
+                recoveries: 0,
+                secs: t.elapsed().as_secs_f64(),
+                bit_identical: false,
+                error: e.to_string(),
+            },
+        };
+        table.row(vec![
+            probe.seed.to_string(),
+            probe.outcome.clone(),
+            probe.recoveries.to_string(),
+            format!("{:.3}s", probe.secs),
+            probe.bit_identical.to_string(),
+        ]);
+        probes.push(probe);
+    }
+    table.print();
+    table
+        .save_csv(&results_dir().join("BENCH_ampc_faults.csv"))
+        .ok();
+    assert!(
+        probes
+            .iter()
+            .any(|p| p.outcome == "recovered" || p.outcome == "typed-error"),
+        "the seeded plans exercised no fault at all"
+    );
+    (plain_secs, supervised_secs, probes)
 }

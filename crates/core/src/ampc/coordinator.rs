@@ -8,23 +8,48 @@
 //! coordinator-forwarded [`Msg::Route`]), and runs the pass-2 work the
 //! monolith does between streams: cluster compaction, the cluster graph,
 //! and the game/greedy cluster assignment.
+//!
+//! # Fault tolerance
+//!
+//! With supervision enabled ([`SuperviseConfig::max_retries`] > 0) the
+//! coordinator runs as a [`Supervisor`]: at every pass barrier it commits
+//! a [`Checkpoint`] (token + every worker's shards), and when a worker
+//! link fails retryably mid-pass — EOF, io error, deadline timeout,
+//! undecodable frame — it heals the fleet (probes every worker with
+//! `ResetTables`, respawns the dead ones through the host-provided
+//! [`Respawner`], reconfigures them) and replays the flow from the last
+//! committed barrier. Replay is exact because the pass kernels are
+//! deterministic and every worker's state is restored, so a recovered
+//! run stays bit-identical to an undisturbed one. Worker-*reported*
+//! errors ([`Msg::Err`], e.g. a corrupt pack block) stay fatal: they are
+//! deterministic and would only recur. The coordinator itself is not
+//! survivable — it holds the only copy of the in-flight pass results.
 
+use super::checkpoint::{load_latest, write_checkpoint, Checkpoint, TableDump};
+use super::fault::{FaultInjectingTransport, FaultPlan};
 use super::proto::{
     AlgoSpec, InputSpec, Msg, PairsPayload, Stage, StateOp, TableDef, Token, WorkerSetup,
 };
 use super::table::{Layout, MergeOp, DEFAULT_STRIPE};
 use super::transport::{NetStats, Transport};
 use super::worker::{migration_tag, unexpected, T_CPART, T_MAIN};
-use super::{pack_input_specs, split_ranges, DistInput};
+use super::{pack_input_specs, split_ranges, DistConfig, DistInput, SuperviseConfig};
 use crate::baselines::{dbh, grid, hashing, HdrfConfig, MintConfig};
 use crate::clugp::cluster_graph::{merge_weighted, ClusterGraph};
 use crate::clugp::clustering::{compact_clusters, NO_CLUSTER};
 use crate::clugp::transform::load_cap;
 use crate::clugp::{greedy_assign, solve_game, ClugpConfig, ClusterAssignMode};
-use crate::error::{PartitionError, Result};
+use crate::error::{FaultKind, PartitionError, Result};
 use crate::partition::Partitioning;
 use crate::vertex_table::{cap_error, VertexTable, DEFAULT_MAX_VERTICES};
 use clugp_graph::pack::ShardedPackReader;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Host-provided factory for a replacement worker link: kills whatever is
+/// left of worker `i`, brings up a fresh one (thread or process), and
+/// returns the coordinator's end of its transport, ready for `Configure`.
+pub type Respawner<'a> = &'a mut dyn FnMut(u32) -> Result<Box<dyn Transport>>;
 
 /// Which partitioner a distributed run executes.
 ///
@@ -133,25 +158,53 @@ pub struct DistOutcome {
     /// The final partitioning — bit-identical to the monolith's for the
     /// same stream.
     pub partitioning: Partitioning,
-    /// Bytes/frames exchanged over all coordinator↔worker links.
+    /// Bytes/frames exchanged over all coordinator↔worker links,
+    /// including links retired by respawns.
     pub net: NetStats,
     /// Worker count the run used.
     pub workers: u32,
+    /// Pass replays the supervisor performed (0 on an undisturbed run).
+    pub recoveries: u32,
+}
+
+/// Prefixes retryable fault details with the worker index so a terminal
+/// error names the link that died.
+fn tag_worker(w: usize, e: PartitionError) -> PartitionError {
+    match e {
+        PartitionError::Fault { kind, detail } => PartitionError::Fault {
+            kind,
+            detail: format!("worker {w}: {detail}"),
+        },
+        other => other,
+    }
 }
 
 struct Coord {
     conns: Vec<Box<dyn Transport>>,
+    /// Stats of links replaced by respawns (their traffic still counts).
+    retired: NetStats,
 }
 
 impl Coord {
     fn send(&mut self, to: usize, msg: &Msg) -> Result<()> {
-        self.conns[to].send(&msg.encode())
+        self.conns[to]
+            .send(&msg.encode())
+            .map_err(|e| tag_worker(to, e))
     }
 
     fn recv(&mut self, from: usize) -> Result<Msg> {
-        match Msg::decode(&self.conns[from].recv()?)? {
-            Msg::Err { msg } => Err(PartitionError::InvalidParam(msg)),
-            msg => Ok(msg),
+        let frame = self.conns[from].recv().map_err(|e| tag_worker(from, e))?;
+        match Msg::decode(&frame) {
+            // A worker-reported error is deterministic (bad input, corrupt
+            // pack): replaying it would only fail again, so it stays fatal.
+            Ok(Msg::Err { msg }) => Err(PartitionError::InvalidParam(msg)),
+            Ok(msg) => Ok(msg),
+            // An undecodable frame means the link itself mangled data: a
+            // respawn gets a clean stream, so this is retryable.
+            Err(e) => Err(PartitionError::fault(
+                FaultKind::Corrupt,
+                format!("worker {from}: undecodable frame: {e}"),
+            )),
         }
     }
 
@@ -196,6 +249,9 @@ impl Coord {
                         let rows = self.state_req(to, table, op)?;
                         self.send(w, &Msg::StateResp { rows })?;
                     }
+                    // Proof of life from a quiet worker: resets the recv
+                    // deadline simply by having arrived.
+                    Msg::Heartbeat => {}
                     Msg::StageDone {
                         token,
                         assignments: part,
@@ -215,30 +271,334 @@ impl Coord {
     }
 }
 
+/// Applies the scripted fault wrapper for `(worker, incarnation)`, if any.
+fn wrap_link(
+    faults: &FaultPlan,
+    worker: u32,
+    incarnation: u32,
+    link: Box<dyn Transport>,
+) -> Box<dyn Transport> {
+    match faults.script(worker, incarnation) {
+        Some(script) => Box::new(FaultInjectingTransport::new(link, script.clone())),
+        None => link,
+    }
+}
+
+/// The coordinator's supervision state: the live links, the policy, the
+/// last committed barrier checkpoint, and everything needed to respawn
+/// and reconfigure a worker ([`WorkerSetup`]s, incarnation counters, the
+/// fault plan for wrapping replacement links).
+struct Supervisor<'a> {
+    coord: Coord,
+    policy: SuperviseConfig,
+    faults: FaultPlan,
+    respawn: Option<Respawner<'a>>,
+    /// Retained setups for reconfiguring respawned workers. Only kept
+    /// when `max_retries > 0` (inline inputs make this a full copy of the
+    /// edge stream).
+    setups: Vec<WorkerSetup>,
+    incarnation: Vec<u32>,
+    table_defs: Vec<TableDef>,
+    /// Last committed checkpoint; recovery replays the flow from here.
+    last: Option<Checkpoint>,
+    ckpt_dir: Option<PathBuf>,
+    recoveries: u32,
+    // Checkpoint fingerprint, filled in by `drive`.
+    algo_name: &'static str,
+    k: u32,
+    m: u64,
+    n_hint: u64,
+}
+
+impl<'a> Supervisor<'a> {
+    fn new(
+        conns: Vec<Box<dyn Transport>>,
+        algo_name: &'static str,
+        cfg: &DistConfig,
+        respawn: Option<Respawner<'a>>,
+    ) -> Supervisor<'a> {
+        let n = conns.len();
+        let policy = cfg.supervise.clone();
+        let faults = cfg.faults.clone();
+        let deadline = deadline_of(&policy);
+        let conns: Vec<Box<dyn Transport>> = conns
+            .into_iter()
+            .enumerate()
+            .map(|(w, link)| {
+                let mut link = wrap_link(&faults, w as u32, 0, link);
+                if deadline.is_some() {
+                    link.set_deadline(deadline);
+                }
+                link
+            })
+            .collect();
+        Supervisor {
+            coord: Coord {
+                conns,
+                retired: NetStats::default(),
+            },
+            policy,
+            faults,
+            respawn,
+            setups: Vec::new(),
+            incarnation: vec![0; n],
+            table_defs: Vec::new(),
+            last: None,
+            ckpt_dir: cfg.checkpoint_dir.clone(),
+            recoveries: 0,
+            algo_name,
+            k: 0,
+            m: 0,
+            n_hint: 0,
+        }
+    }
+
+    fn workers(&self) -> u32 {
+        self.coord.conns.len() as u32
+    }
+
+    /// Whether barriers commit checkpoints. On when recovery could use
+    /// them (retries allowed) or the user asked for them on disk.
+    fn checkpointing(&self) -> bool {
+        self.policy.max_retries > 0 || self.ckpt_dir.is_some()
+    }
+
+    fn can_retry(&self) -> bool {
+        self.recoveries < self.policy.max_retries
+    }
+
+    /// Backs off (exponentially), then probes every worker and respawns
+    /// the dead ones. After `heal` the fleet is uniformly configured and
+    /// empty, ready for [`Supervisor::restore`].
+    fn recover(&mut self) -> Result<()> {
+        self.recoveries += 1;
+        let exp = self.recoveries.saturating_sub(1).min(16);
+        let wait = self.policy.backoff.saturating_mul(1u32 << exp);
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        self.heal()
+    }
+
+    fn heal(&mut self) -> Result<()> {
+        for w in 0..self.coord.conns.len() {
+            // The probe doubles as the reset: a live worker answers
+            // `ResetOk` and is left empty; anything else — timeout, EOF,
+            // a stale frame from the aborted pass — condemns the link.
+            if self.probe_reset(w).is_ok() {
+                continue;
+            }
+            self.respawn_worker(w)?;
+        }
+        Ok(())
+    }
+
+    fn probe_reset(&mut self, w: usize) -> Result<()> {
+        self.coord.send(w, &Msg::ResetTables)?;
+        match self.coord.recv(w)? {
+            Msg::ResetOk => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn respawn_worker(&mut self, w: usize) -> Result<()> {
+        let Some(respawn) = self.respawn.as_mut() else {
+            return Err(PartitionError::fault(
+                FaultKind::Disconnected,
+                format!("worker {w} is unresponsive and the host provides no respawner"),
+            ));
+        };
+        if w >= self.setups.len() {
+            return Err(PartitionError::fault(
+                FaultKind::Disconnected,
+                format!("worker {w} lost before its setup was retained"),
+            ));
+        }
+        self.coord.retired.merge(self.coord.conns[w].stats());
+        let link = respawn(w as u32).map_err(|e| tag_worker(w, e))?;
+        self.incarnation[w] += 1;
+        let mut link = wrap_link(&self.faults, w as u32, self.incarnation[w], link);
+        let deadline = deadline_of(&self.policy);
+        if deadline.is_some() {
+            link.set_deadline(deadline);
+        }
+        self.coord.conns[w] = link;
+        self.coord
+            .send(w, &Msg::Configure(Box::new(self.setups[w].clone())))?;
+        match self.coord.recv(w)? {
+            Msg::ConfigureOk => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Enters barrier `seq`: on a resume targeting exactly this barrier,
+    /// restores the checkpointed state and token; otherwise commits a
+    /// fresh checkpoint of the current state and hands back `fresh`.
+    fn enter_segment(
+        &mut self,
+        seq: u64,
+        stage: Stage,
+        fresh: Token,
+        resume: Option<&Checkpoint>,
+        m_real: u64,
+        num_clusters: u64,
+    ) -> Result<Token> {
+        if let Some(ck) = resume {
+            if ck.seq == seq {
+                self.restore(ck)?;
+                return Ok(ck.token.clone());
+            }
+        }
+        self.barrier(seq, stage, &fresh, m_real, num_clusters)?;
+        Ok(fresh)
+    }
+
+    /// Commits a checkpoint of the complete distributed state. `m_real`
+    /// and `num_clusters` carry the coordinator-side scalars a replay
+    /// needs to skip finished segments.
+    fn barrier(
+        &mut self,
+        seq: u64,
+        stage: Stage,
+        token: &Token,
+        m_real: u64,
+        num_clusters: u64,
+    ) -> Result<()> {
+        if !self.checkpointing() {
+            return Ok(());
+        }
+        let workers = self.coord.conns.len();
+        let defs = self.table_defs.clone();
+        let mut tables = Vec::with_capacity(defs.len());
+        for (t, def) in defs.iter().enumerate() {
+            let mut dump = TableDump {
+                width: def.width,
+                keys: Vec::new(),
+                rows: Vec::new(),
+            };
+            // At the first barrier every table is still factory-empty, so
+            // an empty dump (restore = plain reset) is exact.
+            if seq > 1 {
+                for w in 0..workers {
+                    let (keys, rows) = self.coord.scan(w, t as u8)?;
+                    dump.keys.extend(keys);
+                    dump.rows.extend(rows);
+                }
+            }
+            tables.push(dump);
+        }
+        let ck = Checkpoint {
+            seq,
+            stage,
+            token: token.clone(),
+            algo: self.algo_name.to_string(),
+            k: self.k,
+            m: self.m,
+            n_hint: self.n_hint,
+            m_real,
+            num_clusters,
+            tables,
+        };
+        if let Some(dir) = &self.ckpt_dir {
+            write_checkpoint(dir, &ck)?;
+        }
+        self.last = Some(ck);
+        Ok(())
+    }
+
+    /// Resets every worker and republishes the checkpointed rows to the
+    /// owning shards. A mid-pass failure leaves *all* workers dirty (the
+    /// sequenced earlier workers already published), so restore always
+    /// rebuilds the whole fleet, not just the respawned links.
+    fn restore(&mut self, ck: &Checkpoint) -> Result<()> {
+        let workers = self.coord.conns.len();
+        for w in 0..workers {
+            self.probe_reset(w)?;
+        }
+        let defs = self.table_defs.clone();
+        for (t, dump) in ck.tables.iter().enumerate() {
+            let Some(def) = defs.get(t) else {
+                return Err(PartitionError::InvalidParam(format!(
+                    "checkpoint has {} tables but the run declares {}",
+                    ck.tables.len(),
+                    defs.len()
+                )));
+            };
+            let width = def.width as usize;
+            let mut by_owner: Vec<(Vec<u64>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); workers];
+            for (i, &key) in dump.keys.iter().enumerate() {
+                let owner = def.layout.owner(key, workers as u32) as usize;
+                by_owner[owner].0.push(key);
+                by_owner[owner]
+                    .1
+                    .extend_from_slice(&dump.rows[i * width..(i + 1) * width]);
+            }
+            for (owner, (keys, rows)) in by_owner.into_iter().enumerate() {
+                if keys.is_empty() {
+                    continue;
+                }
+                self.coord.state_req(
+                    owner,
+                    t as u8,
+                    StateOp::Upsert {
+                        merge: MergeOp::Put,
+                        keys,
+                        rows,
+                    },
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn shutdown(&mut self) {
+        for w in 0..self.coord.conns.len() {
+            let _ = self.coord.send(w, &Msg::Shutdown);
+        }
+    }
+
+    fn net(&self) -> NetStats {
+        let mut net = self.coord.retired;
+        for conn in &self.coord.conns {
+            net.merge(conn.stats());
+        }
+        net
+    }
+}
+
+/// The per-link recv/send deadline, when supervision needs one. Active
+/// retries force a bound even without an explicit timeout: probing a
+/// possibly-dead worker must not hang.
+fn deadline_of(policy: &SuperviseConfig) -> Option<Duration> {
+    if policy.worker_timeout.is_some() || policy.max_retries > 0 {
+        Some(policy.effective_timeout())
+    } else {
+        None
+    }
+}
+
 /// Runs the coordinator over `conns` (one transport per worker) and
 /// returns the merged outcome. Workers are always sent `Shutdown`, even
-/// when the run fails, so hosting threads can join.
+/// when the run fails, so hosting threads can join. `respawn`, when
+/// provided, lets the supervisor replace a dead worker mid-run (see the
+/// module docs on fault tolerance).
 pub fn run_coordinator(
     conns: Vec<Box<dyn Transport>>,
     algo: &DistAlgo,
     input: DistInput<'_>,
     k: u32,
-    chunk_edges: usize,
+    cfg: &DistConfig,
+    respawn: Option<Respawner<'_>>,
 ) -> Result<DistOutcome> {
     let workers = conns.len() as u32;
-    let mut coord = Coord { conns };
-    let result = drive(&mut coord, algo, input, k, chunk_edges);
-    for w in 0..coord.conns.len() {
-        let _ = coord.send(w, &Msg::Shutdown);
-    }
-    let mut net = NetStats::default();
-    for conn in &coord.conns {
-        net.merge(conn.stats());
-    }
+    let mut sup = Supervisor::new(conns, algo.name(), cfg, respawn);
+    let result = drive(&mut sup, algo, input, k, cfg);
+    sup.shutdown();
     Ok(DistOutcome {
         partitioning: result?,
-        net,
+        net: sup.net(),
         workers,
+        recoveries: sup.recoveries,
     })
 }
 
@@ -253,13 +613,13 @@ fn check_cap(n_hint: u64, limit: u64, what: &str) -> Result<()> {
 }
 
 fn drive(
-    coord: &mut Coord,
+    sup: &mut Supervisor<'_>,
     algo: &DistAlgo,
     input: DistInput<'_>,
     k: u32,
-    chunk_edges: usize,
+    cfg: &DistConfig,
 ) -> Result<Partitioning> {
-    let workers = coord.conns.len() as u32;
+    let workers = sup.workers();
     // Same validation order as the monolith: config first, then k, then
     // algorithm-specific parameter checks, then the table-cap check.
     if let DistAlgo::Clugp(cfg) = algo {
@@ -379,35 +739,87 @@ fn drive(
         },
     };
 
+    let heartbeat_ms = cfg.supervise.heartbeat_ms();
+    let mut setups = Vec::with_capacity(workers as usize);
     for (w, input) in inputs.into_iter().enumerate() {
-        let setup = WorkerSetup {
+        setups.push(WorkerSetup {
             worker: w as u32,
             workers,
             k,
-            chunk: chunk_edges.min(u32::MAX as usize) as u32,
+            chunk: cfg.chunk_edges.min(u32::MAX as usize) as u32,
+            heartbeat_ms,
             algo: algo_spec.clone(),
             input,
             tables: tables.clone(),
-        };
-        coord.send(w, &Msg::Configure(Box::new(setup)))?;
+        });
+    }
+    for (w, setup) in setups.iter().enumerate() {
+        sup.coord
+            .send(w, &Msg::Configure(Box::new(setup.clone())))?;
     }
     for w in 0..workers as usize {
-        match coord.recv(w)? {
+        match sup.coord.recv(w)? {
             Msg::ConfigureOk => {}
             other => return Err(unexpected(&other)),
         }
     }
 
-    if let DistAlgo::Clugp(cfg) = algo {
-        return clugp_flow(coord, cfg, &tables, n_hint, m_hint, k, workers);
+    sup.table_defs = tables;
+    sup.k = k;
+    sup.m = m_hint;
+    sup.n_hint = n_hint;
+    if sup.policy.max_retries > 0 {
+        // Only retained when a respawn could need to re-Configure.
+        sup.setups = setups;
     }
 
-    let token0 = Token {
+    let mut resume: Option<Checkpoint> = if cfg.resume {
+        let Some(dir) = &sup.ckpt_dir else {
+            return Err(PartitionError::InvalidParam(
+                "resume requires a checkpoint directory".into(),
+            ));
+        };
+        load_latest(dir, sup.algo_name, k, m_hint)
+    } else {
+        None
+    };
+
+    // The recovery loop: replay the flow from the last committed barrier
+    // until it finishes, a fault exhausts the retry budget, or a fatal
+    // (deterministic) error surfaces.
+    loop {
+        let attempt = match algo {
+            DistAlgo::Clugp(cfg) => clugp_flow(sup, cfg, n_hint, m_hint, k, resume.as_ref()),
+            _ => baseline_flow(sup, algo, n_hint, k, resume.as_ref()),
+        };
+        match attempt {
+            Ok(p) => return Ok(p),
+            Err(e) if e.is_retryable() && sup.can_retry() => {
+                sup.recover()?;
+                resume = sup.last.clone();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Single-stage baselines behind one barrier: a replay restarts the whole
+/// (only) pass from an empty-table state.
+fn baseline_flow(
+    sup: &mut Supervisor<'_>,
+    algo: &DistAlgo,
+    n_hint: u64,
+    k: u32,
+    resume: Option<&Checkpoint>,
+) -> Result<Partitioning> {
+    let stage = Stage::Baseline;
+    let fresh = Token {
         loads: vec![0; k as usize],
         ..Default::default()
     };
+    let token0 = sup.enter_segment(1, stage, fresh, resume, 0, 0)?;
     let mut assignments = Vec::new();
-    let token = coord.run_stage(Stage::Baseline, token0, &mut assignments, None)?;
+    let token = sup.coord.run_stage(stage, token0, &mut assignments, None)?;
     let num_vertices = match algo {
         DistAlgo::Dbh { .. } | DistAlgo::Greedy { .. } | DistAlgo::Hdrf(_) => {
             n_hint.max(token.table_len)
@@ -427,149 +839,171 @@ fn drive(
 /// (recomputing dense volumes from degrees), republishes dense rows,
 /// collects the sharded cluster-graph partials, solves the game, pushes
 /// the cluster→partition map, and runs the transformation pass.
+///
+/// The flow is segmented at three barriers (before pass 1, pass 2a, and
+/// pass 3); `resume` — from crash recovery or `--resume` — skips segments
+/// the checkpoint already finished, carrying `m_real` / `num_clusters`
+/// from it instead of recomputing them.
 fn clugp_flow(
-    coord: &mut Coord,
+    sup: &mut Supervisor<'_>,
     cfg: &ClugpConfig,
-    tables: &[TableDef],
     n_hint: u64,
     m_hint: u64,
     k: u32,
-    workers: u32,
+    resume: Option<&Checkpoint>,
 ) -> Result<Partitioning> {
-    // Pass 1 (same hint rule as the monolith: no length hint disables
-    // splitting by an effectively infinite vmax).
-    let vmax = if m_hint > 0 {
-        cfg.vmax(m_hint, k)
+    let workers = sup.workers();
+    let target = resume.map_or(0, |ck| ck.seq);
+    let m_real: u64;
+    let num_clusters: u64;
+
+    if target > 1 {
+        let ck = resume.expect("target > 1 implies a checkpoint");
+        m_real = ck.m_real;
+        num_clusters = ck.num_clusters;
     } else {
-        u64::MAX
-    };
-    let mut no_assign = Vec::new();
-    let token = coord.run_stage(
-        Stage::ClugpPass1 { vmax },
-        Token::default(),
-        &mut no_assign,
-        None,
-    )?;
+        // Pass 1 (same hint rule as the monolith: no length hint disables
+        // splitting by an effectively infinite vmax).
+        let vmax = if m_hint > 0 {
+            cfg.vmax(m_hint, k)
+        } else {
+            u64::MAX
+        };
+        let stage = Stage::ClugpPass1 { vmax };
+        let token0 = sup.enter_segment(1, stage, Token::default(), resume, 0, 0)?;
+        let mut no_assign = Vec::new();
+        let token = sup.coord.run_stage(stage, token0, &mut no_assign, None)?;
 
-    // Assemble the authoritative vertex state from every shard.
-    let mut cluster_of: VertexTable<u32> =
-        VertexTable::with_limit(n_hint, NO_CLUSTER, cfg.max_vertices)?;
-    let mut degree: VertexTable<u32> = VertexTable::with_limit(n_hint, 0, cfg.max_vertices)?;
-    let mut divided: VertexTable<bool> = VertexTable::with_limit(n_hint, false, cfg.max_vertices)?;
-    for w in 0..workers as usize {
-        let (keys, rows) = coord.scan(w, T_MAIN)?;
-        for (i, &key) in keys.iter().enumerate() {
-            let v = key as u32;
-            cluster_of.ensure(v)?;
-            degree.ensure(v)?;
-            divided.ensure(v)?;
-            let w0 = rows[3 * i];
-            cluster_of[v] = if w0 == 0 { NO_CLUSTER } else { (w0 - 1) as u32 };
-            degree[v] = rows[3 * i + 1] as u32;
-            divided[v] = rows[3 * i + 2] != 0;
+        // Assemble the authoritative vertex state from every shard.
+        let mut cluster_of: VertexTable<u32> =
+            VertexTable::with_limit(n_hint, NO_CLUSTER, cfg.max_vertices)?;
+        let mut degree: VertexTable<u32> = VertexTable::with_limit(n_hint, 0, cfg.max_vertices)?;
+        let mut divided: VertexTable<bool> =
+            VertexTable::with_limit(n_hint, false, cfg.max_vertices)?;
+        for w in 0..workers as usize {
+            let (keys, rows) = sup.coord.scan(w, T_MAIN)?;
+            for (i, &key) in keys.iter().enumerate() {
+                let v = key as u32;
+                cluster_of.ensure(v)?;
+                degree.ensure(v)?;
+                divided.ensure(v)?;
+                let w0 = rows[3 * i];
+                cluster_of[v] = if w0 == 0 { NO_CLUSTER } else { (w0 - 1) as u32 };
+                degree[v] = rows[3 * i + 1] as u32;
+                divided[v] = rows[3 * i + 2] != 0;
+            }
+        }
+        // Exact edge count, independent of the hint (each edge added 2).
+        m_real = degree.iter().map(|&d| u64::from(d)).sum::<u64>() / 2;
+
+        // Pass 2a prelude: dense cluster ids (volumes recomputed from
+        // degrees, so the raw volume table is no longer needed).
+        let (nc, _volumes) = compact_clusters(&mut cluster_of, &degree, token.next_raw as usize);
+        num_clusters = u64::from(nc);
+
+        // Republish dense width-3 rows for every vertex so passes 2b/3
+        // see dense ids wherever they fetch from.
+        let vlayout = sup.table_defs[0].layout;
+        let mut by_owner: Vec<(Vec<u64>, Vec<u64>)> =
+            vec![(Vec::new(), Vec::new()); workers as usize];
+        for v in 0..cluster_of.len() {
+            let owner = vlayout.owner(v, workers) as usize;
+            let vid = v as u32;
+            let c = cluster_of[vid];
+            by_owner[owner].0.push(v);
+            by_owner[owner]
+                .1
+                .push(if c == NO_CLUSTER { 0 } else { u64::from(c) + 1 });
+            by_owner[owner].1.push(u64::from(degree[vid]));
+            by_owner[owner].1.push(u64::from(divided[vid]));
+        }
+        for (owner, (keys, rows)) in by_owner.into_iter().enumerate() {
+            if keys.is_empty() {
+                continue;
+            }
+            sup.coord.state_req(
+                owner,
+                T_MAIN,
+                StateOp::Upsert {
+                    merge: MergeOp::Put,
+                    keys,
+                    rows,
+                },
+            )?;
         }
     }
-    // Exact edge count, independent of the hint (each edge added 2).
-    let m_real: u64 = degree.iter().map(|&d| u64::from(d)).sum::<u64>() / 2;
 
-    // Pass 2a prelude: dense cluster ids (volumes recomputed from degrees,
-    // so the raw volume table is no longer needed).
-    let (num_clusters, _volumes) =
-        compact_clusters(&mut cluster_of, &degree, token.next_raw as usize);
-
-    // Republish dense width-3 rows for every vertex so passes 2b/3 see
-    // dense ids wherever they fetch from.
-    let vlayout = tables[0].layout;
-    let mut by_owner: Vec<(Vec<u64>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); workers as usize];
-    for v in 0..cluster_of.len() {
-        let owner = vlayout.owner(v, workers) as usize;
-        let vid = v as u32;
-        let c = cluster_of[vid];
-        by_owner[owner].0.push(v);
-        by_owner[owner]
-            .1
-            .push(if c == NO_CLUSTER { 0 } else { u64::from(c) + 1 });
-        by_owner[owner].1.push(u64::from(degree[vid]));
-        by_owner[owner].1.push(u64::from(divided[vid]));
-    }
-    for (owner, (keys, rows)) in by_owner.into_iter().enumerate() {
-        if keys.is_empty() {
-            continue;
+    if target <= 2 {
+        // Pass 2a: the cluster graph, from per-worker partials merged in
+        // worker (= stream) order.
+        let stage = Stage::ClugpPairs { num_clusters };
+        let token0 = sup.enter_segment(2, stage, Token::default(), resume, m_real, num_clusters)?;
+        let mut no_assign = Vec::new();
+        let mut pairs: Vec<PairsPayload> = Vec::new();
+        sup.coord
+            .run_stage(stage, token0, &mut no_assign, Some(&mut pairs))?;
+        let mut intra = vec![0u64; num_clusters as usize];
+        let mut agg: Vec<(u64, u32)> = Vec::new();
+        for part in &pairs {
+            for &(c, w) in &part.intra {
+                intra[c as usize] += w;
+            }
+            agg = merge_weighted(&agg, &part.agg);
         }
-        coord.state_req(
-            owner,
-            T_MAIN,
-            StateOp::Upsert {
-                merge: MergeOp::Put,
-                keys,
-                rows,
-            },
-        )?;
-    }
+        let cg = ClusterGraph::from_parts(num_clusters as u32, intra, &agg);
 
-    // Pass 2a: the cluster graph, from per-worker partials merged in
-    // worker (= stream) order.
-    let mut pairs: Vec<PairsPayload> = Vec::new();
-    coord.run_stage(
-        Stage::ClugpPairs {
-            num_clusters: u64::from(num_clusters),
-        },
-        Token::default(),
-        &mut no_assign,
-        Some(&mut pairs),
-    )?;
-    let mut intra = vec![0u64; num_clusters as usize];
-    let mut agg: Vec<(u64, u32)> = Vec::new();
-    for part in &pairs {
-        for &(c, w) in &part.intra {
-            intra[c as usize] += w;
+        // Pass 2b: cluster → partition.
+        let cluster_partition = match cfg.assign_mode {
+            ClusterAssignMode::Game => solve_game(&cg, k, cfg)?.partition_of,
+            ClusterAssignMode::Greedy => greedy_assign::greedy_assign(&cg, k),
+        };
+        let claylout = sup.table_defs[T_CPART as usize].layout;
+        let mut by_owner: Vec<(Vec<u64>, Vec<u64>)> =
+            vec![(Vec::new(), Vec::new()); workers as usize];
+        for (c, &p) in cluster_partition.iter().enumerate() {
+            let owner = claylout.owner(c as u64, workers) as usize;
+            by_owner[owner].0.push(c as u64);
+            by_owner[owner].1.push(u64::from(p));
         }
-        agg = merge_weighted(&agg, &part.agg);
-    }
-    let cg = ClusterGraph::from_parts(num_clusters, intra, &agg);
-
-    // Pass 2b: cluster → partition.
-    let cluster_partition = match cfg.assign_mode {
-        ClusterAssignMode::Game => solve_game(&cg, k, cfg)?.partition_of,
-        ClusterAssignMode::Greedy => greedy_assign::greedy_assign(&cg, k),
-    };
-    let claylout = tables[T_CPART as usize].layout;
-    let mut by_owner: Vec<(Vec<u64>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); workers as usize];
-    for (c, &p) in cluster_partition.iter().enumerate() {
-        let owner = claylout.owner(c as u64, workers) as usize;
-        by_owner[owner].0.push(c as u64);
-        by_owner[owner].1.push(u64::from(p));
-    }
-    for (owner, (keys, rows)) in by_owner.into_iter().enumerate() {
-        if keys.is_empty() {
-            continue;
+        for (owner, (keys, rows)) in by_owner.into_iter().enumerate() {
+            if keys.is_empty() {
+                continue;
+            }
+            sup.coord.state_req(
+                owner,
+                T_CPART,
+                StateOp::Upsert {
+                    merge: MergeOp::Put,
+                    keys,
+                    rows,
+                },
+            )?;
         }
-        coord.state_req(
-            owner,
-            T_CPART,
-            StateOp::Upsert {
-                merge: MergeOp::Put,
-                keys,
-                rows,
-            },
-        )?;
     }
 
     // Pass 3: partition transformation under the balance cap.
     let lmax = load_cap(cfg.tau, m_real, k);
-    let mut assignments = Vec::new();
-    let token = coord.run_stage(
-        Stage::ClugpTransform { lmax },
+    let stage = Stage::ClugpTransform { lmax };
+    let token0 = sup.enter_segment(
+        3,
+        stage,
         Token {
             loads: vec![0; k as usize],
             ..Default::default()
         },
-        &mut assignments,
-        None,
+        resume,
+        m_real,
+        num_clusters,
     )?;
+    let mut assignments = Vec::new();
+    let token = sup.coord.run_stage(stage, token0, &mut assignments, None)?;
     Ok(Partitioning {
         k,
-        num_vertices: n_hint.max(cluster_of.len()),
+        // `table_len` is the max vertex id (+1) any worker saw — the same
+        // quantity the monolith reads off its table — so this matches the
+        // pre-supervision `n_hint.max(cluster_of.len())` while staying
+        // computable on a resumed run that never scanned pass-1 state.
+        num_vertices: n_hint.max(token.table_len),
         assignments,
         loads: token.loads,
     })

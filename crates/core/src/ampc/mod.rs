@@ -25,22 +25,26 @@
 //! correctness anchor `tests/distributed_equivalence.rs` pins. See
 //! DESIGN.md §7 for the contract and for when multi-process mode pays.
 
+pub mod checkpoint;
 pub mod coordinator;
+pub mod fault;
 pub mod proto;
 pub mod table;
 pub mod transport;
 pub mod wire;
 pub mod worker;
 
-pub use coordinator::{run_coordinator, DistOutcome};
+pub use coordinator::{run_coordinator, DistOutcome, Respawner};
+pub use fault::{FaultAction, FaultInjectingTransport, FaultPlan, FaultScript};
 pub use table::{Layout, MergeOp, StateShard};
-pub use transport::{channel_pair, NetStats, Transport, UnixTransport};
+pub use transport::{channel_pair, NetStats, Transport, UnixTransport, MAX_FRAME_BYTES};
 pub use worker::run_worker;
 
 use crate::error::{PartitionError, Result};
 use clugp_graph::pack::ShardedPackReader;
 use clugp_graph::types::Edge;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Which transport a distributed run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +57,49 @@ pub enum TransportKind {
     Unix,
 }
 
+/// Worker supervision policy: how long a silent worker may stay silent,
+/// and how many times the coordinator will replay a pass from the last
+/// committed checkpoint before giving up.
+#[derive(Debug, Clone)]
+pub struct SuperviseConfig {
+    /// Maximum silence from an active worker before the link is declared
+    /// dead ([`crate::error::FaultKind::Timeout`]). `None` disables
+    /// deadlines: a dead worker then only surfaces through EOF/hangup.
+    pub worker_timeout: Option<Duration>,
+    /// Recovery attempts per run (0 = supervision off: any fault is
+    /// fatal, matching the pre-supervision engine exactly).
+    pub max_retries: u32,
+    /// Base back-off before the first retry; doubles per retry.
+    pub backoff: Duration,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig {
+            worker_timeout: None,
+            max_retries: 0,
+            backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+impl SuperviseConfig {
+    /// Deadline used when supervision needs a bound even if the user gave
+    /// none (probing a possibly-dead worker must not hang).
+    pub fn effective_timeout(&self) -> Duration {
+        self.worker_timeout.unwrap_or(Duration::from_secs(30))
+    }
+
+    /// Heartbeat interval workers are configured with: a quarter of the
+    /// timeout, so a healthy-but-quiet worker ticks well inside it.
+    pub(crate) fn heartbeat_ms(&self) -> u32 {
+        match self.worker_timeout {
+            Some(t) => ((t.as_millis() / 4).clamp(5, u128::from(u32::MAX))) as u32,
+            None => 0,
+        }
+    }
+}
+
 /// Distributed run parameters.
 #[derive(Debug, Clone)]
 pub struct DistConfig {
@@ -62,6 +109,16 @@ pub struct DistConfig {
     pub transport: TransportKind,
     /// Streaming chunk size in edges (0 = the stream default).
     pub chunk_edges: usize,
+    /// Worker supervision / recovery policy.
+    pub supervise: SuperviseConfig,
+    /// Scripted transport faults (tests and the bench fault leg only).
+    pub faults: FaultPlan,
+    /// Where barrier checkpoints are persisted (`CLUGPCK1` files). With
+    /// supervision enabled but no directory, checkpoints stay in memory.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the newest valid checkpoint in `checkpoint_dir`
+    /// instead of starting from the first pass.
+    pub resume: bool,
 }
 
 impl Default for DistConfig {
@@ -70,6 +127,10 @@ impl Default for DistConfig {
             workers: 1,
             transport: TransportKind::Channel,
             chunk_edges: 0,
+            supervise: SuperviseConfig::default(),
+            faults: FaultPlan::default(),
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 }
@@ -107,52 +168,44 @@ pub fn run_distributed(
             "worker count must be at least 1".into(),
         ));
     }
-    let workers = cfg.workers as usize;
-    match cfg.transport {
-        TransportKind::Channel => {
-            let mut coord_ends: Vec<Box<dyn Transport>> = Vec::with_capacity(workers);
-            let mut worker_ends = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let (c, w) = channel_pair(64);
-                coord_ends.push(Box::new(c));
-                worker_ends.push(w);
-            }
-            host_in_process(coord_ends, worker_ends, algo, input, k, cfg)
-        }
-        TransportKind::Unix => {
-            let mut coord_ends: Vec<Box<dyn Transport>> = Vec::with_capacity(workers);
-            let mut worker_ends = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let (c, w) = UnixTransport::pair()?;
-                coord_ends.push(Box::new(c));
-                worker_ends.push(w);
-            }
-            host_in_process(coord_ends, worker_ends, algo, input, k, cfg)
-        }
-    }
-}
-
-fn host_in_process(
-    coord_ends: Vec<Box<dyn Transport>>,
-    worker_ends: Vec<impl Transport + 'static>,
-    algo: &coordinator::DistAlgo,
-    input: DistInput<'_>,
-    k: u32,
-    cfg: &DistConfig,
-) -> Result<DistOutcome> {
     // Plain threads, not a rayon scope: worker serve loops block on recv,
     // which would starve the shared pool the solvers run waves on.
     std::thread::scope(|scope| {
-        for (i, conn) in worker_ends.into_iter().enumerate() {
-            scope.spawn(move || {
-                if let Err(e) = run_worker(Box::new(conn)) {
-                    // The coordinator sees the matching hangup/Err and
-                    // surfaces its own error; this is just a trace aid.
-                    eprintln!("ampc worker {i} failed: {e}");
+        // One link = one worker thread. The same constructor serves both
+        // the initial fleet and supervisor respawns: a respawned worker is
+        // simply a fresh thread on a fresh pipe (the replaced thread sees
+        // its coordinator end drop, errors out, and exits).
+        let spawn_link = |i: u32| -> Result<Box<dyn Transport>> {
+            match cfg.transport {
+                TransportKind::Channel => {
+                    let (c, w) = channel_pair(64);
+                    scope.spawn(move || {
+                        if let Err(e) = run_worker(Box::new(w)) {
+                            // The coordinator sees the matching hangup/Err
+                            // and surfaces its own error; this is just a
+                            // trace aid.
+                            eprintln!("ampc worker {i} failed: {e}");
+                        }
+                    });
+                    Ok(Box::new(c))
                 }
-            });
+                TransportKind::Unix => {
+                    let (c, w) = UnixTransport::pair()?;
+                    scope.spawn(move || {
+                        if let Err(e) = run_worker(Box::new(w)) {
+                            eprintln!("ampc worker {i} failed: {e}");
+                        }
+                    });
+                    Ok(Box::new(c))
+                }
+            }
+        };
+        let mut coord_ends: Vec<Box<dyn Transport>> = Vec::with_capacity(cfg.workers as usize);
+        for i in 0..cfg.workers {
+            coord_ends.push(spawn_link(i)?);
         }
-        run_coordinator(coord_ends, algo, input, k, cfg.chunk_edges)
+        let mut respawn = |i: u32| spawn_link(i);
+        run_coordinator(coord_ends, algo, input, k, cfg, Some(&mut respawn))
     })
 }
 

@@ -194,6 +194,10 @@ pub struct WorkerSetup {
     pub k: u32,
     /// Streaming chunk size in edges.
     pub chunk: u32,
+    /// Minimum interval between keep-alive [`Msg::Heartbeat`] frames the
+    /// worker emits at chunk boundaries while running a stage (0 = no
+    /// heartbeats). Set by the coordinator from its supervision policy.
+    pub heartbeat_ms: u32,
     /// Kernel selection.
     pub algo: AlgoSpec,
     /// Edge range source.
@@ -280,6 +284,17 @@ pub enum Msg {
         /// Description.
         msg: String,
     },
+    /// Worker → coordinator keep-alive while a long stage chunk makes no
+    /// other traffic; the coordinator's recv deadline treats it as proof
+    /// of life and keeps waiting.
+    Heartbeat,
+    /// Coordinator → worker: drop all table shards and rebuild them
+    /// empty from the configured [`TableDef`]s (recovery restores rows
+    /// afterwards from a checkpoint). Doubles as the supervisor's
+    /// liveness probe.
+    ResetTables,
+    /// Worker ack for `ResetTables`.
+    ResetOk,
 }
 
 fn put_edges(w: &mut Wr, edges: &[Edge]) {
@@ -331,7 +346,7 @@ fn get_op(r: &mut Rd<'_>) -> Result<StateOp> {
     })
 }
 
-fn put_token(w: &mut Wr, t: &Token) {
+pub(crate) fn put_token(w: &mut Wr, t: &Token) {
     w.u64s(&t.loads);
     w.u32(t.cursor);
     w.u64(t.next_raw);
@@ -342,7 +357,7 @@ fn put_token(w: &mut Wr, t: &Token) {
     put_edges(w, &t.carry);
 }
 
-fn get_token(r: &mut Rd<'_>) -> Result<Token> {
+pub(crate) fn get_token(r: &mut Rd<'_>) -> Result<Token> {
     Ok(Token {
         loads: r.u64s()?,
         cursor: r.u32()?,
@@ -352,6 +367,36 @@ fn get_token(r: &mut Rd<'_>) -> Result<Token> {
         reroutes: r.u64()?,
         table_len: r.u64()?,
         carry: get_edges(r)?,
+    })
+}
+
+pub(crate) fn put_stage(w: &mut Wr, stage: Stage) {
+    match stage {
+        Stage::Baseline => w.u8(0),
+        Stage::ClugpPass1 { vmax } => {
+            w.u8(1);
+            w.u64(vmax);
+        }
+        Stage::ClugpPairs { num_clusters } => {
+            w.u8(2);
+            w.u64(num_clusters);
+        }
+        Stage::ClugpTransform { lmax } => {
+            w.u8(3);
+            w.u64(lmax);
+        }
+    }
+}
+
+pub(crate) fn get_stage(r: &mut Rd<'_>) -> Result<Stage> {
+    Ok(match r.u8()? {
+        0 => Stage::Baseline,
+        1 => Stage::ClugpPass1 { vmax: r.u64()? },
+        2 => Stage::ClugpPairs {
+            num_clusters: r.u64()?,
+        },
+        3 => Stage::ClugpTransform { lmax: r.u64()? },
+        _ => return Err(bad("stage tag")),
     })
 }
 
@@ -381,6 +426,7 @@ fn put_setup(w: &mut Wr, s: &WorkerSetup) {
     w.u32(s.workers);
     w.u32(s.k);
     w.u32(s.chunk);
+    w.u32(s.heartbeat_ms);
     match &s.algo {
         AlgoSpec::Hashing { seed } => {
             w.u8(0);
@@ -466,6 +512,7 @@ fn get_setup(r: &mut Rd<'_>) -> Result<WorkerSetup> {
     let workers = r.u32()?;
     let k = r.u32()?;
     let chunk = r.u32()?;
+    let heartbeat_ms = r.u32()?;
     let algo = match r.u8()? {
         0 => AlgoSpec::Hashing { seed: r.u64()? },
         1 => AlgoSpec::Grid { seed: r.u64()? },
@@ -522,6 +569,7 @@ fn get_setup(r: &mut Rd<'_>) -> Result<WorkerSetup> {
         workers,
         k,
         chunk,
+        heartbeat_ms,
         algo,
         input,
         tables,
@@ -575,6 +623,9 @@ impl Msg {
             Msg::ScanResp { .. } => "ScanResp",
             Msg::Shutdown => "Shutdown",
             Msg::Err { .. } => "Err",
+            Msg::Heartbeat => "Heartbeat",
+            Msg::ResetTables => "ResetTables",
+            Msg::ResetOk => "ResetOk",
         }
     }
 
@@ -593,21 +644,7 @@ impl Msg {
             Msg::ConfigureOk => w.u8(2),
             Msg::RunStage { stage, token } => {
                 w.u8(3);
-                match stage {
-                    Stage::Baseline => w.u8(0),
-                    Stage::ClugpPass1 { vmax } => {
-                        w.u8(1);
-                        w.u64(*vmax);
-                    }
-                    Stage::ClugpPairs { num_clusters } => {
-                        w.u8(2);
-                        w.u64(*num_clusters);
-                    }
-                    Stage::ClugpTransform { lmax } => {
-                        w.u8(3);
-                        w.u64(*lmax);
-                    }
-                }
+                put_stage(&mut w, *stage);
                 put_token(&mut w, token);
             }
             Msg::StageDone {
@@ -655,6 +692,9 @@ impl Msg {
                 w.u8(11);
                 w.str(msg);
             }
+            Msg::Heartbeat => w.u8(12),
+            Msg::ResetTables => w.u8(13),
+            Msg::ResetOk => w.u8(14),
         }
         w.into_bytes()
     }
@@ -666,21 +706,10 @@ impl Msg {
             0 => Msg::Hello { worker: r.u32()? },
             1 => Msg::Configure(Box::new(get_setup(&mut r)?)),
             2 => Msg::ConfigureOk,
-            3 => {
-                let stage = match r.u8()? {
-                    0 => Stage::Baseline,
-                    1 => Stage::ClugpPass1 { vmax: r.u64()? },
-                    2 => Stage::ClugpPairs {
-                        num_clusters: r.u64()?,
-                    },
-                    3 => Stage::ClugpTransform { lmax: r.u64()? },
-                    _ => return Err(bad("stage tag")),
-                };
-                Msg::RunStage {
-                    stage,
-                    token: get_token(&mut r)?,
-                }
-            }
+            3 => Msg::RunStage {
+                stage: get_stage(&mut r)?,
+                token: get_token(&mut r)?,
+            },
             4 => {
                 let token = get_token(&mut r)?;
                 let assignments = r.u32s()?;
@@ -712,6 +741,9 @@ impl Msg {
             },
             10 => Msg::Shutdown,
             11 => Msg::Err { msg: r.str()? },
+            12 => Msg::Heartbeat,
+            13 => Msg::ResetTables,
+            14 => Msg::ResetOk,
             _ => return Err(bad("message tag")),
         };
         if !r.done() {
@@ -738,6 +770,7 @@ mod tests {
             workers: 4,
             k: 8,
             chunk: 4096,
+            heartbeat_ms: 250,
             algo: AlgoSpec::Hdrf {
                 lambda: 1.0,
                 epsilon: 1.5,
@@ -800,6 +833,9 @@ mod tests {
         });
         round_trip(Msg::Shutdown);
         round_trip(Msg::Err { msg: "boom".into() });
+        round_trip(Msg::Heartbeat);
+        round_trip(Msg::ResetTables);
+        round_trip(Msg::ResetOk);
     }
 
     #[test]
@@ -809,6 +845,7 @@ mod tests {
             workers: 2,
             k: 4,
             chunk: 1024,
+            heartbeat_ms: 0,
             algo: AlgoSpec::Clugp {
                 splitting: true,
                 migration: 0,

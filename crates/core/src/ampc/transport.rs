@@ -11,12 +11,24 @@
 //!   length prefix per frame, for multi-process `clugp-part --workers N`.
 //!
 //! Both count frames and payload bytes; the bench's bytes-exchanged
-//! numbers come straight from these counters.
+//! numbers come straight from these counters. Both honor a recv/send
+//! deadline ([`Transport::set_deadline`]) so a dead peer surfaces as a
+//! typed [`FaultKind::Timeout`] instead of a hang, and the socket framing
+//! bounds frame lengths by [`MAX_FRAME_BYTES`] so a corrupt length prefix
+//! fails as [`FaultKind::Corrupt`] instead of attempting a huge
+//! allocation.
 
-use crate::error::{PartitionError, Result};
-use std::io::{Read, Write};
+use crate::error::{FaultKind, PartitionError, Result};
+use std::io::{ErrorKind, Read, Write};
 use std::os::unix::net::UnixStream;
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
+
+/// Largest accepted frame payload (1 GiB). Every legitimate frame —
+/// control messages, chunk routes, inline edge ranges — is far below
+/// this; a length prefix beyond it can only come from a desynchronized
+/// or corrupted stream.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
 
 /// Traffic counters for one transport endpoint.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,37 +57,103 @@ impl NetStats {
 pub trait Transport: Send {
     /// Sends one frame.
     fn send(&mut self, frame: &[u8]) -> Result<()>;
-    /// Receives the next frame, blocking until one arrives.
+    /// Receives the next frame, blocking until one arrives or the
+    /// deadline (if any) expires.
     fn recv(&mut self) -> Result<Vec<u8>>;
+    /// Bounds how long `recv` (and, where the medium can fill up, `send`)
+    /// may block before failing with [`FaultKind::Timeout`]. `None`
+    /// restores fully blocking behavior (the default).
+    fn set_deadline(&mut self, timeout: Option<Duration>) {
+        let _ = timeout;
+    }
     /// Traffic counters for this endpoint.
     fn stats(&self) -> NetStats;
 }
 
-fn io_err(what: &str, e: impl std::fmt::Display) -> PartitionError {
-    PartitionError::InvalidParam(format!("transport {what}: {e}"))
+fn fault(kind: FaultKind, what: &str, e: impl std::fmt::Display) -> PartitionError {
+    PartitionError::fault(kind, format!("transport {what}: {e}"))
+}
+
+/// Maps an io error to a fault kind: deadline expiries are `Timeout`,
+/// everything else (EOF, reset, broken pipe) means the peer is gone.
+fn io_fault(what: &str, e: std::io::Error) -> PartitionError {
+    let kind = match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => FaultKind::Timeout,
+        _ => FaultKind::Disconnected,
+    };
+    fault(kind, what, e)
 }
 
 /// In-process endpoint over a pair of bounded channels.
 pub struct ChannelTransport {
     tx: SyncSender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
+    deadline: Option<Duration>,
     stats: NetStats,
 }
 
 impl Transport for ChannelTransport {
     fn send(&mut self, frame: &[u8]) -> Result<()> {
+        match self.deadline {
+            None => self
+                .tx
+                .send(frame.to_vec())
+                .map_err(|_| fault(FaultKind::Disconnected, "send", "peer hung up"))?,
+            Some(limit) => {
+                // `SyncSender` has no bounded-wait send, so poll `try_send`
+                // until the buffer drains or the deadline passes.
+                let start = Instant::now();
+                let mut pending = frame.to_vec();
+                loop {
+                    match self.tx.try_send(pending) {
+                        Ok(()) => break,
+                        Err(TrySendError::Disconnected(_)) => {
+                            return Err(fault(FaultKind::Disconnected, "send", "peer hung up"))
+                        }
+                        Err(TrySendError::Full(back)) => {
+                            if start.elapsed() >= limit {
+                                return Err(fault(
+                                    FaultKind::Timeout,
+                                    "send",
+                                    format!("peer not draining for {limit:?}"),
+                                ));
+                            }
+                            pending = back;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                }
+            }
+        }
         self.stats.bytes_sent += frame.len() as u64;
         self.stats.frames_sent += 1;
-        self.tx
-            .send(frame.to_vec())
-            .map_err(|_| io_err("send", "peer hung up"))
+        Ok(())
     }
 
     fn recv(&mut self) -> Result<Vec<u8>> {
-        let frame = self.rx.recv().map_err(|_| io_err("recv", "peer hung up"))?;
+        let frame = match self.deadline {
+            None => self
+                .rx
+                .recv()
+                .map_err(|_| fault(FaultKind::Disconnected, "recv", "peer hung up"))?,
+            Some(limit) => self.rx.recv_timeout(limit).map_err(|e| match e {
+                RecvTimeoutError::Timeout => fault(
+                    FaultKind::Timeout,
+                    "recv",
+                    format!("no frame within {limit:?}"),
+                ),
+                RecvTimeoutError::Disconnected => {
+                    fault(FaultKind::Disconnected, "recv", "peer hung up")
+                }
+            })?,
+        };
         self.stats.bytes_received += frame.len() as u64;
         self.stats.frames_received += 1;
         Ok(frame)
+    }
+
+    fn set_deadline(&mut self, timeout: Option<Duration>) {
+        self.deadline = timeout;
     }
 
     fn stats(&self) -> NetStats {
@@ -92,18 +170,22 @@ pub fn channel_pair(capacity: usize) -> (ChannelTransport, ChannelTransport) {
         ChannelTransport {
             tx: a_tx,
             rx: a_rx,
+            deadline: None,
             stats: NetStats::default(),
         },
         ChannelTransport {
             tx: b_tx,
             rx: b_rx,
+            deadline: None,
             stats: NetStats::default(),
         },
     )
 }
 
 /// Unix-socket endpoint: each frame is a 4-byte little-endian payload
-/// length followed by the payload.
+/// length followed by the payload. Zero-length and over-cap frames are
+/// rejected — every protocol message carries at least a tag byte, so an
+/// empty or huge frame can only mean a corrupted prefix.
 pub struct UnixTransport {
     stream: UnixStream,
     stats: NetStats,
@@ -121,20 +203,29 @@ impl UnixTransport {
     /// Builds a connected in-process socketpair (for tests exercising the
     /// socket framing without a filesystem path).
     pub fn pair() -> Result<(UnixTransport, UnixTransport)> {
-        let (a, b) = UnixStream::pair().map_err(|e| io_err("socketpair", e))?;
+        let (a, b) = UnixStream::pair().map_err(|e| io_fault("socketpair", e))?;
         Ok((UnixTransport::new(a), UnixTransport::new(b)))
     }
 }
 
 impl Transport for UnixTransport {
     fn send(&mut self, frame: &[u8]) -> Result<()> {
-        let len = u32::try_from(frame.len()).map_err(|_| io_err("send", "frame over 4 GiB"))?;
+        if frame.is_empty() || frame.len() > MAX_FRAME_BYTES {
+            return Err(fault(
+                FaultKind::Corrupt,
+                "send",
+                format!("frame length {} outside 1..={MAX_FRAME_BYTES}", frame.len()),
+            ));
+        }
+        let len = frame.len() as u32;
         // One buffer, one write_all: avoids interleaving hazards and halves
         // syscalls for the small control frames that dominate.
         let mut buf = Vec::with_capacity(4 + frame.len());
         buf.extend_from_slice(&len.to_le_bytes());
         buf.extend_from_slice(frame);
-        self.stream.write_all(&buf).map_err(|e| io_err("send", e))?;
+        self.stream
+            .write_all(&buf)
+            .map_err(|e| io_fault("send", e))?;
         self.stats.bytes_sent += frame.len() as u64;
         self.stats.frames_sent += 1;
         Ok(())
@@ -144,15 +235,32 @@ impl Transport for UnixTransport {
         let mut len = [0u8; 4];
         self.stream
             .read_exact(&mut len)
-            .map_err(|e| io_err("recv", e))?;
+            .map_err(|e| io_fault("recv", e))?;
         let len = u32::from_le_bytes(len) as usize;
+        if len == 0 || len > MAX_FRAME_BYTES {
+            // Do NOT allocate `len` bytes: a corrupt prefix must fail
+            // cleanly, not OOM the coordinator.
+            return Err(fault(
+                FaultKind::Corrupt,
+                "recv",
+                format!("frame length prefix {len} outside 1..={MAX_FRAME_BYTES}"),
+            ));
+        }
         let mut frame = vec![0u8; len];
         self.stream
             .read_exact(&mut frame)
-            .map_err(|e| io_err("recv", e))?;
+            .map_err(|e| io_fault("recv", e))?;
         self.stats.bytes_received += frame.len() as u64;
         self.stats.frames_received += 1;
         Ok(frame)
+    }
+
+    fn set_deadline(&mut self, timeout: Option<Duration>) {
+        // A zero Duration means "block forever" to the socket API, so the
+        // clamp below keeps tiny-but-nonzero deadlines meaningful.
+        let t = timeout.map(|d| d.max(Duration::from_millis(1)));
+        let _ = self.stream.set_read_timeout(t);
+        let _ = self.stream.set_write_timeout(t);
     }
 
     fn stats(&self) -> NetStats {
@@ -166,13 +274,13 @@ mod tests {
 
     fn exercise(mut a: impl Transport, mut b: impl Transport) {
         a.send(b"hello").unwrap();
-        a.send(&[]).unwrap();
+        a.send(b"!").unwrap();
         assert_eq!(b.recv().unwrap(), b"hello");
-        assert_eq!(b.recv().unwrap(), Vec::<u8>::new());
+        assert_eq!(b.recv().unwrap(), b"!");
         b.send(&[9u8; 100_000]).unwrap();
         assert_eq!(a.recv().unwrap().len(), 100_000);
         assert_eq!(a.stats().frames_sent, 2);
-        assert_eq!(a.stats().bytes_sent, 5);
+        assert_eq!(a.stats().bytes_sent, 6);
         assert_eq!(a.stats().bytes_received, 100_000);
         assert_eq!(b.stats().frames_received, 2);
     }
@@ -190,9 +298,107 @@ mod tests {
     }
 
     #[test]
-    fn channel_disconnect_is_an_error() {
+    fn channel_disconnect_is_a_typed_fault() {
         let (mut a, b) = channel_pair(1);
         drop(b);
-        assert!(a.send(b"x").is_err());
+        let err = a.send(b"x").unwrap_err();
+        assert!(matches!(
+            err,
+            PartitionError::Fault {
+                kind: FaultKind::Disconnected,
+                ..
+            }
+        ));
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn channel_deadline_bounds_recv_and_send() {
+        let (mut a, mut b) = channel_pair(1);
+        a.set_deadline(Some(Duration::from_millis(20)));
+        let err = a.recv().unwrap_err();
+        assert!(matches!(
+            err,
+            PartitionError::Fault {
+                kind: FaultKind::Timeout,
+                ..
+            }
+        ));
+        // Fill the one-frame buffer; the bounded-wait send must time out
+        // rather than block forever on the undrained peer.
+        a.send(b"fill").unwrap();
+        let err = a.send(b"over").unwrap_err();
+        assert!(matches!(
+            err,
+            PartitionError::Fault {
+                kind: FaultKind::Timeout,
+                ..
+            }
+        ));
+        b.set_deadline(Some(Duration::from_millis(20)));
+        assert_eq!(b.recv().unwrap(), b"fill");
+    }
+
+    #[test]
+    fn unix_deadline_bounds_recv() {
+        let (mut a, _b) = UnixTransport::pair().unwrap();
+        a.set_deadline(Some(Duration::from_millis(20)));
+        let err = a.recv().unwrap_err();
+        assert!(matches!(
+            err,
+            PartitionError::Fault {
+                kind: FaultKind::Timeout,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unix_eof_is_disconnected() {
+        let (mut a, b) = UnixTransport::pair().unwrap();
+        drop(b);
+        let err = a.recv().unwrap_err();
+        assert!(matches!(
+            err,
+            PartitionError::Fault {
+                kind: FaultKind::Disconnected,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unix_rejects_corrupt_length_prefix_without_allocating() {
+        use std::io::Write as _;
+        // Zero-length prefix: no protocol message encodes to zero bytes.
+        let (mut a, b) = UnixTransport::pair().unwrap();
+        let mut raw = b.stream.try_clone().unwrap();
+        raw.write_all(&0u32.to_le_bytes()).unwrap();
+        let err = a.recv().unwrap_err();
+        assert!(matches!(
+            err,
+            PartitionError::Fault {
+                kind: FaultKind::Corrupt,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("length prefix"));
+
+        // A hand-corrupted huge prefix must fail cleanly, not OOM.
+        let (mut a, b) = UnixTransport::pair().unwrap();
+        let mut raw = b.stream.try_clone().unwrap();
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let err = a.recv().unwrap_err();
+        assert!(matches!(
+            err,
+            PartitionError::Fault {
+                kind: FaultKind::Corrupt,
+                ..
+            }
+        ));
+
+        // And the cap is symmetric: empty frames cannot be sent either.
+        let (mut a, _b) = UnixTransport::pair().unwrap();
+        assert!(a.send(&[]).is_err());
     }
 }

@@ -31,6 +31,7 @@ use clugp_graph::pack::ShardedPackReader;
 use clugp_graph::stream::{chunk_edges, EdgeStream};
 use clugp_graph::types::Edge;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// Table slot 0: the algorithm's main per-vertex table (degree for DBH,
 /// replica rows for Greedy/HDRF, the packed vertex state for CLUGP).
@@ -86,20 +87,15 @@ pub fn run_worker(mut conn: Box<dyn Transport>) -> Result<()> {
         Msg::Shutdown => return Ok(()),
         other => return Err(unexpected(&other)),
     };
-    let shards = setup
-        .tables
-        .iter()
-        .map(|t| match t.layout {
-            Layout::Range { .. } => {
-                StateShard::range(t.layout.base(setup.worker), t.width as usize)
-            }
-            Layout::Striped { .. } => StateShard::striped(t.width as usize),
-        })
-        .collect();
+    let shards = build_shards(&setup);
+    let hb_interval =
+        (setup.heartbeat_ms > 0).then(|| Duration::from_millis(u64::from(setup.heartbeat_ms)));
     let mut wk = Wk {
         conn,
         setup,
         shards,
+        hb_interval,
+        hb_last: Instant::now(),
     };
     send(wk.conn.as_mut(), &Msg::ConfigureOk)?;
     loop {
@@ -111,6 +107,12 @@ pub fn run_worker(mut conn: Box<dyn Transport>) -> Result<()> {
             Msg::Scan { table } => {
                 let (keys, rows) = wk.scan_local(table)?;
                 send(wk.conn.as_mut(), &Msg::ScanResp { keys, rows })?;
+            }
+            Msg::ResetTables => {
+                // Recovery: drop every shard and rebuild empty; the
+                // coordinator restores checkpointed rows right after.
+                wk.shards = build_shards(&wk.setup);
+                send(wk.conn.as_mut(), &Msg::ResetOk)?;
             }
             Msg::RunStage { stage, token } => match wk.run_stage(stage, token) {
                 Ok((token, assignments, pairs)) => send(
@@ -130,6 +132,20 @@ pub fn run_worker(mut conn: Box<dyn Transport>) -> Result<()> {
             other => return Err(unexpected(&other)),
         }
     }
+}
+
+/// Builds the (empty) per-table shards `setup` describes.
+fn build_shards(setup: &WorkerSetup) -> Vec<StateShard> {
+    setup
+        .tables
+        .iter()
+        .map(|t| match t.layout {
+            Layout::Range { .. } => {
+                StateShard::range(t.layout.base(setup.worker), t.width as usize)
+            }
+            Layout::Striped { .. } => StateShard::striped(t.width as usize),
+        })
+        .collect()
 }
 
 /// Output of one stage run: updated token, assignments in stream order,
@@ -180,9 +196,33 @@ struct Wk {
     conn: Box<dyn Transport>,
     setup: WorkerSetup,
     shards: Vec<StateShard>,
+    /// Keep-alive interval (None = heartbeats off).
+    hb_interval: Option<Duration>,
+    /// When the last heartbeat (or any stage start) was sent.
+    hb_last: Instant,
 }
 
 impl Wk {
+    /// Pulls the next chunk of the stage's edge range, first emitting a
+    /// keep-alive [`Msg::Heartbeat`] when the configured interval has
+    /// elapsed — without it, a stateless kernel (e.g. hashing) sends
+    /// nothing for the whole stage and the coordinator's deadline could
+    /// not tell "working" from "dead".
+    fn next_chunk(
+        &mut self,
+        source: &mut Source,
+        buf: &mut Vec<Edge>,
+        cap: usize,
+    ) -> Result<usize> {
+        if let Some(interval) = self.hb_interval {
+            if self.hb_last.elapsed() >= interval {
+                send(self.conn.as_mut(), &Msg::Heartbeat)?;
+                self.hb_last = Instant::now();
+            }
+        }
+        Ok(source.next_chunk(buf, cap))
+    }
+
     fn slot(&self, table: u8) -> Result<usize> {
         let i = table as usize;
         if i >= self.shards.len() {
@@ -416,7 +456,7 @@ impl Wk {
         let cap = self.chunk_cap();
         let mut buf = Vec::with_capacity(cap);
         let mut assignments = Vec::new();
-        while source.next_chunk(&mut buf, cap) != 0 {
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
             for &e in &buf {
                 let p = hashing::hashing_assign(e, seed, k);
                 token.loads[p as usize] += 1;
@@ -440,7 +480,7 @@ impl Wk {
         let mut loads = PartitionLoads::from_vec(std::mem::take(&mut token.loads));
         let mut cs_u = Vec::with_capacity(2 * r as usize);
         let mut cs_v = Vec::with_capacity(2 * r as usize);
-        while source.next_chunk(&mut buf, cap) != 0 {
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
             for &e in &buf {
                 let p = grid::grid_edge(e, seed, r, k, &loads, &mut cs_u, &mut cs_v);
                 assignments.push(p);
@@ -464,7 +504,7 @@ impl Wk {
         let mut assignments = Vec::new();
         let mut degree: VertexTable<u32> = VertexTable::with_limit(0, 0, max_vertices)?;
         let mut keys: Vec<u64> = Vec::new();
-        while source.next_chunk(&mut buf, cap) != 0 {
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
             distinct_endpoints(&buf, &mut keys);
             let rows = self.fetch(T_MAIN, &keys)?;
             for (i, &key) in keys.iter().enumerate() {
@@ -501,7 +541,7 @@ impl Wk {
         let wr = replicas.words_per_row();
         let mut loads = PartitionLoads::from_vec(std::mem::take(&mut token.loads));
         let mut keys: Vec<u64> = Vec::new();
-        while source.next_chunk(&mut buf, cap) != 0 {
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
             distinct_endpoints(&buf, &mut keys);
             let rows = self.fetch(T_MAIN, &keys)?;
             for (i, &key) in keys.iter().enumerate() {
@@ -540,7 +580,7 @@ impl Wk {
         let wr = replicas.words_per_row();
         let mut loads = PartitionLoads::from_vec(std::mem::take(&mut token.loads));
         let mut keys: Vec<u64> = Vec::new();
-        while source.next_chunk(&mut buf, cap) != 0 {
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
             distinct_endpoints(&buf, &mut keys);
             let rrows = self.fetch(T_MAIN, &keys)?;
             let drows = self.fetch(T_DEGREE, &keys)?;
@@ -623,7 +663,7 @@ impl Wk {
                     assignments.extend(outcome.assignments);
                 }
             };
-        while source.next_chunk(&mut buf, cap) != 0 {
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
             pending.extend_from_slice(&buf);
             while pending.len() >= wave_edges {
                 let rest = pending.split_off(wave_edges);
@@ -676,7 +716,7 @@ impl Wk {
         let mut splits = token.splits;
         let mut migrations = token.migrations;
         let mut vkeys: Vec<u64> = Vec::new();
-        while source.next_chunk(&mut buf, cap) != 0 {
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
             distinct_endpoints(&buf, &mut vkeys);
             let rows = self.fetch(T_MAIN, &vkeys)?;
             for (i, &key) in vkeys.iter().enumerate() {
@@ -757,7 +797,7 @@ impl Wk {
             VertexTable::with_limit(0, NO_CLUSTER, max_vertices)?;
         let mut sink = PairSink::new(num_clusters as usize);
         let mut vkeys: Vec<u64> = Vec::new();
-        while source.next_chunk(&mut buf, cap) != 0 {
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
             distinct_endpoints(&buf, &mut vkeys);
             let rows = self.fetch(T_MAIN, &vkeys)?;
             for (i, &key) in vkeys.iter().enumerate() {
@@ -810,7 +850,7 @@ impl Wk {
         let mut cursor = token.cursor;
         let mut reroutes = token.reroutes;
         let mut vkeys: Vec<u64> = Vec::new();
-        while source.next_chunk(&mut buf, cap) != 0 {
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
             distinct_endpoints(&buf, &mut vkeys);
             let rows = self.fetch(T_MAIN, &vkeys)?;
             for (i, &key) in vkeys.iter().enumerate() {

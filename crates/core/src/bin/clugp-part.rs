@@ -36,7 +36,21 @@
 //!                   (spawn N worker *processes* talking length-prefixed
 //!                   frames over Unix sockets)
 //! --socket-dir <d>  where unix-transport sockets live (default: a fresh
-//!                   temp directory)
+//!                   temp directory); stale *.sock files there are removed
+//!                   at startup
+//! --worker-timeout <secs>
+//!                   distributed runs: max silence from a worker before its
+//!                   link is declared dead (default 30; 0 disables the
+//!                   deadline)
+//! --max-retries <N> distributed runs: pass replays from the last barrier
+//!                   checkpoint before the run fails (default 2; 0 turns
+//!                   supervision off)
+//! --checkpoint-dir <dir>
+//!                   distributed runs: persist barrier checkpoints
+//!                   (CLUGPCK1 files) here; without it checkpoints stay in
+//!                   memory for crash recovery only
+//! --resume          distributed runs: skip passes already covered by the
+//!                   newest valid checkpoint in --checkpoint-dir
 //! --emit-placement <dir>
 //!                   write a placement directory (assignment snapshot +
 //!                   replica table) consumable by the engine crate
@@ -45,11 +59,12 @@
 use clugp::ampc::coordinator::DistAlgo;
 use clugp::ampc::proto::Msg;
 use clugp::ampc::{
-    run_coordinator, run_distributed, run_worker, DistConfig, DistInput, Transport, TransportKind,
-    UnixTransport,
+    run_coordinator, run_distributed, run_worker, DistConfig, DistInput, NetStats, SuperviseConfig,
+    Transport, TransportKind, UnixTransport,
 };
 use clugp::baselines::{Dbh, Greedy, Grid, Hashing, Hdrf, Mint, MintConfig};
 use clugp::clugp::{Clugp, ClugpConfig};
+use clugp::error::{FaultKind, PartitionError};
 use clugp::metrics::PartitionQuality;
 use clugp::partition::Partitioning;
 use clugp::partitioner::Partitioner;
@@ -65,6 +80,7 @@ use clugp_graph::types::Edge;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -83,28 +99,42 @@ struct Options {
     workers: u32,
     transport: String,
     socket_dir: Option<String>,
+    worker_timeout: Option<f64>,
+    max_retries: Option<u32>,
+    checkpoint_dir: Option<String>,
+    resume: bool,
     emit_placement: Option<String>,
 }
 
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            input: String::new(),
+            k: 0,
+            algo: "clugp".into(),
+            order: "bfs".into(),
+            tau: 1.0,
+            threads: 0,
+            chunk_size: None,
+            decode_threads: 0,
+            prefetch: DEFAULT_PREFETCH_BLOCKS,
+            checksums: ChecksumPolicy::Full,
+            sparse: false,
+            output: None,
+            workers: 1,
+            transport: "channel".into(),
+            socket_dir: None,
+            worker_timeout: None,
+            max_retries: None,
+            checkpoint_dir: None,
+            resume: false,
+            emit_placement: None,
+        }
+    }
+}
+
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options {
-        input: String::new(),
-        k: 0,
-        algo: "clugp".into(),
-        order: "bfs".into(),
-        tau: 1.0,
-        threads: 0,
-        chunk_size: None,
-        decode_threads: 0,
-        prefetch: DEFAULT_PREFETCH_BLOCKS,
-        checksums: ChecksumPolicy::Full,
-        sparse: false,
-        output: None,
-        workers: 1,
-        transport: "channel".into(),
-        socket_dir: None,
-        emit_placement: None,
-    };
+    let mut opts = Options::default();
     let mut it = args.iter().peekable();
     let mut positional = Vec::new();
     let mut order_set = false;
@@ -184,6 +214,24 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--socket-dir" => opts.socket_dir = Some(value("--socket-dir")?),
+            "--worker-timeout" => {
+                let secs: f64 = value("--worker-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--worker-timeout: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("--worker-timeout must be a non-negative number of seconds".into());
+                }
+                opts.worker_timeout = Some(secs);
+            }
+            "--max-retries" => {
+                opts.max_retries = Some(
+                    value("--max-retries")?
+                        .parse()
+                        .map_err(|e| format!("--max-retries: {e}"))?,
+                )
+            }
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--resume" => opts.resume = true,
             "--emit-placement" => opts.emit_placement = Some(value("--emit-placement")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => positional.push(a.clone()),
@@ -207,7 +255,47 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.sparse && distributed(&opts) {
         return Err("--sparse is not supported with --workers/--transport".into());
     }
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        return Err("--resume needs --checkpoint-dir to load checkpoints from".into());
+    }
+    let fault_flags = opts.worker_timeout.is_some()
+        || opts.max_retries.is_some()
+        || opts.checkpoint_dir.is_some()
+        || opts.resume;
+    if fault_flags && !distributed(&opts) {
+        return Err(
+            "--worker-timeout/--max-retries/--checkpoint-dir/--resume apply to \
+             distributed runs (--workers > 1 or --transport unix)"
+                .into(),
+        );
+    }
     Ok(opts)
+}
+
+/// Translates the CLI fault-tolerance knobs into the engine's
+/// [`DistConfig`]. Distributed runs supervise by default (30 s worker
+/// timeout, 2 retries); `--worker-timeout 0` / `--max-retries 0` opt out.
+fn dist_config(opts: &Options) -> DistConfig {
+    DistConfig {
+        workers: opts.workers,
+        transport: if opts.transport == "unix" {
+            TransportKind::Unix
+        } else {
+            TransportKind::Channel
+        },
+        chunk_edges: opts.chunk_size.unwrap_or(0),
+        supervise: SuperviseConfig {
+            worker_timeout: match opts.worker_timeout {
+                Some(secs) => (secs != 0.0).then(|| Duration::from_secs_f64(secs)),
+                None => Some(Duration::from_secs(30)),
+            },
+            max_retries: opts.max_retries.unwrap_or(2),
+            ..Default::default()
+        },
+        checkpoint_dir: opts.checkpoint_dir.as_ref().map(PathBuf::from),
+        resume: opts.resume,
+        ..Default::default()
+    }
 }
 
 /// Whether the run goes through the coordinator/worker engine.
@@ -372,22 +460,12 @@ fn run(opts: &Options) -> Result<(), String> {
             num_vertices: n,
             edges: &edges,
         };
-        let chunk = opts.chunk_size.unwrap_or(0);
-        let start = std::time::Instant::now();
+        let cfg = dist_config(opts);
+        let start = Instant::now();
         let out = if opts.transport == "unix" {
-            run_multiprocess(&algo, input, opts)?
+            run_multiprocess(&algo, input, opts, &cfg)?
         } else {
-            run_distributed(
-                &algo,
-                input,
-                opts.k,
-                &DistConfig {
-                    workers: opts.workers,
-                    transport: TransportKind::Channel,
-                    chunk_edges: chunk,
-                },
-            )
-            .map_err(|e| e.to_string())?
+            run_distributed(&algo, input, opts.k, &cfg).map_err(|e| e.to_string())?
         };
         let quality = PartitionQuality::compute(&edges, &out.partitioning);
         println!("algorithm          = {}", algo.name());
@@ -397,6 +475,7 @@ fn run(opts: &Options) -> Result<(), String> {
         println!("mirrors            = {}", quality.mirrors);
         println!("partition time     = {:?}", start.elapsed());
         println!("workers            = {} ({})", out.workers, opts.transport);
+        println!("recoveries         = {}", out.recoveries);
         println!(
             "bytes exchanged    = {} ({} frames)",
             out.net.bytes_sent, out.net.frames_sent
@@ -451,93 +530,311 @@ fn emit_placement(dir: &Path, edges: &[Edge], partitioning: &Partitioning) -> Re
         .map_err(|e| e.to_string())
 }
 
+/// The worker-process fleet for multi-process mode: spawns `--workers`
+/// copies of this binary, slots their connections by `Hello{index}`, and
+/// — through the coordinator's respawner hook — replaces workers that die
+/// mid-run. `Drop` reaps every child it still owns, so no exit path (help
+/// text, errors, panics) leaves zombies behind.
+struct WorkerFleet {
+    exe: PathBuf,
+    sock: PathBuf,
+    listener: std::os::unix::net::UnixListener,
+    children: Vec<Option<std::process::Child>>,
+    /// Decode knobs forwarded to every worker process.
+    forward: Vec<String>,
+    /// `CLUGP_AMPC_KILL_AT="<worker>:<frames>"` — arm worker `<worker>`
+    /// (first incarnation only) to die abruptly after receiving
+    /// `<frames>` frames. A deterministic crash injection for tests.
+    kill_at: Option<(u32, u64)>,
+    /// Bound on waiting for a worker to connect and say Hello.
+    accept_timeout: Duration,
+}
+
+impl WorkerFleet {
+    fn new(opts: &Options, dir: &Path, accept_timeout: Duration) -> Result<WorkerFleet, String> {
+        // Remove stale sockets from earlier runs that died without
+        // cleanup; anything still present in our socket dir is dead weight
+        // (we are about to bind the only live one).
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                if entry.path().extension().is_some_and(|x| x == "sock") {
+                    std::fs::remove_file(entry.path()).ok();
+                }
+            }
+        }
+        let sock = dir.join("coordinator.sock");
+        let listener = std::os::unix::net::UnixListener::bind(&sock)
+            .map_err(|e| format!("{}: {e}", sock.display()))?;
+        // Non-blocking accept: the wait loop polls children, so a worker
+        // that dies before saying Hello is reported, not waited on forever.
+        listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+        // Test hook: substitute the worker executable.
+        let exe = match std::env::var_os("CLUGP_AMPC_WORKER_EXE") {
+            Some(p) => PathBuf::from(p),
+            None => std::env::current_exe().map_err(|e| e.to_string())?,
+        };
+        let kill_at = std::env::var("CLUGP_AMPC_KILL_AT").ok().and_then(|s| {
+            let (w, n) = s.split_once(':')?;
+            Some((w.parse().ok()?, n.parse().ok()?))
+        });
+        // Worker processes don't see our process-wide decode options, so
+        // the knobs ride along explicitly.
+        let forward = vec![
+            "--ampc-decode-threads".into(),
+            opts.decode_threads.to_string(),
+            "--ampc-prefetch".into(),
+            opts.prefetch.to_string(),
+            "--ampc-checksums".into(),
+            opts.checksums.name().into(),
+        ];
+        Ok(WorkerFleet {
+            exe,
+            sock,
+            listener,
+            children: (0..opts.workers).map(|_| None).collect(),
+            forward,
+            kill_at,
+            accept_timeout,
+        })
+    }
+
+    fn spawn(&mut self, i: u32, arm_kill: bool) -> Result<(), String> {
+        let mut cmd = std::process::Command::new(&self.exe);
+        cmd.arg("--ampc-worker")
+            .arg(&self.sock)
+            .arg("--ampc-index")
+            .arg(i.to_string())
+            .args(&self.forward);
+        if arm_kill {
+            if let Some((w, frames)) = self.kill_at {
+                if w == i {
+                    cmd.arg("--ampc-kill-at").arg(frames.to_string());
+                }
+            }
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("spawning worker {i} ({}): {e}", self.exe.display()))?;
+        self.children[i as usize] = Some(child);
+        Ok(())
+    }
+
+    /// Accepts one worker connection and reads its `Hello`, polling child
+    /// liveness meanwhile: a worker that exits before connecting fails the
+    /// accept immediately, naming the worker and its exit status. `only`
+    /// restricts the liveness poll to that child — during a respawn, the
+    /// *other* workers may legitimately be dead already (that is what the
+    /// recovery is recovering from) and are the supervisor's business, not
+    /// this accept's.
+    fn accept_one(&mut self, only: Option<u32>) -> Result<(u32, Box<dyn Transport>), String> {
+        let deadline = Instant::now() + self.accept_timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).map_err(|e| e.to_string())?;
+                    let mut t = UnixTransport::new(stream);
+                    t.set_deadline(Some(self.accept_timeout));
+                    let hello = t
+                        .recv()
+                        .and_then(|f| Msg::decode(&f))
+                        .map_err(|e| format!("worker hello: {e}"))?;
+                    // The supervisor owns deadlines from here on.
+                    t.set_deadline(None);
+                    return match hello {
+                        Msg::Hello { worker } if (worker as usize) < self.children.len() => {
+                            Ok((worker, Box::new(t)))
+                        }
+                        other => Err(format!("expected Hello, got {}", other.kind())),
+                    };
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    let watched: Vec<usize> = match only {
+                        Some(i) => vec![i as usize],
+                        None => (0..self.children.len()).collect(),
+                    };
+                    for i in watched {
+                        let Some(child) = self.children[i].as_mut() else {
+                            continue;
+                        };
+                        if let Ok(Some(status)) = child.try_wait() {
+                            self.children[i] = None;
+                            return Err(format!("worker {i} exited before connecting: {status}"));
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(format!(
+                            "timed out after {:?} waiting for a worker to connect",
+                            self.accept_timeout
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+        }
+    }
+
+    /// Replaces worker `i`: reap whatever is left of the old process,
+    /// spawn a fresh one (never re-armed with the kill knob), and wait for
+    /// it to connect.
+    fn respawn(&mut self, i: u32) -> Result<Box<dyn Transport>, String> {
+        if let Some(mut child) = self.children[i as usize].take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.spawn(i, false)?;
+        let (who, conn) = self.accept_one(Some(i))?;
+        if who != i {
+            return Err(format!(
+                "expected worker {i} to reconnect, got worker {who}"
+            ));
+        }
+        Ok(conn)
+    }
+
+    /// Post-run reaping: lets workers that were sent `Shutdown` exit on
+    /// their own (briefly), then hard-kills stragglers. Reports surprise
+    /// exit codes when the run itself succeeded.
+    fn reap(&mut self, run_ok: bool) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut alive = false;
+            for i in 0..self.children.len() {
+                let Some(child) = self.children[i].as_mut() else {
+                    continue;
+                };
+                match child.try_wait() {
+                    Ok(Some(status)) => {
+                        if !status.success() && run_ok {
+                            eprintln!("warning: worker {i} exited with {status}");
+                        }
+                        self.children[i] = None;
+                    }
+                    Ok(None) => alive = true,
+                    Err(e) => {
+                        eprintln!("warning: waiting for worker {i}: {e}");
+                        self.children[i] = None;
+                    }
+                }
+            }
+            if !alive || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Drop handles anything that ignored Shutdown.
+    }
+}
+
+impl Drop for WorkerFleet {
+    fn drop(&mut self) {
+        for slot in &mut self.children {
+            if let Some(mut child) = slot.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        std::fs::remove_file(&self.sock).ok();
+    }
+}
+
 /// Multi-process mode: spawns `--workers` copies of this binary as worker
 /// processes, each connected over a Unix socket with the same
-/// length-prefixed framing the in-process unix transport uses.
+/// length-prefixed framing the in-process unix transport uses. The fleet
+/// doubles as the coordinator's respawner, so a worker killed mid-run is
+/// replaced by a fresh process and the pass replays from the last barrier
+/// checkpoint.
 fn run_multiprocess(
     algo: &DistAlgo,
     input: DistInput<'_>,
     opts: &Options,
+    cfg: &DistConfig,
 ) -> Result<clugp::ampc::DistOutcome, String> {
-    use std::os::unix::net::UnixListener;
     let own_dir = opts.socket_dir.is_none();
     let dir: PathBuf = match &opts.socket_dir {
         Some(d) => PathBuf::from(d),
         None => std::env::temp_dir().join(format!("clugp-ampc-{}", std::process::id())),
     };
     std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-    let sock = dir.join("coordinator.sock");
-    std::fs::remove_file(&sock).ok();
-    let listener = UnixListener::bind(&sock).map_err(|e| format!("{}: {e}", sock.display()))?;
-    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
-    let mut children = Vec::new();
+    let mut fleet = WorkerFleet::new(opts, &dir, cfg.supervise.effective_timeout())?;
     for i in 0..opts.workers {
-        children.push(
-            std::process::Command::new(&exe)
-                .arg("--ampc-worker")
-                .arg(&sock)
-                .arg("--ampc-index")
-                .arg(i.to_string())
-                // Worker processes don't see our process-wide decode
-                // options, so the knobs ride along explicitly.
-                .arg("--ampc-decode-threads")
-                .arg(opts.decode_threads.to_string())
-                .arg("--ampc-prefetch")
-                .arg(opts.prefetch.to_string())
-                .arg("--ampc-checksums")
-                .arg(opts.checksums.name())
-                .spawn()
-                .map_err(|e| format!("spawning worker {i}: {e}"))?,
-        );
+        fleet.spawn(i, true)?;
     }
     // Workers identify themselves with Hello{index}; accept order is
     // arbitrary, the index is what assigns the slot.
     let mut conns: Vec<Option<Box<dyn Transport>>> = (0..opts.workers).map(|_| None).collect();
     for _ in 0..opts.workers {
-        let (stream, _) = listener.accept().map_err(|e| e.to_string())?;
-        let mut t = UnixTransport::new(stream);
-        let hello = t
-            .recv()
-            .and_then(|f| Msg::decode(&f))
-            .map_err(|e| e.to_string())?;
-        match hello {
-            Msg::Hello { worker } if (worker as usize) < conns.len() => {
-                if conns[worker as usize].is_some() {
-                    return Err(format!("worker {worker} connected twice"));
-                }
-                conns[worker as usize] = Some(Box::new(t));
-            }
-            other => return Err(format!("expected Hello, got {}", other.kind())),
+        let (worker, conn) = fleet.accept_one(None)?;
+        if conns[worker as usize].is_some() {
+            return Err(format!("worker {worker} connected twice"));
         }
+        conns[worker as usize] = Some(conn);
     }
     let conns: Vec<Box<dyn Transport>> = conns.into_iter().map(|c| c.unwrap()).collect();
-    let result = run_coordinator(conns, algo, input, opts.k, opts.chunk_size.unwrap_or(0))
+    let mut respawn = |i: u32| {
+        fleet
+            .respawn(i)
+            .map_err(|e| PartitionError::fault(FaultKind::Disconnected, e))
+    };
+    let result = run_coordinator(conns, algo, input, opts.k, cfg, Some(&mut respawn))
         .map_err(|e| e.to_string());
-    for (i, mut child) in children.into_iter().enumerate() {
-        match child.wait() {
-            Ok(status) if !status.success() && result.is_ok() => {
-                eprintln!("warning: worker {i} exited with {status}");
-            }
-            Err(e) => eprintln!("warning: waiting for worker {i}: {e}"),
-            _ => {}
-        }
-    }
-    std::fs::remove_file(&sock).ok();
+    fleet.reap(result.is_ok());
+    drop(fleet);
     if own_dir {
         std::fs::remove_dir(&dir).ok();
     }
     result
 }
 
+/// Deterministic crash injection for the worker side: forwards frames
+/// until `remaining` inbound frames have been consumed, then dies as
+/// abruptly as SIGKILL would — no unwinding, no `Err` frame, the
+/// coordinator sees only a dead link. Frame ordinals are deterministic,
+/// so the crash lands at the same protocol point every run.
+struct KillAtTransport {
+    inner: UnixTransport,
+    remaining: u64,
+}
+
+impl Transport for KillAtTransport {
+    fn send(&mut self, frame: &[u8]) -> clugp::error::Result<()> {
+        self.inner.send(frame)
+    }
+
+    fn recv(&mut self) -> clugp::error::Result<Vec<u8>> {
+        let frame = self.inner.recv()?;
+        self.remaining = self.remaining.saturating_sub(1);
+        if self.remaining == 0 {
+            std::process::abort();
+        }
+        Ok(frame)
+    }
+
+    fn set_deadline(&mut self, timeout: Option<Duration>) {
+        self.inner.set_deadline(timeout);
+    }
+
+    fn stats(&self) -> NetStats {
+        self.inner.stats()
+    }
+}
+
 /// Hidden child mode: connect to the coordinator socket, introduce
 /// ourselves, and serve stages until `Shutdown`.
-fn run_ampc_worker(socket: &str, index: u32) -> Result<(), String> {
+fn run_ampc_worker(socket: &str, index: u32, kill_at: Option<u64>) -> Result<(), String> {
     let stream =
         std::os::unix::net::UnixStream::connect(socket).map_err(|e| format!("{socket}: {e}"))?;
     let mut t = UnixTransport::new(stream);
     t.send(&Msg::Hello { worker: index }.encode())
         .map_err(|e| e.to_string())?;
-    run_worker(Box::new(t)).map_err(|e| e.to_string())
+    match kill_at {
+        Some(frames) => run_worker(Box::new(KillAtTransport {
+            inner: t,
+            remaining: frames,
+        })),
+        None => run_worker(Box::new(t)),
+    }
+    .map_err(|e| e.to_string())
 }
 
 fn main() -> ExitCode {
@@ -551,6 +848,7 @@ fn main() -> ExitCode {
                 .and_then(|i| args.get(i + 1))
         };
         let index = lookup("--ampc-index").and_then(|v| v.parse::<u32>().ok());
+        let kill_at = lookup("--ampc-kill-at").and_then(|v| v.parse::<u64>().ok());
         // Decode knobs forwarded by the parent (absent when spawned by an
         // older parent: defaults apply).
         let mut decode = DecodeOptions::default();
@@ -565,7 +863,7 @@ fn main() -> ExitCode {
         }
         clugp_graph::pack::set_decode_options(decode);
         return match (socket, index) {
-            (Some(socket), Some(index)) => match run_ampc_worker(&socket, index) {
+            (Some(socket), Some(index)) => match run_ampc_worker(&socket, index, kill_at) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("worker {index}: {e}");
@@ -584,6 +882,7 @@ fn main() -> ExitCode {
              [--order bfs|dfs|random|asis] [--tau F] [--threads N] [--chunk-size N] \
              [--decode-threads N] [--prefetch D] [--checksums full|header|off] [--sparse] \
              [--output file] [--workers N] [--transport channel|unix] [--socket-dir dir] \
+             [--worker-timeout S] [--max-retries N] [--checkpoint-dir dir] [--resume] \
              [--emit-placement dir]"
         );
         return ExitCode::from(2);
@@ -663,19 +962,7 @@ mod tests {
                 input: "x".into(),
                 k: 4,
                 algo: algo.into(),
-                order: "bfs".into(),
-                tau: 1.0,
-                threads: 0,
-                chunk_size: None,
-                decode_threads: 0,
-                prefetch: DEFAULT_PREFETCH_BLOCKS,
-                checksums: ChecksumPolicy::Full,
-                sparse: false,
-                output: None,
-                workers: 1,
-                transport: "channel".into(),
-                socket_dir: None,
-                emit_placement: None,
+                ..Options::default()
             };
             assert!(build_partitioner(&opts).is_ok(), "{algo}");
         }
@@ -683,19 +970,7 @@ mod tests {
             input: "x".into(),
             k: 4,
             algo: "metis".into(),
-            order: "bfs".into(),
-            tau: 1.0,
-            threads: 0,
-            chunk_size: None,
-            decode_threads: 0,
-            prefetch: DEFAULT_PREFETCH_BLOCKS,
-            checksums: ChecksumPolicy::Full,
-            sparse: false,
-            output: None,
-            workers: 1,
-            transport: "channel".into(),
-            socket_dir: None,
-            emit_placement: None,
+            ..Options::default()
         };
         assert!(build_partitioner(&bad).is_err());
     }
@@ -718,20 +993,11 @@ mod tests {
         let opts = Options {
             input: input.to_string_lossy().into_owned(),
             k: 2,
-            algo: "clugp".into(),
             order: "asis".into(),
             tau: 1.5,
             threads: 1,
-            chunk_size: None,
-            decode_threads: 0,
-            prefetch: DEFAULT_PREFETCH_BLOCKS,
-            checksums: ChecksumPolicy::Full,
-            sparse: false,
             output: Some(output.to_string_lossy().into_owned()),
-            workers: 1,
-            transport: "channel".into(),
-            socket_dir: None,
-            emit_placement: None,
+            ..Options::default()
         };
         run(&opts).unwrap();
         let written = std::fs::read_to_string(&output).unwrap();
@@ -762,19 +1028,10 @@ mod tests {
             input: input.to_string_lossy().into_owned(),
             k: 2,
             algo: "hdrf".into(),
-            order: "bfs".into(),
-            tau: 1.0,
             threads: 1,
-            chunk_size: None,
-            decode_threads: 0,
-            prefetch: DEFAULT_PREFETCH_BLOCKS,
-            checksums: ChecksumPolicy::Full,
             sparse: true,
             output: Some(output.to_string_lossy().into_owned()),
-            workers: 1,
-            transport: "channel".into(),
-            socket_dir: None,
-            emit_placement: None,
+            ..Options::default()
         };
         run(&opts).unwrap();
         let written = std::fs::read_to_string(&output).unwrap();
@@ -864,18 +1121,12 @@ mod tests {
             k: 2,
             algo: "hdrf".into(),
             order: "asis".into(),
-            tau: 1.0,
             threads: 1,
             chunk_size: Some(2), // exercise the override end to end
             decode_threads: 2,   // and the staged decode pipeline
             prefetch: 2,
-            checksums: ChecksumPolicy::Full,
-            sparse: false,
             output: Some(output.to_string_lossy().into_owned()),
-            workers: 1,
-            transport: "channel".into(),
-            socket_dir: None,
-            emit_placement: None,
+            ..Options::default()
         };
         run(&opts).unwrap();
         // Restore the defaults so concurrently running tests keep the
@@ -900,19 +1151,9 @@ mod tests {
             input: input.to_string_lossy().into_owned(),
             k: 2,
             algo: "hdrf".into(),
-            order: "bfs".into(),
-            tau: 1.0,
             threads: 1,
-            chunk_size: None,
-            decode_threads: 0,
-            prefetch: DEFAULT_PREFETCH_BLOCKS,
-            checksums: ChecksumPolicy::Full,
             sparse: true,
-            output: None,
-            workers: 1,
-            transport: "channel".into(),
-            socket_dir: None,
-            emit_placement: None,
+            ..Options::default()
         };
         let err = run(&opts).unwrap_err();
         assert!(err.contains("--sparse"), "{err}");
@@ -966,18 +1207,9 @@ mod tests {
             k: 2,
             algo: "hdrf".into(),
             order: "asis".into(),
-            tau: 1.0,
             threads: 1,
-            chunk_size: None,
-            decode_threads: 0,
-            prefetch: DEFAULT_PREFETCH_BLOCKS,
-            checksums: ChecksumPolicy::Full,
-            sparse: false,
             output: Some(mono_out.to_string_lossy().into_owned()),
-            workers: 1,
-            transport: "channel".into(),
-            socket_dir: None,
-            emit_placement: None,
+            ..Options::default()
         };
         run(&base).unwrap();
         let dist = Options {

@@ -2,6 +2,30 @@
 
 use std::fmt;
 
+/// How a distributed-transport fault manifested. The AMPC supervisor
+/// treats every kind as retryable: the worker link is torn down,
+/// respawned, and the pass replayed from the last committed checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// No frame arrived within the configured deadline.
+    Timeout,
+    /// The peer hung up: EOF, broken pipe, or a dropped channel end.
+    Disconnected,
+    /// A frame arrived but its framing or payload failed validation
+    /// (bad length prefix, undecodable message).
+    Corrupt,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Timeout => "timeout",
+            FaultKind::Disconnected => "disconnected",
+            FaultKind::Corrupt => "corrupt",
+        })
+    }
+}
+
 /// Errors raised by partitioners.
 #[derive(Debug)]
 pub enum PartitionError {
@@ -9,6 +33,32 @@ pub enum PartitionError {
     Graph(clugp_graph::GraphError),
     /// A parameter is out of its valid range (e.g. `k == 0`, `τ < 1`).
     InvalidParam(String),
+    /// A coordinator/worker transport link failed. Unlike the other
+    /// variants this is *retryable*: it reflects the health of a link or
+    /// process, not of the input or the configuration.
+    Fault {
+        /// How the link failed.
+        kind: FaultKind,
+        /// Human-readable context (which operation, which peer).
+        detail: String,
+    },
+}
+
+impl PartitionError {
+    /// Builds a transport-fault error.
+    pub fn fault(kind: FaultKind, detail: impl Into<String>) -> PartitionError {
+        PartitionError::Fault {
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether the AMPC supervisor may retry the run from a checkpoint.
+    /// Parameter and stream errors are deterministic — replaying them
+    /// reproduces them — so only transport faults qualify.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, PartitionError::Fault { .. })
+    }
 }
 
 impl fmt::Display for PartitionError {
@@ -16,6 +66,9 @@ impl fmt::Display for PartitionError {
         match self {
             PartitionError::Graph(e) => write!(f, "stream error: {e}"),
             PartitionError::InvalidParam(m) => write!(f, "invalid parameter: {m}"),
+            PartitionError::Fault { kind, detail } => {
+                write!(f, "transport fault ({kind}): {detail}")
+            }
         }
     }
 }
@@ -24,7 +77,7 @@ impl std::error::Error for PartitionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PartitionError::Graph(e) => Some(e),
-            PartitionError::InvalidParam(_) => None,
+            PartitionError::InvalidParam(_) | PartitionError::Fault { .. } => None,
         }
     }
 }
@@ -52,5 +105,16 @@ mod tests {
         let g: PartitionError = clugp_graph::GraphError::InvalidConfig("broken".into()).into();
         assert!(g.to_string().contains("broken"));
         assert!(g.source().is_some());
+    }
+
+    #[test]
+    fn fault_classification() {
+        let f = PartitionError::fault(FaultKind::Timeout, "worker 3 silent for 30s");
+        assert!(f.is_retryable());
+        assert!(f.to_string().contains("timeout"));
+        assert!(f.to_string().contains("worker 3"));
+        assert!(!PartitionError::InvalidParam("k".into()).is_retryable());
+        let g: PartitionError = clugp_graph::GraphError::InvalidConfig("x".into()).into();
+        assert!(!g.is_retryable());
     }
 }

@@ -93,6 +93,7 @@ fn every_algorithm_is_bit_identical_across_workers_transports_and_chunks() {
                         workers,
                         transport,
                         chunk_edges,
+                        ..Default::default()
                     };
                     let out = run_distributed(
                         &algo,
@@ -319,6 +320,75 @@ fn empty_stream_matches_monolith_at_any_worker_count() {
             );
         }
     }
+}
+
+#[test]
+fn corrupt_pack_is_a_fatal_park_error_not_a_retry() {
+    // A corrupt pack block is a *deterministic* input error: the worker
+    // that hits the CRC mismatch reports it, and supervision must fail the
+    // run with the same kind of error the monolith parks — never burn the
+    // retry budget replaying a pass that can only fail again.
+    use clugp::ampc::SuperviseConfig;
+    use clugp_graph::pack::{crc32, write_pack, PackOptions, PackedEdgeStream, ShardedPackReader};
+
+    let (n, edges) = test_web_graph(900, 45);
+    let dir = std::env::temp_dir().join("clugp_dist_corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corrupt.clugpz");
+    write_pack(
+        &path,
+        n,
+        &edges,
+        &PackOptions {
+            block_bytes: 2048,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Flip a payload byte of the middle block; metadata stays valid so the
+    // pack opens fine and dies mid-stream, on a worker.
+    let reader = ShardedPackReader::open(&path).unwrap();
+    let entries = reader.index().entries().to_vec();
+    drop(reader);
+    assert!(entries.len() >= 3, "need a multi-block pack");
+    let mid = &entries[entries.len() / 2];
+    let mut data = std::fs::read(&path).unwrap();
+    data[mid.byte_offset as usize] ^= 0xFF;
+    assert_ne!(
+        crc32(&data[mid.byte_offset as usize..][..mid.byte_len as usize]),
+        mid.crc,
+        "corruption must be CRC-visible"
+    );
+    std::fs::write(&path, &data).unwrap();
+
+    let mut s = PackedEdgeStream::open(&path).unwrap();
+    let monolith_err = Clugp::default().partition(&mut s, 8).unwrap_err();
+    assert!(
+        monolith_err.to_string().contains("checksum"),
+        "{monolith_err}"
+    );
+
+    let cfg = DistConfig {
+        workers: 2,
+        supervise: SuperviseConfig {
+            worker_timeout: Some(std::time::Duration::from_secs(5)),
+            max_retries: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let dist_err = run_distributed(&DistAlgo::clugp(), DistInput::Pack(&path), 8, &cfg)
+        .expect_err("a corrupt block must fail the distributed run");
+    assert!(
+        dist_err.to_string().contains("checksum"),
+        "distributed run must surface the same park error as the monolith \
+         ({monolith_err}), got: {dist_err}"
+    );
+    assert!(
+        !dist_err.is_retryable(),
+        "a deterministic input error must not be classified retryable: {dist_err}"
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 /// Splitmix-style generator so the permutation property test is seeded and

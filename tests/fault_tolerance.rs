@@ -1,0 +1,619 @@
+//! Fault tolerance of the AMPC engine: scripted transport faults, barrier
+//! checkpoints, and end-to-end crash recovery must never change a
+//! partition. A recovered run is *bit-identical* to an undisturbed
+//! monolith run; a fault the retry budget cannot absorb terminates with a
+//! typed [`PartitionError::Fault`] within the deadline — no hangs, no
+//! zombies. The multi-process tests drive the real `clugp-part` binary
+//! with worker processes over Unix sockets, kill one mid-pass, and diff
+//! the recovered TSV byte-for-byte.
+
+use clugp::ampc::coordinator::DistAlgo;
+use clugp::ampc::{
+    run_distributed, DistConfig, DistInput, FaultAction, FaultPlan, FaultScript, SuperviseConfig,
+    TransportKind,
+};
+use clugp::clugp::Clugp;
+use clugp::error::PartitionError;
+use clugp::partitioner::Partitioner;
+use clugp_graph::stream::InMemoryStream;
+use clugp_graph::types::Edge;
+use clugp_repro::test_web_graph;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+type Reference = (Vec<u32>, Vec<u64>, u64);
+
+fn monolith(p: &mut dyn Partitioner, n: u64, edges: &[Edge], k: u32) -> Reference {
+    let mut s = InMemoryStream::new(n, edges.to_vec());
+    let run = p.partition(&mut s, k).expect("monolith partition");
+    (
+        run.partitioning.assignments,
+        run.partitioning.loads,
+        run.partitioning.num_vertices,
+    )
+}
+
+/// A tight supervision policy for tests: short deadline, fast back-off.
+fn supervised(timeout_ms: u64, retries: u32) -> SuperviseConfig {
+    SuperviseConfig {
+        worker_timeout: Some(Duration::from_millis(timeout_ms)),
+        max_retries: retries,
+        backoff: Duration::from_millis(10),
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("clugp_fault_tolerance")
+        .join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn scripted_faults_recover_bit_identically() {
+    let (n, edges) = test_web_graph(800, 51);
+    let k = 8;
+    let reference = monolith(&mut Clugp::default(), n, &edges, k);
+
+    // (case, faulted worker, script, minimum recoveries). Ordinal 0 on
+    // either direction is the Configure/ConfigureOk exchange; every script
+    // here fires later, i.e. mid-flow, after the first barrier committed.
+    let cases: Vec<(&str, u32, FaultScript, u32)> = vec![
+        (
+            "link severed while the coordinator sends",
+            1,
+            FaultScript::disconnect_at_send(3),
+            1,
+        ),
+        (
+            "link severed while the coordinator receives",
+            2,
+            FaultScript {
+                on_recv: vec![(1, FaultAction::Disconnect)],
+                on_send: Vec::new(),
+            },
+            1,
+        ),
+        (
+            "inbound frame corrupted in flight",
+            0,
+            FaultScript {
+                on_recv: vec![(1, FaultAction::CorruptFrame)],
+                on_send: Vec::new(),
+            },
+            1,
+        ),
+        (
+            "inbound frame swallowed (surfaces as a deadline timeout)",
+            1,
+            FaultScript {
+                on_recv: vec![(1, FaultAction::DropFrame)],
+                on_send: Vec::new(),
+            },
+            1,
+        ),
+        (
+            "frame merely delayed (no recovery needed)",
+            0,
+            FaultScript {
+                on_send: vec![(2, FaultAction::Delay(Duration::from_millis(30)))],
+                on_recv: Vec::new(),
+            },
+            0,
+        ),
+    ];
+
+    for (case, worker, script, min_recoveries) in cases {
+        let mut faults = FaultPlan::none();
+        faults.push(worker, 0, script);
+        let cfg = DistConfig {
+            workers: 3,
+            supervise: supervised(600, 3),
+            faults,
+            ..Default::default()
+        };
+        let out = run_distributed(
+            &DistAlgo::clugp(),
+            DistInput::Edges {
+                num_vertices: n,
+                edges: &edges,
+            },
+            k,
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("{case}: run failed: {e}"));
+        assert!(
+            out.recoveries >= min_recoveries,
+            "{case}: expected >= {min_recoveries} recoveries, saw {}",
+            out.recoveries
+        );
+        if min_recoveries == 0 {
+            assert_eq!(out.recoveries, 0, "{case}: spurious recovery");
+        }
+        assert_eq!(
+            (
+                out.partitioning.assignments,
+                out.partitioning.loads,
+                out.partitioning.num_vertices
+            ),
+            reference,
+            "{case}: recovered run diverged from the monolith"
+        );
+    }
+}
+
+#[test]
+fn every_incarnation_faulty_exhausts_retries_into_typed_error() {
+    let (n, edges) = test_web_graph(400, 52);
+    // Worker 1's link dies on every incarnation — the one it starts with
+    // and both respawns — so max_retries = 2 must exhaust into a typed
+    // fault, not a hang and not a panic.
+    let mut faults = FaultPlan::none();
+    for incarnation in 0..=2 {
+        faults.push(1, incarnation, FaultScript::disconnect_at_send(1));
+    }
+    let cfg = DistConfig {
+        workers: 3,
+        supervise: supervised(500, 2),
+        faults,
+        ..Default::default()
+    };
+    let err = run_distributed(
+        &DistAlgo::clugp(),
+        DistInput::Edges {
+            num_vertices: n,
+            edges: &edges,
+        },
+        8,
+        &cfg,
+    )
+    .expect_err("a permanently faulty link must fail the run");
+    assert!(
+        matches!(err, PartitionError::Fault { .. }),
+        "retry exhaustion must surface the transport fault, got: {err}"
+    );
+    assert!(
+        err.is_retryable(),
+        "the terminal error keeps its fault type"
+    );
+}
+
+#[test]
+fn seeded_fault_plans_recover_or_fail_typed_never_hang() {
+    // Randomized-but-deterministic single-fault plans: whatever the fault
+    // is (drop, delay, corrupt, disconnect — either direction), the run
+    // either recovers bit-identically or terminates with a typed error.
+    // The deadline keeps "terminates" bounded; the test finishing at all
+    // is the no-hang assertion.
+    let (n, edges) = test_web_graph(500, 53);
+    let k = 8;
+    let reference = monolith(&mut Clugp::default(), n, &edges, k);
+    for seed in 1..=10u64 {
+        let cfg = DistConfig {
+            workers: 3,
+            supervise: supervised(600, 2),
+            faults: FaultPlan::seeded(seed, 3),
+            ..Default::default()
+        };
+        match run_distributed(
+            &DistAlgo::clugp(),
+            DistInput::Edges {
+                num_vertices: n,
+                edges: &edges,
+            },
+            k,
+            &cfg,
+        ) {
+            Ok(out) => assert_eq!(
+                (
+                    out.partitioning.assignments,
+                    out.partitioning.loads,
+                    out.partitioning.num_vertices
+                ),
+                reference,
+                "seed {seed}: recovered run diverged from the monolith"
+            ),
+            // A corrupt coordinator->worker frame is reported back by the
+            // worker and stays fatal (deterministic errors are not
+            // retried); anything else must be a typed transport fault.
+            Err(PartitionError::Fault { .. }) | Err(PartitionError::InvalidParam(_)) => {}
+            Err(other) => panic!("seed {seed}: untyped failure: {other}"),
+        }
+    }
+}
+
+#[test]
+fn faults_recover_over_unix_sockets_too() {
+    // Same engine, socket framing instead of channels: severing a link
+    // mid-pass recovers bit-identically there as well.
+    let (n, edges) = test_web_graph(600, 54);
+    let k = 8;
+    let reference = monolith(&mut Clugp::default(), n, &edges, k);
+    let mut faults = FaultPlan::none();
+    faults.push(0, 0, FaultScript::disconnect_at_send(2));
+    let cfg = DistConfig {
+        workers: 2,
+        transport: TransportKind::Unix,
+        supervise: supervised(600, 2),
+        faults,
+        ..Default::default()
+    };
+    let out = run_distributed(
+        &DistAlgo::clugp(),
+        DistInput::Edges {
+            num_vertices: n,
+            edges: &edges,
+        },
+        k,
+        &cfg,
+    )
+    .expect("unix-transport run must recover");
+    assert!(out.recoveries >= 1, "fault did not trigger a recovery");
+    assert_eq!(
+        (
+            out.partitioning.assignments,
+            out.partitioning.loads,
+            out.partitioning.num_vertices
+        ),
+        reference,
+        "unix-transport recovery diverged from the monolith"
+    );
+}
+
+#[test]
+fn baseline_algorithms_recover_too() {
+    // The single-barrier baseline flow shares the recovery machinery.
+    use clugp::baselines::Hdrf;
+    let (n, edges) = test_web_graph(500, 55);
+    let k = 8;
+    let reference = monolith(&mut Hdrf::default(), n, &edges, k);
+    let mut faults = FaultPlan::none();
+    faults.push(1, 0, FaultScript::disconnect_at_send(2));
+    let cfg = DistConfig {
+        workers: 3,
+        supervise: supervised(600, 2),
+        faults,
+        ..Default::default()
+    };
+    let out = run_distributed(
+        &DistAlgo::hdrf(),
+        DistInput::Edges {
+            num_vertices: n,
+            edges: &edges,
+        },
+        k,
+        &cfg,
+    )
+    .expect("HDRF run must recover");
+    assert!(out.recoveries >= 1);
+    assert_eq!(
+        (
+            out.partitioning.assignments,
+            out.partitioning.loads,
+            out.partitioning.num_vertices
+        ),
+        reference,
+        "recovered HDRF run diverged from the monolith"
+    );
+}
+
+#[test]
+fn checkpoints_persist_and_resume_bit_identically() {
+    let (n, edges) = test_web_graph(700, 56);
+    let k = 8;
+    let reference = monolith(&mut Clugp::default(), n, &edges, k);
+    let dir = tmp("resume");
+    let input = DistInput::Edges {
+        num_vertices: n,
+        edges: &edges,
+    };
+
+    // A full run persists one CLUGPCK1 file per barrier (CLUGP has 3).
+    let cfg = DistConfig {
+        workers: 2,
+        checkpoint_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let out = run_distributed(&DistAlgo::clugp(), input, k, &cfg).expect("checkpointed run");
+    assert_eq!(
+        (
+            out.partitioning.assignments,
+            out.partitioning.loads,
+            out.partitioning.num_vertices
+        ),
+        reference
+    );
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "clugpck"))
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 3, "CLUGP commits 3 barriers: {files:?}");
+
+    // Resuming replays only the last segment and lands on the same bits.
+    let resume_cfg = DistConfig {
+        workers: 2,
+        checkpoint_dir: Some(dir.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let out = run_distributed(&DistAlgo::clugp(), input, k, &resume_cfg).expect("resumed run");
+    assert_eq!(out.recoveries, 0);
+    assert_eq!(
+        (
+            out.partitioning.assignments,
+            out.partitioning.loads,
+            out.partitioning.num_vertices
+        ),
+        reference,
+        "resumed run diverged from the monolith"
+    );
+
+    // Tear the newest checkpoint (truncate mid-body) and drop a garbage
+    // file with a higher sequence number: both must be skipped, the run
+    // resumes from the newest *valid* barrier, still bit-identical.
+    let newest = files.last().unwrap();
+    let bytes = std::fs::read(newest).unwrap();
+    std::fs::write(newest, &bytes[..bytes.len() / 2]).unwrap();
+    std::fs::write(dir.join("ckpt-00999.clugpck"), b"not a checkpoint").unwrap();
+    let out = run_distributed(&DistAlgo::clugp(), input, k, &resume_cfg)
+        .expect("resume over a torn checkpoint");
+    assert_eq!(
+        (
+            out.partitioning.assignments,
+            out.partitioning.loads,
+            out.partitioning.num_vertices
+        ),
+        reference,
+        "resume after checkpoint corruption diverged"
+    );
+
+    // Resume against an empty directory degrades to a fresh run.
+    let empty = tmp("resume_empty");
+    let cfg = DistConfig {
+        workers: 2,
+        checkpoint_dir: Some(empty),
+        resume: true,
+        ..Default::default()
+    };
+    let out = run_distributed(&DistAlgo::clugp(), input, k, &cfg).expect("fresh run under resume");
+    assert_eq!(out.partitioning.assignments, reference.0);
+
+    // Resume without a directory is a usage error, not a hang.
+    let cfg = DistConfig {
+        workers: 2,
+        resume: true,
+        ..Default::default()
+    };
+    let err = run_distributed(&DistAlgo::clugp(), input, k, &cfg).unwrap_err();
+    assert!(
+        err.to_string().contains("checkpoint directory"),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_recovery_works_with_a_checkpoint_directory() {
+    // Supervision and on-disk checkpoints compose: a mid-run fault with a
+    // checkpoint directory configured recovers from the persisted barrier.
+    let (n, edges) = test_web_graph(600, 57);
+    let k = 8;
+    let reference = monolith(&mut Clugp::default(), n, &edges, k);
+    let dir = tmp("crash_ckpt");
+    let mut faults = FaultPlan::none();
+    faults.push(1, 0, FaultScript::disconnect_at_send(3));
+    let cfg = DistConfig {
+        workers: 2,
+        supervise: supervised(600, 2),
+        faults,
+        checkpoint_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let out = run_distributed(
+        &DistAlgo::clugp(),
+        DistInput::Edges {
+            num_vertices: n,
+            edges: &edges,
+        },
+        k,
+        &cfg,
+    )
+    .expect("checkpointed run must recover");
+    assert!(out.recoveries >= 1);
+    assert_eq!(
+        (
+            out.partitioning.assignments,
+            out.partitioning.loads,
+            out.partitioning.num_vertices
+        ),
+        reference,
+        "checkpoint-backed recovery diverged from the monolith"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process tests: the real `clugp-part` binary, worker processes over
+// Unix sockets. Located relative to the test binary; when only this test
+// target was built (`cargo test --test fault_tolerance` before any build of
+// the bins) the tests skip with a note instead of failing.
+// ---------------------------------------------------------------------------
+
+fn clugp_part_exe() -> Option<PathBuf> {
+    let mut dir = std::env::current_exe().ok()?;
+    dir.pop();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let exe = dir.join(format!("clugp-part{}", std::env::consts::EXE_SUFFIX));
+    exe.exists().then_some(exe)
+}
+
+fn write_edge_fixture(dir: &std::path::Path, vertices: u64, seed: u64) -> PathBuf {
+    let (_, edges) = test_web_graph(vertices, seed);
+    let mut text = String::with_capacity(edges.len() * 12);
+    for e in &edges {
+        text.push_str(&format!("{} {}\n", e.src, e.dst));
+    }
+    let path = dir.join("graph.txt");
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn killed_unix_worker_process_recovers_bit_identically() {
+    let Some(exe) = clugp_part_exe() else {
+        eprintln!("skipping: clugp-part binary not built");
+        return;
+    };
+    let dir = tmp("sigkill");
+    let graph = write_edge_fixture(&dir, 1_200, 58);
+    let ref_tsv = dir.join("ref.tsv");
+    let kill_tsv = dir.join("kill.tsv");
+    let common = |out: &PathBuf| {
+        vec![
+            graph.to_string_lossy().into_owned(),
+            "--k".into(),
+            "8".into(),
+            "--order".into(),
+            "asis".into(),
+            // Small chunks => many state-exchange rounds, so the kill
+            // ordinal below lands mid-pass.
+            "--chunk-size".into(),
+            "64".into(),
+            "--output".into(),
+            out.to_string_lossy().into_owned(),
+        ]
+    };
+
+    // Monolithic reference.
+    let status = Command::new(&exe)
+        .args(common(&ref_tsv))
+        .output()
+        .expect("spawn clugp-part");
+    assert!(
+        status.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+
+    // 4 worker processes; worker 1 is armed to die abruptly (SIGABRT, no
+    // goodbye frame — indistinguishable from SIGKILL on the link) after
+    // its 40th received frame, deterministically mid-pass.
+    let out = Command::new(&exe)
+        .args(common(&kill_tsv))
+        .args(["--workers", "4", "--transport", "unix"])
+        .args(["--socket-dir", &dir.join("socks").to_string_lossy()])
+        .env("CLUGP_AMPC_KILL_AT", "1:40")
+        .output()
+        .expect("spawn clugp-part");
+    assert!(
+        out.status.success(),
+        "killed-worker run did not recover:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let recoveries: u32 = stdout
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("recoveries")?
+                .trim_start_matches(['=', ' '])
+                .trim()
+                .parse()
+                .ok()
+        })
+        .unwrap_or_else(|| panic!("no recoveries line in:\n{stdout}"));
+    assert!(recoveries >= 1, "the armed kill never fired:\n{stdout}");
+
+    let reference = std::fs::read(&ref_tsv).expect("reference TSV");
+    let recovered = std::fs::read(&kill_tsv).expect("recovered TSV");
+    assert_eq!(
+        reference, recovered,
+        "recovered multi-process run is not byte-identical to the monolith"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_spawn_failure_exits_nonzero_naming_the_worker() {
+    let Some(exe) = clugp_part_exe() else {
+        eprintln!("skipping: clugp-part binary not built");
+        return;
+    };
+    let dir = tmp("spawnfail");
+    let graph = write_edge_fixture(&dir, 200, 59);
+    let out = Command::new(&exe)
+        .arg(&graph)
+        .args(["--k", "4", "--workers", "2", "--transport", "unix"])
+        .args(["--socket-dir", &dir.join("socks").to_string_lossy()])
+        .env("CLUGP_AMPC_WORKER_EXE", "/nonexistent/clugp-ampc-worker")
+        .output()
+        .expect("spawn clugp-part");
+    assert!(
+        !out.status.success(),
+        "run must fail when workers cannot spawn"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("worker 0"),
+        "stderr must name the worker that failed to spawn:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("/nonexistent/clugp-ampc-worker"),
+        "stderr must name the cause:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_checkpoint_dir_and_resume_roundtrip() {
+    let Some(exe) = clugp_part_exe() else {
+        eprintln!("skipping: clugp-part binary not built");
+        return;
+    };
+    let dir = tmp("cli_resume");
+    let graph = write_edge_fixture(&dir, 600, 60);
+    let ckpt = dir.join("ckpts");
+    let first = dir.join("first.tsv");
+    let second = dir.join("second.tsv");
+    let run = |output: &PathBuf, resume: bool| {
+        let mut cmd = Command::new(&exe);
+        cmd.arg(&graph)
+            .args(["--k", "8", "--workers", "2", "--order", "asis"])
+            .args(["--checkpoint-dir", &ckpt.to_string_lossy()])
+            .args(["--output", &output.to_string_lossy()]);
+        if resume {
+            cmd.arg("--resume");
+        }
+        let out = cmd.output().expect("spawn clugp-part");
+        assert!(
+            out.status.success(),
+            "run failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    run(&first, false);
+    let ckpts = std::fs::read_dir(&ckpt)
+        .expect("checkpoint dir exists")
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "clugpck")
+        })
+        .count();
+    assert!(ckpts >= 1, "no checkpoint files were persisted");
+    run(&second, true);
+    assert_eq!(
+        std::fs::read(&first).unwrap(),
+        std::fs::read(&second).unwrap(),
+        "resumed CLI run diverged from the fresh run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
