@@ -8,12 +8,18 @@
 //! bit-identity flag against the monolithic partitioner.
 //!
 //! **Honest-ceiling caveat:** everything here runs on one host, so worker
-//! threads/sockets share the same cores and the stream is sequenced (one
-//! worker active at a time by design — that is what buys bit-identity).
+//! threads/sockets share the same cores and the sequenced sweep keeps one
+//! worker active at a time by design — that is what buys bit-identity.
 //! Multi-worker wall-clock is therefore a *floor on coordination overhead*,
 //! never a speedup claim; the committed signal is bytes-exchanged per edge
 //! (the quantity that would cross a real network) and the guarantee that
 //! sharding cost zero partition-quality drift.
+//!
+//! The **relaxed leg** turns the consistency dial down (`--ampc-mode
+//! relaxed`): workers stream concurrently against local tables and
+//! reconcile at epoch barriers, so its wall-clock *is* allowed to beat the
+//! sequenced run — and the leg records the price, per algorithm, as
+//! replication-factor drift against the sequenced partition.
 
 use super::ExpContext;
 use crate::algorithms::Algorithm;
@@ -21,13 +27,19 @@ use crate::datasets::Dataset;
 use crate::report::{results_dir, save_json, Table};
 use crate::runner::PreparedDataset;
 use clugp::ampc::coordinator::DistAlgo;
+use clugp::ampc::proto::Msg;
+use clugp::ampc::transport::VERB_SLOTS;
 use clugp::ampc::{
-    run_distributed, DistConfig, DistInput, FaultPlan, SuperviseConfig, TransportKind,
+    run_distributed, AmpcMode, DistConfig, DistInput, FaultPlan, NetStats, SuperviseConfig,
+    TransportKind,
 };
 use clugp::baselines::Hdrf;
 use clugp::clugp::Clugp;
+use clugp::metrics::PartitionQuality;
+use clugp::partition::Partitioning;
 use clugp::partitioner::Partitioner;
 use clugp_graph::stream::InMemoryStream;
+use clugp_graph::types::Edge;
 
 /// One `(dataset, algorithm, workers, transport)` cell of the sweep.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -61,6 +73,66 @@ pub struct AmpcRun {
     pub bytes_per_edge: f64,
     /// Whether the distributed assignments matched the monolith's exactly.
     pub bit_identical: bool,
+    /// Per-message-type traffic breakdown (non-zero verbs only), so the
+    /// relay optimization's effect is attributable frame type by frame
+    /// type rather than a single aggregate.
+    pub by_verb: Vec<VerbStat>,
+}
+
+/// One non-zero row of the per-message-type traffic histogram.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct VerbStat {
+    /// Protocol verb name (e.g. `RouteBatch`, `StateRespBatch`).
+    pub verb: String,
+    /// Frames with this tag, sent + received over all links.
+    pub frames: u64,
+    /// Payload bytes of those frames.
+    pub bytes: u64,
+}
+
+/// Collapses the fixed-slot histogram into named non-zero rows.
+fn verb_breakdown(net: &NetStats) -> Vec<VerbStat> {
+    (0..VERB_SLOTS)
+        .filter(|&slot| net.by_verb[slot].frames > 0)
+        .map(|slot| VerbStat {
+            verb: Msg::verb_name(slot).to_string(),
+            frames: net.by_verb[slot].frames,
+            bytes: net.by_verb[slot].bytes,
+        })
+        .collect()
+}
+
+/// One relaxed-mode cell (4 workers): wall-clock against the sequenced run
+/// and quality drift against the sequenced (= monolith) partition.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RelaxedRun {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of partitions.
+    pub k: u32,
+    /// Worker count of the cell.
+    pub workers: u32,
+    /// Best-of-repeats wall clock of the relaxed run, seconds.
+    pub secs: f64,
+    /// Wall clock of the sequenced run at the same worker count/transport.
+    pub sequenced_secs: f64,
+    /// `sequenced_secs / secs` — what dropping the sequencing token buys.
+    pub speedup_vs_sequenced: f64,
+    /// Replication factor of the relaxed partition.
+    pub replication_factor: f64,
+    /// Replication factor of the sequenced partition (drift baseline).
+    pub sequenced_rf: f64,
+    /// `replication_factor / sequenced_rf` — the price of the weaker
+    /// consistency, per algorithm.
+    pub rf_drift: f64,
+    /// Relative balance (`k·max|p_i|/|E|`) of the relaxed partition.
+    pub relative_balance: f64,
+    /// Relative balance of the sequenced partition.
+    pub sequenced_balance: f64,
+    /// Exchange density of the relaxed run.
+    pub bytes_per_edge: f64,
 }
 
 /// One seeded fault-injection probe of the supervised engine (the
@@ -104,6 +176,9 @@ pub struct AmpcReport {
     pub bit_identical: bool,
     /// One row per `(dataset, algorithm, workers, transport)`.
     pub runs: Vec<AmpcRun>,
+    /// Relaxed concurrent mode at 4 workers: wall-clock vs the sequenced
+    /// run and per-algorithm quality drift (the consistency dial's price).
+    pub relaxed: Vec<RelaxedRun>,
     /// Wall clock of the undisturbed supervision-off reference run the
     /// checkpoint overhead is measured against, seconds.
     pub plain_secs: f64,
@@ -158,6 +233,7 @@ pub fn ampc(ctx: &ExpContext) {
         ],
     );
     let mut runs: Vec<AmpcRun> = Vec::new();
+    let mut relaxed: Vec<RelaxedRun> = Vec::new();
     for ds in datasets {
         let prep = PreparedDataset::load(ds, ctx.scale);
         let n = prep.graph.num_vertices();
@@ -223,6 +299,7 @@ pub fn ampc(ctx: &ExpContext) {
                         bytes_per_edge: (out.net.bytes_sent + out.net.bytes_received) as f64
                             / m.max(1) as f64,
                         bit_identical,
+                        by_verb: verb_breakdown(&out.net),
                     };
                     table.row(vec![
                         run.dataset.clone(),
@@ -237,6 +314,78 @@ pub fn ampc(ctx: &ExpContext) {
                     runs.push(run);
                 }
             }
+
+            // Relaxed leg: same cell at 4 workers with the consistency
+            // dial turned down — workers stream concurrently and reconcile
+            // at epoch barriers, so this measures what the sequencing token
+            // costs and what the weaker consistency does to quality.
+            let relaxed_workers = 4u32;
+            let cfg = DistConfig {
+                workers: relaxed_workers,
+                transport: TransportKind::Channel,
+                chunk_edges: 0,
+                mode: AmpcMode::Relaxed,
+                ..Default::default()
+            };
+            let mut secs = f64::INFINITY;
+            let mut out = None;
+            for _ in 0..repeats {
+                let t = std::time::Instant::now();
+                let o = run_distributed(
+                    &algo,
+                    DistInput::Edges {
+                        num_vertices: n,
+                        edges,
+                    },
+                    k,
+                    &cfg,
+                )
+                .expect("relaxed run");
+                secs = secs.min(t.elapsed().as_secs_f64());
+                out = Some(o);
+            }
+            let out = out.expect("at least one repeat");
+            let sequenced_secs = runs
+                .iter()
+                .rev()
+                .find(|r| {
+                    r.workers == relaxed_workers
+                        && r.transport == "channel"
+                        && r.algorithm == which.name()
+                        && r.dataset == prep.name
+                })
+                .map(|r| r.secs)
+                .expect("sequenced 4-worker cell precedes the relaxed leg");
+            let seq_quality = quality_of(&reference, n, k, edges);
+            let quality = PartitionQuality::compute(edges, &out.partitioning);
+            let run = RelaxedRun {
+                dataset: prep.name.clone(),
+                algorithm: which.name().to_string(),
+                k,
+                workers: relaxed_workers,
+                secs,
+                sequenced_secs,
+                speedup_vs_sequenced: sequenced_secs / secs.max(f64::EPSILON),
+                replication_factor: quality.replication_factor,
+                sequenced_rf: seq_quality.replication_factor,
+                rf_drift: quality.replication_factor
+                    / seq_quality.replication_factor.max(f64::EPSILON),
+                relative_balance: quality.relative_balance,
+                sequenced_balance: seq_quality.relative_balance,
+                bytes_per_edge: (out.net.bytes_sent + out.net.bytes_received) as f64
+                    / m.max(1) as f64,
+            };
+            table.row(vec![
+                run.dataset.clone(),
+                format!("{}+relaxed", run.algorithm),
+                run.workers.to_string(),
+                "channel".to_string(),
+                format!("{:.3}s", run.secs),
+                format!("{:.2}x", run.secs / monolith_secs.max(f64::EPSILON)),
+                format!("{:.1}", run.bytes_per_edge),
+                format!("rf x{:.3}", run.rf_drift),
+            ]);
+            relaxed.push(run);
         }
     }
     table.print();
@@ -264,6 +413,7 @@ pub fn ampc(ctx: &ExpContext) {
             .to_string(),
         bit_identical: runs.iter().all(|r| r.bit_identical),
         runs,
+        relaxed,
         plain_secs,
         supervised_secs,
         checkpoint_overhead: supervised_secs / plain_secs.max(f64::EPSILON),
@@ -274,6 +424,24 @@ pub fn ampc(ctx: &ExpContext) {
         report.bit_identical,
         "sharded placement must not change any partition"
     );
+}
+
+/// Quality of a bare assignment vector (loads recomputed from it), used
+/// for the sequenced baseline whose `Partitioning` was not kept around.
+fn quality_of(assignments: &[u32], n: u64, k: u32, edges: &[Edge]) -> PartitionQuality {
+    let mut loads = vec![0u64; k as usize];
+    for &p in assignments {
+        loads[p as usize] += 1;
+    }
+    PartitionQuality::compute(
+        edges,
+        &Partitioning {
+            k,
+            num_vertices: n,
+            assignments: assignments.to_vec(),
+            loads,
+        },
+    )
 }
 
 /// The fault leg: checkpoint overhead of an undisturbed supervised run,

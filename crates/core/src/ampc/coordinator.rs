@@ -28,12 +28,16 @@
 use super::checkpoint::{load_latest, write_checkpoint, Checkpoint, TableDump};
 use super::fault::{FaultInjectingTransport, FaultPlan};
 use super::proto::{
-    AlgoSpec, InputSpec, Msg, PairsPayload, Stage, StateOp, TableDef, Token, WorkerSetup,
+    AlgoSpec, BatchOp, EpochTable, InputSpec, Msg, PairsPayload, Stage, StateOp, TableDef, Token,
+    WorkerSetup,
 };
 use super::table::{Layout, MergeOp, DEFAULT_STRIPE};
 use super::transport::{NetStats, Transport};
 use super::worker::{migration_tag, unexpected, T_CPART, T_MAIN};
-use super::{pack_input_specs, split_ranges, DistConfig, DistInput, SuperviseConfig};
+use super::{
+    pack_input_specs, split_ranges, AmpcMode, DistConfig, DistInput, SuperviseConfig,
+    DEFAULT_EPOCH_CHUNKS,
+};
 use crate::baselines::{dbh, grid, hashing, HdrfConfig, MintConfig};
 use crate::clugp::cluster_graph::{merge_weighted, ClusterGraph};
 use crate::clugp::clustering::{compact_clusters, NO_CLUSTER};
@@ -43,6 +47,7 @@ use crate::error::{FaultKind, PartitionError, Result};
 use crate::partition::Partitioning;
 use crate::vertex_table::{cap_error, VertexTable, DEFAULT_MAX_VERTICES};
 use clugp_graph::pack::ShardedPackReader;
+use rustc_hash::FxHashMap;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -183,13 +188,17 @@ struct Coord {
     conns: Vec<Box<dyn Transport>>,
     /// Stats of links replaced by respawns (their traffic still counts).
     retired: NetStats,
+    /// Reused encode buffer for every outgoing frame.
+    scratch: Vec<u8>,
 }
 
 impl Coord {
     fn send(&mut self, to: usize, msg: &Msg) -> Result<()> {
-        self.conns[to]
-            .send(&msg.encode())
-            .map_err(|e| tag_worker(to, e))
+        let mut buf = std::mem::take(&mut self.scratch);
+        msg.encode_into(&mut buf);
+        let res = self.conns[to].send(&buf).map_err(|e| tag_worker(to, e));
+        self.scratch = buf;
+        res
     }
 
     fn recv(&mut self, from: usize) -> Result<Msg> {
@@ -225,8 +234,8 @@ impl Coord {
     }
 
     /// Runs one stage as a barrier: the token travels worker 0‥N−1, and
-    /// while worker `w` streams, the coordinator relays its `Route`
-    /// requests to the owning shards.
+    /// while worker `w` streams, the coordinator relays its routing
+    /// traffic to the owning shards.
     fn run_stage(
         &mut self,
         stage: Stage,
@@ -235,7 +244,12 @@ impl Coord {
         mut pairs_out: Option<&mut Vec<PairsPayload>>,
     ) -> Result<Token> {
         for w in 0..self.conns.len() {
-            let msg = Msg::RunStage { stage, token };
+            let msg = Msg::RunStage {
+                stage,
+                token,
+                mode: AmpcMode::Sequenced,
+                epoch: 0,
+            };
             self.send(w, &msg)?;
             token = loop {
                 match self.recv(w)? {
@@ -248,6 +262,27 @@ impl Coord {
                         }
                         let rows = self.state_req(to, table, op)?;
                         self.send(w, &Msg::StateResp { rows })?;
+                    }
+                    Msg::RouteBatch { to, keys, ops } => {
+                        let to = to as usize;
+                        if to >= self.conns.len() {
+                            return Err(PartitionError::InvalidParam(format!(
+                                "route target {to} out of range"
+                            )));
+                        }
+                        // Pure-Put batches are fire-and-forget: the owner
+                        // applies them without replying, and frame order on
+                        // the star links keeps them ahead of later reads.
+                        let wants_reply = ops.iter().any(|op| matches!(op, BatchOp::Get { .. }));
+                        self.send(to, &Msg::StateReqBatch { keys, ops })?;
+                        if wants_reply {
+                            match self.recv(to)? {
+                                Msg::StateRespBatch { rows } => {
+                                    self.send(w, &Msg::RouteReply { rows })?;
+                                }
+                                other => return Err(unexpected(&other)),
+                            }
+                        }
                     }
                     // Proof of life from a quiet worker: resets the recv
                     // deadline simply by having arrived.
@@ -269,6 +304,175 @@ impl Coord {
         }
         Ok(token)
     }
+
+    /// Relaxed mode: starts `stage` on every worker at once (each gets a
+    /// clone of `token0`).
+    fn broadcast_stage(&mut self, stage: Stage, token0: &Token, epoch: u32) -> Result<()> {
+        for w in 0..self.conns.len() {
+            self.send(
+                w,
+                &Msg::RunStage {
+                    stage,
+                    token: token0.clone(),
+                    mode: AmpcMode::Relaxed,
+                    epoch,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Collects one [`Msg::StageDone`] per worker, in worker order (which
+    /// is what makes relaxed merges deterministic), returning the tokens.
+    fn collect_stage_done(
+        &mut self,
+        assignments: &mut Vec<u32>,
+        mut pairs_out: Option<&mut Vec<PairsPayload>>,
+    ) -> Result<Vec<Token>> {
+        let mut tokens = Vec::with_capacity(self.conns.len());
+        for w in 0..self.conns.len() {
+            loop {
+                match self.recv(w)? {
+                    Msg::Heartbeat => {}
+                    Msg::StageDone {
+                        token,
+                        assignments: part,
+                        pairs,
+                    } => {
+                        assignments.extend(part);
+                        if let (Some(out), Some(p)) = (pairs_out.as_deref_mut(), pairs) {
+                            out.push(p);
+                        }
+                        tokens.push(token);
+                        break;
+                    }
+                    other => return Err(unexpected(&other)),
+                }
+            }
+        }
+        Ok(tokens)
+    }
+
+    /// Drives the epoch barriers of a relaxed stage: each round collects
+    /// one [`Msg::EpochDone`] per worker in worker order, folds the deltas
+    /// into the committed state, and broadcasts the merged rows for every
+    /// key the round touched. Runs until all workers have reported their
+    /// final epoch.
+    fn run_epoch_rounds(&mut self, k: usize, defs: &[TableDef]) -> Result<()> {
+        let workers = self.conns.len();
+        let mut committed_loads = vec![0u64; k];
+        let mut committed: Vec<FxHashMap<u64, Vec<u64>>> = vec![FxHashMap::default(); defs.len()];
+        loop {
+            let mut all_last = true;
+            let mut touched: Vec<Vec<u64>> = vec![Vec::new(); defs.len()];
+            for w in 0..workers {
+                let (last, loads, tables) = loop {
+                    match self.recv(w)? {
+                        Msg::Heartbeat => {}
+                        Msg::EpochDone {
+                            last,
+                            loads,
+                            tables,
+                        } => break (last, loads, tables),
+                        other => return Err(unexpected(&other)),
+                    }
+                };
+                all_last &= last;
+                if loads.len() != k {
+                    return Err(PartitionError::InvalidParam(
+                        "epoch loads do not match partition count".into(),
+                    ));
+                }
+                for (c, d) in committed_loads.iter_mut().zip(&loads) {
+                    *c = c.wrapping_add(*d);
+                }
+                for t in tables {
+                    let slot = t.table as usize;
+                    let Some(def) = defs.get(slot) else {
+                        return Err(PartitionError::InvalidParam(format!(
+                            "epoch sync for unknown table slot {}",
+                            t.table
+                        )));
+                    };
+                    let width = def.width as usize;
+                    if t.rows.len() != t.keys.len() * width {
+                        return Err(PartitionError::InvalidParam(
+                            "epoch delta payload does not match key count".into(),
+                        ));
+                    }
+                    for (i, &key) in t.keys.iter().enumerate() {
+                        let dst = committed[slot]
+                            .entry(key)
+                            .or_insert_with(|| vec![0u64; width]);
+                        t.merge.apply(dst, &t.rows[i * width..(i + 1) * width]);
+                    }
+                    touched[slot].extend_from_slice(&t.keys);
+                }
+            }
+            let mut sync_tables = Vec::new();
+            for (slot, keys) in touched.iter_mut().enumerate() {
+                if keys.is_empty() {
+                    continue;
+                }
+                keys.sort_unstable();
+                keys.dedup();
+                let width = defs[slot].width as usize;
+                let mut rows = Vec::with_capacity(keys.len() * width);
+                for key in keys.iter() {
+                    rows.extend_from_slice(&committed[slot][key]);
+                }
+                sync_tables.push(EpochTable {
+                    table: slot as u8,
+                    merge: MergeOp::Put,
+                    keys: std::mem::take(keys),
+                    rows,
+                });
+            }
+            for w in 0..workers {
+                self.send(
+                    w,
+                    &Msg::EpochSync {
+                        done: all_last,
+                        loads: committed_loads.clone(),
+                        tables: sync_tables.clone(),
+                    },
+                )?;
+            }
+            if all_last {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Collects one [`Msg::Pass1Frontier`] per worker, in worker order.
+    fn collect_pass1_frontiers(&mut self) -> Result<Vec<Pass1Part>> {
+        let mut parts = Vec::with_capacity(self.conns.len());
+        for w in 0..self.conns.len() {
+            loop {
+                match self.recv(w)? {
+                    Msg::Heartbeat => {}
+                    Msg::Pass1Frontier { keys, rows, vol } => {
+                        if rows.len() != keys.len() * 3 {
+                            return Err(PartitionError::InvalidParam(
+                                "pass-1 frontier payload does not match key count".into(),
+                            ));
+                        }
+                        parts.push(Pass1Part { keys, rows, vol });
+                        break;
+                    }
+                    other => return Err(unexpected(&other)),
+                }
+            }
+        }
+        Ok(parts)
+    }
+}
+
+/// One worker's locally-clustered pass-1 result (relaxed mode).
+struct Pass1Part {
+    keys: Vec<u64>,
+    rows: Vec<u64>,
+    vol: Vec<u64>,
 }
 
 /// Applies the scripted fault wrapper for `(worker, incarnation)`, if any.
@@ -303,8 +507,10 @@ struct Supervisor<'a> {
     last: Option<Checkpoint>,
     ckpt_dir: Option<PathBuf>,
     recoveries: u32,
-    // Checkpoint fingerprint, filled in by `drive`.
-    algo_name: &'static str,
+    // Checkpoint fingerprint, filled in by `drive`. Relaxed runs use a
+    // distinct "<name>+relaxed" fingerprint: their checkpoints are not
+    // interchangeable with sequenced ones.
+    algo_name: String,
     k: u32,
     m: u64,
     n_hint: u64,
@@ -313,7 +519,7 @@ struct Supervisor<'a> {
 impl<'a> Supervisor<'a> {
     fn new(
         conns: Vec<Box<dyn Transport>>,
-        algo_name: &'static str,
+        algo_name: String,
         cfg: &DistConfig,
         respawn: Option<Respawner<'a>>,
     ) -> Supervisor<'a> {
@@ -336,6 +542,7 @@ impl<'a> Supervisor<'a> {
             coord: Coord {
                 conns,
                 retired: NetStats::default(),
+                scratch: Vec::new(),
             },
             policy,
             faults,
@@ -491,7 +698,7 @@ impl<'a> Supervisor<'a> {
             seq,
             stage,
             token: token.clone(),
-            algo: self.algo_name.to_string(),
+            algo: self.algo_name.clone(),
             k: self.k,
             m: self.m,
             n_hint: self.n_hint,
@@ -591,7 +798,11 @@ pub fn run_coordinator(
     respawn: Option<Respawner<'_>>,
 ) -> Result<DistOutcome> {
     let workers = conns.len() as u32;
-    let mut sup = Supervisor::new(conns, algo.name(), cfg, respawn);
+    let algo_name = match cfg.mode {
+        AmpcMode::Sequenced => algo.name().to_string(),
+        AmpcMode::Relaxed => format!("{}+relaxed", algo.name()),
+    };
+    let mut sup = Supervisor::new(conns, algo_name, cfg, respawn);
     let result = drive(&mut sup, algo, input, k, cfg);
     sup.shutdown();
     Ok(DistOutcome {
@@ -779,9 +990,16 @@ fn drive(
                 "resume requires a checkpoint directory".into(),
             ));
         };
-        load_latest(dir, sup.algo_name, k, m_hint)
+        load_latest(dir, &sup.algo_name, k, m_hint)
     } else {
         None
+    };
+
+    let mode = cfg.mode;
+    let epoch = if cfg.epoch_chunks == 0 {
+        DEFAULT_EPOCH_CHUNKS
+    } else {
+        cfg.epoch_chunks
     };
 
     // The recovery loop: replay the flow from the last committed barrier
@@ -789,8 +1007,10 @@ fn drive(
     // (deterministic) error surfaces.
     loop {
         let attempt = match algo {
-            DistAlgo::Clugp(cfg) => clugp_flow(sup, cfg, n_hint, m_hint, k, resume.as_ref()),
-            _ => baseline_flow(sup, algo, n_hint, k, resume.as_ref()),
+            DistAlgo::Clugp(cfg) => {
+                clugp_flow(sup, cfg, n_hint, m_hint, k, resume.as_ref(), mode, epoch)
+            }
+            _ => baseline_flow(sup, algo, n_hint, k, resume.as_ref(), mode, epoch),
         };
         match attempt {
             Ok(p) => return Ok(p),
@@ -805,12 +1025,15 @@ fn drive(
 
 /// Single-stage baselines behind one barrier: a replay restarts the whole
 /// (only) pass from an empty-table state.
+#[allow(clippy::too_many_arguments)]
 fn baseline_flow(
     sup: &mut Supervisor<'_>,
     algo: &DistAlgo,
     n_hint: u64,
     k: u32,
     resume: Option<&Checkpoint>,
+    mode: AmpcMode,
+    epoch: u32,
 ) -> Result<Partitioning> {
     let stage = Stage::Baseline;
     let fresh = Token {
@@ -819,7 +1042,28 @@ fn baseline_flow(
     };
     let token0 = sup.enter_segment(1, stage, fresh, resume, 0, 0)?;
     let mut assignments = Vec::new();
-    let token = sup.coord.run_stage(stage, token0, &mut assignments, None)?;
+    let token = match mode {
+        AmpcMode::Sequenced => sup.coord.run_stage(stage, token0, &mut assignments, None)?,
+        AmpcMode::Relaxed => {
+            sup.coord.broadcast_stage(stage, &token0, epoch)?;
+            // Epoch-synced algos exchange deltas mid-stage; stateless ones
+            // (Hashing, Mint) just stream to StageDone and the coordinator
+            // sums their load tallies.
+            let epoch_synced = matches!(
+                algo,
+                DistAlgo::Grid { .. }
+                    | DistAlgo::Dbh { .. }
+                    | DistAlgo::Greedy { .. }
+                    | DistAlgo::Hdrf(_)
+            );
+            if epoch_synced {
+                let defs = sup.table_defs.clone();
+                sup.coord.run_epoch_rounds(k as usize, &defs)?;
+            }
+            let tokens = sup.coord.collect_stage_done(&mut assignments, None)?;
+            merge_relaxed_tokens(tokens, !epoch_synced)
+        }
+    };
     let num_vertices = match algo {
         DistAlgo::Dbh { .. } | DistAlgo::Greedy { .. } | DistAlgo::Hdrf(_) => {
             n_hint.max(token.table_len)
@@ -834,6 +1078,106 @@ fn baseline_flow(
     })
 }
 
+/// Folds per-worker relaxed tokens into one, in worker order. Loads are
+/// summed only when the stage did not epoch-sync them (epoch-synced
+/// stages already return the committed totals in every token).
+fn merge_relaxed_tokens(tokens: Vec<Token>, sum_loads: bool) -> Token {
+    let mut iter = tokens.into_iter();
+    let mut merged = iter.next().unwrap_or_default();
+    for t in iter {
+        if sum_loads {
+            for (a, b) in merged.loads.iter_mut().zip(&t.loads) {
+                *a = a.wrapping_add(*b);
+            }
+        }
+        merged.cursor = merged.cursor.max(t.cursor);
+        merged.next_raw += t.next_raw;
+        merged.splits += t.splits;
+        merged.migrations += t.migrations;
+        merged.reroutes += t.reroutes;
+        merged.table_len = merged.table_len.max(t.table_len);
+    }
+    merged
+}
+
+/// Merges locally-clustered pass-1 frontiers into global vertex state.
+///
+/// Each worker's raw cluster ids are offset by the running total, so ids
+/// stay distinct. A vertex claimed by several workers (it appears in more
+/// than one range) goes to the cluster with the larger volume, ties to
+/// the lower-indexed worker (strict `>` while scanning workers in
+/// ascending order); degrees sum and divided-flags OR across claims.
+/// Returns the global raw-cluster count.
+fn merge_pass1_frontiers(
+    parts: Vec<Pass1Part>,
+    cluster_of: &mut VertexTable<u32>,
+    degree: &mut VertexTable<u32>,
+    divided: &mut VertexTable<bool>,
+) -> Result<u64> {
+    let total: u64 = parts.iter().map(|p| p.vol.len() as u64).sum();
+    if total >= u64::from(NO_CLUSTER) {
+        return Err(PartitionError::InvalidParam(format!(
+            "relaxed pass 1 produced {total} raw clusters, above the id limit"
+        )));
+    }
+    let mut vols: Vec<u64> = Vec::with_capacity(total as usize);
+    for p in &parts {
+        vols.extend_from_slice(&p.vol);
+    }
+    // The winning claim's volume per vertex, keyed by vertex id.
+    let mut best_vol: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut base = 0u64;
+    for p in &parts {
+        for (i, &key) in p.keys.iter().enumerate() {
+            let v = key as u32;
+            cluster_of.ensure(v)?;
+            degree.ensure(v)?;
+            divided.ensure(v)?;
+            let w0 = p.rows[3 * i];
+            let d = p.rows[3 * i + 1] as u32;
+            let dv = p.rows[3 * i + 2] != 0;
+            degree[v] = degree[v].saturating_add(d);
+            divided[v] |= dv;
+            if w0 != 0 {
+                let c = (base + (w0 - 1)) as u32;
+                let cv = vols[c as usize];
+                let cur = best_vol.get(&v).copied();
+                if cur.is_none_or(|b| cv > b) {
+                    best_vol.insert(v, cv);
+                    cluster_of[v] = c;
+                }
+            }
+        }
+        base += p.vol.len() as u64;
+    }
+    Ok(total)
+}
+
+/// Scans a striped/ranged table off every worker's shards and broadcasts
+/// the concatenation to the whole fleet as a read-only [`Msg::TableCast`]
+/// mirror for the next relaxed stage.
+fn cast_table(sup: &mut Supervisor<'_>, table: u8) -> Result<()> {
+    let workers = sup.coord.conns.len();
+    let mut keys = Vec::new();
+    let mut rows = Vec::new();
+    for w in 0..workers {
+        let (k, r) = sup.coord.scan(w, table)?;
+        keys.extend(k);
+        rows.extend(r);
+    }
+    for w in 0..workers {
+        sup.coord.send(
+            w,
+            &Msg::TableCast {
+                table,
+                keys: keys.clone(),
+                rows: rows.clone(),
+            },
+        )?;
+    }
+    Ok(())
+}
+
 /// The CLUGP three-pass flow: pass 1 streams clustering through the
 /// sharded vertex/volume tables; the coordinator then compacts clusters
 /// (recomputing dense volumes from degrees), republishes dense rows,
@@ -844,6 +1188,7 @@ fn baseline_flow(
 /// pass 3); `resume` — from crash recovery or `--resume` — skips segments
 /// the checkpoint already finished, carrying `m_real` / `num_clusters`
 /// from it instead of recomputing them.
+#[allow(clippy::too_many_arguments)]
 fn clugp_flow(
     sup: &mut Supervisor<'_>,
     cfg: &ClugpConfig,
@@ -851,8 +1196,11 @@ fn clugp_flow(
     m_hint: u64,
     k: u32,
     resume: Option<&Checkpoint>,
+    mode: AmpcMode,
+    epoch: u32,
 ) -> Result<Partitioning> {
     let workers = sup.workers();
+    let relaxed = mode == AmpcMode::Relaxed;
     let target = resume.map_or(0, |ck| ck.seq);
     let m_real: u64;
     let num_clusters: u64;
@@ -871,34 +1219,44 @@ fn clugp_flow(
         };
         let stage = Stage::ClugpPass1 { vmax };
         let token0 = sup.enter_segment(1, stage, Token::default(), resume, 0, 0)?;
-        let mut no_assign = Vec::new();
-        let token = sup.coord.run_stage(stage, token0, &mut no_assign, None)?;
 
-        // Assemble the authoritative vertex state from every shard.
+        // Assemble the authoritative vertex state: sequenced runs scan the
+        // sharded tables; relaxed runs merge the locally-clustered
+        // frontiers every worker ships ahead of StageDone.
         let mut cluster_of: VertexTable<u32> =
             VertexTable::with_limit(n_hint, NO_CLUSTER, cfg.max_vertices)?;
         let mut degree: VertexTable<u32> = VertexTable::with_limit(n_hint, 0, cfg.max_vertices)?;
         let mut divided: VertexTable<bool> =
             VertexTable::with_limit(n_hint, false, cfg.max_vertices)?;
-        for w in 0..workers as usize {
-            let (keys, rows) = sup.coord.scan(w, T_MAIN)?;
-            for (i, &key) in keys.iter().enumerate() {
-                let v = key as u32;
-                cluster_of.ensure(v)?;
-                degree.ensure(v)?;
-                divided.ensure(v)?;
-                let w0 = rows[3 * i];
-                cluster_of[v] = if w0 == 0 { NO_CLUSTER } else { (w0 - 1) as u32 };
-                degree[v] = rows[3 * i + 1] as u32;
-                divided[v] = rows[3 * i + 2] != 0;
+        let mut no_assign = Vec::new();
+        let raw_count = if relaxed {
+            sup.coord.broadcast_stage(stage, &token0, epoch)?;
+            let parts = sup.coord.collect_pass1_frontiers()?;
+            sup.coord.collect_stage_done(&mut no_assign, None)?;
+            merge_pass1_frontiers(parts, &mut cluster_of, &mut degree, &mut divided)? as usize
+        } else {
+            let token = sup.coord.run_stage(stage, token0, &mut no_assign, None)?;
+            for w in 0..workers as usize {
+                let (keys, rows) = sup.coord.scan(w, T_MAIN)?;
+                for (i, &key) in keys.iter().enumerate() {
+                    let v = key as u32;
+                    cluster_of.ensure(v)?;
+                    degree.ensure(v)?;
+                    divided.ensure(v)?;
+                    let w0 = rows[3 * i];
+                    cluster_of[v] = if w0 == 0 { NO_CLUSTER } else { (w0 - 1) as u32 };
+                    degree[v] = rows[3 * i + 1] as u32;
+                    divided[v] = rows[3 * i + 2] != 0;
+                }
             }
-        }
+            token.next_raw as usize
+        };
         // Exact edge count, independent of the hint (each edge added 2).
         m_real = degree.iter().map(|&d| u64::from(d)).sum::<u64>() / 2;
 
         // Pass 2a prelude: dense cluster ids (volumes recomputed from
         // degrees, so the raw volume table is no longer needed).
-        let (nc, _volumes) = compact_clusters(&mut cluster_of, &degree, token.next_raw as usize);
+        let (nc, _volumes) = compact_clusters(&mut cluster_of, &degree, raw_count);
         num_clusters = u64::from(nc);
 
         // Republish dense width-3 rows for every vertex so passes 2b/3
@@ -940,8 +1298,17 @@ fn clugp_flow(
         let token0 = sup.enter_segment(2, stage, Token::default(), resume, m_real, num_clusters)?;
         let mut no_assign = Vec::new();
         let mut pairs: Vec<PairsPayload> = Vec::new();
-        sup.coord
-            .run_stage(stage, token0, &mut no_assign, Some(&mut pairs))?;
+        if relaxed {
+            // The cast must follow enter_segment: a resumed run restores
+            // the shards first, and the scan reads the restored rows.
+            cast_table(sup, T_MAIN)?;
+            sup.coord.broadcast_stage(stage, &token0, epoch)?;
+            sup.coord
+                .collect_stage_done(&mut no_assign, Some(&mut pairs))?;
+        } else {
+            sup.coord
+                .run_stage(stage, token0, &mut no_assign, Some(&mut pairs))?;
+        }
         let mut intra = vec![0u64; num_clusters as usize];
         let mut agg: Vec<(u64, u32)> = Vec::new();
         for part in &pairs {
@@ -996,7 +1363,15 @@ fn clugp_flow(
         num_clusters,
     )?;
     let mut assignments = Vec::new();
-    let token = sup.coord.run_stage(stage, token0, &mut assignments, None)?;
+    let token = if relaxed {
+        cast_table(sup, T_MAIN)?;
+        cast_table(sup, T_CPART)?;
+        sup.coord.broadcast_stage(stage, &token0, epoch)?;
+        let tokens = sup.coord.collect_stage_done(&mut assignments, None)?;
+        merge_relaxed_tokens(tokens, true)
+    } else {
+        sup.coord.run_stage(stage, token0, &mut assignments, None)?
+    };
     Ok(Partitioning {
         k,
         // `table_len` is the max vertex id (+1) any worker saw — the same

@@ -17,13 +17,19 @@
 //!   bounded channels or length-prefixed Unix sockets carrying the same
 //!   hand-rolled little-endian frames.
 //!
-//! Execution model: within each pass the workers run **sequenced** — a
-//! streaming token travels worker 0‥N−1, so exactly one worker streams
-//! edges at a time while the others answer state requests. That is what
-//! makes every configuration (any worker count, any chunk size, either
-//! transport) bit-identical to the monolithic partitioner, which is the
-//! correctness anchor `tests/distributed_equivalence.rs` pins. See
-//! DESIGN.md §7 for the contract and for when multi-process mode pays.
+//! Execution model: within each pass the workers run **sequenced** by
+//! default — a streaming token travels worker 0‥N−1, so exactly one
+//! worker streams edges at a time while the others answer state
+//! requests. That is what makes every configuration (any worker count,
+//! any chunk size, either transport) bit-identical to the monolithic
+//! partitioner, which is the correctness anchor
+//! `tests/distributed_equivalence.rs` pins. [`AmpcMode::Relaxed`] trades
+//! that anchor for concurrency: workers stream their ranges
+//! simultaneously against worker-local tables and reconcile at periodic
+//! epoch barriers with commutative merges, so score reads may be stale
+//! within an epoch but the output is still deterministic for a fixed
+//! worker count. See DESIGN.md §7 for the sequenced contract and §11 for
+//! the consistency dial.
 
 pub mod checkpoint;
 pub mod coordinator;
@@ -45,6 +51,49 @@ use clugp_graph::pack::ShardedPackReader;
 use clugp_graph::types::Edge;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+/// How workers make progress within a pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AmpcMode {
+    /// The streaming token travels worker 0‥N−1; exactly one worker
+    /// streams at a time and every remote read sees the freshest state.
+    /// Bit-identical to the monolith at any worker count.
+    #[default]
+    Sequenced,
+    /// All workers stream concurrently against worker-local tables and
+    /// exchange commutative deltas at epoch barriers. Scores may be read
+    /// stale within an epoch; output is deterministic for a fixed worker
+    /// count but drifts from the monolith (measured by `experiments
+    /// ampc`).
+    Relaxed,
+}
+
+impl AmpcMode {
+    /// Wire tag for this mode.
+    pub fn tag(self) -> u8 {
+        match self {
+            AmpcMode::Sequenced => 0,
+            AmpcMode::Relaxed => 1,
+        }
+    }
+
+    /// Decodes a wire tag; `None` for unknown tags.
+    pub fn from_tag(t: u8) -> Option<AmpcMode> {
+        Some(match t {
+            0 => AmpcMode::Sequenced,
+            1 => AmpcMode::Relaxed,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name as accepted by `--ampc-mode`.
+    pub fn name(self) -> &'static str {
+        match self {
+            AmpcMode::Sequenced => "sequenced",
+            AmpcMode::Relaxed => "relaxed",
+        }
+    }
+}
 
 /// Which transport a distributed run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,7 +168,16 @@ pub struct DistConfig {
     /// Resume from the newest valid checkpoint in `checkpoint_dir`
     /// instead of starting from the first pass.
     pub resume: bool,
+    /// Progress model within a pass (sequenced token vs relaxed epochs).
+    pub mode: AmpcMode,
+    /// Relaxed mode only: chunks a worker streams between epoch barriers
+    /// (0 = the default of 8). Smaller epochs mean fresher scores and
+    /// more exchange; sequenced mode ignores this.
+    pub epoch_chunks: u32,
 }
+
+/// Default number of chunks per relaxed-mode epoch.
+pub const DEFAULT_EPOCH_CHUNKS: u32 = 8;
 
 impl Default for DistConfig {
     fn default() -> Self {
@@ -131,6 +189,8 @@ impl Default for DistConfig {
             faults: FaultPlan::default(),
             checkpoint_dir: None,
             resume: false,
+            mode: AmpcMode::Sequenced,
+            epoch_chunks: 0,
         }
     }
 }

@@ -15,9 +15,21 @@
 //! range; the coordinator issues the matching `StateReq` and forwards the
 //! `StateResp` back. Upserts are acked (empty `StateResp`) so a stage
 //! cannot finish with state writes still in flight.
+//!
+//! [`Msg::RouteBatch`] is the windowed, batched form of that relay
+//! (DESIGN.md §11): one frame per chunk per owner carries every get and
+//! writeback for that owner, with delta-encoded keys (varint gaps over
+//! the sorted endpoint set) and varint value runs. Pure-writeback batches
+//! are unacknowledged — frame ordering through the coordinator guarantees
+//! they are applied before any later dependent read — which is what lets
+//! the worker keep several of them in flight behind the transport's
+//! bounded window. The `Epoch*` messages and [`Msg::TableCast`] belong to
+//! the relaxed concurrent mode, where every worker streams at once and
+//! state is reconciled at epoch barriers instead of per chunk.
 
 use super::table::{Layout, MergeOp};
 use super::wire::{Rd, Wr};
+use super::AmpcMode;
 use crate::error::{PartitionError, Result};
 use clugp_graph::types::Edge;
 
@@ -43,6 +55,43 @@ pub enum StateOp {
         /// Flattened row payload.
         rows: Vec<u64>,
     },
+}
+
+/// One operation inside a [`Msg::RouteBatch`] / [`Msg::StateReqBatch`],
+/// applied against the batch's shared key set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOp {
+    /// Fetch the batch keys' rows from `table`.
+    Get {
+        /// Table slot index.
+        table: u8,
+    },
+    /// Merge one flattened row per batch key into `table`.
+    Put {
+        /// Table slot index.
+        table: u8,
+        /// Word-wise combine rule.
+        merge: MergeOp,
+        /// Flattened rows, `keys.len() * width` words.
+        vals: Vec<u64>,
+    },
+}
+
+/// One table's contribution to an epoch exchange (relaxed mode): the
+/// keys a worker touched this epoch and either its local deltas
+/// ([`Msg::EpochDone`], folded under `merge`) or the merged authoritative
+/// rows ([`Msg::EpochSync`], always overwritten).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochTable {
+    /// Table slot index.
+    pub table: u8,
+    /// How the rows fold into the committed state (`Add` deltas for
+    /// counters, `BitOr` for replica masks).
+    pub merge: MergeOp,
+    /// Touched keys, sorted ascending.
+    pub keys: Vec<u64>,
+    /// Flattened rows, `keys.len() * width` words.
+    pub rows: Vec<u64>,
 }
 
 /// One barrier-delimited pass over a worker's edge range.
@@ -231,8 +280,14 @@ pub enum Msg {
     RunStage {
         /// Stage selector.
         stage: Stage,
-        /// Streaming state from the previous worker.
+        /// Streaming state from the previous worker (sequenced mode) or
+        /// the stage-start state (relaxed mode).
         token: Token,
+        /// Consistency mode for this stage.
+        mode: AmpcMode,
+        /// Relaxed mode: chunks streamed between epoch barriers (0 in
+        /// sequenced mode and for stages that do not epoch-sync).
+        epoch: u32,
     },
     /// Stage finished.
     StageDone {
@@ -295,6 +350,82 @@ pub enum Msg {
     ResetTables,
     /// Worker ack for `ResetTables`.
     ResetOk,
+    /// Active worker → coordinator: forward every op in the batch to
+    /// worker `to`, against the shared (delta-encoded) key set. Batches
+    /// containing a `Get` are answered with one [`Msg::RouteReply`];
+    /// pure-writeback batches are unacknowledged.
+    RouteBatch {
+        /// Target worker.
+        to: u32,
+        /// Shared key set, sorted ascending.
+        keys: Vec<u64>,
+        /// Operations against those keys.
+        ops: Vec<BatchOp>,
+    },
+    /// Coordinator → owning worker: the relayed body of a
+    /// [`Msg::RouteBatch`].
+    StateReqBatch {
+        /// Shared key set.
+        keys: Vec<u64>,
+        /// Operations against those keys.
+        ops: Vec<BatchOp>,
+    },
+    /// Owning worker → coordinator: rows for each `Get` in the batch,
+    /// concatenated in op order. Only sent when the batch held a `Get`.
+    StateRespBatch {
+        /// Flattened row words.
+        rows: Vec<u64>,
+    },
+    /// Coordinator → active worker: the relayed [`Msg::StateRespBatch`].
+    RouteReply {
+        /// Flattened row words.
+        rows: Vec<u64>,
+    },
+    /// Relaxed mode, worker → coordinator: this worker reached an epoch
+    /// barrier; here are its per-partition load deltas and per-table
+    /// local contributions since the last barrier.
+    EpochDone {
+        /// No more chunks after this barrier.
+        last: bool,
+        /// Per-partition load deltas.
+        loads: Vec<u64>,
+        /// Per-table touched keys + local deltas.
+        tables: Vec<EpochTable>,
+    },
+    /// Relaxed mode, coordinator → worker: the merged global state after
+    /// an epoch barrier (authoritative loads, merged rows for every key
+    /// any worker touched this epoch).
+    EpochSync {
+        /// Every worker is done; send `StageDone` next.
+        done: bool,
+        /// Merged per-partition loads.
+        loads: Vec<u64>,
+        /// Merged rows (applied as overwrites).
+        tables: Vec<EpochTable>,
+    },
+    /// Relaxed CLUGP pass 1, worker → coordinator (just before
+    /// `StageDone`): the worker's locally-clustered frontier — per
+    /// touched vertex a width-3 row (local cluster id + 1 or 0, partial
+    /// degree, divided flag) plus the local raw-cluster volume table.
+    Pass1Frontier {
+        /// Touched vertex ids, ascending.
+        keys: Vec<u64>,
+        /// Flattened width-3 rows.
+        rows: Vec<u64>,
+        /// Volume per local raw cluster id.
+        vol: Vec<u64>,
+    },
+    /// Relaxed mode, coordinator → worker: a read-only mirror of one
+    /// whole table for the next stage (cluster maps for the CLUGP pairs
+    /// and transform stages), replacing per-chunk fetches.
+    TableCast {
+        /// Table slot index.
+        table: u8,
+        /// Row keys, ascending.
+        keys: Vec<u64>,
+        /// Flattened row words.
+        rows: Vec<u64>,
+    },
 }
 
 fn put_edges(w: &mut Wr, edges: &[Edge]) {
@@ -576,6 +707,79 @@ fn get_setup(r: &mut Rd<'_>) -> Result<WorkerSetup> {
     })
 }
 
+fn put_batch_ops(w: &mut Wr, ops: &[BatchOp]) {
+    w.vu64(ops.len() as u64);
+    for op in ops {
+        match op {
+            BatchOp::Get { table } => {
+                w.u8(0);
+                w.u8(*table);
+            }
+            BatchOp::Put { table, merge, vals } => {
+                w.u8(1);
+                w.u8(*table);
+                w.u8(merge.tag());
+                w.vu64s(vals);
+            }
+        }
+    }
+}
+
+fn get_batch_ops(r: &mut Rd<'_>) -> Result<Vec<BatchOp>> {
+    let n = r.vu64()?;
+    if n > 512 {
+        // A batch touches at most a handful of tables; a larger count can
+        // only be a corrupt frame.
+        return Err(bad("batch op count"));
+    }
+    let mut ops = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        ops.push(match r.u8()? {
+            0 => BatchOp::Get { table: r.u8()? },
+            1 => {
+                let table = r.u8()?;
+                let merge = MergeOp::from_tag(r.u8()?).ok_or_else(|| bad("merge op"))?;
+                BatchOp::Put {
+                    table,
+                    merge,
+                    vals: r.vu64s()?,
+                }
+            }
+            _ => return Err(bad("batch op tag")),
+        });
+    }
+    Ok(ops)
+}
+
+fn put_epoch_tables(w: &mut Wr, tables: &[EpochTable]) {
+    w.vu64(tables.len() as u64);
+    for t in tables {
+        w.u8(t.table);
+        w.u8(t.merge.tag());
+        w.delta_u64s(&t.keys);
+        w.vu64s(&t.rows);
+    }
+}
+
+fn get_epoch_tables(r: &mut Rd<'_>) -> Result<Vec<EpochTable>> {
+    let n = r.vu64()?;
+    if n > 512 {
+        return Err(bad("epoch table count"));
+    }
+    let mut tables = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let table = r.u8()?;
+        let merge = MergeOp::from_tag(r.u8()?).ok_or_else(|| bad("merge op"))?;
+        tables.push(EpochTable {
+            table,
+            merge,
+            keys: r.delta_u64s()?,
+            rows: r.vu64s()?,
+        });
+    }
+    Ok(tables)
+}
+
 fn put_pairs(w: &mut Wr, p: &PairsPayload) {
     w.u64(p.intra.len() as u64);
     for &(c, n) in &p.intra {
@@ -626,12 +830,66 @@ impl Msg {
             Msg::Heartbeat => "Heartbeat",
             Msg::ResetTables => "ResetTables",
             Msg::ResetOk => "ResetOk",
+            Msg::RouteBatch { .. } => "RouteBatch",
+            Msg::StateReqBatch { .. } => "StateReqBatch",
+            Msg::StateRespBatch { .. } => "StateRespBatch",
+            Msg::RouteReply { .. } => "RouteReply",
+            Msg::EpochDone { .. } => "EpochDone",
+            Msg::EpochSync { .. } => "EpochSync",
+            Msg::Pass1Frontier { .. } => "Pass1Frontier",
+            Msg::TableCast { .. } => "TableCast",
         }
+    }
+
+    /// The wire name of tag byte `tag` (the [`NetStats`] per-verb
+    /// histogram slot), or `"unknown"` for out-of-protocol tags.
+    ///
+    /// [`NetStats`]: super::transport::NetStats
+    pub fn verb_name(tag: usize) -> &'static str {
+        const NAMES: [&str; 23] = [
+            "Hello",
+            "Configure",
+            "ConfigureOk",
+            "RunStage",
+            "StageDone",
+            "StateReq",
+            "StateResp",
+            "Route",
+            "Scan",
+            "ScanResp",
+            "Shutdown",
+            "Err",
+            "Heartbeat",
+            "ResetTables",
+            "ResetOk",
+            "RouteBatch",
+            "StateReqBatch",
+            "StateRespBatch",
+            "RouteReply",
+            "EpochDone",
+            "EpochSync",
+            "Pass1Frontier",
+            "TableCast",
+        ];
+        NAMES.get(tag).copied().unwrap_or("unknown")
     }
 
     /// Encodes the message as one transport frame.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Wr::new();
+        self.put(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encodes into `buf`, reusing its allocation (per-link scratch on
+    /// the relay hot path).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = Wr::from_vec(std::mem::take(buf));
+        self.put(&mut w);
+        *buf = w.into_bytes();
+    }
+
+    fn put(&self, w: &mut Wr) {
         match self {
             Msg::Hello { worker } => {
                 w.u8(0);
@@ -639,13 +897,20 @@ impl Msg {
             }
             Msg::Configure(setup) => {
                 w.u8(1);
-                put_setup(&mut w, setup);
+                put_setup(w, setup);
             }
             Msg::ConfigureOk => w.u8(2),
-            Msg::RunStage { stage, token } => {
+            Msg::RunStage {
+                stage,
+                token,
+                mode,
+                epoch,
+            } => {
                 w.u8(3);
-                put_stage(&mut w, *stage);
-                put_token(&mut w, token);
+                put_stage(w, *stage);
+                put_token(w, token);
+                w.u8(mode.tag());
+                w.u32(*epoch);
             }
             Msg::StageDone {
                 token,
@@ -653,12 +918,12 @@ impl Msg {
                 pairs,
             } => {
                 w.u8(4);
-                put_token(&mut w, token);
+                put_token(w, token);
                 w.u32s(assignments);
                 match pairs {
                     Some(p) => {
                         w.bool(true);
-                        put_pairs(&mut w, p);
+                        put_pairs(w, p);
                     }
                     None => w.bool(false),
                 }
@@ -666,7 +931,7 @@ impl Msg {
             Msg::StateReq { table, op } => {
                 w.u8(5);
                 w.u8(*table);
-                put_op(&mut w, op);
+                put_op(w, op);
             }
             Msg::StateResp { rows } => {
                 w.u8(6);
@@ -676,7 +941,7 @@ impl Msg {
                 w.u8(7);
                 w.u32(*to);
                 w.u8(*table);
-                put_op(&mut w, op);
+                put_op(w, op);
             }
             Msg::Scan { table } => {
                 w.u8(8);
@@ -695,8 +960,58 @@ impl Msg {
             Msg::Heartbeat => w.u8(12),
             Msg::ResetTables => w.u8(13),
             Msg::ResetOk => w.u8(14),
+            Msg::RouteBatch { to, keys, ops } => {
+                w.u8(15);
+                w.u32(*to);
+                w.delta_u64s(keys);
+                put_batch_ops(w, ops);
+            }
+            Msg::StateReqBatch { keys, ops } => {
+                w.u8(16);
+                w.delta_u64s(keys);
+                put_batch_ops(w, ops);
+            }
+            Msg::StateRespBatch { rows } => {
+                w.u8(17);
+                w.vu64s(rows);
+            }
+            Msg::RouteReply { rows } => {
+                w.u8(18);
+                w.vu64s(rows);
+            }
+            Msg::EpochDone {
+                last,
+                loads,
+                tables,
+            } => {
+                w.u8(19);
+                w.bool(*last);
+                w.vu64s(loads);
+                put_epoch_tables(w, tables);
+            }
+            Msg::EpochSync {
+                done,
+                loads,
+                tables,
+            } => {
+                w.u8(20);
+                w.bool(*done);
+                w.vu64s(loads);
+                put_epoch_tables(w, tables);
+            }
+            Msg::Pass1Frontier { keys, rows, vol } => {
+                w.u8(21);
+                w.delta_u64s(keys);
+                w.vu64s(rows);
+                w.vu64s(vol);
+            }
+            Msg::TableCast { table, keys, rows } => {
+                w.u8(22);
+                w.u8(*table);
+                w.delta_u64s(keys);
+                w.vu64s(rows);
+            }
         }
-        w.into_bytes()
     }
 
     /// Decodes one frame.
@@ -706,10 +1021,17 @@ impl Msg {
             0 => Msg::Hello { worker: r.u32()? },
             1 => Msg::Configure(Box::new(get_setup(&mut r)?)),
             2 => Msg::ConfigureOk,
-            3 => Msg::RunStage {
-                stage: get_stage(&mut r)?,
-                token: get_token(&mut r)?,
-            },
+            3 => {
+                let stage = get_stage(&mut r)?;
+                let token = get_token(&mut r)?;
+                let mode = AmpcMode::from_tag(r.u8()?).ok_or_else(|| bad("mode tag"))?;
+                Msg::RunStage {
+                    stage,
+                    token,
+                    mode,
+                    epoch: r.u32()?,
+                }
+            }
             4 => {
                 let token = get_token(&mut r)?;
                 let assignments = r.u32s()?;
@@ -744,6 +1066,37 @@ impl Msg {
             12 => Msg::Heartbeat,
             13 => Msg::ResetTables,
             14 => Msg::ResetOk,
+            15 => Msg::RouteBatch {
+                to: r.u32()?,
+                keys: r.delta_u64s()?,
+                ops: get_batch_ops(&mut r)?,
+            },
+            16 => Msg::StateReqBatch {
+                keys: r.delta_u64s()?,
+                ops: get_batch_ops(&mut r)?,
+            },
+            17 => Msg::StateRespBatch { rows: r.vu64s()? },
+            18 => Msg::RouteReply { rows: r.vu64s()? },
+            19 => Msg::EpochDone {
+                last: r.bool()?,
+                loads: r.vu64s()?,
+                tables: get_epoch_tables(&mut r)?,
+            },
+            20 => Msg::EpochSync {
+                done: r.bool()?,
+                loads: r.vu64s()?,
+                tables: get_epoch_tables(&mut r)?,
+            },
+            21 => Msg::Pass1Frontier {
+                keys: r.delta_u64s()?,
+                rows: r.vu64s()?,
+                vol: r.vu64s()?,
+            },
+            22 => Msg::TableCast {
+                table: r.u8()?,
+                keys: r.delta_u64s()?,
+                rows: r.vu64s()?,
+            },
             _ => return Err(bad("message tag")),
         };
         if !r.done() {
@@ -803,6 +1156,8 @@ mod tests {
                 table_len: 44,
                 carry: vec![Edge::new(7, 9)],
             },
+            mode: AmpcMode::Relaxed,
+            epoch: 16,
         });
         round_trip(Msg::StageDone {
             token: Token::default(),
@@ -836,6 +1191,95 @@ mod tests {
         round_trip(Msg::Heartbeat);
         round_trip(Msg::ResetTables);
         round_trip(Msg::ResetOk);
+    }
+
+    #[test]
+    fn batched_relay_messages_round_trip() {
+        let ops = vec![
+            BatchOp::Get { table: 0 },
+            BatchOp::Get { table: 1 },
+            BatchOp::Put {
+                table: 0,
+                merge: MergeOp::Put,
+                vals: vec![3, 0, u64::MAX, 17],
+            },
+        ];
+        round_trip(Msg::RouteBatch {
+            to: 2,
+            keys: vec![4, 9, 10, 4000],
+            ops: ops.clone(),
+        });
+        round_trip(Msg::StateReqBatch {
+            keys: vec![0, 1],
+            ops,
+        });
+        round_trip(Msg::StateRespBatch {
+            rows: vec![1, 2, 3],
+        });
+        round_trip(Msg::RouteReply { rows: Vec::new() });
+    }
+
+    #[test]
+    fn relaxed_mode_messages_round_trip() {
+        let tables = vec![
+            EpochTable {
+                table: 1,
+                merge: MergeOp::Add,
+                keys: vec![2, 5, 6],
+                rows: vec![1, 1, 4],
+            },
+            EpochTable {
+                table: 0,
+                merge: MergeOp::BitOr,
+                keys: vec![9],
+                rows: vec![0b1010],
+            },
+        ];
+        round_trip(Msg::EpochDone {
+            last: false,
+            loads: vec![1, 0, 7],
+            tables: tables.clone(),
+        });
+        round_trip(Msg::EpochSync {
+            done: true,
+            loads: vec![9, 9, 9],
+            tables,
+        });
+        round_trip(Msg::Pass1Frontier {
+            keys: vec![0, 3, 4],
+            rows: vec![1, 2, 0, 0, 1, 1, 2, 4, 0],
+            vol: vec![6, 4],
+        });
+        round_trip(Msg::TableCast {
+            table: 2,
+            keys: vec![0, 1, 2],
+            rows: vec![3, 1, 0],
+        });
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_the_buffer() {
+        let msg = Msg::RouteBatch {
+            to: 1,
+            keys: vec![10, 11, 12],
+            ops: vec![BatchOp::Get { table: 0 }],
+        };
+        let mut buf = Msg::Heartbeat.encode();
+        msg.encode_into(&mut buf);
+        assert_eq!(buf, msg.encode());
+        // A second encode into the same scratch must not accumulate.
+        msg.encode_into(&mut buf);
+        assert_eq!(buf, msg.encode());
+    }
+
+    #[test]
+    fn verb_names_cover_every_tag() {
+        for tag in 0..23usize {
+            assert_ne!(Msg::verb_name(tag), "unknown", "tag {tag}");
+        }
+        assert_eq!(Msg::verb_name(23), "unknown");
+        assert_eq!(Msg::verb_name(7), "Route");
+        assert_eq!(Msg::verb_name(15), "RouteBatch");
     }
 
     #[test]

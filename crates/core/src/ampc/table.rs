@@ -97,7 +97,7 @@ impl MergeOp {
         })
     }
 
-    fn apply(self, dst: &mut [u64], src: &[u64]) {
+    pub(crate) fn apply(self, dst: &mut [u64], src: &[u64]) {
         match self {
             MergeOp::Put => dst.copy_from_slice(src),
             MergeOp::Add => {

@@ -30,6 +30,20 @@ use std::time::{Duration, Instant};
 /// or corrupted stream.
 pub const MAX_FRAME_BYTES: usize = 1 << 30;
 
+/// Message-tag slots tracked by the per-verb histogram: one per protocol
+/// tag byte (see [`super::proto::Msg`]) plus a trailing "unknown" bucket
+/// for tags outside the protocol (e.g. a fault-corrupted first byte).
+pub const VERB_SLOTS: usize = 24;
+
+/// Per-verb traffic tally (sent + received combined, per endpoint).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerbTally {
+    /// Payload bytes of frames with this tag.
+    pub bytes: u64,
+    /// Frames with this tag.
+    pub frames: u64,
+}
+
 /// Traffic counters for one transport endpoint.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
@@ -41,6 +55,9 @@ pub struct NetStats {
     pub frames_sent: u64,
     /// Frames received.
     pub frames_received: u64,
+    /// Per-message-type histogram, indexed by the frame's first (tag)
+    /// byte; index [`VERB_SLOTS`]` - 1` buckets unrecognized tags.
+    pub by_verb: [VerbTally; VERB_SLOTS],
 }
 
 impl NetStats {
@@ -50,6 +67,24 @@ impl NetStats {
         self.bytes_received += other.bytes_received;
         self.frames_sent += other.frames_sent;
         self.frames_received += other.frames_received;
+        for (d, s) in self.by_verb.iter_mut().zip(other.by_verb.iter()) {
+            d.bytes += s.bytes;
+            d.frames += s.frames;
+        }
+    }
+
+    /// The histogram slot a frame lands in, keyed on its tag byte.
+    pub fn verb_slot(frame: &[u8]) -> usize {
+        match frame.first() {
+            Some(&tag) if (tag as usize) < VERB_SLOTS - 1 => tag as usize,
+            _ => VERB_SLOTS - 1,
+        }
+    }
+
+    fn tally(&mut self, frame: &[u8]) {
+        let slot = Self::verb_slot(frame);
+        self.by_verb[slot].bytes += frame.len() as u64;
+        self.by_verb[slot].frames += 1;
     }
 }
 
@@ -127,6 +162,7 @@ impl Transport for ChannelTransport {
         }
         self.stats.bytes_sent += frame.len() as u64;
         self.stats.frames_sent += 1;
+        self.stats.tally(frame);
         Ok(())
     }
 
@@ -149,6 +185,7 @@ impl Transport for ChannelTransport {
         };
         self.stats.bytes_received += frame.len() as u64;
         self.stats.frames_received += 1;
+        self.stats.tally(&frame);
         Ok(frame)
     }
 
@@ -228,6 +265,7 @@ impl Transport for UnixTransport {
             .map_err(|e| io_fault("send", e))?;
         self.stats.bytes_sent += frame.len() as u64;
         self.stats.frames_sent += 1;
+        self.stats.tally(frame);
         Ok(())
     }
 
@@ -252,6 +290,7 @@ impl Transport for UnixTransport {
             .map_err(|e| io_fault("recv", e))?;
         self.stats.bytes_received += frame.len() as u64;
         self.stats.frames_received += 1;
+        self.stats.tally(&frame);
         Ok(frame)
     }
 
@@ -289,6 +328,26 @@ mod tests {
     fn channel_frames_round_trip() {
         let (a, b) = channel_pair(4);
         exercise(a, b);
+    }
+
+    #[test]
+    fn per_verb_histogram_keys_on_the_tag_byte() {
+        let (mut a, mut b) = channel_pair(4);
+        a.send(&[7, 1, 2, 3]).unwrap(); // tag 7 (Route), 4 bytes
+        a.send(&[7]).unwrap();
+        a.send(&[200, 0]).unwrap(); // unknown tag → last bucket
+        for _ in 0..3 {
+            b.recv().unwrap();
+        }
+        for t in [a.stats(), b.stats()] {
+            assert_eq!(t.by_verb[7].frames, 2);
+            assert_eq!(t.by_verb[7].bytes, 5);
+            assert_eq!(t.by_verb[VERB_SLOTS - 1].frames, 1);
+            assert_eq!(t.by_verb[VERB_SLOTS - 1].bytes, 2);
+        }
+        let mut merged = a.stats();
+        merged.merge(b.stats());
+        assert_eq!(merged.by_verb[7].frames, 4);
     }
 
     #[test]

@@ -9,15 +9,28 @@
 //!
 //! Remote state is handled per chunk: the worker collects the distinct
 //! keys a chunk touches, fetches the authoritative rows from the owning
-//! shards (batched `Get`s, relayed through the coordinator as `Route`),
-//! overwrites its dense scratch tables, runs the kernel over the chunk,
-//! and writes the touched rows back (batched `Put`s). Scratch entries
-//! outside the fetched set are never read, so the scratch tables can stay
-//! full-size and dense — same types, same indexing as the monolith.
+//! shards (one delta-encoded [`Msg::RouteBatch`] per owner, relayed
+//! through the coordinator), overwrites its dense scratch tables, runs
+//! the kernel over the chunk, and writes the touched rows back
+//! (fire-and-forget `Put` batches — frame ordering through the
+//! coordinator's star links guarantees they land before any later
+//! dependent read). Scratch entries outside the fetched set are never
+//! read, so the scratch tables can stay full-size and dense — same
+//! types, same indexing as the monolith.
+//!
+//! In [`AmpcMode::Relaxed`] there is no per-chunk routing at all: every
+//! worker streams its whole range against worker-local tables and
+//! reconciles with the fleet at epoch barriers ([`Msg::EpochDone`] /
+//! [`Msg::EpochSync`]), or — for the CLUGP stages — against read-only
+//! [`Msg::TableCast`] mirrors, shipping a locally-clustered
+//! [`Msg::Pass1Frontier`] for the coordinator to merge.
 
-use super::proto::{AlgoSpec, InputSpec, Msg, PairsPayload, Stage, StateOp, Token, WorkerSetup};
+use super::proto::{
+    AlgoSpec, BatchOp, EpochTable, InputSpec, Msg, PairsPayload, Stage, StateOp, Token, WorkerSetup,
+};
 use super::table::{Layout, MergeOp, StateShard};
 use super::transport::Transport;
+use super::{AmpcMode, DEFAULT_EPOCH_CHUNKS};
 use crate::baselines::mint::{self, MintConfig, DEFAULT_WAVE_WIDTH};
 use crate::baselines::{dbh, greedy, grid, hashing, hdrf};
 use crate::clugp::cluster_graph::PairSink;
@@ -30,6 +43,7 @@ use crate::vertex_table::VertexTable;
 use clugp_graph::pack::ShardedPackReader;
 use clugp_graph::stream::{chunk_edges, EdgeStream};
 use clugp_graph::types::Edge;
+use rustc_hash::FxHashMap;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -68,10 +82,6 @@ pub(crate) fn migration_tag(policy: MigrationPolicy) -> u8 {
     }
 }
 
-fn send(conn: &mut dyn Transport, msg: &Msg) -> Result<()> {
-    conn.send(&msg.encode())
-}
-
 fn recv(conn: &mut dyn Transport) -> Result<Msg> {
     Msg::decode(&conn.recv()?)
 }
@@ -96,35 +106,50 @@ pub fn run_worker(mut conn: Box<dyn Transport>) -> Result<()> {
         shards,
         hb_interval,
         hb_last: Instant::now(),
+        scratch: Vec::new(),
+        casts: FxHashMap::default(),
     };
-    send(wk.conn.as_mut(), &Msg::ConfigureOk)?;
+    wk.send_msg(&Msg::ConfigureOk)?;
     loop {
         match recv(wk.conn.as_mut())? {
             Msg::StateReq { table, op } => {
                 let rows = wk.apply_local(table, &op)?;
-                send(wk.conn.as_mut(), &Msg::StateResp { rows })?;
+                wk.send_msg(&Msg::StateResp { rows })?;
+            }
+            Msg::StateReqBatch { keys, ops } => {
+                if let Some(rows) = wk.serve_batch(&keys, &ops)? {
+                    wk.send_msg(&Msg::StateRespBatch { rows })?;
+                }
             }
             Msg::Scan { table } => {
                 let (keys, rows) = wk.scan_local(table)?;
-                send(wk.conn.as_mut(), &Msg::ScanResp { keys, rows })?;
+                wk.send_msg(&Msg::ScanResp { keys, rows })?;
+            }
+            Msg::TableCast { table, keys, rows } => {
+                // Read-only mirror for the next relaxed stage; no ack
+                // (ordered links deliver it before the RunStage behind it).
+                wk.casts.insert(table, (keys, rows));
             }
             Msg::ResetTables => {
                 // Recovery: drop every shard and rebuild empty; the
                 // coordinator restores checkpointed rows right after.
                 wk.shards = build_shards(&wk.setup);
-                send(wk.conn.as_mut(), &Msg::ResetOk)?;
+                wk.casts.clear();
+                wk.send_msg(&Msg::ResetOk)?;
             }
-            Msg::RunStage { stage, token } => match wk.run_stage(stage, token) {
-                Ok((token, assignments, pairs)) => send(
-                    wk.conn.as_mut(),
-                    &Msg::StageDone {
-                        token,
-                        assignments,
-                        pairs,
-                    },
-                )?,
+            Msg::RunStage {
+                stage,
+                token,
+                mode,
+                epoch,
+            } => match wk.run_stage(stage, token, mode, epoch) {
+                Ok((token, assignments, pairs)) => wk.send_msg(&Msg::StageDone {
+                    token,
+                    assignments,
+                    pairs,
+                })?,
                 Err(e) => {
-                    let _ = send(wk.conn.as_mut(), &Msg::Err { msg: e.to_string() });
+                    let _ = wk.send_msg(&Msg::Err { msg: e.to_string() });
                     return Err(e);
                 }
             },
@@ -200,9 +225,24 @@ struct Wk {
     hb_interval: Option<Duration>,
     /// When the last heartbeat (or any stage start) was sent.
     hb_last: Instant,
+    /// Reused encode buffer for every outgoing frame.
+    scratch: Vec<u8>,
+    /// Read-only table mirrors received via [`Msg::TableCast`] (relaxed
+    /// CLUGP stages), keyed by table slot: `(keys, flattened rows)`.
+    casts: FxHashMap<u8, (Vec<u64>, Vec<u64>)>,
 }
 
 impl Wk {
+    /// Encodes and sends `msg`, reusing the worker's scratch buffer so
+    /// hot-path sends (routing, heartbeats, epoch frames) do not allocate.
+    fn send_msg(&mut self, msg: &Msg) -> Result<()> {
+        let mut buf = std::mem::take(&mut self.scratch);
+        msg.encode_into(&mut buf);
+        let res = self.conn.send(&buf);
+        self.scratch = buf;
+        res
+    }
+
     /// Pulls the next chunk of the stage's edge range, first emitting a
     /// keep-alive [`Msg::Heartbeat`] when the configured interval has
     /// elapsed — without it, a stateless kernel (e.g. hashing) sends
@@ -216,7 +256,7 @@ impl Wk {
     ) -> Result<usize> {
         if let Some(interval) = self.hb_interval {
             if self.hb_last.elapsed() >= interval {
-                send(self.conn.as_mut(), &Msg::Heartbeat)?;
+                self.send_msg(&Msg::Heartbeat)?;
                 self.hb_last = Instant::now();
             }
         }
@@ -268,76 +308,175 @@ impl Wk {
         Ok((keys, rows))
     }
 
-    /// Executes `op` against the worker owning it: locally when that is
-    /// this worker, else via a coordinator-relayed `Route` (strict
-    /// request/reply — one in flight at a time).
-    fn routed(&mut self, table: u8, to: u32, op: StateOp) -> Result<Vec<u64>> {
-        if to == self.setup.worker {
-            return self.apply_local(table, &op);
+    /// Executes a batch of ops (each over the same `keys`) against the
+    /// local shards. Returns the concatenated `Get` results, or `None`
+    /// when the batch was pure `Put`s and there is nothing to reply.
+    fn serve_batch(&mut self, keys: &[u64], ops: &[BatchOp]) -> Result<Option<Vec<u64>>> {
+        let mut reply: Option<Vec<u64>> = None;
+        for op in ops {
+            match op {
+                BatchOp::Get { table } => {
+                    let i = self.slot(*table)?;
+                    let shard = &mut self.shards[i];
+                    let out = reply.get_or_insert_with(Vec::new);
+                    out.reserve(keys.len() * shard.width());
+                    for &key in keys {
+                        shard.get_into(key, out);
+                    }
+                }
+                BatchOp::Put { table, merge, vals } => {
+                    let i = self.slot(*table)?;
+                    let shard = &mut self.shards[i];
+                    if vals.len() != keys.len() * shard.width() {
+                        return Err(PartitionError::InvalidParam(
+                            "batched put payload does not match key count".into(),
+                        ));
+                    }
+                    shard.upsert_batch(*merge, keys, vals);
+                }
+            }
         }
-        send(self.conn.as_mut(), &Msg::Route { to, table, op })?;
-        match recv(self.conn.as_mut())? {
-            Msg::StateResp { rows } => Ok(rows),
-            Msg::Err { msg } => Err(PartitionError::InvalidParam(msg)),
-            other => Err(unexpected(&other)),
+        Ok(reply)
+    }
+
+    /// Fetches `keys` from every table in `tables` (all sharing one
+    /// layout), returning one flattened row vector per table, in key
+    /// order. Remote owners are serviced with a single delta-encoded
+    /// [`Msg::RouteBatch`] each; all requests go out before the first
+    /// reply is awaited, so the relay legs overlap.
+    fn fetch_group(&mut self, tables: &[u8], keys: &[u64]) -> Result<Vec<Vec<u64>>> {
+        let defs: Vec<_> = tables
+            .iter()
+            .map(|&t| self.slot(t).map(|i| self.setup.tables[i]))
+            .collect::<Result<_>>()?;
+        let layout = defs[0].layout;
+        debug_assert!(defs.iter().all(|d| d.layout == layout));
+        let workers = self.setup.workers;
+        let mut outs: Vec<Vec<u64>> = defs
+            .iter()
+            .map(|d| vec![0u64; keys.len() * d.width as usize])
+            .collect();
+        let mut by_owner: Vec<(Vec<u64>, Vec<usize>)> =
+            vec![(Vec::new(), Vec::new()); workers as usize];
+        for (i, &key) in keys.iter().enumerate() {
+            let owner = layout.owner(key, workers) as usize;
+            by_owner[owner].0.push(key);
+            by_owner[owner].1.push(i);
         }
+        let me = self.setup.worker as usize;
+        // Fire every remote request first, then collect replies in the
+        // same order — the coordinator answers per-owner in send order.
+        let mut pending: Vec<usize> = Vec::new();
+        for (owner, (okeys, _)) in by_owner.iter().enumerate() {
+            if owner == me || okeys.is_empty() {
+                continue;
+            }
+            let ops: Vec<BatchOp> = tables.iter().map(|&t| BatchOp::Get { table: t }).collect();
+            self.send_msg(&Msg::RouteBatch {
+                to: owner as u32,
+                keys: okeys.clone(),
+                ops,
+            })?;
+            pending.push(owner);
+        }
+        let scatter = |owner: usize, rows: &[u64], outs: &mut [Vec<u64>]| -> Result<()> {
+            let (okeys, opos) = &by_owner[owner];
+            let total: usize = defs.iter().map(|d| okeys.len() * d.width as usize).sum();
+            if rows.len() != total {
+                return Err(PartitionError::InvalidParam(
+                    "batched fetch reply does not match request".into(),
+                ));
+            }
+            let mut off = 0;
+            for (t, d) in defs.iter().enumerate() {
+                let width = d.width as usize;
+                for (j, &pos) in opos.iter().enumerate() {
+                    outs[t][pos * width..(pos + 1) * width]
+                        .copy_from_slice(&rows[off + j * width..off + (j + 1) * width]);
+                }
+                off += okeys.len() * width;
+            }
+            Ok(())
+        };
+        if !by_owner[me].0.is_empty() {
+            let okeys = by_owner[me].0.clone();
+            let ops: Vec<BatchOp> = tables.iter().map(|&t| BatchOp::Get { table: t }).collect();
+            let rows = self
+                .serve_batch(&okeys, &ops)?
+                .expect("get batch always yields rows");
+            scatter(me, &rows, &mut outs)?;
+        }
+        for owner in pending {
+            match recv(self.conn.as_mut())? {
+                Msg::RouteReply { rows } => scatter(owner, &rows, &mut outs)?,
+                Msg::Err { msg } => return Err(PartitionError::InvalidParam(msg)),
+                other => return Err(unexpected(&other)),
+            }
+        }
+        Ok(outs)
     }
 
     /// Fetches `keys` from `table`, returning rows flattened in key order.
     fn fetch(&mut self, table: u8, keys: &[u64]) -> Result<Vec<u64>> {
-        let def = self.setup.tables[self.slot(table)?];
-        let width = def.width as usize;
+        Ok(self
+            .fetch_group(&[table], keys)?
+            .pop()
+            .expect("fetch_group returns one vector per table"))
+    }
+
+    /// Writes rows for `keys` back to one or more tables (all sharing one
+    /// layout) with a single fire-and-forget [`Msg::RouteBatch`] per
+    /// remote owner. No acks: the frames traverse the coordinator's
+    /// ordered star links, so each Put is applied at its owner before any
+    /// later dependent read from this worker can arrive there.
+    fn publish_group(&mut self, keys: &[u64], puts: &[(u8, MergeOp, &[u64])]) -> Result<()> {
+        let defs: Vec<_> = puts
+            .iter()
+            .map(|&(t, _, _)| self.slot(t).map(|i| self.setup.tables[i]))
+            .collect::<Result<_>>()?;
+        let layout = defs[0].layout;
+        debug_assert!(defs.iter().all(|d| d.layout == layout));
         let workers = self.setup.workers;
-        let mut out = vec![0u64; keys.len() * width];
         let mut by_owner: Vec<(Vec<u64>, Vec<usize>)> =
             vec![(Vec::new(), Vec::new()); workers as usize];
         for (i, &key) in keys.iter().enumerate() {
-            let owner = def.layout.owner(key, workers) as usize;
+            let owner = layout.owner(key, workers) as usize;
             by_owner[owner].0.push(key);
             by_owner[owner].1.push(i);
         }
+        let me = self.setup.worker as usize;
         for (owner, (okeys, opos)) in by_owner.into_iter().enumerate() {
             if okeys.is_empty() {
                 continue;
             }
-            let rows = self.routed(table, owner as u32, StateOp::Get { keys: okeys })?;
-            for (j, &pos) in opos.iter().enumerate() {
-                out[pos * width..(pos + 1) * width]
-                    .copy_from_slice(&rows[j * width..(j + 1) * width]);
+            let ops: Vec<BatchOp> = puts
+                .iter()
+                .zip(&defs)
+                .map(|(&(table, merge, rows), d)| {
+                    let width = d.width as usize;
+                    let mut vals = Vec::with_capacity(okeys.len() * width);
+                    for &pos in &opos {
+                        vals.extend_from_slice(&rows[pos * width..(pos + 1) * width]);
+                    }
+                    BatchOp::Put { table, merge, vals }
+                })
+                .collect();
+            if owner == me {
+                self.serve_batch(&okeys, &ops)?;
+            } else {
+                self.send_msg(&Msg::RouteBatch {
+                    to: owner as u32,
+                    keys: okeys,
+                    ops,
+                })?;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Writes `keys.len()` flattened rows back to `table` under `merge`.
     fn publish(&mut self, table: u8, merge: MergeOp, keys: &[u64], rows: &[u64]) -> Result<()> {
-        let def = self.setup.tables[self.slot(table)?];
-        let width = def.width as usize;
-        let workers = self.setup.workers;
-        let mut by_owner: Vec<(Vec<u64>, Vec<u64>)> =
-            vec![(Vec::new(), Vec::new()); workers as usize];
-        for (i, &key) in keys.iter().enumerate() {
-            let owner = def.layout.owner(key, workers) as usize;
-            by_owner[owner].0.push(key);
-            by_owner[owner]
-                .1
-                .extend_from_slice(&rows[i * width..(i + 1) * width]);
-        }
-        for (owner, (okeys, orows)) in by_owner.into_iter().enumerate() {
-            if okeys.is_empty() {
-                continue;
-            }
-            self.routed(
-                table,
-                owner as u32,
-                StateOp::Upsert {
-                    merge,
-                    keys: okeys,
-                    rows: orows,
-                },
-            )?;
-        }
-        Ok(())
+        self.publish_group(keys, &[(table, merge, rows)])
     }
 
     fn chunk_cap(&self) -> usize {
@@ -386,15 +525,43 @@ impl Wk {
         }
     }
 
-    fn run_stage(&mut self, stage: Stage, token: Token) -> Result<StageOut> {
+    fn run_stage(
+        &mut self,
+        stage: Stage,
+        token: Token,
+        mode: AmpcMode,
+        epoch: u32,
+    ) -> Result<StageOut> {
+        let relaxed = mode == AmpcMode::Relaxed;
+        let epoch = if epoch == 0 {
+            DEFAULT_EPOCH_CHUNKS
+        } else {
+            epoch
+        } as usize;
         let mut source = self.open_source()?;
         let mut out = match stage {
-            Stage::Baseline => self.stage_baseline(token, &mut source),
-            Stage::ClugpPass1 { vmax } => self.stage_clugp_pass1(vmax, token, &mut source),
-            Stage::ClugpPairs { num_clusters } => {
-                self.stage_clugp_pairs(num_clusters, token, &mut source)
+            Stage::Baseline => self.stage_baseline(token, &mut source, relaxed, epoch),
+            Stage::ClugpPass1 { vmax } => {
+                if relaxed {
+                    self.stage_clugp_pass1_relaxed(vmax, token, &mut source)
+                } else {
+                    self.stage_clugp_pass1(vmax, token, &mut source)
+                }
             }
-            Stage::ClugpTransform { lmax } => self.stage_clugp_transform(lmax, token, &mut source),
+            Stage::ClugpPairs { num_clusters } => {
+                if relaxed {
+                    self.stage_clugp_pairs_relaxed(num_clusters, token, &mut source)
+                } else {
+                    self.stage_clugp_pairs(num_clusters, token, &mut source)
+                }
+            }
+            Stage::ClugpTransform { lmax } => {
+                if relaxed {
+                    self.stage_clugp_transform_relaxed(lmax, token, &mut source)
+                } else {
+                    self.stage_clugp_transform(lmax, token, &mut source)
+                }
+            }
         };
         if out.is_ok() {
             if let Some(e) = source.pack_error() {
@@ -402,23 +569,55 @@ impl Wk {
             }
         }
         self.restore_source(source);
+        // Casts are per-stage: the coordinator re-broadcasts fresh mirrors
+        // before every relaxed stage that needs them.
+        self.casts.clear();
         out
     }
 
-    fn stage_baseline(&mut self, token: Token, source: &mut Source) -> Result<StageOut> {
+    fn stage_baseline(
+        &mut self,
+        token: Token,
+        source: &mut Source,
+        relaxed: bool,
+        epoch: usize,
+    ) -> Result<StageOut> {
         let algo = self.setup.algo.clone();
         let (token, assignments) = match algo {
+            // Hashing is stateless: the relaxed run is the sequenced run.
             AlgoSpec::Hashing { seed } => self.run_hashing(seed, token, source)?,
-            AlgoSpec::Grid { seed } => self.run_grid(seed, token, source)?,
-            AlgoSpec::Dbh { seed, max_vertices } => {
-                self.run_dbh(seed, max_vertices, token, source)?
+            AlgoSpec::Grid { seed } => {
+                if relaxed {
+                    self.run_grid_relaxed(seed, token, source, epoch)?
+                } else {
+                    self.run_grid(seed, token, source)?
+                }
             }
-            AlgoSpec::Greedy { max_vertices } => self.run_greedy(max_vertices, token, source)?,
+            AlgoSpec::Dbh { seed, max_vertices } => {
+                if relaxed {
+                    self.run_dbh_relaxed(seed, max_vertices, token, source, epoch)?
+                } else {
+                    self.run_dbh(seed, max_vertices, token, source)?
+                }
+            }
+            AlgoSpec::Greedy { max_vertices } => {
+                if relaxed {
+                    self.run_greedy_relaxed(max_vertices, token, source, epoch)?
+                } else {
+                    self.run_greedy(max_vertices, token, source)?
+                }
+            }
             AlgoSpec::Hdrf {
                 lambda,
                 epsilon,
                 max_vertices,
-            } => self.run_hdrf(lambda, epsilon, max_vertices, token, source)?,
+            } => {
+                if relaxed {
+                    self.run_hdrf_relaxed(lambda, epsilon, max_vertices, token, source, epoch)?
+                } else {
+                    self.run_hdrf(lambda, epsilon, max_vertices, token, source)?
+                }
+            }
             AlgoSpec::Mint {
                 batch,
                 wave,
@@ -435,7 +634,7 @@ impl Wk {
                     balance_weight: alpha,
                     seed,
                 };
-                self.run_mint(&cfg, token, source)?
+                self.run_mint(&cfg, token, source, relaxed)?
             }
             AlgoSpec::Clugp { .. } => {
                 return Err(PartitionError::InvalidParam(
@@ -582,8 +781,9 @@ impl Wk {
         let mut keys: Vec<u64> = Vec::new();
         while self.next_chunk(source, &mut buf, cap)? != 0 {
             distinct_endpoints(&buf, &mut keys);
-            let rrows = self.fetch(T_MAIN, &keys)?;
-            let drows = self.fetch(T_DEGREE, &keys)?;
+            let mut fetched = self.fetch_group(&[T_MAIN, T_DEGREE], &keys)?;
+            let drows = fetched.pop().expect("two tables fetched");
+            let rrows = fetched.pop().expect("two tables fetched");
             for (i, &key) in keys.iter().enumerate() {
                 let v = key as u32;
                 replicas.ensure_vertices(key + 1)?;
@@ -607,12 +807,17 @@ impl Wk {
             for (i, &key) in keys.iter().enumerate() {
                 replicas.export_row(key as u32, &mut back[i * wr..(i + 1) * wr]);
             }
-            self.publish(T_MAIN, MergeOp::Put, &keys, &back)?;
             let dback: Vec<u64> = keys
                 .iter()
                 .map(|&key| u64::from(degree[key as u32]))
                 .collect();
-            self.publish(T_DEGREE, MergeOp::Put, &keys, &dback)?;
+            self.publish_group(
+                &keys,
+                &[
+                    (T_MAIN, MergeOp::Put, &back),
+                    (T_DEGREE, MergeOp::Put, &dback),
+                ],
+            )?;
         }
         token.loads = loads.into_vec();
         token.table_len = token.table_len.max(replicas.num_vertices());
@@ -623,12 +828,15 @@ impl Wk {
     /// every worker solves the full waves its range completes and carries
     /// the remainder to the next worker in the token. The last worker
     /// drains the tail (partial wave / partial batch), exactly where the
-    /// monolith's end-of-stream wave lands.
+    /// monolith's end-of-stream wave lands. In relaxed mode there is no
+    /// token to carry a remainder on, so every worker waves over its own
+    /// range and drains its own tail.
     fn run_mint(
         &mut self,
         cfg: &MintConfig,
         mut token: Token,
         source: &mut Source,
+        relaxed: bool,
     ) -> Result<(Token, Vec<u32>)> {
         let k = self.setup.k;
         let wave_width = if cfg.wave_width == 0 {
@@ -671,7 +879,7 @@ impl Wk {
                 pending = rest;
             }
         }
-        let last = self.setup.worker + 1 == self.setup.workers;
+        let last = relaxed || self.setup.worker + 1 == self.setup.workers;
         if last {
             if !pending.is_empty() {
                 commit(&pending, &mut loads, &mut assignments);
@@ -680,6 +888,335 @@ impl Wk {
         }
         token.carry = pending;
         token.loads = loads.into_vec();
+        Ok((token, assignments))
+    }
+
+    /// One relaxed-mode epoch barrier: ship this worker's deltas, block
+    /// until the coordinator broadcasts the merged committed state for the
+    /// round. Every worker contributes exactly one [`Msg::EpochDone`] per
+    /// round, so the committed state after round `r` is independent of
+    /// thread scheduling — that is what keeps relaxed runs deterministic.
+    fn epoch_exchange(
+        &mut self,
+        last: bool,
+        loads: Vec<u64>,
+        tables: Vec<EpochTable>,
+    ) -> Result<(bool, Vec<u64>, Vec<EpochTable>)> {
+        self.send_msg(&Msg::EpochDone {
+            last,
+            loads,
+            tables,
+        })?;
+        match recv(self.conn.as_mut())? {
+            Msg::EpochSync {
+                done,
+                loads,
+                tables,
+            } => Ok((done, loads, tables)),
+            Msg::Err { msg } => Err(PartitionError::InvalidParam(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Final relaxed-mode barrier sequence: ship the last deltas, then
+    /// keep answering rounds with empty deltas until every worker has
+    /// reported `last`. Returns the final committed loads.
+    fn epoch_drain(
+        &mut self,
+        loads: Vec<u64>,
+        tables: Vec<EpochTable>,
+        mut apply: impl FnMut(&EpochTable) -> Result<()>,
+    ) -> Result<Vec<u64>> {
+        let k = loads.len();
+        let (mut done, mut committed, merged) = self.epoch_exchange(true, loads, tables)?;
+        for t in &merged {
+            apply(t)?;
+        }
+        while !done {
+            let (d, l, merged) = self.epoch_exchange(true, vec![0; k], Vec::new())?;
+            done = d;
+            committed = l;
+            for t in &merged {
+                apply(t)?;
+            }
+        }
+        Ok(committed)
+    }
+
+    /// Relaxed Grid: stream the whole range locally, reconciling the load
+    /// vector (the only shared state Grid reads) at epoch barriers.
+    fn run_grid_relaxed(
+        &mut self,
+        seed: u64,
+        mut token: Token,
+        source: &mut Source,
+        epoch: usize,
+    ) -> Result<(Token, Vec<u32>)> {
+        let k = self.setup.k;
+        let r = grid::grid_dim(k);
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut assignments = Vec::new();
+        let mut loads = PartitionLoads::from_vec(std::mem::take(&mut token.loads));
+        let mut base = loads.as_slice().to_vec();
+        let mut cs_u = Vec::with_capacity(2 * r as usize);
+        let mut cs_v = Vec::with_capacity(2 * r as usize);
+        let mut since = 0usize;
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
+            for &e in &buf {
+                let p = grid::grid_edge(e, seed, r, k, &loads, &mut cs_u, &mut cs_v);
+                assignments.push(p);
+                loads.add(p);
+            }
+            since += 1;
+            if since >= epoch {
+                since = 0;
+                let delta = loads_delta(loads.as_slice(), &base);
+                let (_, merged, _) = self.epoch_exchange(false, delta, Vec::new())?;
+                base.clone_from(&merged);
+                loads = PartitionLoads::from_vec(merged);
+            }
+        }
+        let delta = loads_delta(loads.as_slice(), &base);
+        token.loads = self.epoch_drain(delta, Vec::new(), |_| Ok(()))?;
+        Ok((token, assignments))
+    }
+
+    /// Relaxed DBH: partial degrees are commutative sums, so each epoch
+    /// ships `degree - baseline` deltas under [`MergeOp::Add`] and adopts
+    /// the committed totals the coordinator broadcasts back.
+    fn run_dbh_relaxed(
+        &mut self,
+        seed: u64,
+        max_vertices: u64,
+        mut token: Token,
+        source: &mut Source,
+        epoch: usize,
+    ) -> Result<(Token, Vec<u32>)> {
+        let k = self.setup.k;
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut assignments = Vec::new();
+        let mut degree: VertexTable<u32> = VertexTable::with_limit(0, 0, max_vertices)?;
+        let mut loads = std::mem::take(&mut token.loads);
+        let mut base = loads.clone();
+        let mut baseline: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut keys: Vec<u64> = Vec::new();
+        let mut since = 0usize;
+        let flush = |baseline: &mut FxHashMap<u64, u32>, degree: &VertexTable<u32>| {
+            let mut keys: Vec<u64> = baseline.keys().copied().collect();
+            keys.sort_unstable();
+            let rows: Vec<u64> = keys
+                .iter()
+                .map(|&key| u64::from(degree[key as u32].wrapping_sub(baseline[&key])))
+                .collect();
+            baseline.clear();
+            vec![EpochTable {
+                table: T_MAIN,
+                merge: MergeOp::Add,
+                keys,
+                rows,
+            }]
+        };
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
+            distinct_endpoints(&buf, &mut keys);
+            for &key in &keys {
+                let v = key as u32;
+                degree.ensure(v)?;
+                baseline.entry(key).or_insert(degree[v]);
+            }
+            for &e in &buf {
+                let p = dbh::dbh_edge(e, seed, k, &mut degree)?;
+                loads[p as usize] += 1;
+                assignments.push(p);
+            }
+            since += 1;
+            if since >= epoch {
+                since = 0;
+                let tables = flush(&mut baseline, &degree);
+                let delta = loads_delta(&loads, &base);
+                let (_, merged, mtabs) = self.epoch_exchange(false, delta, tables)?;
+                base.clone_from(&merged);
+                loads = merged;
+                for t in &mtabs {
+                    apply_degree_sync(&mut degree, t)?;
+                }
+            }
+        }
+        let tables = flush(&mut baseline, &degree);
+        let delta = loads_delta(&loads, &base);
+        token.loads = self.epoch_drain(delta, tables, |t| apply_degree_sync(&mut degree, t))?;
+        token.table_len = token.table_len.max(degree.len());
+        Ok((token, assignments))
+    }
+
+    /// Relaxed Greedy: replica masks are monotone under OR, so each epoch
+    /// ships the current full rows of every vertex touched since the last
+    /// barrier under [`MergeOp::BitOr`] (idempotent — no baseline needed)
+    /// plus load deltas, and adopts the committed union.
+    fn run_greedy_relaxed(
+        &mut self,
+        max_vertices: u64,
+        mut token: Token,
+        source: &mut Source,
+        epoch: usize,
+    ) -> Result<(Token, Vec<u32>)> {
+        let k = self.setup.k;
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut assignments = Vec::new();
+        let mut replicas = ReplicaTable::with_limit(0, k, max_vertices)?;
+        let wr = replicas.words_per_row();
+        let mut loads = PartitionLoads::from_vec(std::mem::take(&mut token.loads));
+        let mut base = loads.as_slice().to_vec();
+        let mut touched: Vec<u64> = Vec::new();
+        let mut keys: Vec<u64> = Vec::new();
+        let mut since = 0usize;
+        let flush = |touched: &mut Vec<u64>, replicas: &ReplicaTable| {
+            touched.sort_unstable();
+            touched.dedup();
+            let mut rows = vec![0u64; touched.len() * wr];
+            for (i, &key) in touched.iter().enumerate() {
+                replicas.export_row(key as u32, &mut rows[i * wr..(i + 1) * wr]);
+            }
+            let keys = std::mem::take(touched);
+            vec![EpochTable {
+                table: T_MAIN,
+                merge: MergeOp::BitOr,
+                keys,
+                rows,
+            }]
+        };
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
+            distinct_endpoints(&buf, &mut keys);
+            for &key in &keys {
+                replicas.ensure_vertices(key + 1)?;
+            }
+            touched.extend_from_slice(&keys);
+            for &e in &buf {
+                let p = greedy::greedy_edge(e, &mut replicas, &mut loads)?;
+                assignments.push(p);
+            }
+            since += 1;
+            if since >= epoch {
+                since = 0;
+                let tables = flush(&mut touched, &replicas);
+                let delta = loads_delta(loads.as_slice(), &base);
+                let (_, merged, mtabs) = self.epoch_exchange(false, delta, tables)?;
+                base.clone_from(&merged);
+                loads = PartitionLoads::from_vec(merged);
+                for t in &mtabs {
+                    apply_mask_sync(&mut replicas, t)?;
+                }
+            }
+        }
+        let tables = flush(&mut touched, &replicas);
+        let delta = loads_delta(loads.as_slice(), &base);
+        token.loads = self.epoch_drain(delta, tables, |t| apply_mask_sync(&mut replicas, t))?;
+        token.table_len = token.table_len.max(replicas.num_vertices());
+        Ok((token, assignments))
+    }
+
+    /// Relaxed HDRF: combines the Greedy mask union (T_MAIN, BitOr) with
+    /// the DBH degree sums (T_DEGREE, Add) — one touched-key set serves
+    /// both tables — plus load deltas for the balance term.
+    fn run_hdrf_relaxed(
+        &mut self,
+        lambda: f64,
+        epsilon: f64,
+        max_vertices: u64,
+        mut token: Token,
+        source: &mut Source,
+        epoch: usize,
+    ) -> Result<(Token, Vec<u32>)> {
+        let k = self.setup.k;
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut assignments = Vec::new();
+        let mut degree: VertexTable<u32> = VertexTable::with_limit(0, 0, max_vertices)?;
+        let mut replicas = ReplicaTable::with_limit(0, k, max_vertices)?;
+        let wr = replicas.words_per_row();
+        let mut loads = PartitionLoads::from_vec(std::mem::take(&mut token.loads));
+        let mut base = loads.as_slice().to_vec();
+        let mut baseline: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut keys: Vec<u64> = Vec::new();
+        let mut since = 0usize;
+        let flush = |baseline: &mut FxHashMap<u64, u32>,
+                     degree: &VertexTable<u32>,
+                     replicas: &ReplicaTable| {
+            let mut keys: Vec<u64> = baseline.keys().copied().collect();
+            keys.sort_unstable();
+            let mut mask_rows = vec![0u64; keys.len() * wr];
+            let mut deg_rows = Vec::with_capacity(keys.len());
+            for (i, &key) in keys.iter().enumerate() {
+                replicas.export_row(key as u32, &mut mask_rows[i * wr..(i + 1) * wr]);
+                deg_rows.push(u64::from(degree[key as u32].wrapping_sub(baseline[&key])));
+            }
+            baseline.clear();
+            vec![
+                EpochTable {
+                    table: T_MAIN,
+                    merge: MergeOp::BitOr,
+                    keys: keys.clone(),
+                    rows: mask_rows,
+                },
+                EpochTable {
+                    table: T_DEGREE,
+                    merge: MergeOp::Add,
+                    keys,
+                    rows: deg_rows,
+                },
+            ]
+        };
+        let apply = |degree: &mut VertexTable<u32>,
+                     replicas: &mut ReplicaTable,
+                     t: &EpochTable|
+         -> Result<()> {
+            match t.table {
+                T_MAIN => apply_mask_sync(replicas, t),
+                T_DEGREE => apply_degree_sync(degree, t),
+                other => Err(PartitionError::InvalidParam(format!(
+                    "epoch sync for unknown table slot {other}"
+                ))),
+            }
+        };
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
+            distinct_endpoints(&buf, &mut keys);
+            for &key in &keys {
+                let v = key as u32;
+                replicas.ensure_vertices(key + 1)?;
+                degree.ensure(v)?;
+                baseline.entry(key).or_insert(degree[v]);
+            }
+            for &e in &buf {
+                let p = hdrf::hdrf_edge(
+                    e,
+                    lambda,
+                    epsilon,
+                    k,
+                    &mut degree,
+                    &mut replicas,
+                    &mut loads,
+                )?;
+                assignments.push(p);
+            }
+            since += 1;
+            if since >= epoch {
+                since = 0;
+                let tables = flush(&mut baseline, &degree, &replicas);
+                let delta = loads_delta(loads.as_slice(), &base);
+                let (_, merged, mtabs) = self.epoch_exchange(false, delta, tables)?;
+                base.clone_from(&merged);
+                loads = PartitionLoads::from_vec(merged);
+                for t in &mtabs {
+                    apply(&mut degree, &mut replicas, t)?;
+                }
+            }
+        }
+        let tables = flush(&mut baseline, &degree, &replicas);
+        let delta = loads_delta(loads.as_slice(), &base);
+        token.loads = self.epoch_drain(delta, tables, |t| apply(&mut degree, &mut replicas, t))?;
+        token.table_len = token.table_len.max(replicas.num_vertices());
         Ok((token, assignments))
     }
 
@@ -901,6 +1438,232 @@ impl Wk {
         token.table_len = token.table_len.max(cluster_of.len());
         Ok((token, assignments, None))
     }
+
+    /// Relaxed CLUGP pass 1: cluster the worker's range entirely locally
+    /// (raw cluster ids are worker-local, volumes start from zero), then
+    /// ship the whole frontier — per-vertex rows plus the local volume
+    /// array — as one [`Msg::Pass1Frontier`] for the coordinator to merge
+    /// deterministically across workers.
+    fn stage_clugp_pass1_relaxed(
+        &mut self,
+        vmax: u64,
+        mut token: Token,
+        source: &mut Source,
+    ) -> Result<StageOut> {
+        let AlgoSpec::Clugp {
+            splitting,
+            migration,
+            max_vertices,
+        } = self.setup.algo
+        else {
+            return Err(PartitionError::InvalidParam(
+                "pass-1 stage requires the CLUGP algo".into(),
+            ));
+        };
+        let migration = migration_from_tag(migration)?;
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut cluster_of: VertexTable<u32> =
+            VertexTable::with_limit(0, NO_CLUSTER, max_vertices)?;
+        let mut degree: VertexTable<u32> = VertexTable::with_limit(0, 0, max_vertices)?;
+        let mut divided: VertexTable<bool> = VertexTable::with_limit(0, false, max_vertices)?;
+        let mut vol: Vec<u64> = Vec::new();
+        let mut splits = token.splits;
+        let mut migrations = token.migrations;
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
+            for &e in &buf {
+                let m = e.src.max(e.dst);
+                cluster_of.ensure(m)?;
+                degree.ensure(m)?;
+                divided.ensure(m)?;
+            }
+            for &e in &buf {
+                pass1_edge(
+                    e,
+                    vmax,
+                    splitting,
+                    migration,
+                    &mut cluster_of,
+                    &mut degree,
+                    &mut divided,
+                    &mut vol,
+                    &mut splits,
+                    &mut migrations,
+                )?;
+            }
+        }
+        let mut keys = Vec::new();
+        let mut rows = Vec::new();
+        for key in 0..cluster_of.len() {
+            let v = key as u32;
+            let c = cluster_of[v];
+            let d = degree[v];
+            let dv = divided[v];
+            if c == NO_CLUSTER && d == 0 && !dv {
+                continue;
+            }
+            keys.push(key);
+            rows.push(if c == NO_CLUSTER { 0 } else { u64::from(c) + 1 });
+            rows.push(u64::from(d));
+            rows.push(u64::from(dv));
+        }
+        token.next_raw = vol.len() as u64;
+        token.splits = splits;
+        token.migrations = migrations;
+        token.table_len = token.table_len.max(cluster_of.len());
+        self.send_msg(&Msg::Pass1Frontier { keys, rows, vol })?;
+        Ok((token, Vec::new(), None))
+    }
+
+    /// Decodes the T_MAIN cast (width-3 vertex rows) the coordinator
+    /// broadcast ahead of a relaxed CLUGP stage.
+    fn cast_cluster_of(
+        &mut self,
+        max_vertices: u64,
+    ) -> Result<(VertexTable<u32>, VertexTable<u32>, VertexTable<bool>)> {
+        let Some((keys, rows)) = self.casts.remove(&T_MAIN) else {
+            return Err(PartitionError::InvalidParam(
+                "relaxed CLUGP stage started without a table cast".into(),
+            ));
+        };
+        if rows.len() != keys.len() * 3 {
+            return Err(PartitionError::InvalidParam(
+                "table cast payload does not match key count".into(),
+            ));
+        }
+        let mut cluster_of: VertexTable<u32> =
+            VertexTable::with_limit(0, NO_CLUSTER, max_vertices)?;
+        let mut degree: VertexTable<u32> = VertexTable::with_limit(0, 0, max_vertices)?;
+        let mut divided: VertexTable<bool> = VertexTable::with_limit(0, false, max_vertices)?;
+        for (i, &key) in keys.iter().enumerate() {
+            let v = key as u32;
+            cluster_of.ensure(v)?;
+            degree.ensure(v)?;
+            divided.ensure(v)?;
+            let w0 = rows[3 * i];
+            cluster_of[v] = if w0 == 0 { NO_CLUSTER } else { (w0 - 1) as u32 };
+            degree[v] = rows[3 * i + 1] as u32;
+            divided[v] = rows[3 * i + 2] != 0;
+        }
+        Ok((cluster_of, degree, divided))
+    }
+
+    /// Relaxed CLUGP pairs: the dense cluster ids arrive as a read-only
+    /// cast before the stage, so the stream never routes at all.
+    fn stage_clugp_pairs_relaxed(
+        &mut self,
+        num_clusters: u64,
+        token: Token,
+        source: &mut Source,
+    ) -> Result<StageOut> {
+        let AlgoSpec::Clugp { max_vertices, .. } = self.setup.algo else {
+            return Err(PartitionError::InvalidParam(
+                "pairs stage requires the CLUGP algo".into(),
+            ));
+        };
+        let (mut cluster_of, _, _) = self.cast_cluster_of(max_vertices)?;
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut sink = PairSink::new(num_clusters as usize);
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
+            for &e in &buf {
+                cluster_of.ensure(e.src.max(e.dst))?;
+                sink.push(cluster_of[e.src], cluster_of[e.dst]);
+            }
+        }
+        let (intra, agg) = sink.finish();
+        let pairs = PairsPayload {
+            intra: intra
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| (i as u64, c))
+                .collect(),
+            agg,
+        };
+        Ok((token, Vec::new(), Some(pairs)))
+    }
+
+    /// Relaxed CLUGP pass 3: vertex rows and the cluster→partition map
+    /// both arrive as casts; each worker enforces a proportional share of
+    /// the global load cap so the summed loads respect it.
+    fn stage_clugp_transform_relaxed(
+        &mut self,
+        lmax: u64,
+        mut token: Token,
+        source: &mut Source,
+    ) -> Result<StageOut> {
+        let AlgoSpec::Clugp { max_vertices, .. } = self.setup.algo else {
+            return Err(PartitionError::InvalidParam(
+                "transform stage requires the CLUGP algo".into(),
+            ));
+        };
+        let k = self.setup.k;
+        let (mut cluster_of, mut degree, mut divided) = self.cast_cluster_of(max_vertices)?;
+        let Some((ckeys, crows)) = self.casts.remove(&T_CPART) else {
+            return Err(PartitionError::InvalidParam(
+                "relaxed transform stage started without a cluster-partition cast".into(),
+            ));
+        };
+        if crows.len() != ckeys.len() {
+            return Err(PartitionError::InvalidParam(
+                "cluster-partition cast payload does not match key count".into(),
+            ));
+        }
+        let mut cpart: Vec<u32> = Vec::new();
+        for (i, &ck) in ckeys.iter().enumerate() {
+            if ck as usize >= cpart.len() {
+                cpart.resize(ck as usize + 1, 0);
+            }
+            cpart[ck as usize] = crows[i] as u32;
+        }
+        // Each worker gets an even slice of the global cap. The slice can be
+        // infeasible for this worker's share of the stream (contiguous edge
+        // ranges are not perfectly even), so the cap grows one slot per
+        // partition whenever every local partition is saturated — the edge
+        // always has somewhere to go, and the global cap drifts by at most
+        // one slot per overflow. Sequenced mode keeps the hard cap.
+        let mut lmax = lmax.div_ceil(u64::from(self.setup.workers)).max(1);
+        let cap = self.chunk_cap();
+        let mut buf = Vec::with_capacity(cap);
+        let mut assignments = Vec::new();
+        let mut loads = std::mem::take(&mut token.loads);
+        let mut cursor = token.cursor;
+        let mut reroutes = token.reroutes;
+        let mut placed: u64 = loads.as_slice().iter().sum();
+        while self.next_chunk(source, &mut buf, cap)? != 0 {
+            for &e in &buf {
+                let m = e.src.max(e.dst);
+                cluster_of.ensure(m)?;
+                degree.ensure(m)?;
+                divided.ensure(m)?;
+            }
+            for &e in &buf {
+                if placed == u64::from(k) * lmax {
+                    lmax += 1;
+                }
+                placed += 1;
+                let p = transform_edge(
+                    e,
+                    &cluster_of,
+                    &degree,
+                    &divided,
+                    &cpart,
+                    lmax,
+                    k,
+                    &mut loads,
+                    &mut cursor,
+                    &mut reroutes,
+                );
+                assignments.push(p);
+            }
+        }
+        token.loads = loads;
+        token.cursor = cursor;
+        token.reroutes = reroutes;
+        token.table_len = token.table_len.max(cluster_of.len());
+        Ok((token, assignments, None))
+    }
 }
 
 /// Collects the distinct endpoint ids of a chunk, sorted ascending.
@@ -912,4 +1675,45 @@ fn distinct_endpoints(buf: &[Edge], keys: &mut Vec<u64>) {
     }
     keys.sort_unstable();
     keys.dedup();
+}
+
+/// Element-wise wrapping difference `cur - base`: the per-epoch load
+/// delta a relaxed worker ships at a barrier.
+fn loads_delta(cur: &[u64], base: &[u64]) -> Vec<u64> {
+    cur.iter()
+        .zip(base)
+        .map(|(&c, &b)| c.wrapping_sub(b))
+        .collect()
+}
+
+/// Adopts committed width-1 degree totals from an epoch-sync frame.
+fn apply_degree_sync(degree: &mut VertexTable<u32>, t: &EpochTable) -> Result<()> {
+    if t.rows.len() != t.keys.len() {
+        return Err(PartitionError::InvalidParam(
+            "epoch sync payload does not match key count".into(),
+        ));
+    }
+    for (i, &key) in t.keys.iter().enumerate() {
+        let v = key as u32;
+        degree.ensure(v)?;
+        degree[v] = t.rows[i] as u32;
+    }
+    Ok(())
+}
+
+/// Adopts committed replica-mask rows from an epoch-sync frame. The
+/// committed row is a superset of the local one (OR-merge of a set this
+/// worker contributed to), so overwriting never loses local bits.
+fn apply_mask_sync(replicas: &mut ReplicaTable, t: &EpochTable) -> Result<()> {
+    let wr = replicas.words_per_row();
+    if t.rows.len() != t.keys.len() * wr {
+        return Err(PartitionError::InvalidParam(
+            "epoch sync payload does not match key count".into(),
+        ));
+    }
+    for (i, &key) in t.keys.iter().enumerate() {
+        replicas.ensure_vertices(key + 1)?;
+        replicas.import_row(key as u32, &t.rows[i * wr..(i + 1) * wr]);
+    }
+    Ok(())
 }

@@ -38,6 +38,15 @@
 //! --socket-dir <d>  where unix-transport sockets live (default: a fresh
 //!                   temp directory); stale *.sock files there are removed
 //!                   at startup
+//! --ampc-mode <m>   sequenced (default: the streaming token makes results
+//!                   bit-identical to the monolith) | relaxed (workers
+//!                   stream concurrently against local tables and reconcile
+//!                   at epoch barriers; deterministic for a fixed worker
+//!                   count, but quality drifts from the monolith)
+//! --ampc-epoch-chunks <N>
+//!                   relaxed mode: chunks a worker streams between epoch
+//!                   barriers (default 8; smaller = fresher scores, more
+//!                   exchange)
 //! --worker-timeout <secs>
 //!                   distributed runs: max silence from a worker before its
 //!                   link is declared dead (default 30; 0 disables the
@@ -59,8 +68,8 @@
 use clugp::ampc::coordinator::DistAlgo;
 use clugp::ampc::proto::Msg;
 use clugp::ampc::{
-    run_coordinator, run_distributed, run_worker, DistConfig, DistInput, NetStats, SuperviseConfig,
-    Transport, TransportKind, UnixTransport,
+    run_coordinator, run_distributed, run_worker, AmpcMode, DistConfig, DistInput, NetStats,
+    SuperviseConfig, Transport, TransportKind, UnixTransport,
 };
 use clugp::baselines::{Dbh, Greedy, Grid, Hashing, Hdrf, Mint, MintConfig};
 use clugp::clugp::{Clugp, ClugpConfig};
@@ -98,6 +107,8 @@ struct Options {
     output: Option<String>,
     workers: u32,
     transport: String,
+    ampc_mode: AmpcMode,
+    ampc_epoch_chunks: u32,
     socket_dir: Option<String>,
     worker_timeout: Option<f64>,
     max_retries: Option<u32>,
@@ -123,6 +134,8 @@ impl Default for Options {
             output: None,
             workers: 1,
             transport: "channel".into(),
+            ampc_mode: AmpcMode::Sequenced,
+            ampc_epoch_chunks: 0,
             socket_dir: None,
             worker_timeout: None,
             max_retries: None,
@@ -213,6 +226,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     ));
                 }
             }
+            "--ampc-mode" => {
+                opts.ampc_mode = match value("--ampc-mode")?.to_lowercase().as_str() {
+                    "sequenced" => AmpcMode::Sequenced,
+                    "relaxed" => AmpcMode::Relaxed,
+                    other => {
+                        return Err(format!(
+                            "--ampc-mode must be sequenced or relaxed, got {other:?}"
+                        ))
+                    }
+                };
+            }
+            "--ampc-epoch-chunks" => {
+                opts.ampc_epoch_chunks = value("--ampc-epoch-chunks")?
+                    .parse()
+                    .map_err(|e| format!("--ampc-epoch-chunks: {e}"))?;
+                if opts.ampc_epoch_chunks == 0 {
+                    return Err("--ampc-epoch-chunks must be >= 1".into());
+                }
+            }
             "--socket-dir" => opts.socket_dir = Some(value("--socket-dir")?),
             "--worker-timeout" => {
                 let secs: f64 = value("--worker-timeout")?
@@ -269,6 +301,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 .into(),
         );
     }
+    let ampc_flags = opts.ampc_mode != AmpcMode::Sequenced || opts.ampc_epoch_chunks != 0;
+    if ampc_flags && !distributed(&opts) {
+        return Err("--ampc-mode/--ampc-epoch-chunks apply to distributed runs \
+             (--workers > 1 or --transport unix)"
+            .into());
+    }
     Ok(opts)
 }
 
@@ -294,6 +332,8 @@ fn dist_config(opts: &Options) -> DistConfig {
         },
         checkpoint_dir: opts.checkpoint_dir.as_ref().map(PathBuf::from),
         resume: opts.resume,
+        mode: opts.ampc_mode,
+        epoch_chunks: opts.ampc_epoch_chunks,
         ..Default::default()
     }
 }
@@ -475,6 +515,7 @@ fn run(opts: &Options) -> Result<(), String> {
         println!("mirrors            = {}", quality.mirrors);
         println!("partition time     = {:?}", start.elapsed());
         println!("workers            = {} ({})", out.workers, opts.transport);
+        println!("ampc mode          = {}", opts.ampc_mode.name());
         println!("recoveries         = {}", out.recoveries);
         println!(
             "bytes exchanged    = {} ({} frames)",
@@ -882,6 +923,7 @@ fn main() -> ExitCode {
              [--order bfs|dfs|random|asis] [--tau F] [--threads N] [--chunk-size N] \
              [--decode-threads N] [--prefetch D] [--checksums full|header|off] [--sparse] \
              [--output file] [--workers N] [--transport channel|unix] [--socket-dir dir] \
+             [--ampc-mode sequenced|relaxed] [--ampc-epoch-chunks N] \
              [--worker-timeout S] [--max-retries N] [--checkpoint-dir dir] [--resume] \
              [--emit-placement dir]"
         );
@@ -1178,6 +1220,65 @@ mod tests {
         let err =
             parse_args(&strs(&["g.txt", "--k", "4", "--sparse", "--workers", "2"])).unwrap_err();
         assert!(err.contains("--sparse"), "{err}");
+    }
+
+    #[test]
+    fn ampc_mode_flags_parse_and_validate() {
+        let o = parse_args(&strs(&[
+            "g.txt",
+            "--k",
+            "4",
+            "--workers",
+            "2",
+            "--ampc-mode",
+            "relaxed",
+        ]))
+        .unwrap();
+        assert_eq!(o.ampc_mode, AmpcMode::Relaxed);
+        assert_eq!(o.ampc_epoch_chunks, 0);
+        assert_eq!(dist_config(&o).mode, AmpcMode::Relaxed);
+
+        let o = parse_args(&strs(&[
+            "g.txt",
+            "--k",
+            "4",
+            "--workers",
+            "2",
+            "--ampc-mode",
+            "sequenced",
+            "--ampc-epoch-chunks",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(o.ampc_mode, AmpcMode::Sequenced);
+        assert_eq!(o.ampc_epoch_chunks, 4);
+        assert_eq!(dist_config(&o).epoch_chunks, 4);
+
+        let err = parse_args(&strs(&[
+            "g.txt",
+            "--k",
+            "4",
+            "--workers",
+            "2",
+            "--ampc-mode",
+            "eventual",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--ampc-mode"), "{err}");
+        let err = parse_args(&strs(&[
+            "g.txt",
+            "--k",
+            "4",
+            "--workers",
+            "2",
+            "--ampc-epoch-chunks",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--ampc-epoch-chunks"), "{err}");
+        // Both knobs require a distributed run.
+        let err = parse_args(&strs(&["g.txt", "--k", "4", "--ampc-mode", "relaxed"])).unwrap_err();
+        assert!(err.contains("distributed"), "{err}");
     }
 
     #[test]

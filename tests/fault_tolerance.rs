@@ -9,8 +9,8 @@
 
 use clugp::ampc::coordinator::DistAlgo;
 use clugp::ampc::{
-    run_distributed, DistConfig, DistInput, FaultAction, FaultPlan, FaultScript, SuperviseConfig,
-    TransportKind,
+    run_distributed, AmpcMode, DistConfig, DistInput, FaultAction, FaultPlan, FaultScript,
+    SuperviseConfig, TransportKind,
 };
 use clugp::clugp::Clugp;
 use clugp::error::PartitionError;
@@ -298,6 +298,85 @@ fn baseline_algorithms_recover_too() {
         reference,
         "recovered HDRF run diverged from the monolith"
     );
+}
+
+#[test]
+fn relaxed_mode_recovers_to_the_undisturbed_relaxed_result() {
+    // Relaxed mode is deterministic for a fixed worker count, so crash
+    // recovery has a precise convergence target: the fault-free relaxed
+    // run. A severed link mid-stage must replay the segment and land on
+    // those exact bits — for the epoch-synchronized baseline flow and for
+    // the multi-barrier CLUGP flow alike.
+    let (n, edges) = test_web_graph(900, 61);
+    let k = 8;
+    let algos = [("HDRF", DistAlgo::hdrf()), ("CLUGP", DistAlgo::clugp())];
+    for (name, algo) in algos {
+        let cfg = |faults: FaultPlan| DistConfig {
+            workers: 3,
+            mode: AmpcMode::Relaxed,
+            chunk_edges: 64,
+            epoch_chunks: 2,
+            supervise: supervised(600, 3),
+            faults,
+            ..Default::default()
+        };
+        let reference = run_distributed(
+            &algo,
+            DistInput::Edges {
+                num_vertices: n,
+                edges: &edges,
+            },
+            k,
+            &cfg(FaultPlan::none()),
+        )
+        .unwrap_or_else(|e| panic!("{name}: fault-free relaxed run: {e}"));
+        for (case, worker, script) in [
+            (
+                "link severed mid-send",
+                1,
+                FaultScript::disconnect_at_send(4),
+            ),
+            (
+                "inbound frame swallowed",
+                2,
+                FaultScript {
+                    on_recv: vec![(3, FaultAction::DropFrame)],
+                    on_send: Vec::new(),
+                },
+            ),
+        ] {
+            let mut faults = FaultPlan::none();
+            faults.push(worker, 0, script);
+            let out = run_distributed(
+                &algo,
+                DistInput::Edges {
+                    num_vertices: n,
+                    edges: &edges,
+                },
+                k,
+                &cfg(faults),
+            )
+            .unwrap_or_else(|e| panic!("{name}/{case}: relaxed run did not recover: {e}"));
+            assert!(
+                out.recoveries >= 1,
+                "{name}/{case}: the scripted fault never fired"
+            );
+            assert_eq!(
+                (
+                    out.partitioning.assignments,
+                    out.partitioning.loads,
+                    out.partitioning.num_vertices
+                ),
+                (
+                    reference.partitioning.assignments.clone(),
+                    reference.partitioning.loads.clone(),
+                    reference.partitioning.num_vertices
+                ),
+                "{name}/{case}: recovered relaxed run diverged from the \
+                 undisturbed relaxed run"
+            );
+        }
+    }
 }
 
 #[test]
