@@ -152,8 +152,35 @@ pub struct FaultProbe {
     /// For completed runs: assignments identical to the monolith. Always
     /// true in a passing bench (asserted); errors report false.
     pub bit_identical: bool,
+    /// Milliseconds spent persisting barrier checkpoints during the probe.
+    pub ckpt_write_ms: f64,
+    /// Milliseconds spent restoring checkpoints in recovery replays.
+    pub ckpt_restore_ms: f64,
     /// The typed error for `typed-error` outcomes, empty otherwise.
     pub error: String,
+}
+
+/// One tracing-overhead cell (the `trace_overhead` rows of
+/// `BENCH_ampc.json`): the same 4-worker sequenced run with event
+/// recording off and on.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TraceRun {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Worker count of the cell.
+    pub workers: u32,
+    /// Best-of-repeats wall clock with tracing off, seconds.
+    pub off_secs: f64,
+    /// Best-of-repeats wall clock with tracing on, seconds.
+    pub on_secs: f64,
+    /// `on_secs / off_secs` — the cost of recording and shipping events.
+    pub overhead: f64,
+    /// Events the traced run recorded across all lanes.
+    pub events: u64,
+    /// Traced assignments identical to the untraced run's (asserted).
+    pub bit_identical: bool,
 }
 
 /// The `results/BENCH_ampc.json` payload.
@@ -190,6 +217,9 @@ pub struct AmpcReport {
     pub checkpoint_overhead: f64,
     /// Seeded fault-injection probes of the supervised engine.
     pub fault_probes: Vec<FaultProbe>,
+    /// Tracing-overhead cells: event recording off vs on, per dataset
+    /// (the observability contract: off by default, ≤5% when on).
+    pub trace_overhead: Vec<TraceRun>,
 }
 
 /// Monolith/distributed pairs the sweep measures: the streaming baseline
@@ -392,6 +422,7 @@ pub fn ampc(ctx: &ExpContext) {
     table.save_csv(&results_dir().join("BENCH_ampc.csv")).ok();
 
     let (plain_secs, supervised_secs, fault_probes) = fault_leg(ctx, k);
+    let trace_overhead = trace_leg(ctx, k);
     let report = AmpcReport {
         datasets: datasets.iter().map(|d| d.name().to_string()).collect(),
         k,
@@ -418,6 +449,7 @@ pub fn ampc(ctx: &ExpContext) {
         supervised_secs,
         checkpoint_overhead: supervised_secs / plain_secs.max(f64::EPSILON),
         fault_probes,
+        trace_overhead,
     };
     save_json("BENCH_ampc", &report).ok();
     assert!(
@@ -495,7 +527,15 @@ fn fault_leg(ctx: &ExpContext, k: u32) -> (f64, f64, Vec<FaultProbe>) {
 
     let mut table = Table::new(
         "BENCH_ampc faults — seeded fault injection, supervised CLUGP (uk-s, 4 workers)",
-        &["Seed", "Outcome", "Recoveries", "Time", "Identical"],
+        &[
+            "Seed",
+            "Outcome",
+            "Recoveries",
+            "Time",
+            "CkptWrite",
+            "CkptRestore",
+            "Identical",
+        ],
     );
     let mut probes = Vec::new();
     for seed in seeds {
@@ -523,6 +563,8 @@ fn fault_leg(ctx: &ExpContext, k: u32) -> (f64, f64, Vec<FaultProbe>) {
                     recoveries: out.recoveries,
                     secs: t.elapsed().as_secs_f64(),
                     bit_identical,
+                    ckpt_write_ms: out.ckpt_write_us as f64 / 1e3,
+                    ckpt_restore_ms: out.ckpt_restore_us as f64 / 1e3,
                     error: String::new(),
                 }
             }
@@ -532,6 +574,8 @@ fn fault_leg(ctx: &ExpContext, k: u32) -> (f64, f64, Vec<FaultProbe>) {
                 recoveries: 0,
                 secs: t.elapsed().as_secs_f64(),
                 bit_identical: false,
+                ckpt_write_ms: 0.0,
+                ckpt_restore_ms: 0.0,
                 error: e.to_string(),
             },
         };
@@ -540,6 +584,8 @@ fn fault_leg(ctx: &ExpContext, k: u32) -> (f64, f64, Vec<FaultProbe>) {
             probe.outcome.clone(),
             probe.recoveries.to_string(),
             format!("{:.3}s", probe.secs),
+            format!("{:.1}ms", probe.ckpt_write_ms),
+            format!("{:.1}ms", probe.ckpt_restore_ms),
             probe.bit_identical.to_string(),
         ]);
         probes.push(probe);
@@ -555,4 +601,85 @@ fn fault_leg(ctx: &ExpContext, k: u32) -> (f64, f64, Vec<FaultProbe>) {
         "the seeded plans exercised no fault at all"
     );
     (plain_secs, supervised_secs, probes)
+}
+
+/// The tracing-overhead leg: the observability contract is "compiled in,
+/// off by default, ≤5% when on". Runs the 4-worker sequenced CLUGP cell
+/// on each dataset with event recording off and on, asserting that the
+/// traced partition is bit-identical and the wall-clock penalty bounded
+/// (best-of-repeats ratio, with a small absolute floor absorbing
+/// scheduler noise at bench scale).
+fn trace_leg(ctx: &ExpContext, k: u32) -> Vec<TraceRun> {
+    let workers = 4u32;
+    let repeats = 3usize;
+    let mut table = Table::new(
+        "BENCH_ampc tracing — event recording overhead (CLUGP, 4 workers, channel)",
+        &["Dataset", "Off", "On", "Overhead", "Events", "Identical"],
+    );
+    let mut runs = Vec::new();
+    for ds in [Dataset::UkS, Dataset::TwitterS] {
+        let prep = PreparedDataset::load(ds, ctx.scale);
+        let n = prep.graph.num_vertices();
+        let edges = prep.edges_for(Algorithm::Clugp);
+        let input = DistInput::Edges {
+            num_vertices: n,
+            edges,
+        };
+        let timed = |trace: bool| {
+            let cfg = DistConfig {
+                workers,
+                trace,
+                ..Default::default()
+            };
+            let mut secs = f64::INFINITY;
+            let mut out = None;
+            for _ in 0..repeats {
+                let t = std::time::Instant::now();
+                let o = run_distributed(&DistAlgo::clugp(), input, k, &cfg).expect("trace leg");
+                secs = secs.min(t.elapsed().as_secs_f64());
+                out = Some(o);
+            }
+            (secs, out.expect("at least one repeat"))
+        };
+        let (off_secs, off) = timed(false);
+        let (on_secs, on) = timed(true);
+        assert!(
+            off.trace.events.is_empty(),
+            "tracing off must record nothing"
+        );
+        let events = on.trace.events.len() as u64;
+        assert!(events > 0, "tracing on recorded no events");
+        let bit_identical = on.partitioning.assignments == off.partitioning.assignments;
+        assert!(
+            bit_identical,
+            "{}: tracing changed the partition",
+            prep.name
+        );
+        assert!(
+            on_secs <= off_secs * 1.05 + 0.05,
+            "{}: tracing overhead above 5%: off={off_secs:.3}s on={on_secs:.3}s",
+            prep.name
+        );
+        let run = TraceRun {
+            dataset: prep.name.clone(),
+            algorithm: Algorithm::Clugp.name().to_string(),
+            workers,
+            off_secs,
+            on_secs,
+            overhead: on_secs / off_secs.max(f64::EPSILON),
+            events,
+            bit_identical,
+        };
+        table.row(vec![
+            run.dataset.clone(),
+            format!("{:.3}s", run.off_secs),
+            format!("{:.3}s", run.on_secs),
+            format!("{:.2}x", run.overhead),
+            run.events.to_string(),
+            run.bit_identical.to_string(),
+        ]);
+        runs.push(run);
+    }
+    table.print();
+    runs
 }

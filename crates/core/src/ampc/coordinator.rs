@@ -47,9 +47,10 @@ use crate::error::{FaultKind, PartitionError, Result};
 use crate::partition::Partitioning;
 use crate::vertex_table::{cap_error, VertexTable, DEFAULT_MAX_VERTICES};
 use clugp_graph::pack::ShardedPackReader;
+use clugp_obs::{self as obs, TraceRecord};
 use rustc_hash::FxHashMap;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Host-provided factory for a replacement worker link: kills whatever is
 /// left of worker `i`, brings up a fresh one (thread or process), and
@@ -170,6 +171,20 @@ pub struct DistOutcome {
     pub workers: u32,
     /// Pass replays the supervisor performed (0 on an undisturbed run).
     pub recoveries: u32,
+    /// Total microseconds spent persisting barrier checkpoints to disk
+    /// (encode + tmp write + fsync + rename). Measured on every run with
+    /// a checkpoint directory, traced or not.
+    pub ckpt_write_us: u64,
+    /// Checkpoints persisted to disk.
+    pub ckpt_writes: u64,
+    /// Total microseconds spent restoring checkpointed state into the
+    /// fleet (reset probes + row republish).
+    pub ckpt_restore_us: u64,
+    /// Checkpoint restores performed (resumes and recoveries).
+    pub ckpt_restores: u64,
+    /// Merged observability record: coordinator lane plus one lane per
+    /// worker. Empty unless [`super::DistConfig::trace`] was set.
+    pub trace: TraceRecord,
 }
 
 /// Prefixes retryable fault details with the worker index so a terminal
@@ -190,9 +205,64 @@ struct Coord {
     retired: NetStats,
     /// Reused encode buffer for every outgoing frame.
     scratch: Vec<u8>,
+    /// Whether this run records observability events.
+    trace_on: bool,
+    /// The merged record: coordinator events land on lane 0 directly,
+    /// worker frames are absorbed in `recv`.
+    trace: TraceRecord,
 }
 
 impl Coord {
+    /// Span start helper: a timestamp when tracing, 0 (unused) otherwise.
+    fn t0(&self) -> u64 {
+        if self.trace_on {
+            obs::now_us()
+        } else {
+            0
+        }
+    }
+
+    /// Records a coordinator-lane span ending now.
+    fn span(&mut self, name: &str, start_us: u64, arg: u64) {
+        if self.trace_on {
+            self.trace.push(
+                obs::LANE_COORDINATOR,
+                obs::Event::span_since(name, start_us, arg),
+            );
+        }
+    }
+
+    /// Records a coordinator-lane point event.
+    fn instant(&mut self, name: &str, arg: u64) {
+        if self.trace_on {
+            self.trace
+                .push(obs::LANE_COORDINATOR, obs::Event::instant_now(name, arg));
+        }
+    }
+
+    /// Merges a worker's flushed event frame into its lane, re-basing the
+    /// sender's monotonic timestamps onto the coordinator clock via the
+    /// `now_us` the frame was stamped with (multi-process lanes have
+    /// unrelated epochs; in-process ones get an offset near zero).
+    fn absorb_trace(
+        &mut self,
+        from: usize,
+        frame_now_us: u64,
+        dropped: u64,
+        events: Vec<obs::Event>,
+    ) {
+        if !self.trace_on {
+            return;
+        }
+        let offset = obs::now_us() as i64 - frame_now_us as i64;
+        let lane = obs::worker_lane(from as u32);
+        self.trace.dropped += dropped;
+        for mut e in events {
+            e.ts_us = (e.ts_us as i64 + offset).max(0) as u64;
+            self.trace.push(lane, e);
+        }
+    }
+
     fn send(&mut self, to: usize, msg: &Msg) -> Result<()> {
         let mut buf = std::mem::take(&mut self.scratch);
         msg.encode_into(&mut buf);
@@ -202,18 +272,31 @@ impl Coord {
     }
 
     fn recv(&mut self, from: usize) -> Result<Msg> {
-        let frame = self.conns[from].recv().map_err(|e| tag_worker(from, e))?;
-        match Msg::decode(&frame) {
-            // A worker-reported error is deterministic (bad input, corrupt
-            // pack): replaying it would only fail again, so it stays fatal.
-            Ok(Msg::Err { msg }) => Err(PartitionError::InvalidParam(msg)),
-            Ok(msg) => Ok(msg),
-            // An undecodable frame means the link itself mangled data: a
-            // respawn gets a clean stream, so this is retryable.
-            Err(e) => Err(PartitionError::fault(
-                FaultKind::Corrupt,
-                format!("worker {from}: undecodable frame: {e}"),
-            )),
+        loop {
+            let frame = self.conns[from].recv().map_err(|e| tag_worker(from, e))?;
+            match Msg::decode(&frame) {
+                // The observability side-channel piggybacks on every recv
+                // path: absorb it and keep waiting for the frame this call
+                // was actually after.
+                Ok(Msg::TraceEvents {
+                    now_us,
+                    dropped,
+                    events,
+                }) => self.absorb_trace(from, now_us, dropped, events),
+                // A worker-reported error is deterministic (bad input,
+                // corrupt pack): replaying it would only fail again, so it
+                // stays fatal.
+                Ok(Msg::Err { msg }) => return Err(PartitionError::InvalidParam(msg)),
+                Ok(msg) => return Ok(msg),
+                // An undecodable frame means the link itself mangled data:
+                // a respawn gets a clean stream, so this is retryable.
+                Err(e) => {
+                    return Err(PartitionError::fault(
+                        FaultKind::Corrupt,
+                        format!("worker {from}: undecodable frame: {e}"),
+                    ))
+                }
+            }
         }
     }
 
@@ -428,6 +511,11 @@ impl Coord {
                     rows,
                 });
             }
+            // Epoch drift: how many distinct keys this reconcile had to
+            // merge and rebroadcast (ROADMAP item 4 wants this visible
+            // before the EpochSync filtering work can be tuned).
+            let drift: u64 = sync_tables.iter().map(|t| t.keys.len() as u64).sum();
+            self.instant("epoch_sync", drift);
             for w in 0..workers {
                 self.send(
                     w,
@@ -507,6 +595,13 @@ struct Supervisor<'a> {
     last: Option<Checkpoint>,
     ckpt_dir: Option<PathBuf>,
     recoveries: u32,
+    /// Checkpoint persist/restore durations, accumulated on every run
+    /// (the metrics snapshot and the bench fault leg report them even
+    /// when event tracing is off).
+    ckpt_write_us: u64,
+    ckpt_writes: u64,
+    ckpt_restore_us: u64,
+    ckpt_restores: u64,
     // Checkpoint fingerprint, filled in by `drive`. Relaxed runs use a
     // distinct "<name>+relaxed" fingerprint: their checkpoints are not
     // interchangeable with sequenced ones.
@@ -543,6 +638,8 @@ impl<'a> Supervisor<'a> {
                 conns,
                 retired: NetStats::default(),
                 scratch: Vec::new(),
+                trace_on: cfg.trace,
+                trace: TraceRecord::default(),
             },
             policy,
             faults,
@@ -553,6 +650,10 @@ impl<'a> Supervisor<'a> {
             last: None,
             ckpt_dir: cfg.checkpoint_dir.clone(),
             recoveries: 0,
+            ckpt_write_us: 0,
+            ckpt_writes: 0,
+            ckpt_restore_us: 0,
+            ckpt_restores: 0,
             algo_name,
             k: 0,
             m: 0,
@@ -579,6 +680,7 @@ impl<'a> Supervisor<'a> {
     /// empty, ready for [`Supervisor::restore`].
     fn recover(&mut self) -> Result<()> {
         self.recoveries += 1;
+        self.coord.instant("retry", u64::from(self.recoveries));
         let exp = self.recoveries.saturating_sub(1).min(16);
         let wait = self.policy.backoff.saturating_mul(1u32 << exp);
         if !wait.is_zero() {
@@ -622,6 +724,7 @@ impl<'a> Supervisor<'a> {
             ));
         }
         self.coord.retired.merge(self.coord.conns[w].stats());
+        self.coord.instant("respawn", w as u64);
         let link = respawn(w as u32).map_err(|e| tag_worker(w, e))?;
         self.incarnation[w] += 1;
         let mut link = wrap_link(&self.faults, w as u32, self.incarnation[w], link);
@@ -707,7 +810,12 @@ impl<'a> Supervisor<'a> {
             tables,
         };
         if let Some(dir) = &self.ckpt_dir {
+            let t0 = self.coord.t0();
+            let started = Instant::now();
             write_checkpoint(dir, &ck)?;
+            self.ckpt_write_us += started.elapsed().as_micros() as u64;
+            self.ckpt_writes += 1;
+            self.coord.span("checkpoint:write", t0, seq);
         }
         self.last = Some(ck);
         Ok(())
@@ -718,6 +826,8 @@ impl<'a> Supervisor<'a> {
     /// sequenced earlier workers already published), so restore always
     /// rebuilds the whole fleet, not just the respawned links.
     fn restore(&mut self, ck: &Checkpoint) -> Result<()> {
+        let t0 = self.coord.t0();
+        let started = Instant::now();
         let workers = self.coord.conns.len();
         for w in 0..workers {
             self.probe_reset(w)?;
@@ -755,6 +865,9 @@ impl<'a> Supervisor<'a> {
                 )?;
             }
         }
+        self.ckpt_restore_us += started.elapsed().as_micros() as u64;
+        self.ckpt_restores += 1;
+        self.coord.span("checkpoint:restore", t0, ck.seq);
         Ok(())
     }
 
@@ -810,6 +923,11 @@ pub fn run_coordinator(
         net: sup.net(),
         workers,
         recoveries: sup.recoveries,
+        ckpt_write_us: sup.ckpt_write_us,
+        ckpt_writes: sup.ckpt_writes,
+        ckpt_restore_us: sup.ckpt_restore_us,
+        ckpt_restores: sup.ckpt_restores,
+        trace: std::mem::take(&mut sup.coord.trace),
     })
 }
 
@@ -962,6 +1080,7 @@ fn drive(
             algo: algo_spec.clone(),
             input,
             tables: tables.clone(),
+            trace: cfg.trace,
         });
     }
     for (w, setup) in setups.iter().enumerate() {
@@ -1041,6 +1160,7 @@ fn baseline_flow(
         ..Default::default()
     };
     let token0 = sup.enter_segment(1, stage, fresh, resume, 0, 0)?;
+    let t0 = sup.coord.t0();
     let mut assignments = Vec::new();
     let token = match mode {
         AmpcMode::Sequenced => sup.coord.run_stage(stage, token0, &mut assignments, None)?,
@@ -1064,6 +1184,8 @@ fn baseline_flow(
             merge_relaxed_tokens(tokens, !epoch_synced)
         }
     };
+    sup.coord
+        .span("pass:baseline", t0, assignments.len() as u64);
     let num_vertices = match algo {
         DistAlgo::Dbh { .. } | DistAlgo::Greedy { .. } | DistAlgo::Hdrf(_) => {
             n_hint.max(token.table_len)
@@ -1219,6 +1341,7 @@ fn clugp_flow(
         };
         let stage = Stage::ClugpPass1 { vmax };
         let token0 = sup.enter_segment(1, stage, Token::default(), resume, 0, 0)?;
+        let t0 = sup.coord.t0();
 
         // Assemble the authoritative vertex state: sequenced runs scan the
         // sharded tables; relaxed runs merge the locally-clustered
@@ -1289,6 +1412,9 @@ fn clugp_flow(
                 },
             )?;
         }
+        // Pass 1 proper plus the coordinator's compaction/republish work
+        // between passes — the "streaming clustering" half of Fig. 10.
+        sup.coord.span("pass:pass1", t0, m_real);
     }
 
     if target <= 2 {
@@ -1296,6 +1422,7 @@ fn clugp_flow(
         // worker (= stream) order.
         let stage = Stage::ClugpPairs { num_clusters };
         let token0 = sup.enter_segment(2, stage, Token::default(), resume, m_real, num_clusters)?;
+        let t0 = sup.coord.t0();
         let mut no_assign = Vec::new();
         let mut pairs: Vec<PairsPayload> = Vec::new();
         if relaxed {
@@ -1346,6 +1473,9 @@ fn clugp_flow(
                 },
             )?;
         }
+        // Cluster graph + game/greedy assignment + map publish — the
+        // "partitioning" half of Fig. 10.
+        sup.coord.span("pass:pairs", t0, num_clusters);
     }
 
     // Pass 3: partition transformation under the balance cap.
@@ -1362,6 +1492,7 @@ fn clugp_flow(
         m_real,
         num_clusters,
     )?;
+    let t0 = sup.coord.t0();
     let mut assignments = Vec::new();
     let token = if relaxed {
         cast_table(sup, T_MAIN)?;
@@ -1372,6 +1503,8 @@ fn clugp_flow(
     } else {
         sup.coord.run_stage(stage, token0, &mut assignments, None)?
     };
+    sup.coord
+        .span("pass:transform", t0, assignments.len() as u64);
     Ok(Partitioning {
         k,
         // `table_len` is the max vertex id (+1) any worker saw — the same

@@ -174,6 +174,10 @@ pub struct DistConfig {
     /// (0 = the default of 8). Smaller epochs mean fresher scores and
     /// more exchange; sequenced mode ignores this.
     pub epoch_chunks: u32,
+    /// Record observability spans/instants on the coordinator and every
+    /// worker and merge them into [`DistOutcome::trace`] (DESIGN.md §12).
+    /// Off by default; placement decisions are unaffected either way.
+    pub trace: bool,
 }
 
 /// Default number of chunks per relaxed-mode epoch.
@@ -191,6 +195,7 @@ impl Default for DistConfig {
             resume: false,
             mode: AmpcMode::Sequenced,
             epoch_chunks: 0,
+            trace: false,
         }
     }
 }

@@ -26,12 +26,22 @@
 //! bounded window. The `Epoch*` messages and [`Msg::TableCast`] belong to
 //! the relaxed concurrent mode, where every worker streams at once and
 //! state is reconciled at epoch barriers instead of per chunk.
+//!
+//! [`Msg::TraceEvents`] is the observability side-channel (DESIGN.md
+//! §12): when the run is traced, workers flush their buffered
+//! [`clugp_obs::Event`]s to the coordinator just before each `StageDone`,
+//! as one frame carrying a per-frame name table (each distinct event name
+//! once) plus varint-packed timestamps. The frame also stamps the
+//! sender's monotonic clock so the coordinator can re-base multi-process
+//! lanes onto its own timeline. The verb is fire-and-forget and carries
+//! no partitioning state, so tracing cannot perturb placement decisions.
 
 use super::table::{Layout, MergeOp};
 use super::wire::{Rd, Wr};
 use super::AmpcMode;
 use crate::error::{PartitionError, Result};
 use clugp_graph::types::Edge;
+use clugp_obs::{Event, EventKind};
 
 fn bad(what: &str) -> PartitionError {
     PartitionError::InvalidParam(format!("malformed protocol frame: {what}"))
@@ -253,6 +263,11 @@ pub struct WorkerSetup {
     pub input: InputSpec,
     /// Table slots, referenced by index in [`StateOp`] messages.
     pub tables: Vec<TableDef>,
+    /// Record spans/instants and flush them as [`Msg::TraceEvents`]
+    /// frames before every `StageDone`. Off by default; carried in the
+    /// handshake (not a CLI flag on respawned processes) so every
+    /// incarnation of a worker agrees with the coordinator.
+    pub trace: bool,
 }
 
 /// A worker's partial cluster-graph aggregation (CLUGP pairs stage).
@@ -425,6 +440,19 @@ pub enum Msg {
         keys: Vec<u64>,
         /// Flattened row words.
         rows: Vec<u64>,
+    },
+    /// Worker → coordinator (traced runs only): the worker's buffered
+    /// observability events, flushed just before `StageDone`. Carries no
+    /// partitioning state; the coordinator absorbs it on any receive
+    /// path and keeps waiting for the frame it actually asked for.
+    TraceEvents {
+        /// The sender's monotonic clock at flush time, for re-basing
+        /// event timestamps onto the coordinator's clock.
+        now_us: u64,
+        /// Events the sender lost to its buffer cap.
+        dropped: u64,
+        /// The buffered events, oldest first.
+        events: Vec<Event>,
     },
 }
 
@@ -636,6 +664,7 @@ fn put_setup(w: &mut Wr, s: &WorkerSetup) {
         put_layout(w, t.layout);
         w.u32(t.width);
     }
+    w.bool(s.trace);
 }
 
 fn get_setup(r: &mut Rd<'_>) -> Result<WorkerSetup> {
@@ -695,6 +724,7 @@ fn get_setup(r: &mut Rd<'_>) -> Result<WorkerSetup> {
             width: r.u32()?,
         });
     }
+    let trace = r.bool()?;
     Ok(WorkerSetup {
         worker,
         workers,
@@ -704,7 +734,68 @@ fn get_setup(r: &mut Rd<'_>) -> Result<WorkerSetup> {
         algo,
         input,
         tables,
+        trace,
     })
+}
+
+fn put_trace_events(w: &mut Wr, now_us: u64, dropped: u64, events: &[Event]) {
+    w.vu64(now_us);
+    w.vu64(dropped);
+    // Per-frame name table: each distinct name shipped once, in
+    // first-seen order; events refer to names by index. A worker emits a
+    // handful of distinct names per stage, so linear lookup beats a map.
+    let mut names: Vec<&str> = Vec::new();
+    for e in events {
+        if !names.contains(&e.name.as_str()) {
+            names.push(&e.name);
+        }
+    }
+    w.vu64(names.len() as u64);
+    for name in &names {
+        w.str(name);
+    }
+    w.vu64(events.len() as u64);
+    for e in events {
+        let idx = names.iter().position(|n| *n == e.name).unwrap();
+        w.vu64(idx as u64);
+        w.u8(e.kind.tag());
+        w.vu64(e.ts_us);
+        w.vu64(e.dur_us);
+        w.vu64(e.arg);
+    }
+}
+
+fn get_trace_events(r: &mut Rd<'_>) -> Result<(u64, u64, Vec<Event>)> {
+    let now_us = r.vu64()?;
+    let dropped = r.vu64()?;
+    let n_names = r.vu64()?;
+    if n_names > 4096 {
+        return Err(bad("trace name count"));
+    }
+    let mut names = Vec::with_capacity(n_names as usize);
+    for _ in 0..n_names {
+        names.push(r.str()?);
+    }
+    let n_events = r.vu64()?;
+    if n_events > clugp_obs::EVENT_CAP as u64 {
+        return Err(bad("trace event count"));
+    }
+    // No capacity from the untrusted count: a lying count runs out of
+    // frame bytes long before it runs out of memory.
+    let mut events = Vec::new();
+    for _ in 0..n_events {
+        let idx = r.vu64()? as usize;
+        let name = names.get(idx).ok_or_else(|| bad("trace name index"))?;
+        let kind = EventKind::from_tag(r.u8()?).ok_or_else(|| bad("trace event kind"))?;
+        events.push(Event {
+            name: name.clone(),
+            kind,
+            ts_us: r.vu64()?,
+            dur_us: r.vu64()?,
+            arg: r.vu64()?,
+        });
+    }
+    Ok((now_us, dropped, events))
 }
 
 fn put_batch_ops(w: &mut Wr, ops: &[BatchOp]) {
@@ -838,6 +929,7 @@ impl Msg {
             Msg::EpochSync { .. } => "EpochSync",
             Msg::Pass1Frontier { .. } => "Pass1Frontier",
             Msg::TableCast { .. } => "TableCast",
+            Msg::TraceEvents { .. } => "TraceEvents",
         }
     }
 
@@ -846,7 +938,7 @@ impl Msg {
     ///
     /// [`NetStats`]: super::transport::NetStats
     pub fn verb_name(tag: usize) -> &'static str {
-        const NAMES: [&str; 23] = [
+        const NAMES: [&str; 24] = [
             "Hello",
             "Configure",
             "ConfigureOk",
@@ -870,6 +962,7 @@ impl Msg {
             "EpochSync",
             "Pass1Frontier",
             "TableCast",
+            "TraceEvents",
         ];
         NAMES.get(tag).copied().unwrap_or("unknown")
     }
@@ -1011,6 +1104,14 @@ impl Msg {
                 w.delta_u64s(keys);
                 w.vu64s(rows);
             }
+            Msg::TraceEvents {
+                now_us,
+                dropped,
+                events,
+            } => {
+                w.u8(23);
+                put_trace_events(w, *now_us, *dropped, events);
+            }
         }
     }
 
@@ -1097,6 +1198,14 @@ impl Msg {
                 keys: r.delta_u64s()?,
                 rows: r.vu64s()?,
             },
+            23 => {
+                let (now_us, dropped, events) = get_trace_events(&mut r)?;
+                Msg::TraceEvents {
+                    now_us,
+                    dropped,
+                    events,
+                }
+            }
             _ => return Err(bad("message tag")),
         };
         if !r.done() {
@@ -1142,6 +1251,7 @@ mod tests {
                     width: 1,
                 },
             ],
+            trace: true,
         })));
         round_trip(Msg::ConfigureOk);
         round_trip(Msg::RunStage {
@@ -1274,12 +1384,13 @@ mod tests {
 
     #[test]
     fn verb_names_cover_every_tag() {
-        for tag in 0..23usize {
+        for tag in 0..24usize {
             assert_ne!(Msg::verb_name(tag), "unknown", "tag {tag}");
         }
-        assert_eq!(Msg::verb_name(23), "unknown");
+        assert_eq!(Msg::verb_name(24), "unknown");
         assert_eq!(Msg::verb_name(7), "Route");
         assert_eq!(Msg::verb_name(15), "RouteBatch");
+        assert_eq!(Msg::verb_name(23), "TraceEvents");
     }
 
     #[test]
@@ -1302,6 +1413,7 @@ mod tests {
                 edges: 5000,
             },
             tables: Vec::new(),
+            trace: false,
         })));
     }
 
@@ -1309,5 +1421,69 @@ mod tests {
     fn rejects_unknown_tag() {
         assert!(Msg::decode(&[250]).is_err());
         assert!(Msg::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn trace_events_round_trip() {
+        round_trip(Msg::TraceEvents {
+            now_us: 0,
+            dropped: 0,
+            events: Vec::new(),
+        });
+        // Repeated names exercise the per-frame name table.
+        round_trip(Msg::TraceEvents {
+            now_us: 123_456_789,
+            dropped: 7,
+            events: vec![
+                Event {
+                    name: "chunk".into(),
+                    kind: EventKind::Span,
+                    ts_us: 1_000,
+                    dur_us: 250,
+                    arg: 4096,
+                },
+                Event {
+                    name: "route_batch".into(),
+                    kind: EventKind::Span,
+                    ts_us: 1_100,
+                    dur_us: 40,
+                    arg: 128,
+                },
+                Event {
+                    name: "chunk".into(),
+                    kind: EventKind::Span,
+                    ts_us: 1_300,
+                    dur_us: u64::MAX,
+                    arg: 0,
+                },
+                Event {
+                    name: "decode_stall".into(),
+                    kind: EventKind::Instant,
+                    ts_us: 1_350,
+                    dur_us: 0,
+                    arg: 999,
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn trace_events_rejects_bad_frames() {
+        let good = Msg::TraceEvents {
+            now_us: 5,
+            dropped: 0,
+            events: vec![Event {
+                name: "x".into(),
+                kind: EventKind::Span,
+                ts_us: 1,
+                dur_us: 2,
+                arg: 3,
+            }],
+        }
+        .encode();
+        // Truncation anywhere inside the frame must error, never panic.
+        for cut in 1..good.len() {
+            assert!(Msg::decode(&good[..cut]).is_err(), "cut {cut}");
+        }
     }
 }

@@ -33,7 +33,7 @@ pub const MAX_FRAME_BYTES: usize = 1 << 30;
 /// Message-tag slots tracked by the per-verb histogram: one per protocol
 /// tag byte (see [`super::proto::Msg`]) plus a trailing "unknown" bucket
 /// for tags outside the protocol (e.g. a fault-corrupted first byte).
-pub const VERB_SLOTS: usize = 24;
+pub const VERB_SLOTS: usize = 25;
 
 /// Per-verb traffic tally (sent + received combined, per endpoint).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

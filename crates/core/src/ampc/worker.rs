@@ -43,6 +43,7 @@ use crate::vertex_table::VertexTable;
 use clugp_graph::pack::ShardedPackReader;
 use clugp_graph::stream::{chunk_edges, EdgeStream};
 use clugp_graph::types::Edge;
+use clugp_obs::{self as obs, Event, EventBuf};
 use rustc_hash::FxHashMap;
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -82,6 +83,17 @@ pub(crate) fn migration_tag(policy: MigrationPolicy) -> u8 {
     }
 }
 
+/// Worker-lane span name for a stage (coordinator-lane pass spans use the
+/// `pass:` prefix; the worker's view of the same work uses `stage:`).
+fn stage_name(stage: &Stage) -> &'static str {
+    match stage {
+        Stage::Baseline => "stage:baseline",
+        Stage::ClugpPass1 { .. } => "stage:pass1",
+        Stage::ClugpPairs { .. } => "stage:pairs",
+        Stage::ClugpTransform { .. } => "stage:transform",
+    }
+}
+
 fn recv(conn: &mut dyn Transport) -> Result<Msg> {
     Msg::decode(&conn.recv()?)
 }
@@ -108,6 +120,9 @@ pub fn run_worker(mut conn: Box<dyn Transport>) -> Result<()> {
         hb_last: Instant::now(),
         scratch: Vec::new(),
         casts: FxHashMap::default(),
+        obs: EventBuf::new(),
+        chunk_ts: 0,
+        chunk_edges: 0,
     };
     wk.send_msg(&Msg::ConfigureOk)?;
     loop {
@@ -230,6 +245,15 @@ struct Wk {
     /// Read-only table mirrors received via [`Msg::TableCast`] (relaxed
     /// CLUGP stages), keyed by table slot: `(keys, flattened rows)`.
     casts: FxHashMap<u8, (Vec<u64>, Vec<u64>)>,
+    /// Trace events recorded during the current stage, shipped to the
+    /// coordinator as one [`Msg::TraceEvents`] frame right before
+    /// `StageDone` (empty unless [`WorkerSetup::trace`]).
+    obs: EventBuf,
+    /// Start timestamp of the chunk currently being processed (µs on this
+    /// worker's clock); 0 = no chunk open.
+    chunk_ts: u64,
+    /// Edge count of the chunk currently being processed.
+    chunk_edges: u64,
 }
 
 impl Wk {
@@ -260,7 +284,19 @@ impl Wk {
                 self.hb_last = Instant::now();
             }
         }
-        Ok(source.next_chunk(buf, cap))
+        if self.setup.trace && self.chunk_ts != 0 {
+            // Close the previous chunk's span here, before blocking on the
+            // next decode — stall time is attributed separately.
+            self.obs
+                .push(Event::span_since("chunk", self.chunk_ts, self.chunk_edges));
+            self.chunk_ts = 0;
+        }
+        let n = source.next_chunk(buf, cap);
+        if self.setup.trace && n != 0 {
+            self.chunk_ts = obs::now_us();
+            self.chunk_edges = n as u64;
+        }
+        Ok(n)
     }
 
     fn slot(&self, table: u8) -> Result<usize> {
@@ -345,6 +381,7 @@ impl Wk {
     /// [`Msg::RouteBatch`] each; all requests go out before the first
     /// reply is awaited, so the relay legs overlap.
     fn fetch_group(&mut self, tables: &[u8], keys: &[u64]) -> Result<Vec<Vec<u64>>> {
+        let t_route = if self.setup.trace { obs::now_us() } else { 0 };
         let defs: Vec<_> = tables
             .iter()
             .map(|&t| self.slot(t).map(|i| self.setup.tables[i]))
@@ -406,12 +443,18 @@ impl Wk {
                 .expect("get batch always yields rows");
             scatter(me, &rows, &mut outs)?;
         }
+        let had_remote = !pending.is_empty();
         for owner in pending {
             match recv(self.conn.as_mut())? {
                 Msg::RouteReply { rows } => scatter(owner, &rows, &mut outs)?,
                 Msg::Err { msg } => return Err(PartitionError::InvalidParam(msg)),
                 other => return Err(unexpected(&other)),
             }
+        }
+        if self.setup.trace && had_remote {
+            // One span per chunk fetch that actually crossed the wire.
+            self.obs
+                .push(Event::span_since("route_batch", t_route, keys.len() as u64));
         }
         Ok(outs)
     }
@@ -538,6 +581,12 @@ impl Wk {
         } else {
             epoch
         } as usize;
+        // Discard decode-stall time accrued outside any stage (pipeline
+        // warm-up from a previous incarnation of the source).
+        let _ = obs::stall::take_thread_ns();
+        self.chunk_ts = 0;
+        self.chunk_edges = 0;
+        let t_stage = if self.setup.trace { obs::now_us() } else { 0 };
         let mut source = self.open_source()?;
         let mut out = match stage {
             Stage::Baseline => self.stage_baseline(token, &mut source, relaxed, epoch),
@@ -572,7 +621,36 @@ impl Wk {
         // Casts are per-stage: the coordinator re-broadcasts fresh mirrors
         // before every relaxed stage that needs them.
         self.casts.clear();
+        if self.setup.trace && out.is_ok() {
+            // The condvar wait in the pipelined pack stream runs on this
+            // thread, so the thread-local stall counter is exactly this
+            // stage's decode wait.
+            let stall_ns = obs::stall::take_thread_ns();
+            if stall_ns > 0 {
+                self.obs
+                    .push(Event::instant_now("decode_stall", stall_ns / 1_000));
+            }
+            self.obs
+                .push(Event::span_since(stage_name(&stage), t_stage, 0));
+            self.flush_trace()?;
+        }
         out
+    }
+
+    /// Ships every event buffered during the stage as one
+    /// [`Msg::TraceEvents`] frame. Sent right before `StageDone`, so the
+    /// coordinator absorbs it while waiting on the stage result.
+    fn flush_trace(&mut self) -> Result<()> {
+        let dropped = self.obs.take_dropped();
+        if self.obs.is_empty() && dropped == 0 {
+            return Ok(());
+        }
+        let events = self.obs.drain();
+        self.send_msg(&Msg::TraceEvents {
+            now_us: obs::now_us(),
+            dropped,
+            events,
+        })
     }
 
     fn stage_baseline(
@@ -902,6 +980,7 @@ impl Wk {
         loads: Vec<u64>,
         tables: Vec<EpochTable>,
     ) -> Result<(bool, Vec<u64>, Vec<EpochTable>)> {
+        let t_barrier = if self.setup.trace { obs::now_us() } else { 0 };
         self.send_msg(&Msg::EpochDone {
             last,
             loads,
@@ -912,7 +991,13 @@ impl Wk {
                 done,
                 loads,
                 tables,
-            } => Ok((done, loads, tables)),
+            } => {
+                if self.setup.trace {
+                    self.obs
+                        .push(Event::span_since("epoch:barrier", t_barrier, 0));
+                }
+                Ok((done, loads, tables))
+            }
             Msg::Err { msg } => Err(PartitionError::InvalidParam(msg)),
             other => Err(unexpected(&other)),
         }

@@ -60,6 +60,22 @@
 //!                   memory for crash recovery only
 //! --resume          distributed runs: skip passes already covered by the
 //!                   newest valid checkpoint in --checkpoint-dir
+//! --trace-out <file>
+//!                   distributed runs: record pass/chunk/barrier spans on
+//!                   the coordinator and every worker and write a Chrome
+//!                   trace-event JSON (loads in Perfetto or
+//!                   chrome://tracing; one lane per process). Tracing never
+//!                   changes the partition — the emitted assignment stays
+//!                   byte-identical to an untraced run
+//! --trace-summary   distributed runs: print a per-lane span/counter table
+//!                   on stderr after the run
+//! --metrics-out <file>
+//!                   distributed runs: write the structured metrics
+//!                   snapshot (pass wall-clock, bytes per verb, epoch
+//!                   drift, checkpoint durations, retries, decode stalls)
+//!                   as JSON
+//! --net-stats       distributed runs: print the per-verb frame/byte
+//!                   breakdown on stderr
 //! --emit-placement <dir>
 //!                   write a placement directory (assignment snapshot +
 //!                   replica table) consumable by the engine crate
@@ -75,6 +91,7 @@ use clugp::baselines::{Dbh, Greedy, Grid, Hashing, Hdrf, Mint, MintConfig};
 use clugp::clugp::{Clugp, ClugpConfig};
 use clugp::error::{FaultKind, PartitionError};
 use clugp::metrics::PartitionQuality;
+use clugp::obs;
 use clugp::partition::Partitioning;
 use clugp::partitioner::Partitioner;
 use clugp::state::ReplicaTable;
@@ -114,6 +131,10 @@ struct Options {
     max_retries: Option<u32>,
     checkpoint_dir: Option<String>,
     resume: bool,
+    trace_out: Option<String>,
+    trace_summary: bool,
+    metrics_out: Option<String>,
+    net_stats: bool,
     emit_placement: Option<String>,
 }
 
@@ -141,6 +162,10 @@ impl Default for Options {
             max_retries: None,
             checkpoint_dir: None,
             resume: false,
+            trace_out: None,
+            trace_summary: false,
+            metrics_out: None,
+            net_stats: false,
             emit_placement: None,
         }
     }
@@ -264,6 +289,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--checkpoint-dir" => opts.checkpoint_dir = Some(value("--checkpoint-dir")?),
             "--resume" => opts.resume = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--trace-summary" => opts.trace_summary = true,
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--net-stats" => opts.net_stats = true,
             "--emit-placement" => opts.emit_placement = Some(value("--emit-placement")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => positional.push(a.clone()),
@@ -307,6 +336,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
              (--workers > 1 or --transport unix)"
             .into());
     }
+    let obs_flags = opts.trace_out.is_some()
+        || opts.trace_summary
+        || opts.metrics_out.is_some()
+        || opts.net_stats;
+    if obs_flags && !distributed(&opts) {
+        return Err(
+            "--trace-out/--trace-summary/--metrics-out/--net-stats apply to \
+             distributed runs (--workers > 1 or --transport unix)"
+                .into(),
+        );
+    }
     Ok(opts)
 }
 
@@ -334,6 +374,9 @@ fn dist_config(opts: &Options) -> DistConfig {
         resume: opts.resume,
         mode: opts.ampc_mode,
         epoch_chunks: opts.ampc_epoch_chunks,
+        // --net-stats reads NetStats, which every run collects anyway; only
+        // the exporters that need the event record turn recording on.
+        trace: opts.trace_out.is_some() || opts.trace_summary || opts.metrics_out.is_some(),
         ..Default::default()
     }
 }
@@ -521,6 +564,7 @@ fn run(opts: &Options) -> Result<(), String> {
             "bytes exchanged    = {} ({} frames)",
             out.net.bytes_sent, out.net.frames_sent
         );
+        report_observability(opts, &out, start.elapsed())?;
         out.partitioning
     } else {
         let mut stream = InMemoryStream::new(n, edges.clone());
@@ -553,6 +597,124 @@ fn run(opts: &Options) -> Result<(), String> {
         eprintln!("assignment written to {out}");
     }
     Ok(())
+}
+
+/// Emits the post-run observability artifacts the CLI flags asked for:
+/// the per-verb traffic table, the metrics snapshot, the Chrome trace, and
+/// the human span summary. All of them are derived from [`DistOutcome`]
+/// after the partition is already fixed, so none can perturb the result.
+fn report_observability(
+    opts: &Options,
+    out: &clugp::ampc::DistOutcome,
+    wall: Duration,
+) -> Result<(), String> {
+    if opts.net_stats {
+        eprint!("{}", net_stats_table(&out.net));
+    }
+    if opts.metrics_out.is_none() && opts.trace_out.is_none() && !opts.trace_summary {
+        return Ok(());
+    }
+    let metrics = metrics_json(out, wall);
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, &metrics).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = &opts.trace_out {
+        let json = obs::export::chrome_trace(&out.trace, out.workers, Some(&metrics));
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace written to {path} (load in Perfetto or chrome://tracing)");
+    }
+    if opts.trace_summary {
+        eprint!("{}", obs::export::summary_table(&out.trace));
+    }
+    Ok(())
+}
+
+/// `--net-stats`: one row per wire verb that carried traffic, sent and
+/// received combined across every coordinator↔worker link.
+fn net_stats_table(net: &clugp::ampc::NetStats) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<14} {:>10} {:>14}", "verb", "frames", "bytes");
+    for (tag, tally) in net.by_verb.iter().enumerate() {
+        if tally.frames == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "{:<14} {:>10} {:>14}",
+            Msg::verb_name(tag),
+            tally.frames,
+            tally.bytes
+        );
+    }
+    let _ = writeln!(
+        s,
+        "{:<14} {:>10} {:>14}",
+        "total",
+        net.frames_sent + net.frames_received,
+        net.bytes_sent + net.bytes_received
+    );
+    s
+}
+
+/// The structured metrics snapshot (`--metrics-out`, and embedded in the
+/// Chrome trace under the top-level `clugpMetrics` key).
+fn metrics_json(out: &clugp::ampc::DistOutcome, wall: Duration) -> String {
+    let rec = &out.trace;
+    let passes = obs::json::Obj::new()
+        .u64("baselineUs", rec.span_total_us("pass:baseline"))
+        .u64("pass1Us", rec.span_total_us("pass:pass1"))
+        .u64("pairsUs", rec.span_total_us("pass:pairs"))
+        .u64("transformUs", rec.span_total_us("pass:transform"))
+        .finish();
+    let mut verbs = obs::json::Obj::new();
+    for (tag, tally) in out.net.by_verb.iter().enumerate() {
+        if tally.frames == 0 {
+            continue;
+        }
+        let entry = obs::json::Obj::new()
+            .u64("frames", tally.frames)
+            .u64("bytes", tally.bytes)
+            .finish();
+        verbs = verbs.raw(Msg::verb_name(tag), &entry);
+    }
+    let checkpoints = obs::json::Obj::new()
+        .u64("writes", out.ckpt_writes)
+        .u64("writeUs", out.ckpt_write_us)
+        .u64("restores", out.ckpt_restores)
+        .u64("restoreUs", out.ckpt_restore_us)
+        .finish();
+    // Epoch drift: one "epoch_sync" instant per relaxed reconcile round,
+    // arg = number of drifted table keys merged in that round.
+    let sync_rounds = rec.count("epoch_sync") as u64;
+    let drift_keys: u64 = rec
+        .events
+        .iter()
+        .filter(|(_, e)| e.name == "epoch_sync")
+        .map(|(_, e)| e.arg)
+        .sum();
+    // Decode stalls: one instant per worker stage that waited on the
+    // pipeline, arg = stall microseconds.
+    let stall_us: u64 = rec
+        .events
+        .iter()
+        .filter(|(_, e)| e.name == "decode_stall")
+        .map(|(_, e)| e.arg)
+        .sum();
+    obs::json::Obj::new()
+        .u64("wallUs", wall.as_micros() as u64)
+        .u64("workers", u64::from(out.workers))
+        .raw("passes", &passes)
+        .raw("bytesByVerb", &verbs.finish())
+        .raw("checkpoints", &checkpoints)
+        .u64("epochSyncRounds", sync_rounds)
+        .u64("epochDriftKeys", drift_keys)
+        .u64("retries", u64::from(out.recoveries))
+        .u64("respawns", rec.count("respawn") as u64)
+        .u64("decodeStallUs", stall_us)
+        .u64("droppedEvents", rec.dropped)
+        .finish()
 }
 
 /// Derives the replica table from the assignment and writes the placement
@@ -925,6 +1087,7 @@ fn main() -> ExitCode {
              [--output file] [--workers N] [--transport channel|unix] [--socket-dir dir] \
              [--ampc-mode sequenced|relaxed] [--ampc-epoch-chunks N] \
              [--worker-timeout S] [--max-retries N] [--checkpoint-dir dir] [--resume] \
+             [--trace-out file] [--trace-summary] [--metrics-out file] [--net-stats] \
              [--emit-placement dir]"
         );
         return ExitCode::from(2);
@@ -1279,6 +1442,110 @@ mod tests {
         // Both knobs require a distributed run.
         let err = parse_args(&strs(&["g.txt", "--k", "4", "--ampc-mode", "relaxed"])).unwrap_err();
         assert!(err.contains("distributed"), "{err}");
+    }
+
+    #[test]
+    fn trace_flags_parse_and_validate() {
+        let o = parse_args(&strs(&[
+            "g.txt",
+            "--k",
+            "4",
+            "--workers",
+            "2",
+            "--trace-out",
+            "t.json",
+            "--trace-summary",
+            "--metrics-out",
+            "m.json",
+            "--net-stats",
+        ]))
+        .unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+        assert!(o.trace_summary);
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
+        assert!(o.net_stats);
+        assert!(dist_config(&o).trace);
+
+        // --net-stats reads NetStats only; it must not flip recording on.
+        let o = parse_args(&strs(&[
+            "g.txt",
+            "--k",
+            "4",
+            "--workers",
+            "2",
+            "--net-stats",
+        ]))
+        .unwrap();
+        assert!(o.net_stats);
+        assert!(!dist_config(&o).trace);
+
+        // Every observability flag needs a distributed run.
+        for flags in [
+            &["--trace-out", "t.json"][..],
+            &["--trace-summary"][..],
+            &["--metrics-out", "m.json"][..],
+            &["--net-stats"][..],
+        ] {
+            let mut args = strs(&["g.txt", "--k", "4"]);
+            args.extend(flags.iter().map(|s| s.to_string()));
+            let err = parse_args(&args).unwrap_err();
+            assert!(err.contains("distributed"), "{flags:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn traced_channel_run_is_bit_identical_and_emits_valid_artifacts() {
+        let dir = std::env::temp_dir().join("clugp_part_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt");
+        std::fs::write(&input, "0 1\n1 2\n2 0\n2 3\n3 4\n4 0\n1 3\n0 4\n").unwrap();
+        let plain_tsv = dir.join("plain.tsv");
+        let traced_tsv = dir.join("traced.tsv");
+        let trace = dir.join("trace.json");
+        let metrics = dir.join("metrics.json");
+        let base = Options {
+            input: input.to_string_lossy().into_owned(),
+            k: 2,
+            algo: "hdrf".into(),
+            order: "asis".into(),
+            threads: 1,
+            workers: 3,
+            output: Some(plain_tsv.to_string_lossy().into_owned()),
+            ..Options::default()
+        };
+        run(&base).unwrap();
+        let traced = Options {
+            output: Some(traced_tsv.to_string_lossy().into_owned()),
+            trace_out: Some(trace.to_string_lossy().into_owned()),
+            metrics_out: Some(metrics.to_string_lossy().into_owned()),
+            trace_summary: true,
+            net_stats: true,
+            ..base
+        };
+        run(&traced).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&plain_tsv).unwrap(),
+            std::fs::read_to_string(&traced_tsv).unwrap(),
+            "tracing must not change the partition"
+        );
+        let json = std::fs::read_to_string(&trace).unwrap();
+        obs::json::validate(&json).unwrap_or_else(|e| panic!("trace not valid JSON: {e}"));
+        // Coordinator pass span, worker stage spans, and per-chunk routing
+        // all made it into the merged record.
+        assert!(
+            json.contains("\"pass:baseline\""),
+            "coordinator span missing"
+        );
+        assert!(json.contains("\"stage:baseline\""), "worker span missing");
+        assert!(json.contains("\"route_batch\""), "routing span missing");
+        assert!(
+            json.contains("\"clugpMetrics\""),
+            "embedded metrics missing"
+        );
+        let mjson = std::fs::read_to_string(&metrics).unwrap();
+        obs::json::validate(&mjson).unwrap_or_else(|e| panic!("metrics not valid JSON: {e}"));
+        assert!(mjson.contains("\"bytesByVerb\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -62,3 +62,8 @@ pub use error::{PartitionError, Result};
 pub use partition::{PartitionRun, Partitioning, Timings};
 pub use partitioner::Partitioner;
 pub use vertex_table::VertexTable;
+
+/// The observability substrate (spans, counters, Chrome trace export) the
+/// AMPC engine records into — re-exported so downstream consumers of
+/// [`ampc::DistOutcome::trace`] need no extra dependency edge.
+pub use clugp_obs as obs;

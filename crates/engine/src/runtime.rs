@@ -122,6 +122,11 @@ impl<'g> Engine<'g> {
         let mut stats = ExecutionStats::default();
 
         for _ in 0..program.max_supersteps() {
+            let t_step = if clugp_obs::enabled() {
+                clugp_obs::now_us()
+            } else {
+                0
+            };
             let mut step = SuperstepStats::new(g.k);
             // Merged accumulators per global vertex, in deterministic
             // machine order.
@@ -205,6 +210,9 @@ impl<'g> Engine<'g> {
                 }
             }
             step.active_vertices = changed;
+            if clugp_obs::enabled() {
+                clugp_obs::record_span("superstep", t_step, changed);
+            }
             stats.supersteps.push(step);
             if changed == 0 && program.halt_on_fixpoint() {
                 break;

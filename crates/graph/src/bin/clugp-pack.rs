@@ -14,6 +14,9 @@
 //!                   the dense relabeling)
 //! --checksums <p>   full (default) | header | off — CRC verification when
 //!                   the *input* is itself a pack
+//! --trace-out <f>   write a single-lane Chrome trace-event JSON of the
+//!                   pack run (encode span, spill counter); loads in
+//!                   Perfetto or chrome://tracing
 //!
 //! clugp-pack info <file.clugpz> [--checksums p]
 //!                   header + block statistics, bytes/edge; echoes the
@@ -35,6 +38,7 @@ use clugp_graph::pack::{
     ChecksumPolicy, DecodeOptions, PackOptions, PackStats,
 };
 use clugp_graph::stream::RestreamableStream;
+use clugp_obs as obs;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -46,6 +50,7 @@ struct PackArgs {
     spill_edges: usize,
     sparse: bool,
     checksums: ChecksumPolicy,
+    trace_out: Option<String>,
 }
 
 fn parse_pack_args(args: &[String]) -> Result<PackArgs, String> {
@@ -56,6 +61,7 @@ fn parse_pack_args(args: &[String]) -> Result<PackArgs, String> {
         spill_edges: clugp_graph::pack::DEFAULT_SPILL_EDGES,
         sparse: false,
         checksums: ChecksumPolicy::Full,
+        trace_out: None,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -88,6 +94,7 @@ fn parse_pack_args(args: &[String]) -> Result<PackArgs, String> {
                     .parse()
                     .map_err(|e| format!("--checksums: {e}"))?;
             }
+            "--trace-out" => out.trace_out = Some(value("--trace-out")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => positional.push(a.clone()),
         }
@@ -125,11 +132,16 @@ fn run_pack(args: &PackArgs) -> Result<(), String> {
         block_bytes: args.block_bytes,
         spill_edges: args.spill_edges,
     };
+    if args.trace_out.is_some() {
+        obs::set_enabled(true);
+    }
+    let t_encode = obs::now_us();
     if args.sparse {
         let mut stream = open_sparse_edge_stream(input).map_err(|e| format!("--sparse: {e}"))?;
         let distinct = stream.id_map().len();
         let stats = pack_edge_stream(&mut stream, output, &opts).map_err(|e| e.to_string())?;
         surface_stream_errors(&mut stream, output)?;
+        trace_pack(&stats, t_encode);
         report_stats(&stats, Some(distinct));
     } else {
         let fmt = sniff_format(input).map_err(|e| e.to_string())?;
@@ -143,8 +155,36 @@ fn run_pack(args: &PackArgs) -> Result<(), String> {
         let mut stream = open_edge_stream(input).map_err(|e| e.to_string())?;
         let stats = pack_edge_stream(stream.as_mut(), output, &opts).map_err(|e| e.to_string())?;
         surface_stream_errors(stream.as_mut(), output)?;
+        trace_pack(&stats, t_encode);
         report_stats(&stats, None);
     }
+    if let Some(path) = &args.trace_out {
+        write_trace(path)?;
+        obs::set_enabled(false);
+    }
+    Ok(())
+}
+
+/// Records the pack run's spans into the process-wide sink (no-op unless
+/// `--trace-out` enabled recording).
+fn trace_pack(stats: &PackStats, t_encode: u64) {
+    obs::record_span("pack:encode", t_encode, stats.num_edges);
+    obs::record_instant("spill_runs", stats.spill_runs as u64);
+}
+
+/// Drains the sink and writes a single-lane Chrome trace-event JSON.
+fn write_trace(path: &str) -> Result<(), String> {
+    let (events, dropped) = obs::take_events();
+    let rec = obs::TraceRecord {
+        events: events
+            .into_iter()
+            .map(|e| (obs::LANE_COORDINATOR, e))
+            .collect(),
+        dropped,
+    };
+    let json = obs::export::chrome_trace(&rec, 0, None);
+    std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("trace written to {path} (load in Perfetto or chrome://tracing)");
     Ok(())
 }
 
@@ -225,7 +265,7 @@ fn run_verify(path: &str) -> Result<(), String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: clugp-pack pack <in> <out.clugpz> [--block-bytes N] [--spill-edges N] [--sparse] \
-         [--checksums full|header|off]\n\
+         [--checksums full|header|off] [--trace-out file]\n\
          \x20      clugp-pack info <file.clugpz> [--checksums full|header|off]\n\
          \x20      clugp-pack verify <file.clugpz>"
     );
@@ -384,6 +424,7 @@ mod tests {
             spill_edges: 2, // force the spill path
             sparse: false,
             checksums: ChecksumPolicy::Full,
+            trace_out: None,
         };
         run_pack(&args).unwrap();
         for policy in [
@@ -425,6 +466,7 @@ mod tests {
             spill_edges: clugp_graph::pack::DEFAULT_SPILL_EDGES,
             sparse: true,
             checksums: ChecksumPolicy::Full,
+            trace_out: None,
         };
         run_pack(&args).unwrap();
         let mut s = clugp_graph::pack::PackedEdgeStream::open(&output).unwrap();
@@ -447,6 +489,7 @@ mod tests {
             spill_edges: 64,
             sparse: true,
             checksums: ChecksumPolicy::Full,
+            trace_out: None,
         };
         let err = run_pack(&args).unwrap_err();
         assert!(err.contains("--sparse"), "{err}");
@@ -483,11 +526,37 @@ mod tests {
             spill_edges: 64,
             sparse: false,
             checksums: ChecksumPolicy::Full,
+            trace_out: None,
         })
         .unwrap_err();
         assert!(err.contains("ended early"), "{err}");
         assert!(!output.exists(), "partial output must be discarded");
         std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn pack_trace_out_writes_valid_chrome_trace() {
+        let input = tmp("trace_in.txt");
+        let output = tmp("trace_out.clugpz");
+        let trace = tmp("trace.json");
+        std::fs::write(&input, "0 1\n1 2\n2 0\n0 2\n").unwrap();
+        run_pack(&PackArgs {
+            input: input.to_string_lossy().into_owned(),
+            output: output.to_string_lossy().into_owned(),
+            block_bytes: 64,
+            spill_edges: 2,
+            sparse: false,
+            checksums: ChecksumPolicy::Full,
+            trace_out: Some(trace.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let json = std::fs::read_to_string(&trace).unwrap();
+        obs::json::validate(&json).unwrap_or_else(|e| panic!("trace not valid JSON: {e}"));
+        assert!(json.contains("\"pack:encode\""), "encode span missing");
+        assert!(json.contains("\"spill_runs\""), "spill counter missing");
+        for p in [input, output, trace] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]
@@ -503,6 +572,7 @@ mod tests {
             spill_edges: 64,
             sparse: false,
             checksums: ChecksumPolicy::Full,
+            trace_out: None,
         })
         .unwrap();
         // Packing an existing pack is idempotent on content.
@@ -514,6 +584,7 @@ mod tests {
             spill_edges: 64,
             sparse: false,
             checksums: ChecksumPolicy::Full,
+            trace_out: None,
         })
         .unwrap();
         let mut a = clugp_graph::pack::PackedEdgeStream::open(&out1).unwrap();

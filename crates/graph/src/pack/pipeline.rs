@@ -355,7 +355,12 @@ impl PipelinedPackStream {
             if let Some(r) = st.ready.remove(&block) {
                 break r;
             }
+            // Decode ran behind the consumer: this wait is the pipeline's
+            // prefetch-stall time, credited to the calling thread so the
+            // AMPC worker can report it per stage.
+            let waited = std::time::Instant::now();
             st = shared.ready_cv.wait(st).expect("pipeline lock poisoned");
+            clugp_obs::stall::add_decode_stall(waited.elapsed().as_nanos() as u64);
         };
         st.next_deliver += 1;
         // Recycle the buffer the consumer just finished draining.

@@ -1,0 +1,361 @@
+//! Lock-light observability substrate for the CLUGP engines (DESIGN.md §12).
+//!
+//! Zero-dependency by design: the recorder has to be embeddable in every
+//! crate of the workspace — the graph substrate's decode pipeline, the
+//! AMPC coordinator/worker pair, the GAS engine, and both CLIs — without
+//! dragging the dependency graph sideways. Everything here is plain
+//! `std`: monotonic timestamps from a process-global [`std::time::Instant`]
+//! epoch, an [`AtomicBool`] master switch, owned per-actor event buffers
+//! ([`EventBuf`]), a mutex-guarded process sink for code that has no actor
+//! to hang a buffer off (CLIs, the engine runtime), and a thread-local
+//! decode-stall accumulator ([`stall`]) that attributes blocking time in
+//! the pipelined pack decoder to the consumer thread that suffered it.
+//!
+//! The wire encoding of events is *not* defined here — the AMPC protocol
+//! crate owns its codec and ships [`Event`]s as a `TraceEvents` verb using
+//! the same varint idioms as the rest of the protocol. This crate only
+//! defines the in-memory model and the exporters:
+//!
+//! * [`export::chrome_trace`] — Chrome trace-event JSON (loads in
+//!   Perfetto / `chrome://tracing`), one process lane per worker plus a
+//!   coordinator lane, with an optional embedded metrics snapshot under a
+//!   `"clugpMetrics"` key that trace viewers ignore.
+//! * [`export::summary_table`] — a human-readable per-lane aggregation
+//!   for `--trace-summary` on stderr.
+//!
+//! Recording is compiled in but off by default; every instrumentation
+//! site is gated either on [`enabled`] or on a per-run flag carried in
+//! the AMPC `Configure` handshake, so the untraced hot path pays one
+//! relaxed atomic load (or a plain bool test) and nothing else.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+pub mod export;
+pub mod json;
+pub mod stall;
+
+/// Lane id of the coordinator in a merged trace record.
+pub const LANE_COORDINATOR: u32 = 0;
+
+/// Lane id of worker `w` in a merged trace record (workers are shifted by
+/// one so the coordinator can keep lane 0).
+pub fn worker_lane(w: u32) -> u32 {
+    w + 1
+}
+
+/// Hard cap on events buffered by a single recorder. Tracing a pathological
+/// run must degrade to dropped events, never to unbounded memory; drops are
+/// counted and surfaced in the metrics snapshot.
+pub const EVENT_CAP: usize = 1 << 20;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since the process-global monotonic epoch (the first
+/// call to any timestamping function in this crate). Lanes recorded in
+/// different processes are re-based by the coordinator when their frames
+/// arrive, using the `now_us` the sender stamps into each frame.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn the process-wide recorder switch on or off. This gates only the
+/// *ambient* instrumentation (the global sink and the decode-stall
+/// accounting); AMPC actors carry an explicit per-run flag instead so a
+/// traced run and an untraced run can coexist in one process.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether ambient recording is on. One relaxed load; callers on hot paths
+/// should read it once per region, not per event.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// What an [`Event`] marks: a closed interval or a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed interval: `ts_us .. ts_us + dur_us`.
+    Span,
+    /// A point-in-time marker; `dur_us` is zero.
+    Instant,
+}
+
+impl EventKind {
+    /// Stable wire tag for this kind.
+    pub fn tag(self) -> u8 {
+        match self {
+            EventKind::Span => 0,
+            EventKind::Instant => 1,
+        }
+    }
+
+    /// Inverse of [`EventKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<EventKind> {
+        match tag {
+            0 => Some(EventKind::Span),
+            1 => Some(EventKind::Instant),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event. `arg` is a single free-form counter whose meaning is
+/// event-name specific (edges in a chunk, keys in a route batch, stall
+/// microseconds, ...); it surfaces as `args.v` in the Chrome export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Event name; spans with the same name aggregate in the summary table.
+    pub name: String,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Start timestamp, microseconds on the recording process's clock
+    /// (re-based to the coordinator clock when merged).
+    pub ts_us: u64,
+    /// Duration in microseconds; zero for instants.
+    pub dur_us: u64,
+    /// Free-form per-event counter.
+    pub arg: u64,
+}
+
+impl Event {
+    /// A completed span starting at `start_us` and ending now.
+    pub fn span_since(name: &str, start_us: u64, arg: u64) -> Event {
+        Event {
+            name: name.to_string(),
+            kind: EventKind::Span,
+            ts_us: start_us,
+            dur_us: now_us().saturating_sub(start_us),
+            arg,
+        }
+    }
+
+    /// A point event stamped now.
+    pub fn instant_now(name: &str, arg: u64) -> Event {
+        Event {
+            name: name.to_string(),
+            kind: EventKind::Instant,
+            ts_us: now_us(),
+            dur_us: 0,
+            arg,
+        }
+    }
+}
+
+/// An owned, bounded event buffer for a single-threaded actor (one AMPC
+/// worker serve loop, the coordinator). No locking: the actor owns it and
+/// drains it at its own barriers.
+#[derive(Debug, Default)]
+pub struct EventBuf {
+    events: Vec<Event>,
+    dropped: u64,
+}
+
+impl EventBuf {
+    /// An empty buffer.
+    pub fn new() -> EventBuf {
+        EventBuf::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded so far because the buffer hit [`EVENT_CAP`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Append an event, counting a drop instead of growing past the cap.
+    pub fn push(&mut self, ev: Event) {
+        if self.events.len() >= EVENT_CAP {
+            self.dropped += 1;
+        } else {
+            self.events.push(ev);
+        }
+    }
+
+    /// Record a span that started at `start_us` and ends now.
+    pub fn span(&mut self, name: &str, start_us: u64, arg: u64) {
+        self.push(Event::span_since(name, start_us, arg));
+    }
+
+    /// Record a point event stamped now.
+    pub fn instant(&mut self, name: &str, arg: u64) {
+        self.push(Event::instant_now(name, arg));
+    }
+
+    /// Take all buffered events, leaving the buffer empty (drop count is
+    /// preserved; use [`EventBuf::take_dropped`] to reset it).
+    pub fn drain(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Take and reset the drop counter.
+    pub fn take_dropped(&mut self) -> u64 {
+        std::mem::take(&mut self.dropped)
+    }
+}
+
+fn sink() -> &'static Mutex<EventBuf> {
+    static SINK: OnceLock<Mutex<EventBuf>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(EventBuf::new()))
+}
+
+/// Record a completed span into the process sink if ambient recording is on.
+pub fn record_span(name: &str, start_us: u64, arg: u64) {
+    if enabled() {
+        sink().lock().unwrap().span(name, start_us, arg);
+    }
+}
+
+/// Record a point event into the process sink if ambient recording is on.
+pub fn record_instant(name: &str, arg: u64) {
+    if enabled() {
+        sink().lock().unwrap().instant(name, arg);
+    }
+}
+
+/// Drain the process sink: all buffered events plus the drop count.
+pub fn take_events() -> (Vec<Event>, u64) {
+    let mut buf = sink().lock().unwrap();
+    let events = buf.drain();
+    let dropped = buf.take_dropped();
+    (events, dropped)
+}
+
+/// A merged, lane-tagged record of one run: coordinator events on lane
+/// [`LANE_COORDINATOR`], worker `w` on [`worker_lane`]`(w)`.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecord {
+    /// `(lane, event)` pairs in arrival order.
+    pub events: Vec<(u32, Event)>,
+    /// Events lost to buffer caps anywhere in the run.
+    pub dropped: u64,
+}
+
+impl TraceRecord {
+    /// Append an event to a lane, honouring the global cap.
+    pub fn push(&mut self, lane: u32, ev: Event) {
+        if self.events.len() >= EVENT_CAP {
+            self.dropped += 1;
+        } else {
+            self.events.push((lane, ev));
+        }
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total microseconds spent in spans named `name`, across all lanes.
+    pub fn span_total_us(&self, name: &str) -> u64 {
+        self.events
+            .iter()
+            .filter(|(_, e)| e.kind == EventKind::Span && e.name == name)
+            .map(|(_, e)| e.dur_us)
+            .sum()
+    }
+
+    /// Number of events named `name`, across all lanes.
+    pub fn count(&self, name: &str) -> usize {
+        self.events.iter().filter(|(_, e)| e.name == name).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn event_kind_tags_round_trip() {
+        for kind in [EventKind::Span, EventKind::Instant] {
+            assert_eq!(EventKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(EventKind::from_tag(7), None);
+    }
+
+    #[test]
+    fn event_buf_records_and_drains() {
+        let mut buf = EventBuf::new();
+        let t0 = now_us();
+        buf.span("stage", t0, 42);
+        buf.instant("marker", 7);
+        assert_eq!(buf.len(), 2);
+        let events = buf.drain();
+        assert!(buf.is_empty());
+        assert_eq!(events[0].name, "stage");
+        assert_eq!(events[0].kind, EventKind::Span);
+        assert_eq!(events[0].arg, 42);
+        assert_eq!(events[1].kind, EventKind::Instant);
+        assert_eq!(events[1].dur_us, 0);
+    }
+
+    #[test]
+    fn event_buf_caps_and_counts_drops() {
+        let mut buf = EventBuf::new();
+        for _ in 0..EVENT_CAP + 3 {
+            buf.push(Event::instant_now("x", 0));
+        }
+        assert_eq!(buf.len(), EVENT_CAP);
+        assert_eq!(buf.take_dropped(), 3);
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn ambient_sink_respects_switch() {
+        // The sink is process-global; drain whatever other tests left.
+        let _ = take_events();
+        set_enabled(false);
+        record_instant("off", 1);
+        assert!(take_events().0.is_empty());
+        set_enabled(true);
+        record_span("on", now_us(), 2);
+        set_enabled(false);
+        let (events, dropped) = take_events();
+        assert_eq!(dropped, 0);
+        assert!(events.iter().any(|e| e.name == "on"));
+    }
+
+    #[test]
+    fn trace_record_aggregates() {
+        let mut rec = TraceRecord::default();
+        rec.push(
+            LANE_COORDINATOR,
+            Event {
+                name: "pass:pass1".into(),
+                kind: EventKind::Span,
+                ts_us: 0,
+                dur_us: 100,
+                arg: 0,
+            },
+        );
+        rec.push(worker_lane(0), Event::instant_now("retry", 1));
+        assert_eq!(rec.span_total_us("pass:pass1"), 100);
+        assert_eq!(rec.count("retry"), 1);
+        assert_eq!(rec.count("missing"), 0);
+    }
+}

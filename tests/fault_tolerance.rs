@@ -477,6 +477,86 @@ fn checkpoints_persist_and_resume_bit_identically() {
 }
 
 #[test]
+fn traced_faulted_run_records_recovery_events_and_stays_bit_identical() {
+    // Tracing is an observer: with recording on, a faulted run still
+    // recovers to the monolith's exact bits, and the merged trace carries
+    // the recovery story — retry/respawn instants, timed checkpoint
+    // restore — in a Chrome trace that passes the JSON validator.
+    let (n, edges) = test_web_graph(600, 62);
+    let k = 8;
+    let reference = monolith(&mut Clugp::default(), n, &edges, k);
+    let dir = tmp("traced_fault");
+    let mut faults = FaultPlan::none();
+    faults.push(1, 0, FaultScript::disconnect_at_send(3));
+    let cfg = DistConfig {
+        workers: 2,
+        supervise: supervised(600, 2),
+        faults,
+        checkpoint_dir: Some(dir.clone()),
+        trace: true,
+        ..Default::default()
+    };
+    let out = run_distributed(
+        &DistAlgo::clugp(),
+        DistInput::Edges {
+            num_vertices: n,
+            edges: &edges,
+        },
+        k,
+        &cfg,
+    )
+    .expect("traced faulted run must recover");
+    assert!(out.recoveries >= 1, "the scripted fault never fired");
+    assert_eq!(
+        (
+            out.partitioning.assignments,
+            out.partitioning.loads,
+            out.partitioning.num_vertices
+        ),
+        reference,
+        "traced recovery diverged from the monolith"
+    );
+
+    let trace = &out.trace;
+    assert!(
+        trace.count("retry") >= 1,
+        "recovery must leave a retry instant in the coordinator lane"
+    );
+    assert!(
+        trace.count("respawn") >= 1,
+        "worker respawn must be recorded"
+    );
+    assert!(
+        trace.count("checkpoint:restore") >= 1,
+        "recovery from a persisted barrier must record a restore span"
+    );
+    assert!(
+        trace.count("checkpoint:write") >= 1,
+        "barrier commits must record write spans"
+    );
+    assert!(
+        out.ckpt_writes >= 1 && out.ckpt_restores >= 1,
+        "checkpoint timings must be accounted: writes={} restores={}",
+        out.ckpt_writes,
+        out.ckpt_restores
+    );
+    // Worker-lane events survive the respawn: at least one stage span from
+    // some worker incarnation must have been shipped and absorbed.
+    assert!(
+        trace.count("stage:pass1") + trace.count("stage:baseline") >= 1,
+        "no worker stage spans were absorbed"
+    );
+
+    let json = clugp::obs::export::chrome_trace(trace, out.workers, None);
+    clugp::obs::json::validate(&json)
+        .unwrap_or_else(|e| panic!("fault-run trace is not valid JSON: {e}"));
+    for needle in ["\"retry\"", "\"respawn\"", "\"checkpoint:restore\""] {
+        assert!(json.contains(needle), "exported trace missing {needle}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn crash_recovery_works_with_a_checkpoint_directory() {
     // Supervision and on-disk checkpoints compose: a mid-run fault with a
     // checkpoint directory configured recovers from the persisted barrier.
